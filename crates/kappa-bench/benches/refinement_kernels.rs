@@ -1,0 +1,120 @@
+//! Criterion benches for the refinement kernels of §5: the 2-way FM search at
+//! different band depths and queue selection strategies, the quotient-graph
+//! edge colouring, and one full refinement sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kappa_gen::{grid2d, random_geometric_graph};
+use kappa_graph::{BlockWeights, Partition, QuotientGraph};
+use kappa_initial::greedy_graph_growing;
+use kappa_refine::{
+    color_quotient_edges, pair_band, refine_partition, two_way_fm, FmConfig, QueueSelection,
+    RefinementConfig,
+};
+
+fn bench_two_way_fm_band_depth(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 13, 4);
+    let partition = greedy_graph_growing(&graph, 2, 0.03, 1);
+    let weights = BlockWeights::compute(&graph, &partition);
+    let l_max = Partition::l_max(&graph, 2, 0.03);
+    let mut group = c.benchmark_group("two_way_fm_band_depth_rgg13");
+    for depth in [1usize, 5, 20] {
+        let band = pair_band(&graph, &partition, 0, 1, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &band, |b, band| {
+            b.iter(|| {
+                let mut p = partition.clone();
+                two_way_fm(
+                    &graph,
+                    &mut p,
+                    0,
+                    1,
+                    band,
+                    weights.weight(0),
+                    weights.weight(1),
+                    &FmConfig {
+                        l_max,
+                        patience_alpha: 0.05,
+                        seed: 3,
+                        ..Default::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_queue_selection(c: &mut Criterion) {
+    let graph = grid2d(96, 96);
+    let partition = greedy_graph_growing(&graph, 2, 0.03, 2);
+    let weights = BlockWeights::compute(&graph, &partition);
+    let l_max = Partition::l_max(&graph, 2, 0.03);
+    let band = pair_band(&graph, &partition, 0, 1, 10);
+    let mut group = c.benchmark_group("two_way_fm_queue_selection_grid96");
+    for strategy in QueueSelection::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &qs| {
+                b.iter(|| {
+                    let mut p = partition.clone();
+                    two_way_fm(
+                        &graph,
+                        &mut p,
+                        0,
+                        1,
+                        &band,
+                        weights.weight(0),
+                        weights.weight(1),
+                        &FmConfig {
+                            queue_selection: qs,
+                            l_max,
+                            patience_alpha: 0.05,
+                            seed: 3,
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_edge_coloring(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 13, 6);
+    let mut group = c.benchmark_group("quotient_edge_coloring_rgg13");
+    for k in [16u32, 64] {
+        let partition = greedy_graph_growing(&graph, k, 0.03, 3);
+        let quotient = QuotientGraph::build(&graph, &partition);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &quotient, |b, q| {
+            b.iter(|| color_quotient_edges(q, 9));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_refinement_sweep(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 12, 8);
+    let partition = greedy_graph_growing(&graph, 8, 0.03, 4);
+    c.bench_function("refinement_sweep_rgg12_k8", |b| {
+        b.iter(|| {
+            let mut p = partition.clone();
+            refine_partition(
+                &graph,
+                &mut p,
+                &RefinementConfig {
+                    max_global_iterations: 2,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_two_way_fm_band_depth,
+    bench_queue_selection,
+    bench_edge_coloring,
+    bench_full_refinement_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Minimal command-line argument parsing for the experiment binaries.
+//!
+//! All experiment binaries accept the same small set of flags:
+//!
+//! * `--scale <f64>`   — instance size multiplier (default 0.1, i.e. the paper's
+//!   instances scaled down to run the whole sweep in seconds);
+//! * `--reps <usize>`  — repetitions per configuration (paper: 10; default 3);
+//! * `--seed <u64>`    — master seed (default 42);
+//! * `--k <list>`      — comma-separated list of block counts;
+//! * `--threads <n>`   — worker threads (0 = all cores);
+//! * `--json`          — additionally emit one JSON line per aggregated row;
+//! * binary-specific flags such as `--config` or `--tool` are read via
+//!   [`Args::get`].
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()`.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments (used in tests).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        flags.insert(name.to_string(), iter.next().unwrap());
+                    }
+                    _ => switches.push(name.to_string()),
+                }
+            }
+        }
+        Args { flags, switches }
+    }
+
+    /// Raw string value of `--name`, if given.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// Parsed value of `--name`, falling back to `default`.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// True if the bare switch `--name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Comma-separated list of `u32` (e.g. `--k 2,4,8`), with a default.
+    pub fn get_u32_list(&self, name: &str, default: &[u32]) -> Vec<u32> {
+        match self.get(name) {
+            Some(v) => v
+                .split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// Instance scale (default 0.1).
+    pub fn scale(&self) -> f64 {
+        self.get_or("scale", 0.1)
+    }
+
+    /// Repetitions per configuration (default 3).
+    pub fn reps(&self) -> usize {
+        self.get_or("reps", 3).max(1)
+    }
+
+    /// Master seed (default 42).
+    pub fn seed(&self) -> u64 {
+        self.get_or("seed", 42)
+    }
+
+    /// Worker threads (default 0 = ambient Rayon pool).
+    pub fn threads(&self) -> usize {
+        self.get_or("threads", 0)
+    }
+
+    /// Whether to emit JSON record lines.
+    pub fn json(&self) -> bool {
+        self.has("json")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_and_switches() {
+        let a = args(&["--scale", "0.5", "--json", "--k", "2,4,8", "--config", "strong"]);
+        assert!((a.scale() - 0.5).abs() < 1e-12);
+        assert!(a.json());
+        assert_eq!(a.get_u32_list("k", &[64]), vec![2, 4, 8]);
+        assert_eq!(a.get("config"), Some("strong"));
+        assert_eq!(a.reps(), 3);
+        assert_eq!(a.seed(), 42);
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = args(&[]);
+        assert!((a.scale() - 0.1).abs() < 1e-12);
+        assert!(!a.json());
+        assert_eq!(a.get_u32_list("k", &[16, 32, 64]), vec![16, 32, 64]);
+        assert_eq!(a.threads(), 0);
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let a = args(&["--scale", "abc", "--reps", "0"]);
+        assert!((a.scale() - 0.1).abs() < 1e-12);
+        assert_eq!(a.reps(), 1);
+    }
+}

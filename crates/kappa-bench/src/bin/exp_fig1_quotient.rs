@@ -1,0 +1,56 @@
+//! Experiment: Figure 1 — a partitioned graph, its quotient graph and an edge
+//! colouring whose colour classes are matchings of block pairs.
+//!
+//! The paper's Figure 1 is illustrative; this binary reproduces it as text:
+//! it partitions a grid into k blocks, builds the quotient graph, colours its
+//! edges with the parallel greedy protocol of §5.1 and prints each colour
+//! class, verifying that every class is a matching (so all its pairs can be
+//! refined concurrently) and that the number of colours is at most 2Δ − 1.
+//!
+//! Usage: `cargo run --release -p kappa-bench --bin exp_fig1_quotient -- [--k 8] [--side 24]`
+
+use kappa_bench::Args;
+use kappa_core::{KappaConfig, KappaPartitioner};
+use kappa_gen::grid2d;
+use kappa_graph::QuotientGraph;
+use kappa_refine::color_quotient_edges;
+
+fn main() {
+    let args = Args::from_env();
+    let k = args.get_or("k", 8u32);
+    let side = args.get_or("side", 24usize);
+    let graph = grid2d(side, side);
+
+    let result = KappaPartitioner::new(KappaConfig::fast(k).with_seed(args.seed())).partition(&graph);
+    let quotient = QuotientGraph::build(&graph, &result.partition);
+    let coloring = color_quotient_edges(&quotient, args.seed());
+
+    println!("Figure 1 — quotient graph and its edge colouring");
+    println!(
+        "graph: {side}x{side} grid, k = {k}, cut = {}, balance = {:.3}\n",
+        result.metrics.edge_cut, result.metrics.balance
+    );
+    println!(
+        "quotient graph Q: {} blocks, {} edges, max degree {}",
+        quotient.num_blocks(),
+        quotient.num_edges(),
+        quotient.max_degree()
+    );
+    println!("quotient edges (block pairs with their cut weight):");
+    for &(a, b, w) in quotient.edges() {
+        println!("  ({a}, {b})  cut weight {w}");
+    }
+    println!(
+        "\nedge colouring: {} colours (bound 2*Delta - 1 = {}), valid: {}",
+        coloring.num_colors(),
+        2 * quotient.max_degree().max(1) - 1,
+        coloring.validate().is_ok()
+    );
+    for c in 0..coloring.num_colors() {
+        let class = coloring.class(c);
+        let pairs: Vec<String> = class.iter().map(|&(a, b)| format!("({a},{b})")).collect();
+        println!("  colour {c}: M({c}) = {{ {} }}  -> {} concurrent pairwise refinements", pairs.join(", "), class.len());
+    }
+    assert!(coloring.validate().is_ok());
+    assert_eq!(coloring.num_pairs(), quotient.num_edges());
+}

@@ -1,0 +1,113 @@
+//! Experiment: Figure 3 — scalability of the total partitioning time with the
+//! number of PEs.
+//!
+//! The paper scales eur, rgg25 and Delaunay25 from 4 to 1024 cluster cores and
+//! shows that all KaPPa variants keep scaling while parMetis stops improving
+//! around 100 PEs. The shared-memory reproduction sweeps the Rayon thread
+//! count from 1 to the machine's core count on the corresponding synthetic
+//! families (road / rgg / delaunay) and prints total time per thread count for
+//! the KaPPa presets and the parMetis stand-in (whose cheap refinement gives it
+//! little parallel work per level, so its curve flattens first).
+//!
+//! Note that k is fixed (default 64) while the thread count varies — in the
+//! paper k equals the PE count, but decoupling them here isolates the pure
+//! thread-scaling behaviour, which is what the figure is about.
+//!
+//! Usage: `cargo run --release -p kappa-bench --bin exp_fig3_scalability -- [--scale 0.05] [--k 64] [--threads-list 1,2,4,8] [--reps 1]`
+
+use kappa_baselines::BaselineKind;
+use kappa_bench::{fmt_f, run_tool, Args, Table, Tool};
+use kappa_core::ConfigPreset;
+use kappa_gen::{delaunay_like_graph, random_geometric_graph, road_network_like, Instance, InstanceFamily};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_or("scale", 0.05);
+    let k = args.get_or("k", 64u32);
+    let reps = args.get_or("reps", 1usize);
+    let threads_list: Vec<usize> = match args.get("threads-list") {
+        Some(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
+        None => {
+            let max = rayon::current_num_threads();
+            let mut list = vec![1usize];
+            while *list.last().unwrap() * 2 <= max {
+                list.push(list.last().unwrap() * 2);
+            }
+            list
+        }
+    };
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(1024);
+    let instances = vec![
+        Instance {
+            name: "eur'".into(),
+            family: InstanceFamily::Road,
+            graph: road_network_like(s(1_048_576), args.seed()),
+        },
+        Instance {
+            name: "rgg22'".into(),
+            family: InstanceFamily::Geometric,
+            graph: random_geometric_graph(s(1_048_576), args.seed() + 1),
+        },
+        Instance {
+            name: "delaunay22'".into(),
+            family: InstanceFamily::Delaunay,
+            graph: delaunay_like_graph(s(1_048_576), args.seed() + 2),
+        },
+    ];
+    let tools: Vec<Tool> = vec![
+        Tool::Kappa(ConfigPreset::Strong),
+        Tool::Kappa(ConfigPreset::Fast),
+        Tool::Kappa(ConfigPreset::Minimal),
+        Tool::Baseline(BaselineKind::ParMetisLike),
+    ];
+
+    println!(
+        "Figure 3 — total time [s] vs. number of threads (scale = {scale}, k = {k}, reps = {reps})"
+    );
+    for inst in &instances {
+        println!(
+            "\ninstance {} (n = {}, m = {}):",
+            inst.name,
+            inst.graph.num_nodes(),
+            inst.graph.num_edges()
+        );
+        let mut header: Vec<String> = vec!["threads".to_string()];
+        header.extend(tools.iter().map(|t| t.name().to_string()));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for &threads in &threads_list {
+            let mut row = vec![threads.to_string()];
+            for &tool in &tools {
+                // Baselines do not take an explicit thread count; run them
+                // inside a pool of the requested size so the comparison is fair.
+                let agg = if let Tool::Baseline(_) = tool {
+                    let pool = rayon::ThreadPoolBuilder::new()
+                        .num_threads(threads)
+                        .build()
+                        .expect("thread pool");
+                    pool.install(|| {
+                        run_tool(&inst.graph, &inst.name, tool, k, 0.03, args.seed(), 0, reps)
+                    })
+                } else {
+                    run_tool(&inst.graph, &inst.name, tool, k, 0.03, args.seed(), threads, reps)
+                };
+                if args.json() {
+                    println!(
+                        "{}",
+                        serde_json::json!({
+                            "experiment": "fig3", "graph": inst.name, "threads": threads,
+                            "tool": tool.name(), "avg_time": agg.avg_time, "avg_cut": agg.avg_cut,
+                        })
+                    );
+                }
+                row.push(fmt_f(agg.avg_time, 3));
+            }
+            table.add_row(row);
+        }
+        table.print();
+    }
+    println!(
+        "\nExpected shape (paper, Fig. 3): every KaPPa variant keeps getting faster with more \
+         threads; the parMetis stand-in is fastest in absolute terms but its curve flattens first."
+    );
+}

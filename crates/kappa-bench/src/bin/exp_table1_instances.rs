@@ -1,0 +1,49 @@
+//! Experiment: Table 1 — basic properties of the benchmark instances.
+//!
+//! Prints `n` and `m` for every instance of the small and large suites, split
+//! by family, exactly like the two halves of Table 1. Because the archives the
+//! paper used are not redistributable, the instances are the synthetic
+//! stand-ins documented in DESIGN.md §2 (names carry a trailing prime).
+//!
+//! Usage: `cargo run --release -p kappa-bench --bin exp_table1_instances -- [--scale 0.1] [--seed 42] [--json]`
+
+use kappa_bench::{Args, Table};
+use kappa_gen::{large_suite, small_suite};
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.scale();
+    let seed = args.seed();
+
+    println!("Table 1 — benchmark instances (scale = {scale}, seed = {seed})\n");
+
+    for (title, suite) in [
+        ("small / medium (configuration suite)", small_suite(scale, seed)),
+        ("large (comparison suite)", large_suite(scale, seed)),
+    ] {
+        println!("{title}:");
+        let mut table = Table::new(&["graph", "family", "n", "m"]);
+        for inst in &suite {
+            table.add_row(vec![
+                inst.name.clone(),
+                inst.family.name().to_string(),
+                inst.graph.num_nodes().to_string(),
+                inst.graph.num_edges().to_string(),
+            ]);
+            if args.json() {
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "experiment": "table1",
+                        "graph": inst.name,
+                        "family": inst.family.name(),
+                        "n": inst.graph.num_nodes(),
+                        "m": inst.graph.num_edges(),
+                    })
+                );
+            }
+        }
+        table.print();
+        println!();
+    }
+}

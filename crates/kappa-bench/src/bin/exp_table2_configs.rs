@@ -1,0 +1,69 @@
+//! Experiment: Table 2 — the minimal / fast / strong parameter settings and
+//! their aggregate quality/time trade-off.
+//!
+//! For every preset the harness partitions the whole small suite for each
+//! requested `k` and reports the geometric means of the average cut and the
+//! average running time, reproducing the two summary rows at the bottom of
+//! Table 2 ("avg. cut (geom.)" and "avg. time (geom.)"). The expected shape:
+//! cut(minimal) > cut(fast) > cut(strong) and time(minimal) < time(fast) <
+//! time(strong).
+//!
+//! Usage: `cargo run --release -p kappa-bench --bin exp_table2_configs -- [--scale 0.1] [--k 2,8,32] [--reps 3]`
+
+use kappa_bench::{fmt_f, run_kappa, Args, Table};
+use kappa_core::{ConfigPreset, KappaConfig};
+use kappa_core::metrics::geometric_mean;
+use kappa_gen::small_suite;
+
+fn main() {
+    let args = Args::from_env();
+    let suite = small_suite(args.scale(), args.seed());
+    let ks = args.get_u32_list("k", &[2, 8, 32]);
+
+    println!(
+        "Table 2 — configuration presets on the small suite (scale = {}, k = {:?}, reps = {})\n",
+        args.scale(),
+        ks,
+        args.reps()
+    );
+
+    let mut table = Table::new(&["parameter / metric", "minimal", "fast", "strong"]);
+    table.add_row(vec!["rating".into(), "expansion*2".into(), "expansion*2".into(), "expansion*2".into()]);
+    table.add_row(vec!["matching".into(), "GPA".into(), "GPA".into(), "GPA".into()]);
+    table.add_row(vec!["init. repeats".into(), "1".into(), "3".into(), "5".into()]);
+    table.add_row(vec!["queue selection".into(), "TopGain".into(), "TopGain".into(), "TopGain".into()]);
+    table.add_row(vec!["BFS search depth".into(), "1".into(), "5".into(), "20".into()]);
+    table.add_row(vec!["max. global iterations".into(), "1".into(), "15".into(), "15".into()]);
+    table.add_row(vec!["local iterations".into(), "1".into(), "3".into(), "5".into()]);
+    table.add_row(vec!["FM patience".into(), "1 %".into(), "5 %".into(), "20 %".into()]);
+
+    let mut cut_cells = vec!["avg. cut (geom.)".to_string()];
+    let mut time_cells = vec!["avg. time (geom.) [s]".to_string()];
+    for preset in ConfigPreset::all() {
+        let mut cuts = Vec::new();
+        let mut times = Vec::new();
+        for inst in &suite {
+            for &k in &ks {
+                let config = KappaConfig::preset(preset, k)
+                    .with_seed(args.seed())
+                    .with_threads(args.threads());
+                let agg = run_kappa(&inst.graph, &inst.name, &config, args.reps());
+                cuts.push(agg.avg_cut.max(1.0));
+                times.push(agg.avg_time.max(1e-6));
+                if args.json() {
+                    println!("{}", agg.to_json_line());
+                }
+            }
+        }
+        cut_cells.push(fmt_f(geometric_mean(&cuts), 0));
+        time_cells.push(fmt_f(geometric_mean(&times), 3));
+    }
+    table.add_row(cut_cells);
+    table.add_row(time_cells);
+    table.print();
+
+    println!(
+        "\nExpected shape (paper): cut minimal > fast > strong (2985 / 2910 / 2890), \
+         time minimal < fast < strong (0.67 / 1.29 / 2.10 s)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Experiment: Table 3 (right) — sequential matching algorithms.
+//!
+//! Runs KaPPa-Fast with GPA, SHEM and Greedy as the (per-part) matching
+//! algorithm over the small suite. Expected shape: GPA gives the smallest
+//! cuts, SHEM is a few percent worse, Greedy trails both, while the overall
+//! running times stay comparable (GPA's extra matching work is offset by less
+//! refinement work — the observation the paper highlights).
+//!
+//! Usage: `cargo run --release -p kappa-bench --bin exp_table3_matchers -- [--scale 0.1] [--k 2,8,32] [--reps 3]`
+
+use kappa_bench::{fmt_f, run_kappa, Args, Table};
+use kappa_core::metrics::geometric_mean;
+use kappa_core::KappaConfig;
+use kappa_gen::small_suite;
+use kappa_matching::MatchingAlgorithm;
+
+fn main() {
+    let args = Args::from_env();
+    let suite = small_suite(args.scale(), args.seed());
+    let ks = args.get_u32_list("k", &[2, 8, 32]);
+
+    println!(
+        "Table 3 (right) — sequential matching algorithms, KaPPa-Fast (scale = {}, k = {:?}, reps = {})\n",
+        args.scale(),
+        ks,
+        args.reps()
+    );
+
+    let mut table = Table::new(&["Seq. Matching", "avg. cut", "best cut", "avg. bal.", "avg. t [s]"]);
+    for algorithm in MatchingAlgorithm::all() {
+        let mut cuts = Vec::new();
+        let mut bests = Vec::new();
+        let mut balances = Vec::new();
+        let mut times = Vec::new();
+        for inst in &suite {
+            for &k in &ks {
+                let config = KappaConfig::fast(k)
+                    .with_matching(algorithm)
+                    .with_seed(args.seed())
+                    .with_threads(args.threads());
+                let agg = run_kappa(&inst.graph, &inst.name, &config, args.reps());
+                cuts.push(agg.avg_cut.max(1.0));
+                bests.push(agg.best_cut.max(1) as f64);
+                balances.push(agg.avg_balance);
+                times.push(agg.avg_time.max(1e-6));
+                if args.json() {
+                    println!("{}", agg.to_json_line());
+                }
+            }
+        }
+        table.add_row(vec![
+            algorithm.name().to_string(),
+            fmt_f(geometric_mean(&cuts), 0),
+            fmt_f(geometric_mean(&bests), 0),
+            fmt_f(geometric_mean(&balances), 3),
+            fmt_f(geometric_mean(&times), 3),
+        ]);
+    }
+    table.print();
+    println!("\nExpected shape (paper): gpa <= shem <= greedy in cut; comparable total time.");
+}

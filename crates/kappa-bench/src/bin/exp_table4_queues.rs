@@ -1,0 +1,62 @@
+//! Experiment: Table 4 (left) — FM queue selection strategies.
+//!
+//! Runs KaPPa-Fast with each queue selection strategy over the small suite.
+//! Expected shape (paper): TopGain gives the best cuts (~3 % better than
+//! MaxLoad), MaxLoad gives the best balance, TopGainMaxLoad sits in between,
+//! and plain Alternate beats TopGainMaxLoad on cut.
+//!
+//! Usage: `cargo run --release -p kappa-bench --bin exp_table4_queues -- [--scale 0.1] [--k 2,8,32] [--reps 3]`
+
+use kappa_bench::{fmt_f, run_kappa, Args, Table};
+use kappa_core::metrics::geometric_mean;
+use kappa_core::KappaConfig;
+use kappa_gen::small_suite;
+use kappa_refine::QueueSelection;
+
+fn main() {
+    let args = Args::from_env();
+    let suite = small_suite(args.scale(), args.seed());
+    let ks = args.get_u32_list("k", &[2, 8, 32]);
+
+    println!(
+        "Table 4 (left) — queue selection strategies, KaPPa-Fast (scale = {}, k = {:?}, reps = {})\n",
+        args.scale(),
+        ks,
+        args.reps()
+    );
+
+    let mut table = Table::new(&["Queue Sel. Strategy", "avg. cut", "best cut", "avg. bal.", "avg. t [s]"]);
+    for strategy in QueueSelection::all() {
+        let mut cuts = Vec::new();
+        let mut bests = Vec::new();
+        let mut balances = Vec::new();
+        let mut times = Vec::new();
+        for inst in &suite {
+            for &k in &ks {
+                let config = KappaConfig::fast(k)
+                    .with_queue_selection(strategy)
+                    .with_seed(args.seed())
+                    .with_threads(args.threads());
+                let agg = run_kappa(&inst.graph, &inst.name, &config, args.reps());
+                cuts.push(agg.avg_cut.max(1.0));
+                bests.push(agg.best_cut.max(1) as f64);
+                balances.push(agg.avg_balance);
+                times.push(agg.avg_time.max(1e-6));
+                if args.json() {
+                    println!("{}", agg.to_json_line());
+                }
+            }
+        }
+        table.add_row(vec![
+            strategy.name().to_string(),
+            fmt_f(geometric_mean(&cuts), 0),
+            fmt_f(geometric_mean(&bests), 0),
+            fmt_f(geometric_mean(&balances), 3),
+            fmt_f(geometric_mean(&times), 3),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape (paper): TopGain best cut; MaxLoad best balance but worst cut."
+    );
+}

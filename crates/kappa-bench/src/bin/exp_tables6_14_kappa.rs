@@ -1,0 +1,76 @@
+//! Experiment: Tables 6–14 — per-instance results of the KaPPa variants on the
+//! large suite for k ∈ {16, 32, 64}.
+//!
+//! The paper's appendix lists one table per (variant, k) combination with one
+//! row per instance: average cut, best cut, average balance, average runtime.
+//! This binary prints the same rows; select the variant with
+//! `--config minimal|fast|strong` (default: all three).
+//!
+//! Usage: `cargo run --release -p kappa-bench --bin exp_tables6_14_kappa -- [--config fast] [--scale 0.05] [--k 16,32,64] [--reps 2]`
+
+use kappa_bench::{fmt_f, run_kappa, Args, Table};
+use kappa_core::{ConfigPreset, KappaConfig};
+use kappa_gen::large_suite;
+
+fn main() {
+    let args = Args::from_env();
+    let scale = args.get_or("scale", 0.05);
+    let suite = large_suite(scale, args.seed());
+    let ks = args.get_u32_list("k", &[16, 32, 64]);
+    let reps = args.get_or("reps", 2);
+
+    let presets: Vec<ConfigPreset> = match args.get("config") {
+        Some("minimal") => vec![ConfigPreset::Minimal],
+        Some("fast") => vec![ConfigPreset::Fast],
+        Some("strong") => vec![ConfigPreset::Strong],
+        _ => ConfigPreset::all().to_vec(),
+    };
+
+    for preset in presets {
+        for &k in &ks {
+            let table_number = table_number_for(preset, k);
+            println!(
+                "\nTable {table_number} — {} k = {k} (scale = {scale}, reps = {reps})",
+                preset.name()
+            );
+            let mut table = Table::new(&["graph", "avg. cut", "best cut", "avg. balance", "avg. runtime [s]"]);
+            for inst in &suite {
+                let config = KappaConfig::preset(preset, k)
+                    .with_seed(args.seed())
+                    .with_threads(args.threads());
+                let agg = run_kappa(&inst.graph, &inst.name, &config, reps);
+                if args.json() {
+                    println!("{}", agg.to_json_line());
+                }
+                table.add_row(vec![
+                    inst.name.clone(),
+                    fmt_f(agg.avg_cut, 0),
+                    agg.best_cut.to_string(),
+                    fmt_f(agg.avg_balance, 3),
+                    fmt_f(agg.avg_time, 2),
+                ]);
+            }
+            table.print();
+        }
+    }
+    println!(
+        "\nExpected shape (paper, Tables 6-14): for every instance and k, \
+         Strong <= Fast <= Minimal in cut and Minimal < Fast < Strong in runtime; balance <= 1.03."
+    );
+}
+
+/// The paper's table numbering: Minimal 6/7/8, Fast 9/10/11, Strong 12/13/14
+/// for k = 16/32/64.
+fn table_number_for(preset: ConfigPreset, k: u32) -> usize {
+    let base = match preset {
+        ConfigPreset::Minimal => 6,
+        ConfigPreset::Fast => 9,
+        ConfigPreset::Strong => 12,
+    };
+    base + match k {
+        16 => 0,
+        32 => 1,
+        64 => 2,
+        _ => 0,
+    }
+}

@@ -1,0 +1,21 @@
+//! # kappa-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§6), plus Criterion micro-benchmarks for the hot kernels.
+//! Every binary prints a table with the same rows/columns as the paper and
+//! optionally a JSON record stream (`--json`) that EXPERIMENTS.md references.
+//!
+//! Shared functionality lives here: running a tool on an instance a number of
+//! times, aggregating average/best cut, average balance and average runtime,
+//! simple command-line parsing and table formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod runner;
+pub mod table;
+
+pub use args::Args;
+pub use runner::{run_baseline, run_kappa, run_tool, AggregatedRun, Tool};
+pub use table::{fmt_f, Table};

@@ -1,0 +1,221 @@
+//! Running tools on instances and aggregating results the way the paper does:
+//! average cut, best cut, average balance and average runtime over a number of
+//! repetitions with different seeds; geometric means across instances.
+
+use std::time::Instant;
+
+use kappa_baselines::BaselineKind;
+use kappa_core::{ConfigPreset, KappaConfig, KappaPartitioner, PartitionMetrics};
+use kappa_graph::CsrGraph;
+use serde::Serialize;
+
+/// A tool that can appear in a comparison table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Tool {
+    /// A KaPPa preset (minimal/fast/strong).
+    Kappa(ConfigPreset),
+    /// One of the baseline stand-ins.
+    Baseline(BaselineKind),
+}
+
+impl Tool {
+    /// Display name used in the tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tool::Kappa(p) => p.name(),
+            Tool::Baseline(b) => b.name(),
+        }
+    }
+
+    /// The tool line-up of Table 4 (right): KaPPa variants then the baselines.
+    pub fn comparison_lineup() -> Vec<Tool> {
+        let mut tools: Vec<Tool> = ConfigPreset::all().iter().map(|&p| Tool::Kappa(p)).collect();
+        tools.extend(BaselineKind::all().iter().map(|&b| Tool::Baseline(b)));
+        tools
+    }
+}
+
+/// Aggregated results of repeated runs of one tool on one instance.
+#[derive(Clone, Debug, Serialize)]
+pub struct AggregatedRun {
+    /// Tool name.
+    pub tool: String,
+    /// Instance name.
+    pub graph: String,
+    /// Number of blocks.
+    pub k: u32,
+    /// Imbalance tolerance used.
+    pub epsilon: f64,
+    /// Average cut over the repetitions.
+    pub avg_cut: f64,
+    /// Best (smallest) cut over the repetitions.
+    pub best_cut: u64,
+    /// Average balance (`1.03` = 3 % over the average block weight).
+    pub avg_balance: f64,
+    /// Average wall-clock runtime in seconds.
+    pub avg_time: f64,
+    /// Fraction of repetitions that satisfied the balance constraint.
+    pub feasible_fraction: f64,
+    /// Number of repetitions.
+    pub reps: usize,
+}
+
+impl AggregatedRun {
+    fn from_metrics(
+        tool: &str,
+        graph: &str,
+        k: u32,
+        epsilon: f64,
+        metrics: &[PartitionMetrics],
+    ) -> Self {
+        let reps = metrics.len().max(1);
+        AggregatedRun {
+            tool: tool.to_string(),
+            graph: graph.to_string(),
+            k,
+            epsilon,
+            avg_cut: metrics.iter().map(|m| m.edge_cut as f64).sum::<f64>() / reps as f64,
+            best_cut: metrics.iter().map(|m| m.edge_cut).min().unwrap_or(0),
+            avg_balance: metrics.iter().map(|m| m.balance).sum::<f64>() / reps as f64,
+            avg_time: metrics.iter().map(|m| m.runtime_secs()).sum::<f64>() / reps as f64,
+            feasible_fraction: metrics.iter().filter(|m| m.feasible).count() as f64 / reps as f64,
+            reps,
+        }
+    }
+
+    /// Emits the row as a single JSON line (for EXPERIMENTS.md traceability).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("aggregated run serialises")
+    }
+}
+
+/// Runs a KaPPa configuration `reps` times with different seeds and aggregates.
+pub fn run_kappa(
+    graph: &CsrGraph,
+    graph_name: &str,
+    config: &KappaConfig,
+    reps: usize,
+) -> AggregatedRun {
+    let mut metrics = Vec::with_capacity(reps);
+    for rep in 0..reps.max(1) {
+        let cfg = config.with_seed(config.seed.wrapping_add(rep as u64 * 7919));
+        let result = KappaPartitioner::new(cfg).partition(graph);
+        metrics.push(result.metrics);
+    }
+    let preset_name = preset_name_for(config);
+    AggregatedRun::from_metrics(&preset_name, graph_name, config.k, config.epsilon, &metrics)
+}
+
+/// Runs a baseline tool `reps` times with different seeds and aggregates.
+pub fn run_baseline(
+    graph: &CsrGraph,
+    graph_name: &str,
+    kind: BaselineKind,
+    k: u32,
+    epsilon: f64,
+    seed: u64,
+    reps: usize,
+) -> AggregatedRun {
+    let tool = kind.build();
+    let mut metrics = Vec::with_capacity(reps);
+    for rep in 0..reps.max(1) {
+        let start = Instant::now();
+        let partition = tool.partition(graph, k, epsilon, seed.wrapping_add(rep as u64 * 7919));
+        let runtime = start.elapsed();
+        metrics.push(PartitionMetrics::measure(graph, &partition, epsilon, runtime));
+    }
+    AggregatedRun::from_metrics(tool.name(), graph_name, k, epsilon, &metrics)
+}
+
+/// Runs any [`Tool`] (KaPPa preset or baseline).
+pub fn run_tool(
+    graph: &CsrGraph,
+    graph_name: &str,
+    tool: Tool,
+    k: u32,
+    epsilon: f64,
+    seed: u64,
+    threads: usize,
+    reps: usize,
+) -> AggregatedRun {
+    match tool {
+        Tool::Kappa(preset) => {
+            let config = KappaConfig::preset(preset, k)
+                .with_epsilon(epsilon)
+                .with_seed(seed)
+                .with_threads(threads);
+            run_kappa(graph, graph_name, &config, reps)
+        }
+        Tool::Baseline(kind) => run_baseline(graph, graph_name, kind, k, epsilon, seed, reps),
+    }
+}
+
+/// Best-effort preset name for a config (used in table rows); configurations
+/// that match no preset are labelled "KaPPa-Custom".
+fn preset_name_for(config: &KappaConfig) -> String {
+    for preset in ConfigPreset::all() {
+        let reference = KappaConfig::preset(preset, config.k);
+        if reference.initial_repeats == config.initial_repeats
+            && reference.bfs_depth == config.bfs_depth
+            && (reference.fm_patience - config.fm_patience).abs() < 1e-12
+            && reference.local_iterations == config.local_iterations
+            && reference.max_global_iterations == config.max_global_iterations
+        {
+            return preset.name().to_string();
+        }
+    }
+    "KaPPa-Custom".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_gen::grid::grid2d;
+
+    #[test]
+    fn aggregation_math_is_correct() {
+        let metrics = vec![
+            PartitionMetrics {
+                edge_cut: 10,
+                balance: 1.02,
+                feasible: true,
+                boundary_nodes: 5,
+                runtime: std::time::Duration::from_millis(100),
+            },
+            PartitionMetrics {
+                edge_cut: 20,
+                balance: 1.04,
+                feasible: false,
+                boundary_nodes: 6,
+                runtime: std::time::Duration::from_millis(300),
+            },
+        ];
+        let agg = AggregatedRun::from_metrics("t", "g", 4, 0.03, &metrics);
+        assert!((agg.avg_cut - 15.0).abs() < 1e-12);
+        assert_eq!(agg.best_cut, 10);
+        assert!((agg.avg_balance - 1.03).abs() < 1e-12);
+        assert!((agg.avg_time - 0.2).abs() < 1e-12);
+        assert!((agg.feasible_fraction - 0.5).abs() < 1e-12);
+        // JSON line round-trips through serde_json.
+        let line = agg.to_json_line();
+        let value: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(value["tool"], "t");
+        assert_eq!(value["k"], 4);
+    }
+
+    #[test]
+    fn run_tool_covers_kappa_and_baselines() {
+        let g = grid2d(16, 16);
+        let kappa = run_tool(&g, "grid", Tool::Kappa(ConfigPreset::Minimal), 4, 0.03, 1, 0, 1);
+        assert_eq!(kappa.tool, "KaPPa-Minimal");
+        assert!(kappa.avg_cut > 0.0);
+        let metis = run_tool(&g, "grid", Tool::Baseline(BaselineKind::MetisLike), 4, 0.03, 1, 0, 1);
+        assert_eq!(metis.tool, "kmetis-like");
+        assert!(metis.avg_cut > 0.0);
+    }
+
+    #[test]
+    fn comparison_lineup_has_six_tools() {
+        assert_eq!(Tool::comparison_lineup().len(), 6);
+    }
+}

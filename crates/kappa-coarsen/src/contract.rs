@@ -1,0 +1,194 @@
+//! Contraction of a matching (§2 of the paper).
+//!
+//! Contracting an edge `{u, v}` replaces `u` and `v` by a new node `x` with
+//! `c(x) = c(u) + c(v)`; parallel edges created this way are merged by summing
+//! their weights. Contracting a whole matching does this for every matched pair
+//! simultaneously, which at most halves the number of nodes per level.
+
+use kappa_graph::{CsrGraph, GraphBuilder, NodeId};
+use kappa_matching::Matching;
+
+/// The result of contracting a matching: the coarse graph plus the mapping
+/// from fine nodes to coarse nodes.
+#[derive(Clone, Debug)]
+pub struct Contraction {
+    /// The contracted (coarse) graph.
+    pub coarse_graph: CsrGraph,
+    /// `coarse_of[v]` is the coarse node that fine node `v` was merged into.
+    pub coarse_of: Vec<NodeId>,
+}
+
+/// Contracts every edge of `matching` in `graph`.
+///
+/// Unmatched nodes survive as singleton coarse nodes. Coordinates (if present)
+/// are averaged over the merged fine nodes so geometric pre-partitioning keeps
+/// working on coarser levels.
+pub fn contract_matching(graph: &CsrGraph, matching: &Matching) -> Contraction {
+    let n = graph.num_nodes();
+    debug_assert_eq!(matching.num_nodes(), n);
+
+    // Assign coarse ids: matched pairs share one id, everything else keeps its own.
+    let mut coarse_of = vec![NodeId::MAX; n];
+    let mut next_id: NodeId = 0;
+    for v in graph.nodes() {
+        if coarse_of[v as usize] != NodeId::MAX {
+            continue;
+        }
+        match matching.partner_of(v) {
+            Some(p) if p > v => {
+                coarse_of[v as usize] = next_id;
+                coarse_of[p as usize] = next_id;
+                next_id += 1;
+            }
+            Some(_) => unreachable!("partner < v must already have been assigned"),
+            None => {
+                coarse_of[v as usize] = next_id;
+                next_id += 1;
+            }
+        }
+    }
+    let coarse_n = next_id as usize;
+
+    // Coarse node weights and (optional) averaged coordinates.
+    let mut weights = vec![0u64; coarse_n];
+    for v in graph.nodes() {
+        weights[coarse_of[v as usize] as usize] += graph.node_weight(v);
+    }
+    let coords = graph.coords().map(|coords| {
+        let mut sums = vec![[0.0f64; 2]; coarse_n];
+        let mut counts = vec![0usize; coarse_n];
+        for v in graph.nodes() {
+            let c = coords[v as usize];
+            let cv = coarse_of[v as usize] as usize;
+            sums[cv][0] += c[0];
+            sums[cv][1] += c[1];
+            counts[cv] += 1;
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(s, &c)| [s[0] / c as f64, s[1] / c as f64])
+            .collect::<Vec<_>>()
+    });
+
+    // Coarse edges: every fine edge whose endpoints land in different coarse
+    // nodes survives; the GraphBuilder merges the resulting parallel edges.
+    let mut builder = GraphBuilder::with_node_weights(weights);
+    builder.reserve_edges(graph.num_edges());
+    for (u, v, w) in graph.undirected_edges() {
+        let (cu, cv) = (coarse_of[u as usize], coarse_of[v as usize]);
+        if cu != cv {
+            builder.add_edge(cu, cv, w);
+        }
+    }
+    if let Some(c) = coords {
+        builder.set_coords(c);
+    }
+
+    Contraction {
+        coarse_graph: builder.build(),
+        coarse_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_graph::graph_from_edges;
+    use kappa_graph::Partition;
+
+    #[test]
+    fn contracting_a_single_edge() {
+        // Path 0-1-2; match {0,1}.
+        let g = graph_from_edges(3, vec![(0, 1, 2), (1, 2, 3)]);
+        let mut m = Matching::new(3);
+        m.try_match(0, 1);
+        let c = contract_matching(&g, &m);
+        assert_eq!(c.coarse_graph.num_nodes(), 2);
+        assert_eq!(c.coarse_graph.num_edges(), 1);
+        assert_eq!(c.coarse_graph.total_node_weight(), 3);
+        // The surviving edge keeps weight 3.
+        assert_eq!(c.coarse_graph.total_edge_weight(), 3);
+        assert_eq!(c.coarse_of[0], c.coarse_of[1]);
+        assert_ne!(c.coarse_of[0], c.coarse_of[2]);
+    }
+
+    #[test]
+    fn parallel_edges_are_merged() {
+        // Square 0-1-2-3-0; match {0,1} and {2,3}: the two cut edges {1,2} and
+        // {3,0} become parallel and must merge into one edge of weight 2.
+        let g = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)]);
+        let mut m = Matching::new(4);
+        m.try_match(0, 1);
+        m.try_match(2, 3);
+        let c = contract_matching(&g, &m);
+        assert_eq!(c.coarse_graph.num_nodes(), 2);
+        assert_eq!(c.coarse_graph.num_edges(), 1);
+        assert_eq!(c.coarse_graph.edge_weight_between(0, 1), Some(2));
+    }
+
+    #[test]
+    fn node_weight_is_conserved() {
+        let g = kappa_gen::grid::grid2d(8, 8);
+        let m = kappa_matching::gpa_matching(
+            &g,
+            kappa_matching::EdgeRating::ExpansionStar2,
+            1,
+        );
+        let c = contract_matching(&g, &m);
+        assert_eq!(c.coarse_graph.total_node_weight(), g.total_node_weight());
+        assert!(c.coarse_graph.validate().is_ok());
+        assert_eq!(
+            c.coarse_graph.num_nodes(),
+            g.num_nodes() - m.cardinality()
+        );
+    }
+
+    #[test]
+    fn cut_is_preserved_under_projection() {
+        // Any partition of the coarse graph, projected to the fine graph, has
+        // the same cut value — the fundamental multilevel invariant.
+        let g = kappa_gen::grid::grid2d(10, 6);
+        let m = kappa_matching::gpa_matching(&g, kappa_matching::EdgeRating::Weight, 3);
+        let c = contract_matching(&g, &m);
+        let coarse_n = c.coarse_graph.num_nodes();
+        let coarse_part = Partition::from_assignment(
+            2,
+            (0..coarse_n).map(|i| (i % 2) as u32).collect(),
+        );
+        let fine_part = coarse_part.project(&c.coarse_of);
+        assert_eq!(
+            coarse_part.edge_cut(&c.coarse_graph),
+            fine_part.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn empty_matching_is_an_isomorphic_copy() {
+        let g = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 5), (2, 3, 2)]);
+        let m = Matching::new(4);
+        let c = contract_matching(&g, &m);
+        assert_eq!(c.coarse_graph.num_nodes(), 4);
+        assert_eq!(c.coarse_graph.num_edges(), 3);
+        assert_eq!(c.coarse_graph.total_edge_weight(), 8);
+    }
+
+    #[test]
+    fn coordinates_are_averaged() {
+        let mut g = graph_from_edges(2, vec![(0, 1, 1)]);
+        g.set_coords(Some(vec![[0.0, 0.0], [2.0, 4.0]]));
+        let mut m = Matching::new(2);
+        m.try_match(0, 1);
+        let c = contract_matching(&g, &m);
+        assert_eq!(c.coarse_graph.coord(0), Some([1.0, 2.0]));
+    }
+
+    #[test]
+    fn isolated_nodes_survive() {
+        let g = graph_from_edges(3, vec![(0, 1, 1)]);
+        let mut m = Matching::new(3);
+        m.try_match(0, 1);
+        let c = contract_matching(&g, &m);
+        assert_eq!(c.coarse_graph.num_nodes(), 2);
+        assert_eq!(c.coarse_graph.degree(c.coarse_of[2]), 0);
+    }
+}

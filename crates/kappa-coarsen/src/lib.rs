@@ -1,0 +1,27 @@
+//! # kappa-coarsen
+//!
+//! The contraction (coarsening) phase of the multilevel partitioner (§2–3 of
+//! the paper): iteratively compute a matching, contract the matched edges, and
+//! record the resulting hierarchy of successively smaller graphs together with
+//! the fine-to-coarse node mappings needed to project partitions back down
+//! during uncoarsening.
+//!
+//! ```
+//! use kappa_coarsen::{CoarseningConfig, MultilevelHierarchy};
+//! use kappa_gen::grid::grid2d;
+//!
+//! let g = grid2d(16, 16);
+//! let config = CoarseningConfig { stop_at_nodes: 32, ..Default::default() };
+//! let hierarchy = MultilevelHierarchy::build(g, &config);
+//! assert!(hierarchy.coarsest().num_nodes() <= 64); // may stop early if matchings stall
+//! assert!(hierarchy.num_levels() >= 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contract;
+pub mod hierarchy;
+
+pub use contract::{contract_matching, Contraction};
+pub use hierarchy::{CoarseningConfig, MatcherKind, MultilevelHierarchy};

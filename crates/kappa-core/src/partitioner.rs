@@ -1,0 +1,307 @@
+//! The KaPPa multilevel pipeline: parallel coarsening → repeated initial
+//! partitioning → parallel pairwise refinement during uncoarsening.
+
+use std::time::{Duration, Instant};
+
+use kappa_coarsen::{CoarseningConfig, MatcherKind, MultilevelHierarchy};
+use kappa_graph::{CsrGraph, Partition};
+use kappa_initial::{best_of_repeats, InitialAlgorithm, InitialPartitionConfig};
+use kappa_matching::{parallel_matching, ParallelMatchingConfig};
+use kappa_refine::{refine_partition, RefinementConfig, RefinementStats};
+
+use crate::config::KappaConfig;
+use crate::metrics::PartitionMetrics;
+use crate::prepartition::coordinate_prepartition;
+
+/// Wall-clock time spent in each phase of the pipeline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Contraction phase (matching + contraction over all levels).
+    pub coarsening: Duration,
+    /// Initial partitioning of the coarsest graph (all repeats).
+    pub initial_partitioning: Duration,
+    /// Refinement during uncoarsening (all levels).
+    pub refinement: Duration,
+}
+
+impl PhaseTimings {
+    /// Total time across the three phases.
+    pub fn total(&self) -> Duration {
+        self.coarsening + self.initial_partitioning + self.refinement
+    }
+}
+
+/// The result of a KaPPa run.
+#[derive(Clone, Debug)]
+pub struct PartitionResult {
+    /// The computed partition of the input graph.
+    pub partition: Partition,
+    /// Quality metrics (cut, balance, feasibility, runtime).
+    pub metrics: PartitionMetrics,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+    /// Number of levels in the multilevel hierarchy (finest included).
+    pub hierarchy_levels: usize,
+    /// Number of nodes of the coarsest graph.
+    pub coarsest_nodes: usize,
+    /// Aggregated refinement statistics over all levels.
+    pub refinement: RefinementStats,
+}
+
+/// The KaPPa graph partitioner (paper §2–§5 end to end).
+#[derive(Clone, Debug)]
+pub struct KappaPartitioner {
+    config: KappaConfig,
+}
+
+impl KappaPartitioner {
+    /// Creates a partitioner with the given configuration.
+    pub fn new(config: KappaConfig) -> Self {
+        KappaPartitioner { config }
+    }
+
+    /// The configuration this partitioner runs with.
+    pub fn config(&self) -> &KappaConfig {
+        &self.config
+    }
+
+    /// Partitions `graph` into `config.k` blocks.
+    ///
+    /// If `config.num_threads > 0` the run executes inside a dedicated Rayon
+    /// pool of that size (the shared-memory stand-in for "number of PEs");
+    /// otherwise the ambient pool is used.
+    pub fn partition(&self, graph: &CsrGraph) -> PartitionResult {
+        if self.config.num_threads > 0 {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(self.config.num_threads)
+                .build()
+                .expect("failed to build thread pool");
+            pool.install(|| self.partition_inner(graph))
+        } else {
+            self.partition_inner(graph)
+        }
+    }
+
+    fn partition_inner(&self, graph: &CsrGraph) -> PartitionResult {
+        let config = &self.config;
+        let start = Instant::now();
+        let k = config.k.max(1);
+        let n = graph.num_nodes();
+
+        // Degenerate inputs: fewer nodes than blocks, k == 1, empty graph.
+        if n == 0 || k == 1 {
+            let partition = Partition::trivial(k, n);
+            let runtime = start.elapsed();
+            return PartitionResult {
+                metrics: PartitionMetrics::measure(graph, &partition, config.epsilon, runtime),
+                partition,
+                timings: PhaseTimings::default(),
+                hierarchy_levels: 1,
+                coarsest_nodes: n,
+                refinement: RefinementStats::default(),
+            };
+        }
+
+        // --- Phase 1: contraction (parallel matching + contraction). ---
+        let coarsen_start = Instant::now();
+        let num_parts = if config.num_threads > 0 {
+            config.num_threads
+        } else {
+            rayon::current_num_threads()
+        };
+        let stop_at_nodes = config.contraction_stop_nodes(n).max(2 * k as usize);
+        let coarsen_config = CoarseningConfig {
+            rating: config.rating,
+            matcher: MatcherKind::Parallel {
+                local: config.matching,
+                num_parts,
+            },
+            stop_at_nodes,
+            min_shrink_factor: 0.02,
+            max_levels: 64,
+            seed: config.seed,
+        };
+        let matching_algorithm = config.matching;
+        let rating = config.rating;
+        let hierarchy = MultilevelHierarchy::build_with(
+            graph.clone(),
+            &coarsen_config,
+            move |level_graph, seed| {
+                // Geometric pre-partitioning (recursive coordinate bisection)
+                // when coordinates exist; index ranges otherwise (§3.3).
+                let prepart = coordinate_prepartition(level_graph, num_parts);
+                let pconfig = ParallelMatchingConfig {
+                    num_parts,
+                    local_algorithm: matching_algorithm,
+                    rating,
+                    seed,
+                };
+                parallel_matching(level_graph, Some(&prepart), &pconfig)
+            },
+        );
+        let coarsening_time = coarsen_start.elapsed();
+
+        // --- Phase 2: initial partitioning of the coarsest graph. ---
+        let initial_start = Instant::now();
+        let coarsest = hierarchy.coarsest();
+        let initial_config = InitialPartitionConfig {
+            k,
+            epsilon: config.epsilon,
+            algorithm: InitialAlgorithm::GreedyGrowing,
+            repeats: config.initial_repeats.max(1) * num_parts,
+            seed: config.seed.wrapping_add(0xC0A2),
+        };
+        let mut current = best_of_repeats(coarsest, &initial_config);
+        let initial_time = initial_start.elapsed();
+
+        // --- Phase 3: uncoarsening with pairwise parallel refinement. ---
+        let refine_start = Instant::now();
+        let refinement_config = RefinementConfig {
+            epsilon: config.epsilon,
+            bfs_depth: config.bfs_depth,
+            max_global_iterations: config.max_global_iterations,
+            local_iterations: config.local_iterations,
+            stop_after_no_change: config.stop_after_no_change,
+            queue_selection: config.queue_selection,
+            patience_alpha: config.fm_patience,
+            seed: config.seed.wrapping_add(0x5EF1),
+        };
+        let mut refinement = RefinementStats::default();
+
+        // Refine the coarsest level first, then project + refine level by level.
+        let coarsest_level = hierarchy.num_levels() - 1;
+        let stats = refine_partition(hierarchy.graph_at(coarsest_level), &mut current, &refinement_config);
+        accumulate(&mut refinement, &stats);
+        for level in (1..hierarchy.num_levels()).rev() {
+            current = hierarchy.project_one_level(level, &current);
+            let fine_graph = hierarchy.graph_at(level - 1);
+            let stats = refine_partition(fine_graph, &mut current, &refinement_config);
+            accumulate(&mut refinement, &stats);
+        }
+        let refinement_time = refine_start.elapsed();
+
+        let runtime = start.elapsed();
+        PartitionResult {
+            metrics: PartitionMetrics::measure(graph, &current, config.epsilon, runtime),
+            partition: current,
+            timings: PhaseTimings {
+                coarsening: coarsening_time,
+                initial_partitioning: initial_time,
+                refinement: refinement_time,
+            },
+            hierarchy_levels: hierarchy.num_levels(),
+            coarsest_nodes: hierarchy.coarsest().num_nodes(),
+            refinement,
+        }
+    }
+}
+
+fn accumulate(total: &mut RefinementStats, delta: &RefinementStats) {
+    total.total_gain += delta.total_gain;
+    total.global_iterations += delta.global_iterations;
+    total.pair_searches += delta.pair_searches;
+    total.nodes_moved += delta.nodes_moved;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigPreset;
+    use kappa_gen::grid::grid2d;
+    use kappa_gen::rgg::random_geometric_graph;
+    use kappa_gen::rmat::rmat_graph;
+    use kappa_gen::road::road_network_like;
+
+    #[test]
+    fn partitions_a_grid_feasibly_and_well() {
+        let g = grid2d(40, 40);
+        let result = KappaPartitioner::new(KappaConfig::fast(4).with_seed(1)).partition(&g);
+        assert!(result.partition.validate(&g).is_ok());
+        assert!(result.metrics.feasible, "balance {}", result.metrics.balance);
+        // A 4-way partition of a 40x40 grid should be in the vicinity of the
+        // ideal two straight cuts (80); anything under 3x is clearly "working".
+        assert!(result.metrics.edge_cut < 240, "cut {}", result.metrics.edge_cut);
+        assert!(result.hierarchy_levels > 1);
+        assert!(result.coarsest_nodes < g.num_nodes());
+    }
+
+    #[test]
+    fn all_presets_are_feasible_and_ordered_in_effort() {
+        let g = random_geometric_graph(4000, 5);
+        let mut cuts = Vec::new();
+        for preset in ConfigPreset::all() {
+            let result =
+                KappaPartitioner::new(KappaConfig::preset(preset, 8).with_seed(3)).partition(&g);
+            assert!(result.metrics.feasible, "{:?} infeasible", preset);
+            cuts.push((preset, result.metrics.edge_cut));
+        }
+        // Strong must not be worse than Minimal by more than a whisker.
+        let minimal = cuts[0].1 as f64;
+        let strong = cuts[2].1 as f64;
+        assert!(
+            strong <= minimal * 1.10,
+            "strong {strong} much worse than minimal {minimal}"
+        );
+    }
+
+    #[test]
+    fn k_one_and_tiny_graphs() {
+        let g = grid2d(3, 3);
+        let r = KappaPartitioner::new(KappaConfig::fast(1)).partition(&g);
+        assert_eq!(r.metrics.edge_cut, 0);
+        let r = KappaPartitioner::new(KappaConfig::fast(4)).partition(&g);
+        assert!(r.partition.validate(&g).is_ok());
+        let empty = CsrGraph::empty();
+        let r = KappaPartitioner::new(KappaConfig::fast(4)).partition(&empty);
+        assert_eq!(r.partition.num_nodes(), 0);
+    }
+
+    #[test]
+    fn works_without_coordinates() {
+        let g = rmat_graph(10, 6, 2);
+        let result = KappaPartitioner::new(KappaConfig::fast(8).with_seed(2)).partition(&g);
+        assert!(result.partition.validate(&g).is_ok());
+        assert!(result.metrics.feasible, "balance {}", result.metrics.balance);
+    }
+
+    #[test]
+    fn works_on_road_networks() {
+        let g = road_network_like(6000, 7);
+        let result = KappaPartitioner::new(KappaConfig::fast(8).with_seed(4)).partition(&g);
+        assert!(result.partition.validate(&g).is_ok());
+        assert!(result.metrics.feasible);
+        // Road networks have tiny separators; the cut should be far below the
+        // edge count.
+        assert!(result.metrics.edge_cut < g.num_edges() as u64 / 5);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_threads() {
+        let g = grid2d(24, 24);
+        let config = KappaConfig::fast(4).with_seed(11).with_threads(2);
+        let a = KappaPartitioner::new(config).partition(&g);
+        let b = KappaPartitioner::new(config).partition(&g);
+        assert_eq!(a.partition.assignment(), b.partition.assignment());
+    }
+
+    #[test]
+    fn explicit_thread_counts_give_valid_results() {
+        let g = random_geometric_graph(3000, 9);
+        for threads in [1usize, 2, 4] {
+            let result = KappaPartitioner::new(
+                KappaConfig::fast(8).with_seed(6).with_threads(threads),
+            )
+            .partition(&g);
+            assert!(result.metrics.feasible, "threads {threads}");
+            assert!(result.partition.validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn phase_timings_add_up() {
+        let g = grid2d(30, 30);
+        let result = KappaPartitioner::new(KappaConfig::fast(4)).partition(&g);
+        assert!(result.timings.total() <= result.metrics.runtime + Duration::from_millis(50));
+        assert!(result.timings.coarsening > Duration::ZERO);
+    }
+}

@@ -1,0 +1,141 @@
+//! Preliminary partitioning for matching locality (§3.3 of the paper).
+//!
+//! Before the parallel matching phase the graph is split into one chunk per PE
+//! so that most edges are intra-chunk and can be matched locally. When 2-D
+//! coordinates are available we use recursive coordinate bisection (alternately
+//! splitting by the x- and y-median, the classic Berger–Bokhari strategy);
+//! otherwise we fall back to contiguous node-index ranges, which is what the
+//! paper does for graphs without geometric information. Note that the
+//! preliminary partition never influences the final partition directly — it
+//! only increases locality of the matching computation.
+
+use kappa_graph::{CsrGraph, NodeId};
+
+/// Recursive coordinate bisection of the nodes into `num_parts` chunks.
+///
+/// Returns `part[v] ∈ 0..num_parts` for every node. Falls back to
+/// [`index_prepartition`] when the graph has no coordinates.
+pub fn coordinate_prepartition(graph: &CsrGraph, num_parts: usize) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let num_parts = num_parts.max(1);
+    let Some(coords) = graph.coords() else {
+        return index_prepartition(n, num_parts);
+    };
+    let mut part = vec![0usize; n];
+    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    rcb_recurse(coords, &mut nodes, 0, num_parts, 0, &mut part);
+    part
+}
+
+/// Contiguous index ranges: chunk `i` holds nodes `[i·⌈n/p⌉, (i+1)·⌈n/p⌉)`.
+pub fn index_prepartition(n: usize, num_parts: usize) -> Vec<usize> {
+    let num_parts = num_parts.max(1);
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(num_parts);
+    (0..n).map(|v| (v / chunk).min(num_parts - 1)).collect()
+}
+
+/// Splits `nodes` into `num_parts` parts by alternately bisecting at the
+/// median x / y coordinate.
+fn rcb_recurse(
+    coords: &[[f64; 2]],
+    nodes: &mut [NodeId],
+    first_part: usize,
+    num_parts: usize,
+    axis: usize,
+    part: &mut [usize],
+) {
+    if num_parts <= 1 || nodes.len() <= 1 {
+        for &v in nodes.iter() {
+            part[v as usize] = first_part;
+        }
+        return;
+    }
+    let left_parts = num_parts / 2;
+    let right_parts = num_parts - left_parts;
+    // The split position is proportional to the number of parts on each side so
+    // uneven part counts still give roughly equal part sizes.
+    let split_idx = (nodes.len() * left_parts) / num_parts;
+    nodes.select_nth_unstable_by(split_idx.min(nodes.len() - 1), |&a, &b| {
+        coords[a as usize][axis]
+            .partial_cmp(&coords[b as usize][axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let (left, right) = nodes.split_at_mut(split_idx);
+    rcb_recurse(coords, left, first_part, left_parts, 1 - axis, part);
+    rcb_recurse(coords, right, first_part + left_parts, right_parts, 1 - axis, part);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_gen::grid::grid2d;
+    use kappa_gen::rgg::random_geometric_graph;
+    use kappa_gen::rmat::rmat_graph;
+
+    fn part_sizes(part: &[usize], p: usize) -> Vec<usize> {
+        let mut sizes = vec![0usize; p];
+        for &b in part {
+            sizes[b] += 1;
+        }
+        sizes
+    }
+
+    #[test]
+    fn index_ranges_are_balanced_and_contiguous() {
+        let part = index_prepartition(10, 3);
+        assert_eq!(part, vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2]);
+        let part = index_prepartition(9, 3);
+        assert_eq!(part_sizes(&part, 3), vec![3, 3, 3]);
+        assert!(index_prepartition(0, 4).is_empty());
+    }
+
+    #[test]
+    fn rcb_balances_part_sizes() {
+        let g = random_geometric_graph(2048, 3);
+        for p in [2usize, 4, 7, 8] {
+            let part = coordinate_prepartition(&g, p);
+            let sizes = part_sizes(&part, p);
+            let max = *sizes.iter().max().unwrap();
+            let min = *sizes.iter().min().unwrap();
+            assert!(
+                max <= min + min / 2 + 2,
+                "p = {p}: sizes {sizes:?} too uneven"
+            );
+        }
+    }
+
+    #[test]
+    fn rcb_improves_edge_locality_over_random() {
+        // On a grid, RCB chunks are rectangles: far fewer cross-chunk edges
+        // than contiguous index ranges would produce for a row-major numbering
+        // ... actually index ranges are also rectangles here, so compare with a
+        // scrambled assignment instead.
+        let g = grid2d(32, 32);
+        let p = 8usize;
+        let rcb = coordinate_prepartition(&g, p);
+        let scrambled: Vec<usize> = (0..g.num_nodes()).map(|v| (v * 7919) % p).collect();
+        let cross = |part: &[usize]| {
+            g.undirected_edges()
+                .filter(|&(u, v, _)| part[u as usize] != part[v as usize])
+                .count()
+        };
+        assert!(cross(&rcb) * 4 < cross(&scrambled));
+    }
+
+    #[test]
+    fn graphs_without_coordinates_fall_back_to_index_ranges() {
+        let g = rmat_graph(8, 4, 1);
+        let part = coordinate_prepartition(&g, 4);
+        assert_eq!(part, index_prepartition(g.num_nodes(), 4));
+    }
+
+    #[test]
+    fn single_part_puts_everything_in_part_zero() {
+        let g = grid2d(4, 4);
+        let part = coordinate_prepartition(&g, 1);
+        assert!(part.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,114 @@
+//! Delaunay-like planar triangulations (the `DelaunayX` instances of Table 1).
+//!
+//! The paper triangulates `2^X` uniformly random points in the unit square.
+//! Implementing an exact incremental Delaunay triangulation (with robust
+//! predicates) is out of scope for this reproduction, so we generate a
+//! *jittered-grid triangulation*: points sit on a `s x s` grid, each jittered
+//! uniformly inside its cell, and each grid quad is triangulated along one
+//! diagonal (chosen by the shorter jittered diagonal, which is what Delaunay
+//! would do for mildly perturbed points). The result is a connected planar
+//! triangulation with average degree ≈ 6 and strong geometric locality — the
+//! structural properties that matter for the partitioning experiments.
+//! The substitution is recorded in DESIGN.md §2.
+
+use kappa_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a Delaunay-like triangulation with roughly `n` nodes
+/// (rounded down to the nearest perfect square).
+pub fn delaunay_like_graph(n: usize, seed: u64) -> CsrGraph {
+    let side = (n as f64).sqrt().floor() as usize;
+    assert!(side >= 2, "need at least a 2x2 point grid");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let num_nodes = side * side;
+    let cell = 1.0 / side as f64;
+    let jitter = 0.45 * cell;
+
+    let coords: Vec<[f64; 2]> = (0..num_nodes)
+        .map(|i| {
+            let (x, y) = (i % side, i / side);
+            let cx = (x as f64 + 0.5) * cell;
+            let cy = (y as f64 + 0.5) * cell;
+            [
+                cx + rng.gen_range(-jitter..jitter),
+                cy + rng.gen_range(-jitter..jitter),
+            ]
+        })
+        .collect();
+
+    let id = |x: usize, y: usize| (y * side + x) as NodeId;
+    let dist2 = |a: NodeId, b: NodeId| {
+        let pa = coords[a as usize];
+        let pb = coords[b as usize];
+        (pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2)
+    };
+
+    let mut b = GraphBuilder::new(num_nodes);
+    b.reserve_edges(3 * num_nodes);
+    for y in 0..side {
+        for x in 0..side {
+            if x + 1 < side {
+                b.add_edge(id(x, y), id(x + 1, y), 1);
+            }
+            if y + 1 < side {
+                b.add_edge(id(x, y), id(x, y + 1), 1);
+            }
+            if x + 1 < side && y + 1 < side {
+                // Triangulate the quad along its shorter diagonal.
+                let d_main = dist2(id(x, y), id(x + 1, y + 1));
+                let d_anti = dist2(id(x + 1, y), id(x, y + 1));
+                if d_main <= d_anti {
+                    b.add_edge(id(x, y), id(x + 1, y + 1), 1);
+                } else {
+                    b.add_edge(id(x + 1, y), id(x, y + 1), 1);
+                }
+            }
+        }
+    }
+    b.set_coords(coords);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_is_square_and_connected() {
+        let g = delaunay_like_graph(1000, 42);
+        assert_eq!(g.num_nodes(), 31 * 31);
+        assert!(g.is_connected());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn average_degree_is_near_six() {
+        let g = delaunay_like_graph(4096, 9);
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(avg > 4.5 && avg < 6.5, "avg degree {avg} not triangulation-like");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(delaunay_like_graph(900, 5), delaunay_like_graph(900, 5));
+        assert_ne!(delaunay_like_graph(900, 5), delaunay_like_graph(900, 6));
+    }
+
+    #[test]
+    fn carries_coordinates_in_unit_square() {
+        let g = delaunay_like_graph(400, 3);
+        let coords = g.coords().unwrap();
+        assert!(coords
+            .iter()
+            .all(|c| c[0] >= 0.0 && c[0] <= 1.0 && c[1] >= 0.0 && c[1] <= 1.0));
+    }
+
+    #[test]
+    fn triangulation_edge_count() {
+        // For an s x s jittered grid: 2*s*(s-1) axis edges + (s-1)^2 diagonals.
+        let g = delaunay_like_graph(625, 1);
+        let s = 25usize;
+        assert_eq!(g.num_edges(), 2 * s * (s - 1) + (s - 1) * (s - 1));
+    }
+}

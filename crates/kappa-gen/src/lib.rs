@@ -1,0 +1,36 @@
+//! # kappa-gen
+//!
+//! Deterministic, seedable graph generators that stand in for the benchmark
+//! instances of Table 1 of the paper (Walshaw archive meshes, random geometric
+//! graphs, Delaunay triangulations, road networks, sparse matrices and social
+//! networks). The real archives are not redistributable, so each *family* is
+//! replaced by a synthetic generator that produces graphs with the same
+//! structural character (near-planar meshes, geometric locality, long skinny
+//! road lattices, heavy-tailed social graphs); see DESIGN.md §2 for the
+//! substitution argument.
+//!
+//! Every generator takes an explicit seed and is reproducible run-to-run.
+//!
+//! ```
+//! use kappa_gen::rgg::random_geometric_graph;
+//! let g = random_geometric_graph(1 << 10, 42);
+//! assert_eq!(g.num_nodes(), 1024);
+//! assert!(g.coords().is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delaunay;
+pub mod grid;
+pub mod rgg;
+pub mod rmat;
+pub mod road;
+pub mod suite;
+
+pub use delaunay::delaunay_like_graph;
+pub use grid::{grid2d, grid3d, torus2d};
+pub use rgg::random_geometric_graph;
+pub use rmat::rmat_graph;
+pub use road::road_network_like;
+pub use suite::{large_suite, small_suite, Instance, InstanceFamily};

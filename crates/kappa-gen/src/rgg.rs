@@ -1,0 +1,120 @@
+//! Random geometric graphs (the `rggX` instances of Table 1).
+//!
+//! `rggX` is a graph with `2^X` nodes placed uniformly at random in the unit
+//! square; two nodes are connected when their Euclidean distance is below
+//! `0.55 * sqrt(ln n / n)`, a threshold chosen by the paper so that the graph
+//! is almost connected. Neighbour search uses a uniform grid with cells of the
+//! connection radius, so generation is `O(n + m)` in expectation.
+
+use kappa_graph::{CsrGraph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the paper's random geometric graph family with `n` nodes.
+pub fn random_geometric_graph(n: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two nodes");
+    let radius = 0.55 * ((n as f64).ln() / n as f64).sqrt();
+    random_geometric_graph_with_radius(n, radius, seed)
+}
+
+/// Random geometric graph with an explicit connection radius.
+pub fn random_geometric_graph_with_radius(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    assert!(radius > 0.0 && radius < 1.0, "radius must be in (0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<[f64; 2]> = (0..n)
+        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+
+    // Uniform grid of cell size `radius`; candidate neighbours live in the
+    // 3x3 cell neighbourhood.
+    let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
+    let cell_of = |p: [f64; 2]| -> (usize, usize) {
+        let cx = ((p[0] * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        let cy = ((p[1] * cells_per_side as f64) as usize).min(cells_per_side - 1);
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<NodeId>> = vec![Vec::new(); cells_per_side * cells_per_side];
+    for (i, &p) in points.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        grid[cy * cells_per_side + cx].push(i as NodeId);
+    }
+
+    let r2 = radius * radius;
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        let pu = points[u];
+        let (cx, cy) = cell_of(pu);
+        let x_lo = cx.saturating_sub(1);
+        let y_lo = cy.saturating_sub(1);
+        let x_hi = (cx + 1).min(cells_per_side - 1);
+        let y_hi = (cy + 1).min(cells_per_side - 1);
+        for gy in y_lo..=y_hi {
+            for gx in x_lo..=x_hi {
+                for &v in &grid[gy * cells_per_side + gx] {
+                    let v = v as usize;
+                    if v <= u {
+                        continue;
+                    }
+                    let pv = points[v];
+                    let dx = pu[0] - pv[0];
+                    let dy = pu[1] - pv[1];
+                    if dx * dx + dy * dy <= r2 {
+                        builder.add_edge(u as NodeId, v as NodeId, 1);
+                    }
+                }
+            }
+        }
+    }
+    builder.set_coords(points);
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        let a = random_geometric_graph(512, 7);
+        let b = random_geometric_graph(512, 7);
+        assert_eq!(a, b);
+        let c = random_geometric_graph(512, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn has_expected_size_and_coords() {
+        let g = random_geometric_graph(1024, 1);
+        assert_eq!(g.num_nodes(), 1024);
+        assert!(g.num_edges() > 1024, "rgg should be denser than a tree");
+        assert!(g.coords().is_some());
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn is_almost_connected() {
+        // The paper chooses the radius so the graph is "almost connected": the
+        // giant component should dominate.
+        let g = random_geometric_graph(2048, 3);
+        assert!(g.num_components() < 20);
+    }
+
+    #[test]
+    fn explicit_radius_controls_density() {
+        let sparse = random_geometric_graph_with_radius(512, 0.02, 5);
+        let dense = random_geometric_graph_with_radius(512, 0.10, 5);
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+
+    #[test]
+    fn edges_respect_radius() {
+        let g = random_geometric_graph_with_radius(256, 0.08, 11);
+        let coords = g.coords().unwrap();
+        for (u, v, _) in g.undirected_edges() {
+            let a = coords[u as usize];
+            let b = coords[v as usize];
+            let d2 = (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2);
+            assert!(d2 <= 0.08f64 * 0.08 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Named benchmark suites mirroring Table 1 of the paper.
+//!
+//! The paper evaluates on a *small/medium* suite (used for configuring the
+//! algorithm, §6.1) and a *large* suite split into five families: geometric
+//! graphs, FEM graphs, street networks, sparse matrices and social networks
+//! (used for the tool comparison, §6.2). We reproduce the same two-suite
+//! structure with synthetic stand-ins, scaled so a full experiment sweep runs
+//! on a laptop. The `scale` parameter multiplies the default instance sizes,
+//! letting the harness dial effort up or down.
+
+use kappa_graph::CsrGraph;
+
+use crate::delaunay::delaunay_like_graph;
+use crate::grid::{grid2d, grid3d};
+use crate::rgg::random_geometric_graph;
+use crate::rmat::rmat_graph;
+use crate::road::road_network_like;
+
+/// The instance family, matching the grouping of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InstanceFamily {
+    /// Random geometric graphs (`rggX`).
+    Geometric,
+    /// Delaunay-style triangulations (`DelaunayX`).
+    Delaunay,
+    /// Finite-element meshes (Walshaw archive graphs, `af_shell`, ...).
+    Fem,
+    /// Road networks (`bel`, `nld`, `deu`, `eur`).
+    Road,
+    /// Social networks (`coAuthorsDBLP`, `citationCiteseer`).
+    Social,
+}
+
+impl InstanceFamily {
+    /// Short display name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InstanceFamily::Geometric => "geometric",
+            InstanceFamily::Delaunay => "delaunay",
+            InstanceFamily::Fem => "fem",
+            InstanceFamily::Road => "road",
+            InstanceFamily::Social => "social",
+        }
+    }
+}
+
+/// A named benchmark instance.
+pub struct Instance {
+    /// Name used in result tables (mirrors the paper's instance names with a
+    /// trailing prime to mark the synthetic substitution, e.g. `rgg15'`).
+    pub name: String,
+    /// Family, for per-family aggregation.
+    pub family: InstanceFamily,
+    /// The graph itself.
+    pub graph: CsrGraph,
+}
+
+impl Instance {
+    fn new(name: &str, family: InstanceFamily, graph: CsrGraph) -> Self {
+        Instance {
+            name: name.to_string(),
+            family,
+            graph,
+        }
+    }
+}
+
+/// The small/medium calibration suite (paper Table 1, left column).
+///
+/// `scale = 1.0` produces graphs of a few thousand nodes each so the full
+/// configuration sweep (§6.1) finishes in seconds; larger scales approach the
+/// paper's sizes.
+pub fn small_suite(scale: f64, seed: u64) -> Vec<Instance> {
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(64);
+    vec![
+        Instance::new(
+            "rgg13'",
+            InstanceFamily::Geometric,
+            random_geometric_graph(s(8192), seed),
+        ),
+        Instance::new(
+            "delaunay13'",
+            InstanceFamily::Delaunay,
+            delaunay_like_graph(s(8192), seed + 1),
+        ),
+        Instance::new("4elt'", InstanceFamily::Fem, grid2d(s_side(s(6400)), s_side(s(6400)))),
+        Instance::new(
+            "fesphere'",
+            InstanceFamily::Fem,
+            grid3d(cbrt_side(s(4096)), cbrt_side(s(4096)), cbrt_side(s(4096))),
+        ),
+        Instance::new(
+            "bel'",
+            InstanceFamily::Road,
+            road_network_like(s(8192), seed + 2),
+        ),
+        Instance::new(
+            "memplus'",
+            InstanceFamily::Social,
+            rmat_graph(log2_floor(s(4096)), 6, seed + 3),
+        ),
+    ]
+}
+
+/// The large comparison suite (paper Table 1, right column).
+pub fn large_suite(scale: f64, seed: u64) -> Vec<Instance> {
+    let s = |base: usize| ((base as f64 * scale).round() as usize).max(256);
+    vec![
+        Instance::new(
+            "rgg17'",
+            InstanceFamily::Geometric,
+            random_geometric_graph(s(65536), seed),
+        ),
+        Instance::new(
+            "delaunay17'",
+            InstanceFamily::Delaunay,
+            delaunay_like_graph(s(65536), seed + 1),
+        ),
+        Instance::new(
+            "fetooth'",
+            InstanceFamily::Fem,
+            grid3d(cbrt_side(s(32768)), cbrt_side(s(32768)), cbrt_side(s(32768))),
+        ),
+        Instance::new(
+            "auto'",
+            InstanceFamily::Fem,
+            grid2d(s_side(s(65536)), s_side(s(65536))),
+        ),
+        Instance::new(
+            "deu'",
+            InstanceFamily::Road,
+            road_network_like(s(65536), seed + 2),
+        ),
+        Instance::new(
+            "eur'",
+            InstanceFamily::Road,
+            road_network_like(s(131072), seed + 3),
+        ),
+        Instance::new(
+            "coAuthorsDBLP'",
+            InstanceFamily::Social,
+            rmat_graph(log2_floor(s(32768)), 7, seed + 4),
+        ),
+    ]
+}
+
+/// Side length for a square grid of roughly `n` nodes.
+fn s_side(n: usize) -> usize {
+    ((n as f64).sqrt().round() as usize).max(2)
+}
+
+/// Side length for a cubic grid of roughly `n` nodes.
+fn cbrt_side(n: usize) -> usize {
+    ((n as f64).cbrt().round() as usize).max(2)
+}
+
+/// `floor(log2(n))` clamped to the valid R-MAT scale range.
+fn log2_floor(n: usize) -> u32 {
+    (usize::BITS - 1 - n.leading_zeros()).clamp(4, 24)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_covers_all_families() {
+        let suite = small_suite(0.25, 1);
+        let mut families: Vec<_> = suite.iter().map(|i| i.family).collect();
+        families.sort_by_key(|f| f.name());
+        families.dedup();
+        assert_eq!(families.len(), 5);
+        for inst in &suite {
+            assert!(inst.graph.num_nodes() > 0, "{} is empty", inst.name);
+            assert!(inst.graph.validate().is_ok(), "{} invalid", inst.name);
+        }
+    }
+
+    #[test]
+    fn large_suite_is_larger_than_small() {
+        let small: usize = small_suite(0.25, 1).iter().map(|i| i.graph.num_nodes()).sum();
+        let large: usize = large_suite(0.25, 1).iter().map(|i| i.graph.num_nodes()).sum();
+        assert!(large > small);
+    }
+
+    #[test]
+    fn scale_changes_sizes() {
+        let a = small_suite(0.25, 1);
+        let b = small_suite(0.5, 1);
+        let na: usize = a.iter().map(|i| i.graph.num_nodes()).sum();
+        let nb: usize = b.iter().map(|i| i.graph.num_nodes()).sum();
+        assert!(nb > na);
+    }
+
+    #[test]
+    fn helper_side_functions() {
+        assert_eq!(s_side(100), 10);
+        assert_eq!(cbrt_side(27), 3);
+        assert_eq!(log2_floor(1024), 10);
+        assert_eq!(log2_floor(1 << 30), 24); // clamped
+    }
+}

@@ -1,0 +1,222 @@
+//! Incremental construction of [`CsrGraph`]s.
+//!
+//! The builder accepts edges in any order, ignores self loops, merges parallel
+//! edges by summing their weights (exactly the rule used when contracting an
+//! edge, §2 of the paper) and produces a CSR graph whose adjacency lists are
+//! sorted by target id.
+
+use crate::csr::CsrGraph;
+use crate::types::{EdgeWeight, NodeId, NodeWeight};
+
+/// Builder for [`CsrGraph`].
+///
+/// ```
+/// use kappa_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 2);
+/// b.add_edge(1, 0, 3); // parallel edge: weights are merged
+/// b.add_edge(1, 1, 7); // self loop: ignored
+/// b.add_edge(1, 2, 1);
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_weight_between(0, 1), Some(5));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// Half-edge list `(u, v, w)`; both directions are materialised at build time.
+    edges: Vec<(NodeId, NodeId, EdgeWeight)>,
+    node_weights: Vec<NodeWeight>,
+    coords: Option<Vec<[f64; 2]>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes, all of unit weight.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            node_weights: vec![1; num_nodes],
+            coords: None,
+        }
+    }
+
+    /// Creates a builder with explicit node weights.
+    pub fn with_node_weights(node_weights: Vec<NodeWeight>) -> Self {
+        GraphBuilder {
+            num_nodes: node_weights.len(),
+            edges: Vec::new(),
+            node_weights,
+            coords: None,
+        }
+    }
+
+    /// Number of nodes of the graph under construction.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Pre-allocates space for `m` undirected edges.
+    pub fn reserve_edges(&mut self, m: usize) {
+        self.edges.reserve(m);
+    }
+
+    /// Sets the weight of a single node.
+    pub fn set_node_weight(&mut self, v: NodeId, w: NodeWeight) {
+        self.node_weights[v as usize] = w;
+    }
+
+    /// Attaches planar coordinates (must cover every node).
+    pub fn set_coords(&mut self, coords: Vec<[f64; 2]>) {
+        assert_eq!(coords.len(), self.num_nodes, "coordinate array length mismatch");
+        self.coords = Some(coords);
+    }
+
+    /// Adds an undirected edge `{u, v}` of weight `w`.
+    ///
+    /// Self loops are silently dropped; parallel edges are merged (weights
+    /// summed) during [`GraphBuilder::build`]. Zero-weight edges are rejected.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: EdgeWeight) {
+        assert!(w > 0, "edge weights must be positive");
+        assert!(
+            (u as usize) < self.num_nodes && (v as usize) < self.num_nodes,
+            "edge endpoint out of range: {{{u}, {v}}} with n = {}",
+            self.num_nodes
+        );
+        if u == v {
+            return;
+        }
+        self.edges.push((u, v, w));
+    }
+
+    /// Builds the CSR graph, merging parallel edges and sorting adjacency lists.
+    pub fn build(self) -> CsrGraph {
+        let n = self.num_nodes;
+        // Materialise both directions, then sort by (source, target) and merge.
+        let mut half: Vec<(NodeId, NodeId, EdgeWeight)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v, w) in &self.edges {
+            half.push((u, v, w));
+            half.push((v, u, w));
+        }
+        half.sort_unstable_by_key(|&(u, v, _)| (u, v));
+
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy: Vec<NodeId> = Vec::with_capacity(half.len());
+        let mut adjwgt: Vec<EdgeWeight> = Vec::with_capacity(half.len());
+        xadj.push(0);
+        let mut idx = 0usize;
+        for u in 0..n as NodeId {
+            while idx < half.len() && half[idx].0 == u {
+                let (_, v, w) = half[idx];
+                if let (Some(&last_v), Some(last_w)) = (adjncy.last(), adjwgt.last_mut()) {
+                    if adjncy.len() > *xadj.last().unwrap() && last_v == v {
+                        // Parallel edge: merge weights.
+                        *last_w += w;
+                        idx += 1;
+                        continue;
+                    }
+                }
+                adjncy.push(v);
+                adjwgt.push(w);
+                idx += 1;
+            }
+            xadj.push(adjncy.len());
+        }
+
+        CsrGraph::from_parts(xadj, adjncy, adjwgt, self.node_weights, self.coords)
+    }
+}
+
+/// Convenience: build a graph directly from an undirected edge list with unit
+/// node weights.
+pub fn graph_from_edges(
+    num_nodes: usize,
+    edges: impl IntoIterator<Item = (NodeId, NodeId, EdgeWeight)>,
+) -> CsrGraph {
+    let mut b = GraphBuilder::new(num_nodes);
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 0, 1);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 0, 1);
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn merges_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 0, 5);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight_between(0, 1), Some(8));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 3);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn respects_node_weights() {
+        let mut b = GraphBuilder::with_node_weights(vec![2, 3, 5]);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        assert_eq!(g.node_weight(0), 2);
+        assert_eq!(g.node_weight(2), 5);
+        assert_eq!(g.total_node_weight(), 10);
+        assert_eq!(g.max_node_weight(), 5);
+    }
+
+    #[test]
+    fn isolated_nodes_are_allowed() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(4), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn graph_from_edges_helper() {
+        let g = graph_from_edges(3, vec![(0, 1, 1), (1, 2, 4)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight_between(1, 2), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge weights must be positive")]
+    fn zero_weight_edge_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn out_of_range_edge_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2, 1);
+    }
+}

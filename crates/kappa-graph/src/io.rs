@@ -1,0 +1,197 @@
+//! METIS-format text I/O.
+//!
+//! The METIS graph format is the de-facto interchange format of the graph
+//! partitioning community (Walshaw archive, Metis, Scotch, KaHIP all read it):
+//! the header line is `n m [fmt]` where `fmt` is a three-digit flag string
+//! (`1xx` unused here, `x1x` = node weights present, `xx1` = edge weights
+//! present); line `i` then lists the neighbours of node `i` (1-based), each
+//! preceded by the edge weight if `xx1` and prefixed by the node weight if
+//! `x1x`. Lines starting with `%` are comments.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::NodeId;
+
+/// Parses a graph from METIS text format.
+pub fn parse_metis(text: &str) -> Result<CsrGraph, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('%'));
+    let header = lines.next().ok_or("empty METIS file")?;
+    let head: Vec<&str> = header.split_whitespace().collect();
+    if head.len() < 2 {
+        return Err(format!("bad METIS header: {header:?}"));
+    }
+    let n: usize = head[0].parse().map_err(|e| format!("bad node count: {e}"))?;
+    let m: usize = head[1].parse().map_err(|e| format!("bad edge count: {e}"))?;
+    let fmt = head.get(2).copied().unwrap_or("000");
+    let has_vwgt = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
+    let has_ewgt = fmt.as_bytes()[fmt.len() - 1] == b'1';
+
+    let mut builder = GraphBuilder::new(n);
+    let mut edges_seen = 0usize;
+    for (u, line) in lines.take(n).enumerate() {
+        let mut tokens = line.split_whitespace();
+        if has_vwgt {
+            let w: u64 = tokens
+                .next()
+                .ok_or_else(|| format!("node {} missing weight", u + 1))?
+                .parse()
+                .map_err(|e| format!("bad node weight on line {}: {e}", u + 1))?;
+            builder.set_node_weight(u as NodeId, w);
+        }
+        let tokens: Vec<&str> = tokens.collect();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let v: usize = tokens[i]
+                .parse()
+                .map_err(|e| format!("bad neighbour id on line {}: {e}", u + 1))?;
+            if v == 0 || v > n {
+                return Err(format!("neighbour id {v} out of range on line {}", u + 1));
+            }
+            let w = if has_ewgt {
+                i += 1;
+                tokens
+                    .get(i)
+                    .ok_or_else(|| format!("missing edge weight on line {}", u + 1))?
+                    .parse::<u64>()
+                    .map_err(|e| format!("bad edge weight on line {}: {e}", u + 1))?
+            } else {
+                1
+            };
+            i += 1;
+            let v = (v - 1) as NodeId;
+            // Every undirected edge appears twice in the file; add it once.
+            if (u as NodeId) < v {
+                builder.add_edge(u as NodeId, v, w);
+                edges_seen += 1;
+            } else if (u as NodeId) > v {
+                edges_seen += 1;
+            }
+        }
+    }
+    if edges_seen / 2 + edges_seen % 2 != m && edges_seen != 2 * m {
+        // Tolerate both conventions (some writers count half-edges); only fail
+        // on gross mismatch.
+        if edges_seen != 2 * m && (edges_seen + 1) / 2 != m {
+            return Err(format!(
+                "edge count mismatch: header says {m}, file contains {} half-edges",
+                edges_seen
+            ));
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Serialises a graph to METIS text format (node and edge weights always written).
+pub fn to_metis_string(graph: &CsrGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} {} 011\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    ));
+    for v in graph.nodes() {
+        let mut line = String::new();
+        line.push_str(&graph.node_weight(v).to_string());
+        for (u, w) in graph.edges_of(v) {
+            line.push(' ');
+            line.push_str(&(u + 1).to_string());
+            line.push(' ');
+            line.push_str(&w.to_string());
+        }
+        line.push('\n');
+        out.push_str(&line);
+    }
+    out
+}
+
+/// Reads a METIS graph from a file.
+pub fn read_metis(path: &Path) -> Result<CsrGraph, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    parse_metis(&text)
+}
+
+/// Writes a graph to a file in METIS format.
+pub fn write_metis(graph: &CsrGraph, path: &Path) -> Result<(), String> {
+    let mut f = fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+    f.write_all(to_metis_string(graph).as_bytes())
+        .map_err(|e| format!("cannot write {path:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn parse_unweighted() {
+        let text = "% a triangle plus a pendant\n4 4\n2 3\n1 3\n1 2 4\n3\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.edge_weight_between(0, 1), Some(1));
+        assert_eq!(g.edge_weight_between(2, 3), Some(1));
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn parse_with_weights() {
+        // fmt 011: node weight then (neighbour, edge weight) pairs.
+        let text = "3 2 011\n5 2 7\n1 1 7 3 2\n4 2 2\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.node_weight(0), 5);
+        assert_eq!(g.node_weight(1), 1);
+        assert_eq!(g.node_weight(2), 4);
+        assert_eq!(g.edge_weight_between(0, 1), Some(7));
+        assert_eq!(g.edge_weight_between(1, 2), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let mut b = GraphBuilder::with_node_weights(vec![1, 2, 3, 4, 5]);
+        b.add_edge(0, 1, 3);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 9);
+        b.add_edge(3, 4, 2);
+        b.add_edge(4, 0, 6);
+        let g = b.build();
+        let text = to_metis_string(&g);
+        let g2 = parse_metis(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let dir = std::env::temp_dir().join("kappa_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.graph");
+        write_metis(&g, &path).unwrap();
+        let g2 = read_metis(&path).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse_metis("").is_err());
+        assert!(parse_metis("nonsense header").is_err());
+        assert!(parse_metis("2 1\n5\n1\n").is_err()); // neighbour id 5 out of range
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "% comment\n\n2 1\n\n2\n1\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1);
+    }
+}

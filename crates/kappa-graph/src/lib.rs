@@ -1,0 +1,54 @@
+//! # kappa-graph
+//!
+//! Graph substrate for the KaPPa-rs partitioner: a compressed sparse row (CSR)
+//! representation of weighted undirected graphs, a builder that deduplicates
+//! parallel edges, partitions with balance accounting, quotient graphs,
+//! induced subgraphs with back-mappings, boundary/band utilities and METIS-style
+//! text I/O.
+//!
+//! The design follows Section 2 of Holtgrewe, Sanders and Schulz,
+//! *Engineering a Scalable High Quality Graph Partitioner* (2010): graphs are
+//! undirected with positive edge weights `ω` and non-negative node weights `c`,
+//! both of which become non-trivial during multilevel contraction even when the
+//! input is unweighted.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use kappa_graph::{GraphBuilder, Partition};
+//!
+//! // A 4-cycle.
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 1);
+//! b.add_edge(1, 2, 1);
+//! b.add_edge(2, 3, 1);
+//! b.add_edge(3, 0, 1);
+//! let g = b.build();
+//! assert_eq!(g.num_nodes(), 4);
+//! assert_eq!(g.num_edges(), 4);
+//!
+//! // Split it into two blocks of two nodes: the cut is 2.
+//! let p = Partition::from_assignment(2, vec![0, 0, 1, 1]);
+//! assert_eq!(p.edge_cut(&g), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+pub mod builder;
+pub mod csr;
+pub mod io;
+pub mod partition;
+pub mod quotient;
+pub mod subgraph;
+pub mod types;
+
+pub use boundary::{band_around_boundary, boundary_nodes, pair_boundary_nodes};
+pub use builder::{graph_from_edges, GraphBuilder};
+pub use csr::CsrGraph;
+pub use io::{parse_metis, read_metis, to_metis_string, write_metis};
+pub use partition::{BlockWeights, Partition};
+pub use quotient::QuotientGraph;
+pub use subgraph::{extract_block_pair, extract_subgraph, ExtractedSubgraph};
+pub use types::{BlockId, EdgeWeight, NodeId, NodeWeight, INVALID_BLOCK, INVALID_NODE};

@@ -1,0 +1,206 @@
+//! Recursive bisection initial partitioning.
+//!
+//! The node set is split into two halves whose target weights follow the split
+//! of `k` (e.g. for `k = 6` the first half receives 3/6 of the weight), each
+//! half is bisected recursively until single blocks remain. The 2-way split
+//! itself is a greedy BFS region growing from a pseudo-peripheral seed, which
+//! tends to produce connected halves with short boundaries — the same idea
+//! Scotch and pMetis use for their recursive-bisection codes.
+
+use std::collections::BinaryHeap;
+
+use kappa_graph::{CsrGraph, NodeId, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Recursive bisection into `k` blocks with imbalance tolerance `epsilon`.
+pub fn recursive_bisection(graph: &CsrGraph, k: u32, epsilon: f64, seed: u64) -> Partition {
+    assert!(k >= 1);
+    let n = graph.num_nodes();
+    let mut partition = Partition::trivial(k, n);
+    if n == 0 || k == 1 {
+        return partition;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let all_nodes: Vec<NodeId> = graph.nodes().collect();
+    bisect_recursive(graph, &all_nodes, 0, k, epsilon, &mut partition, &mut rng);
+    partition
+}
+
+/// Recursively assigns blocks `[first_block, first_block + num_blocks)` to `nodes`.
+fn bisect_recursive(
+    graph: &CsrGraph,
+    nodes: &[NodeId],
+    first_block: u32,
+    num_blocks: u32,
+    epsilon: f64,
+    partition: &mut Partition,
+    rng: &mut StdRng,
+) {
+    if num_blocks <= 1 {
+        for &v in nodes {
+            partition.assign(v, first_block);
+        }
+        return;
+    }
+    let k_left = num_blocks / 2;
+    let k_right = num_blocks - k_left;
+    let total: u64 = nodes.iter().map(|&v| graph.node_weight(v)).sum();
+    let target_left =
+        (total as f64 * k_left as f64 / num_blocks as f64 * (1.0 + epsilon / 2.0)) as u64;
+
+    let (left, right) = grow_half(graph, nodes, target_left, rng);
+    bisect_recursive(graph, &left, first_block, k_left, epsilon, partition, rng);
+    bisect_recursive(
+        graph,
+        &right,
+        first_block + k_left,
+        k_right,
+        epsilon,
+        partition,
+        rng,
+    );
+}
+
+/// Grows a connected half of roughly `target_weight` from a pseudo-peripheral
+/// seed inside `nodes`; returns (half, rest).
+fn grow_half(
+    graph: &CsrGraph,
+    nodes: &[NodeId],
+    target_weight: u64,
+    rng: &mut StdRng,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let mut in_set = vec![false; graph.num_nodes()];
+    for &v in nodes {
+        in_set[v as usize] = true;
+    }
+    let seed = pseudo_peripheral_seed(graph, nodes, &in_set, rng);
+
+    // Greedy region growing by connection strength into the growing half.
+    let mut taken = vec![false; graph.num_nodes()];
+    let mut half: Vec<NodeId> = Vec::new();
+    let mut weight = 0u64;
+    let mut heap: BinaryHeap<(i64, NodeId)> = BinaryHeap::new();
+    heap.push((i64::MAX, seed));
+    while weight < target_weight {
+        let Some((_, v)) = heap.pop() else { break };
+        if taken[v as usize] {
+            continue;
+        }
+        taken[v as usize] = true;
+        half.push(v);
+        weight += graph.node_weight(v);
+        for (u, w) in graph.edges_of(v) {
+            if in_set[u as usize] && !taken[u as usize] {
+                heap.push((w as i64, u));
+            }
+        }
+    }
+    // If the region ran out of connected nodes before reaching the target
+    // (disconnected subgraph), top up with arbitrary remaining nodes.
+    if weight < target_weight {
+        for &v in nodes {
+            if weight >= target_weight {
+                break;
+            }
+            if !taken[v as usize] {
+                taken[v as usize] = true;
+                half.push(v);
+                weight += graph.node_weight(v);
+            }
+        }
+    }
+    let rest: Vec<NodeId> = nodes.iter().copied().filter(|&v| !taken[v as usize]).collect();
+    (half, rest)
+}
+
+/// A node far away from a random start (two BFS sweeps), the usual
+/// pseudo-peripheral heuristic: growing from the rim rather than the centre
+/// produces flatter, shorter boundaries.
+fn pseudo_peripheral_seed(
+    graph: &CsrGraph,
+    nodes: &[NodeId],
+    in_set: &[bool],
+    rng: &mut StdRng,
+) -> NodeId {
+    let start = nodes[rng.gen_range(0..nodes.len())];
+    let far = bfs_farthest(graph, start, in_set);
+    bfs_farthest(graph, far, in_set)
+}
+
+fn bfs_farthest(graph: &CsrGraph, start: NodeId, in_set: &[bool]) -> NodeId {
+    let mut dist = vec![usize::MAX; graph.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    let mut last = start;
+    while let Some(u) = queue.pop_front() {
+        last = u;
+        for &v in graph.neighbors(u) {
+            if in_set[v as usize] && dist[v as usize] == usize::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_gen::grid::grid2d;
+    use kappa_gen::road::road_network_like;
+
+    #[test]
+    fn bisection_into_powers_of_two() {
+        let g = grid2d(16, 16);
+        for k in [2u32, 4, 8, 16] {
+            let p = recursive_bisection(&g, k, 0.03, 5);
+            assert!(p.validate(&g).is_ok());
+            assert_eq!(p.num_nonempty_blocks() as u32, k);
+            assert!(p.balance(&g) < 1.35, "k = {k} balance {}", p.balance(&g));
+        }
+    }
+
+    #[test]
+    fn handles_non_power_of_two_k() {
+        let g = grid2d(15, 14);
+        let p = recursive_bisection(&g, 6, 0.03, 2);
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.num_nonempty_blocks(), 6);
+    }
+
+    #[test]
+    fn grid_bisection_cut_is_reasonable() {
+        // A 2-way split of a 20x20 grid has an optimal cut of 20; greedy BFS
+        // growing should stay within a small factor of that.
+        let g = grid2d(20, 20);
+        let p = recursive_bisection(&g, 2, 0.03, 7);
+        assert!(p.edge_cut(&g) <= 80, "cut {}", p.edge_cut(&g));
+    }
+
+    #[test]
+    fn works_on_disconnected_road_networks() {
+        let g = road_network_like(1500, 3);
+        let p = recursive_bisection(&g, 4, 0.05, 1);
+        assert!(p.validate(&g).is_ok());
+        assert_eq!(p.num_nonempty_blocks(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = grid2d(12, 12);
+        assert_eq!(
+            recursive_bisection(&g, 4, 0.03, 9).assignment(),
+            recursive_bisection(&g, 4, 0.03, 9).assignment()
+        );
+    }
+
+    #[test]
+    fn k_one_short_circuits() {
+        let g = grid2d(6, 6);
+        let p = recursive_bisection(&g, 1, 0.03, 0);
+        assert_eq!(p.edge_cut(&g), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Sorted Heavy Edge Matching (SHEM), the algorithm used in Metis (§3.2).
+//!
+//! Nodes are visited in order of increasing degree; each still-free node is
+//! matched to its most attractive (highest-rated) still-free neighbour. SHEM is
+//! very fast but gives no worst-case approximation guarantee.
+
+use kappa_graph::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::matching::Matching;
+use crate::rating::{rate_edge, EdgeRating};
+
+/// Computes a SHEM matching of `graph` under `rating`.
+pub fn shem_matching(graph: &CsrGraph, rating: EdgeRating, seed: u64) -> Matching {
+    let n = graph.num_nodes();
+    let mut matching = Matching::new(n);
+    if n == 0 {
+        return matching;
+    }
+
+    // Weighted degrees are needed for the innerOuter rating.
+    let out: Vec<u64> = if rating == EdgeRating::InnerOuter {
+        graph.nodes().map(|v| graph.weighted_degree(v)).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Random permutation, then stable sort by degree: ties are visited in
+    // random order, matching the randomised repetitions of the paper.
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order.sort_by_key(|&v| graph.degree(v));
+
+    for &u in &order {
+        if matching.is_matched(u) {
+            continue;
+        }
+        let mut best: Option<(NodeId, f64)> = None;
+        for (v, w) in graph.edges_of(u) {
+            if matching.is_matched(v) {
+                continue;
+            }
+            let (ou, ov) = if rating == EdgeRating::InnerOuter {
+                (out[u as usize], out[v as usize])
+            } else {
+                (0, 0)
+            };
+            let r = rate_edge(
+                rating,
+                w,
+                graph.node_weight(u),
+                graph.node_weight(v),
+                ou,
+                ov,
+            );
+            if best.map(|(_, br)| r > br).unwrap_or(true) {
+                best = Some((v, r));
+            }
+        }
+        if let Some((v, _)) = best {
+            matching.try_match(u, v);
+        }
+    }
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_graph::GraphBuilder;
+
+    #[test]
+    fn matches_heaviest_neighbor() {
+        // Node 0 has the (joint) lowest degree and two free neighbours when it
+        // is processed; under the `Weight` rating it must pick the heavy edge
+        // to node 2, whichever low-degree node goes first.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 9);
+        b.add_edge(1, 3, 1);
+        b.add_edge(1, 4, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(2, 4, 1);
+        b.add_edge(3, 5, 1);
+        b.add_edge(4, 5, 1);
+        b.add_edge(3, 4, 1);
+        let g = b.build();
+        for seed in 0..6 {
+            let m = shem_matching(&g, EdgeRating::Weight, seed);
+            assert_eq!(m.partner_of(0), Some(2), "seed {seed}");
+            assert!(m.validate(Some(&g)).is_ok());
+        }
+    }
+
+    #[test]
+    fn low_degree_nodes_go_first() {
+        // Path 0-1-2 plus a hub 3 connected to everything. Degree-1 node 0 is
+        // processed first and grabs node 1 even though 1-3 has higher weight.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 0, 1);
+        b.add_edge(3, 1, 5);
+        b.add_edge(3, 2, 1);
+        let g = b.build();
+        let m = shem_matching(&g, EdgeRating::Weight, 0);
+        assert!(m.validate(Some(&g)).is_ok());
+        assert_eq!(m.cardinality(), 2);
+    }
+
+    #[test]
+    fn maximal_on_connected_graphs() {
+        // SHEM produces a maximal matching: no edge can have both endpoints free.
+        let g = kappa_graph::builder::graph_from_edges(
+            8,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 6, 1),
+                (6, 7, 1),
+                (7, 0, 1),
+                (0, 4, 1),
+            ],
+        );
+        let m = shem_matching(&g, EdgeRating::ExpansionStar2, 3);
+        for (u, v, _) in g.undirected_edges() {
+            assert!(
+                m.is_matched(u) || m.is_matched(v),
+                "edge {{{u},{v}}} has two free endpoints"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = kappa_graph::builder::graph_from_edges(
+            6,
+            vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)],
+        );
+        assert_eq!(
+            shem_matching(&g, EdgeRating::Weight, 11).edges(),
+            shem_matching(&g, EdgeRating::Weight, 11).edges()
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Boundary bands for pairwise refinement (§5.2, Figure 2).
+//!
+//! Before a local search on the pair `(a, b)`, each PE performs a bounded BFS
+//! from the pair boundary and exchanges only this band with its partner. The
+//! FM search is then limited to band nodes; if moving something outside the
+//! band would have helped, a later global iteration will reach it because the
+//! boundary (and hence the band) will have shifted.
+
+use kappa_graph::{band_around_boundary, pair_boundary_nodes, BlockId, CsrGraph, NodeId, Partition};
+
+/// Computes the band of eligible nodes for refining the pair `(a, b)`:
+/// a BFS of depth `depth` from the pair boundary, restricted to the two blocks.
+///
+/// Returns an empty vector when the blocks share no edge (nothing to refine).
+pub fn pair_band(
+    graph: &CsrGraph,
+    partition: &Partition,
+    a: BlockId,
+    b: BlockId,
+    depth: usize,
+) -> Vec<NodeId> {
+    let seeds = pair_boundary_nodes(graph, partition, a, b);
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    band_around_boundary(graph, partition, &seeds, (a, b), depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_gen::grid::grid2d;
+
+    fn half_split(side: usize) -> (CsrGraph, Partition) {
+        let g = grid2d(side, side);
+        let assignment = (0..side * side)
+            .map(|i| if i % side < side / 2 { 0 } else { 1 })
+            .collect();
+        (g, Partition::from_assignment(2, assignment))
+    }
+
+    #[test]
+    fn band_size_grows_with_depth() {
+        let (g, p) = half_split(10);
+        let d1 = pair_band(&g, &p, 0, 1, 1).len();
+        let d3 = pair_band(&g, &p, 0, 1, 3).len();
+        let all = pair_band(&g, &p, 0, 1, 100).len();
+        assert!(d1 < d3);
+        assert!(d3 < all);
+        assert_eq!(all, 100);
+        // Depth 1: the two boundary columns plus one column on each side.
+        assert_eq!(d1, 40);
+    }
+
+    #[test]
+    fn empty_band_for_non_adjacent_blocks() {
+        let g = grid2d(6, 6);
+        // Three vertical stripes: blocks 0 and 2 never touch.
+        let assignment = (0..36).map(|i| ((i % 6) / 2) as u32).collect();
+        let p = Partition::from_assignment(3, assignment);
+        assert!(pair_band(&g, &p, 0, 2, 5).is_empty());
+        assert!(!pair_band(&g, &p, 0, 1, 5).is_empty());
+    }
+
+    #[test]
+    fn band_contains_only_pair_nodes() {
+        let g = grid2d(8, 8);
+        let assignment = (0..64)
+            .map(|i| {
+                let (x, y) = (i % 8, i / 8);
+                ((y / 4) * 2 + x / 4) as u32
+            })
+            .collect();
+        let p = Partition::from_assignment(4, assignment);
+        let band = pair_band(&g, &p, 0, 1, 2);
+        assert!(!band.is_empty());
+        assert!(band.iter().all(|&v| p.block_of(v) == 0 || p.block_of(v) == 1));
+    }
+}

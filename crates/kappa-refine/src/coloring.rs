@@ -1,0 +1,213 @@
+//! Greedy edge colouring of the quotient graph (§5.1 of the paper).
+//!
+//! The refinement scheduler must eventually run a local search on *every* edge
+//! of the quotient graph `Q` (a "global iteration"), but two searches may run
+//! concurrently only if their block pairs are disjoint — i.e. if the
+//! corresponding quotient edges form a matching. An edge colouring of `Q`
+//! partitions its edges into matchings (the colour classes), so iterating over
+//! the colours visits every pair while maximising concurrency.
+//!
+//! The paper parallelises a classical greedy colouring with randomised
+//! active/passive coin flips per round; the result uses at most twice as many
+//! colours as an optimal colouring. We reproduce the same round-based
+//! randomised protocol (the rounds are embarrassingly parallel; at the scale of
+//! quotient graphs — `k ≤ 1024` blocks — a thread pool adds nothing, so rounds
+//! execute on the calling thread while keeping the identical message/colour
+//! semantics).
+
+use kappa_graph::{BlockId, QuotientGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An edge colouring of the quotient graph: every quotient edge (block pair)
+/// gets a colour; all pairs of one colour form a matching.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeColoring {
+    /// `classes[c]` lists the block pairs coloured `c`.
+    classes: Vec<Vec<(BlockId, BlockId)>>,
+}
+
+impl EdgeColoring {
+    /// Number of colours used.
+    pub fn num_colors(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The block pairs of colour `c`.
+    pub fn class(&self, c: usize) -> &[(BlockId, BlockId)] {
+        &self.classes[c]
+    }
+
+    /// Iterate over the colour classes in colour order.
+    pub fn classes(&self) -> impl Iterator<Item = &[(BlockId, BlockId)]> {
+        self.classes.iter().map(|c| c.as_slice())
+    }
+
+    /// Total number of coloured pairs (must equal the quotient edge count).
+    pub fn num_pairs(&self) -> usize {
+        self.classes.iter().map(|c| c.len()).sum()
+    }
+
+    /// Checks that every colour class is a matching (no block repeated).
+    pub fn validate(&self) -> Result<(), String> {
+        for (c, class) in self.classes.iter().enumerate() {
+            let mut seen = std::collections::HashSet::new();
+            for &(a, b) in class {
+                if !seen.insert(a) || !seen.insert(b) {
+                    return Err(format!("colour {c} is not a matching (block reuse)"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Colours the edges of the quotient graph with the randomised greedy protocol
+/// of §5.1: in every round each endpoint of a still-uncoloured edge flips an
+/// active/passive coin; active endpoints propose their uncoloured incident
+/// edges to passive partners, which assign the smallest colour free at both
+/// endpoints. Uses at most `2Δ − 1` colours.
+pub fn color_quotient_edges(quotient: &QuotientGraph, seed: u64) -> EdgeColoring {
+    let k = quotient.num_blocks() as usize;
+    let edges = quotient.edges();
+    if edges.is_empty() {
+        return EdgeColoring::default();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_colors = (2 * quotient.max_degree()).max(1);
+
+    // free[b][c] = colour c still unused at block b.
+    let mut free = vec![vec![true; max_colors]; k];
+    let mut color_of = vec![usize::MAX; edges.len()];
+    let mut uncolored: Vec<usize> = (0..edges.len()).collect();
+
+    // Round-based protocol; guaranteed to terminate because every round with a
+    // non-empty uncoloured set colours at least one edge in expectation, and we
+    // fall back to deterministic assignment if randomisation stalls for long.
+    let mut stall_rounds = 0usize;
+    while !uncolored.is_empty() {
+        let active: Vec<bool> = (0..k).map(|_| rng.gen_bool(0.5)).collect();
+        let mut colored_this_round = Vec::new();
+        for (pos, &ei) in uncolored.iter().enumerate() {
+            let (a, b, _) = edges[ei];
+            let (a, b) = (a as usize, b as usize);
+            // An edge is processed when exactly one endpoint is active (the
+            // active side "sends the request", the passive side assigns the
+            // colour); requests between two active PEs are rejected.
+            let eligible = active[a] != active[b] || stall_rounds > 8;
+            if !eligible {
+                continue;
+            }
+            if let Some(c) = (0..max_colors).find(|&c| free[a][c] && free[b][c]) {
+                free[a][c] = false;
+                free[b][c] = false;
+                color_of[ei] = c;
+                colored_this_round.push(pos);
+            }
+        }
+        if colored_this_round.is_empty() {
+            stall_rounds += 1;
+        } else {
+            stall_rounds = 0;
+            // Remove in reverse order to keep indices valid.
+            for &pos in colored_this_round.iter().rev() {
+                uncolored.swap_remove(pos);
+            }
+        }
+        assert!(
+            stall_rounds < 64,
+            "edge colouring failed to make progress (max_colors = {max_colors})"
+        );
+    }
+
+    let used = color_of.iter().copied().max().map(|m| m + 1).unwrap_or(0);
+    let mut classes = vec![Vec::new(); used];
+    for (ei, &(a, b, _)) in edges.iter().enumerate() {
+        classes[color_of[ei]].push((a, b));
+    }
+    EdgeColoring { classes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_graph::{graph_from_edges, Partition, QuotientGraph};
+    use kappa_gen::grid::grid2d;
+
+    fn quotient_of_stripes(side: usize, k: u32) -> QuotientGraph {
+        let g = grid2d(side, side);
+        let assignment = (0..side * side)
+            .map(|i| ((i % side) * k as usize / side) as u32)
+            .collect();
+        let p = Partition::from_assignment(k, assignment);
+        QuotientGraph::build(&g, &p)
+    }
+
+    #[test]
+    fn colors_are_proper_matchings() {
+        let q = quotient_of_stripes(16, 8);
+        let coloring = color_quotient_edges(&q, 1);
+        assert!(coloring.validate().is_ok());
+        assert_eq!(coloring.num_pairs(), q.num_edges());
+    }
+
+    #[test]
+    fn uses_at_most_two_delta_colors() {
+        let q = quotient_of_stripes(16, 8);
+        let coloring = color_quotient_edges(&q, 2);
+        assert!(coloring.num_colors() <= 2 * q.max_degree());
+        // A path quotient graph (stripes) has Δ = 2: at most 4 colours, and at
+        // least 2 because adjacent stripe pairs conflict.
+        assert!(coloring.num_colors() >= 2);
+    }
+
+    #[test]
+    fn every_pair_gets_exactly_one_color() {
+        let q = quotient_of_stripes(12, 6);
+        let coloring = color_quotient_edges(&q, 3);
+        let mut seen = std::collections::HashSet::new();
+        for class in coloring.classes() {
+            for &(a, b) in class {
+                assert!(seen.insert((a, b)), "pair ({a},{b}) coloured twice");
+            }
+        }
+        assert_eq!(seen.len(), q.num_edges());
+    }
+
+    #[test]
+    fn complete_quotient_graph() {
+        // 4 mutually adjacent blocks: K4 needs 3 colours, the 2-approximation
+        // may use up to 6.
+        let g = graph_from_edges(
+            4,
+            vec![(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+        );
+        let p = Partition::from_assignment(4, vec![0, 1, 2, 3]);
+        let q = QuotientGraph::build(&g, &p);
+        assert_eq!(q.num_edges(), 6);
+        let coloring = color_quotient_edges(&q, 5);
+        assert!(coloring.validate().is_ok());
+        assert!(coloring.num_colors() >= 3 && coloring.num_colors() <= 6);
+    }
+
+    #[test]
+    fn empty_quotient_graph() {
+        let g = grid2d(4, 4);
+        let p = Partition::trivial(1, 16);
+        let q = QuotientGraph::build(&g, &p);
+        let coloring = color_quotient_edges(&q, 0);
+        assert_eq!(coloring.num_colors(), 0);
+        assert_eq!(coloring.num_pairs(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let q = quotient_of_stripes(12, 6);
+        let a = color_quotient_edges(&q, 11);
+        let b = color_quotient_edges(&q, 11);
+        assert_eq!(a.num_colors(), b.num_colors());
+        for c in 0..a.num_colors() {
+            assert_eq!(a.class(c), b.class(c));
+        }
+    }
+}

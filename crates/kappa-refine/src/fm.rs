@@ -1,0 +1,505 @@
+//! The 2-way Fiduccia–Mattheyses local search (§5.2 of the paper).
+//!
+//! For the two blocks `A`, `B` under consideration a PE keeps one priority
+//! queue of movable nodes per block, keyed by gain (decrease in cut when the
+//! node switches sides). Queues are initialised in random order with the nodes
+//! at the pair boundary (restricted to the *band* the caller supplies). Each
+//! node moves at most once per search. The queue to serve next is chosen by a
+//! [`QueueSelection`] strategy; the search stops when both queues are empty or
+//! more than `α·min(|A|, |B|)` consecutive moves failed to improve the best
+//! seen state; finally the move sequence is rolled back to the prefix with the
+//! lexicographically smallest `(imbalance, cut)`, where
+//! `imbalance = max(0, c(A) − L_max, c(B) − L_max)`.
+
+use std::collections::BinaryHeap;
+
+use kappa_graph::{BlockId, CsrGraph, NodeId, NodeWeight, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gain::pair_gain;
+use crate::queue_select::QueueSelection;
+
+/// Tuning knobs of a single 2-way FM search.
+#[derive(Clone, Copy, Debug)]
+pub struct FmConfig {
+    /// Queue selection strategy (the paper defaults to `TopGain`).
+    pub queue_selection: QueueSelection,
+    /// FM patience `α`: the search aborts after `α·min(|A|,|B|)` consecutive
+    /// moves without improvement (1 %, 5 %, 20 % for minimal/fast/strong).
+    pub patience_alpha: f64,
+    /// Balance bound `L_max` each block must respect.
+    pub l_max: NodeWeight,
+    /// Seed for random tie-breaking and queue initialisation order.
+    pub seed: u64,
+}
+
+impl Default for FmConfig {
+    fn default() -> Self {
+        FmConfig {
+            queue_selection: QueueSelection::TopGain,
+            patience_alpha: 0.05,
+            l_max: NodeWeight::MAX,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a 2-way FM search.
+#[derive(Clone, Debug, Default)]
+pub struct FmResult {
+    /// Total decrease in edge cut achieved (never negative after rollback,
+    /// unless the search had to fix an imbalance at the price of a worse cut).
+    pub gain: i64,
+    /// Nodes whose block changed, with their new block.
+    pub moves: Vec<(NodeId, BlockId)>,
+    /// Number of moves attempted before rollback.
+    pub attempted_moves: usize,
+}
+
+/// Priority-queue entry; ordered by gain, then a random tie-break key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct PqEntry {
+    gain: i64,
+    tie: u64,
+    node: NodeId,
+}
+
+impl Ord for PqEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.gain
+            .cmp(&other.gain)
+            .then(self.tie.cmp(&other.tie))
+            .then(self.node.cmp(&other.node))
+    }
+}
+impl PartialOrd for PqEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lazy per-block priority queue: stale entries (gain changed, node moved, or
+/// node no longer in the block) are discarded at pop time.
+struct LazyQueue {
+    heap: BinaryHeap<PqEntry>,
+}
+
+impl LazyQueue {
+    fn new() -> Self {
+        LazyQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn push(&mut self, node: NodeId, gain: i64, rng: &mut StdRng) {
+        self.heap.push(PqEntry {
+            gain,
+            tie: rng.gen(),
+            node,
+        });
+    }
+
+    /// Drops stale entries and returns the best valid gain without removing it.
+    fn peek_valid(
+        &mut self,
+        gains: &[i64],
+        moved: &[bool],
+        partition: &Partition,
+        block: BlockId,
+    ) -> Option<i64> {
+        while let Some(top) = self.heap.peek() {
+            let v = top.node;
+            let stale = moved[v as usize]
+                || partition.block_of(v) != block
+                || gains[v as usize] != top.gain;
+            if stale {
+                self.heap.pop();
+            } else {
+                return Some(top.gain);
+            }
+        }
+        None
+    }
+
+    fn pop_valid(
+        &mut self,
+        gains: &[i64],
+        moved: &[bool],
+        partition: &Partition,
+        block: BlockId,
+    ) -> Option<NodeId> {
+        self.peek_valid(gains, moved, partition, block)?;
+        self.heap.pop().map(|e| e.node)
+    }
+}
+
+/// Runs one 2-way FM search on the pair `(block_a, block_b)`.
+///
+/// * `eligible` — the band of movable nodes (all must currently be in one of
+///   the two blocks). Nodes outside the band are frozen but still contribute
+///   to gains.
+/// * `weight_a` / `weight_b` — the *full* current weights of the two blocks
+///   (not just the band), needed for the balance bound.
+///
+/// The partition is mutated in place; the returned [`FmResult::moves`] lists
+/// the surviving moves (after rollback) so callers that work on a snapshot can
+/// replay them.
+pub fn two_way_fm(
+    graph: &CsrGraph,
+    partition: &mut Partition,
+    block_a: BlockId,
+    block_b: BlockId,
+    eligible: &[NodeId],
+    weight_a: NodeWeight,
+    weight_b: NodeWeight,
+    config: &FmConfig,
+) -> FmResult {
+    let mut result = FmResult::default();
+    if eligible.is_empty() {
+        return result;
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut in_band = vec![false; graph.num_nodes()];
+    for &v in eligible {
+        debug_assert!(
+            partition.block_of(v) == block_a || partition.block_of(v) == block_b,
+            "band node {v} outside the pair"
+        );
+        in_band[v as usize] = true;
+    }
+
+    // Gains for band nodes (others are never consulted).
+    let mut gains = vec![0i64; graph.num_nodes()];
+    for &v in eligible {
+        gains[v as usize] = pair_gain(graph, partition, v, block_a, block_b);
+    }
+
+    let mut moved = vec![false; graph.num_nodes()];
+    let mut queue_a = LazyQueue::new();
+    let mut queue_b = LazyQueue::new();
+
+    // Initialise with boundary nodes of the band, in random order.
+    let mut init: Vec<NodeId> = eligible
+        .iter()
+        .copied()
+        .filter(|&v| {
+            let own = partition.block_of(v);
+            let other = if own == block_a { block_b } else { block_a };
+            graph.edges_of(v).any(|(u, _)| partition.block_of(u) == other)
+        })
+        .collect();
+    // Fisher-Yates via rand.
+    for i in (1..init.len()).rev() {
+        init.swap(i, rng.gen_range(0..=i));
+    }
+    for &v in &init {
+        if partition.block_of(v) == block_a {
+            queue_a.push(v, gains[v as usize], &mut rng);
+        } else {
+            queue_b.push(v, gains[v as usize], &mut rng);
+        }
+    }
+
+    // Block sizes (node counts) for the patience bound.
+    let count_a = eligible
+        .iter()
+        .filter(|&&v| partition.block_of(v) == block_a)
+        .count();
+    let count_b = eligible.len() - count_a;
+    let patience =
+        ((config.patience_alpha * count_a.min(count_b) as f64).ceil() as usize).max(8);
+
+    let mut w_a = weight_a;
+    let mut w_b = weight_b;
+    let imbalance = |wa: NodeWeight, wb: NodeWeight| -> u64 {
+        let over_a = wa.saturating_sub(config.l_max);
+        let over_b = wb.saturating_sub(config.l_max);
+        over_a.max(over_b)
+    };
+
+    // Move log for rollback.
+    let mut move_log: Vec<(NodeId, BlockId, BlockId)> = Vec::new(); // (node, from, to)
+    let mut cum_gain = 0i64;
+    let mut best_gain = 0i64;
+    let mut best_imbalance = imbalance(w_a, w_b);
+    let mut best_prefix = 0usize;
+    let mut since_best = 0usize;
+    let mut last_was_a = false;
+
+    loop {
+        if since_best > patience {
+            break;
+        }
+        let ga = queue_a.peek_valid(&gains, &moved, partition, block_a);
+        let gb = queue_b.peek_valid(&gains, &moved, partition, block_b);
+        let overloaded = w_a > config.l_max || w_b > config.l_max;
+        let Some(from_a) = config.queue_selection.choose(
+            ga,
+            gb,
+            w_a,
+            w_b,
+            overloaded,
+            last_was_a,
+        ) else {
+            break;
+        };
+        let (queue, from, to) = if from_a {
+            (&mut queue_a, block_a, block_b)
+        } else {
+            (&mut queue_b, block_b, block_a)
+        };
+        let Some(v) = queue.pop_valid(&gains, &moved, partition, from) else {
+            // The chosen queue was exhausted after all; try the other side once
+            // more on the next iteration (the strategy will see `None`).
+            if from_a {
+                last_was_a = true;
+            } else {
+                last_was_a = false;
+            }
+            // Avoid infinite loops when both report empty next round.
+            if ga.is_none() && gb.is_none() {
+                break;
+            }
+            continue;
+        };
+        last_was_a = from_a;
+
+        // Never completely drain a block.
+        let vw = graph.node_weight(v);
+        if (from_a && w_a <= vw) || (!from_a && w_b <= vw) {
+            moved[v as usize] = true;
+            continue;
+        }
+
+        // Apply the move.
+        let gain_v = gains[v as usize];
+        partition.assign(v, to);
+        moved[v as usize] = true;
+        if from_a {
+            w_a -= vw;
+            w_b += vw;
+        } else {
+            w_b -= vw;
+            w_a += vw;
+        }
+        cum_gain += gain_v;
+        move_log.push((v, from, to));
+        result.attempted_moves += 1;
+
+        // Update gains of unmoved band neighbours inside the pair.
+        for (u, w) in graph.edges_of(v) {
+            if !in_band[u as usize] || moved[u as usize] {
+                continue;
+            }
+            let bu = partition.block_of(u);
+            if bu != block_a && bu != block_b {
+                continue;
+            }
+            let delta = if bu == from { 2 * w as i64 } else { -2 * w as i64 };
+            gains[u as usize] += delta;
+            let q = if bu == block_a { &mut queue_a } else { &mut queue_b };
+            q.push(u, gains[u as usize], &mut rng);
+        }
+
+        // Track the lexicographically best (imbalance, cut) prefix.
+        let imb = imbalance(w_a, w_b);
+        if (imb, -cum_gain) < (best_imbalance, -best_gain) {
+            best_imbalance = imb;
+            best_gain = cum_gain;
+            best_prefix = move_log.len();
+            since_best = 0;
+        } else {
+            since_best += 1;
+        }
+    }
+
+    // Roll back everything after the best prefix.
+    for &(v, from, _to) in move_log.iter().skip(best_prefix).rev() {
+        partition.assign(v, from);
+    }
+    result.gain = best_gain;
+    result.moves = move_log[..best_prefix]
+        .iter()
+        .map(|&(v, _from, to)| (v, to))
+        .collect();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_graph::{graph_from_edges, BlockWeights};
+    use kappa_gen::grid::grid2d;
+
+    fn run_fm(
+        graph: &CsrGraph,
+        partition: &mut Partition,
+        config: &FmConfig,
+    ) -> FmResult {
+        let eligible: Vec<NodeId> = graph.nodes().collect();
+        let weights = BlockWeights::compute(graph, partition);
+        two_way_fm(
+            graph,
+            partition,
+            0,
+            1,
+            &eligible,
+            weights.weight(0),
+            weights.weight(1),
+            config,
+        )
+    }
+
+    #[test]
+    fn fixes_an_obviously_bad_bisection() {
+        // 8x8 grid split by a jagged diagonal-ish assignment; FM should find a
+        // clean straight cut (cut 8) or close to it.
+        let g = grid2d(8, 8);
+        let assignment = (0..64)
+            .map(|i| {
+                let (x, y) = (i % 8, i / 8);
+                if (x + y) % 3 == 0 || x < 4 {
+                    0u32
+                } else {
+                    1
+                }
+            })
+            .collect();
+        let mut p = Partition::from_assignment(2, assignment);
+        let before = p.edge_cut(&g);
+        let config = FmConfig {
+            l_max: Partition::l_max(&g, 2, 0.10),
+            patience_alpha: 0.5,
+            seed: 3,
+            ..Default::default()
+        };
+        let result = run_fm(&g, &mut p, &config);
+        let after = p.edge_cut(&g);
+        assert_eq!(before as i64 - after as i64, result.gain);
+        assert!(after < before, "FM did not improve: {before} -> {after}");
+        assert!(p.is_balanced(&g, 0.10), "balance {}", p.balance(&g));
+        assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn gain_accounting_matches_recomputed_cut() {
+        let g = grid2d(6, 6);
+        let assignment = (0..36).map(|i| ((i * 7) % 2) as u32).collect();
+        let mut p = Partition::from_assignment(2, assignment);
+        let before = p.edge_cut(&g);
+        let config = FmConfig {
+            l_max: Partition::l_max(&g, 2, 0.20),
+            patience_alpha: 1.0,
+            seed: 5,
+            ..Default::default()
+        };
+        let result = run_fm(&g, &mut p, &config);
+        assert_eq!(before as i64 - p.edge_cut(&g) as i64, result.gain);
+        assert!(result.gain >= 0);
+    }
+
+    #[test]
+    fn respects_the_band_restriction() {
+        // Only nodes 0 and 1 are eligible; nothing else may move.
+        let g = graph_from_edges(6, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
+        let mut p = Partition::from_assignment(2, vec![0, 1, 0, 1, 0, 1]);
+        let weights = BlockWeights::compute(&g, &p);
+        let config = FmConfig {
+            l_max: 100,
+            patience_alpha: 1.0,
+            seed: 0,
+            ..Default::default()
+        };
+        let before = p.assignment().to_vec();
+        let _ = two_way_fm(&g, &mut p, 0, 1, &[0, 1], weights.weight(0), weights.weight(1), &config);
+        for v in 2..6 {
+            assert_eq!(p.block_of(v), before[v as usize], "frozen node {v} moved");
+        }
+    }
+
+    #[test]
+    fn never_drains_a_block_completely() {
+        let g = graph_from_edges(4, vec![(0, 1, 10), (1, 2, 10), (2, 3, 10)]);
+        let mut p = Partition::from_assignment(2, vec![0, 1, 1, 1]);
+        let config = FmConfig {
+            l_max: NodeWeight::MAX,
+            patience_alpha: 1.0,
+            seed: 1,
+            ..Default::default()
+        };
+        let _ = run_fm(&g, &mut p, &config);
+        assert_eq!(p.num_nonempty_blocks(), 2);
+    }
+
+    #[test]
+    fn maxload_reduces_imbalance() {
+        // Start with everything in block 0 except one node; MaxLoad must shift
+        // weight towards block 1 even at a cut cost.
+        let g = grid2d(6, 6);
+        let mut assignment = vec![0u32; 36];
+        assignment[35] = 1;
+        let mut p = Partition::from_assignment(2, assignment);
+        let config = FmConfig {
+            queue_selection: QueueSelection::MaxLoad,
+            l_max: Partition::l_max(&g, 2, 0.03),
+            patience_alpha: 1.0,
+            seed: 2,
+        };
+        let before_imbalance = p.balance(&g);
+        let _ = run_fm(&g, &mut p, &config);
+        assert!(p.balance(&g) < before_imbalance);
+    }
+
+    #[test]
+    fn all_strategies_produce_valid_results() {
+        let g = grid2d(10, 10);
+        for strategy in QueueSelection::all() {
+            let assignment = (0..100).map(|i| (i % 2) as u32).collect();
+            let mut p = Partition::from_assignment(2, assignment);
+            let config = FmConfig {
+                queue_selection: strategy,
+                l_max: Partition::l_max(&g, 2, 0.05),
+                patience_alpha: 0.3,
+                seed: 7,
+            };
+            let before = p.edge_cut(&g);
+            let result = run_fm(&g, &mut p, &config);
+            assert!(p.validate(&g).is_ok());
+            assert_eq!(before as i64 - p.edge_cut(&g) as i64, result.gain, "{:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn empty_band_is_a_no_op() {
+        let g = grid2d(4, 4);
+        let mut p = Partition::from_assignment(2, (0..16).map(|i| (i % 2) as u32).collect());
+        let before = p.assignment().to_vec();
+        let result = two_way_fm(&g, &mut p, 0, 1, &[], 8, 8, &FmConfig::default());
+        assert_eq!(result.gain, 0);
+        assert!(result.moves.is_empty());
+        assert_eq!(p.assignment(), &before[..]);
+    }
+
+    #[test]
+    fn moves_report_matches_partition_changes() {
+        let g = grid2d(8, 8);
+        let assignment = (0..64).map(|i| ((i / 3) % 2) as u32).collect();
+        let original = Partition::from_assignment(2, assignment);
+        let mut p = original.clone();
+        let config = FmConfig {
+            l_max: Partition::l_max(&g, 2, 0.10),
+            patience_alpha: 0.5,
+            seed: 9,
+            ..Default::default()
+        };
+        let result = run_fm(&g, &mut p, &config);
+        // Replaying the reported moves on the original must give the same result.
+        let mut replay = original.clone();
+        for &(v, to) in &result.moves {
+            replay.assign(v, to);
+        }
+        assert_eq!(replay.assignment(), p.assignment());
+    }
+}

@@ -1,0 +1,39 @@
+//! # kappa-refine
+//!
+//! The refinement (uncoarsening) phase of the partitioner (§5 of the paper),
+//! and the part where KaPPa differs most from earlier parallel systems:
+//!
+//! * a **2-way FM local search** ([`fm`]) with per-block priority queues,
+//!   several **queue-selection strategies** ([`queue_select`], Table 4 left),
+//!   adaptive stopping after `α·min(|A|,|B|)` fruitless moves and rollback to
+//!   the lexicographically best `(imbalance, cut)` state;
+//! * **boundary bands** ([`band`], Figure 2): the search is restricted to a
+//!   bounded-BFS neighbourhood of the block-pair boundary so only a small
+//!   fraction of each block ever needs to be exchanged between PEs;
+//! * a **parallel greedy edge colouring** of the quotient graph ([`coloring`],
+//!   §5.1) whose colour classes are matchings of block pairs;
+//! * the **pairwise refinement scheduler** ([`scheduler`]) that walks the
+//!   colour classes, refines all pairs of a class concurrently, and iterates
+//!   (local iterations per pair, global iterations over all colours);
+//! * a **k-way greedy balancer** ([`balance`]) that repairs residual balance
+//!   violations, needed because the initial partition of the coarsest graph
+//!   may be infeasible at node-weight granularity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod band;
+pub mod coloring;
+pub mod fm;
+pub mod gain;
+pub mod queue_select;
+pub mod scheduler;
+
+pub use balance::rebalance;
+pub use band::pair_band;
+pub use coloring::{color_quotient_edges, EdgeColoring};
+pub use fm::{two_way_fm, FmConfig, FmResult};
+pub use gain::pair_gain;
+pub use queue_select::QueueSelection;
+pub use scheduler::{refine_partition, RefinementConfig, RefinementStats};

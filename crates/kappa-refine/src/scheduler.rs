@@ -1,0 +1,290 @@
+//! The pairwise parallel refinement scheduler (§5 of the paper).
+//!
+//! At any point in time each PE works on one pair of neighbouring blocks,
+//! performing a local search constrained to moving nodes between those two
+//! blocks. Pairs are assigned via the quotient graph `Q`: an edge colouring of
+//! `Q` partitions its edges into matchings; all pairs of one colour touch
+//! disjoint blocks and are therefore refined concurrently (here: as Rayon
+//! tasks). Iterating over the colours visits every pair once — a *global
+//! iteration*; within one pair the FM search may be repeated — *local
+//! iterations*. The loops stop early when an iteration brings no improvement
+//! (the strong configuration requires two consecutive unimproved iterations).
+//!
+//! Because a 2-way move between blocks `A` and `B` only affects edges with both
+//! endpoints in `A ∪ B`, the concurrent searches of one colour class are
+//! independent: each runs against a snapshot of the partition and returns its
+//! move list, which the scheduler then applies — the shared-memory analogue of
+//! the paper's "the better partitioning of the two blocks is adopted" exchange.
+
+use kappa_graph::{BlockWeights, CsrGraph, Partition, QuotientGraph};
+use rayon::prelude::*;
+
+use crate::balance::rebalance;
+use crate::band::pair_band;
+use crate::coloring::color_quotient_edges;
+use crate::fm::{two_way_fm, FmConfig};
+use crate::queue_select::QueueSelection;
+
+/// Configuration of the refinement scheduler (one entry per knob of Table 2).
+#[derive(Clone, Copy, Debug)]
+pub struct RefinementConfig {
+    /// Imbalance tolerance ε; `L_max` is derived from it per graph.
+    pub epsilon: f64,
+    /// BFS depth of the boundary band (1 / 5 / 20 for minimal / fast / strong).
+    pub bfs_depth: usize,
+    /// Maximum number of global iterations (sweeps over all colours).
+    pub max_global_iterations: usize,
+    /// Number of local FM repetitions per block pair and colour visit.
+    pub local_iterations: usize,
+    /// Stop after this many consecutive global iterations without improvement
+    /// (1 = "no change", 2 = "2× no change" of the strong configuration).
+    pub stop_after_no_change: usize,
+    /// Queue selection strategy for the FM searches.
+    pub queue_selection: QueueSelection,
+    /// FM patience α.
+    pub patience_alpha: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for RefinementConfig {
+    fn default() -> Self {
+        RefinementConfig {
+            epsilon: 0.03,
+            bfs_depth: 5,
+            max_global_iterations: 15,
+            local_iterations: 3,
+            stop_after_no_change: 1,
+            queue_selection: QueueSelection::TopGain,
+            patience_alpha: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics returned by [`refine_partition`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RefinementStats {
+    /// Total cut improvement over the whole refinement.
+    pub total_gain: i64,
+    /// Number of global iterations executed.
+    pub global_iterations: usize,
+    /// Number of pairwise FM searches executed.
+    pub pair_searches: usize,
+    /// Number of nodes moved (after rollbacks).
+    pub nodes_moved: usize,
+}
+
+/// Refines `partition` in place on one hierarchy level. Returns statistics.
+pub fn refine_partition(
+    graph: &CsrGraph,
+    partition: &mut Partition,
+    config: &RefinementConfig,
+) -> RefinementStats {
+    let mut stats = RefinementStats::default();
+    let k = partition.k();
+    if k < 2 || graph.num_nodes() == 0 {
+        return stats;
+    }
+    let l_max = Partition::l_max(graph, k, config.epsilon);
+    let cut_before = partition.edge_cut(graph) as i64;
+
+    // Repair gross imbalance first so FM starts from a feasible state.
+    if !partition.is_balanced(graph, config.epsilon) {
+        stats.nodes_moved += rebalance(graph, partition, l_max);
+    }
+
+    let mut no_change_streak = 0usize;
+    for global_iter in 0..config.max_global_iterations {
+        let quotient = QuotientGraph::build(graph, partition);
+        if quotient.num_edges() == 0 {
+            break;
+        }
+        let coloring = color_quotient_edges(
+            &quotient,
+            config.seed.wrapping_add(global_iter as u64),
+        );
+        let mut iteration_gain = 0i64;
+
+        for (color_idx, class) in coloring.classes().enumerate() {
+            // All pairs of one colour are block-disjoint: refine them
+            // concurrently against a snapshot and apply the resulting moves.
+            let snapshot = partition.clone();
+            let weights = BlockWeights::compute(graph, &snapshot);
+            let results: Vec<_> = class
+                .par_iter()
+                .map(|&(a, b)| {
+                    let mut local = snapshot.clone();
+                    let mut pair_gain_total = 0i64;
+                    let mut all_moves = Vec::new();
+                    let mut searches = 0usize;
+                    let mut w_a = weights.weight(a);
+                    let mut w_b = weights.weight(b);
+                    for local_iter in 0..config.local_iterations {
+                        let band = pair_band(graph, &local, a, b, config.bfs_depth);
+                        if band.is_empty() {
+                            break;
+                        }
+                        let fm_config = FmConfig {
+                            queue_selection: config.queue_selection,
+                            patience_alpha: config.patience_alpha,
+                            l_max,
+                            seed: config
+                                .seed
+                                .wrapping_mul(0x9E3779B97F4A7C15)
+                                .wrapping_add(
+                                    (global_iter * 1000 + color_idx * 100 + local_iter) as u64,
+                                )
+                                .wrapping_add((a as u64) << 32 | b as u64),
+                        };
+                        let result =
+                            two_way_fm(graph, &mut local, a, b, &band, w_a, w_b, &fm_config);
+                        searches += 1;
+                        if result.moves.is_empty() {
+                            break;
+                        }
+                        // Update the pair's block weights for the next local iteration.
+                        for &(v, to) in &result.moves {
+                            let vw = graph.node_weight(v);
+                            if to == a {
+                                w_a += vw;
+                                w_b -= vw;
+                            } else {
+                                w_b += vw;
+                                w_a -= vw;
+                            }
+                        }
+                        pair_gain_total += result.gain;
+                        all_moves.extend(result.moves);
+                        if result.gain == 0 {
+                            break;
+                        }
+                    }
+                    (all_moves, pair_gain_total, searches)
+                })
+                .collect();
+
+            for (moves, gain, searches) in results {
+                stats.pair_searches += searches;
+                iteration_gain += gain;
+                stats.nodes_moved += moves.len();
+                for (v, to) in moves {
+                    partition.assign(v, to);
+                }
+            }
+        }
+
+        stats.global_iterations += 1;
+        if iteration_gain <= 0 {
+            no_change_streak += 1;
+            if no_change_streak >= config.stop_after_no_change {
+                break;
+            }
+        } else {
+            no_change_streak = 0;
+        }
+    }
+
+    // Final safety net: FM with the MaxLoad exception keeps things feasible in
+    // practice, but lumpy node weights on coarse levels can still leave an
+    // overload behind.
+    if !partition.is_balanced(graph, config.epsilon) {
+        stats.nodes_moved += rebalance(graph, partition, l_max);
+    }
+    // Total gain is reported against recomputed cuts so rebalancing moves
+    // (which are not FM moves) are accounted for as well.
+    stats.total_gain = cut_before - partition.edge_cut(graph) as i64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_gen::grid::grid2d;
+    use kappa_gen::rgg::random_geometric_graph;
+    use kappa_initial::{greedy_graph_growing, random_partition};
+
+    #[test]
+    fn improves_a_random_partition_substantially() {
+        let g = grid2d(20, 20);
+        let mut p = random_partition(&g, 4, 3);
+        let before = p.edge_cut(&g);
+        let stats = refine_partition(&g, &mut p, &RefinementConfig::default());
+        let after = p.edge_cut(&g);
+        assert!(after < before / 2, "cut {before} -> {after}");
+        assert_eq!(before as i64 - after as i64, stats.total_gain);
+        assert!(p.is_balanced(&g, 0.03), "balance {}", p.balance(&g));
+        assert!(p.validate(&g).is_ok());
+    }
+
+    #[test]
+    fn improves_a_reasonable_initial_partition() {
+        let g = grid2d(24, 24);
+        let mut p = greedy_graph_growing(&g, 4, 0.03, 5);
+        let before = p.edge_cut(&g);
+        refine_partition(&g, &mut p, &RefinementConfig::default());
+        assert!(p.edge_cut(&g) <= before);
+        assert!(p.is_balanced(&g, 0.03));
+    }
+
+    #[test]
+    fn respects_k_equals_one() {
+        let g = grid2d(6, 6);
+        let mut p = Partition::trivial(1, 36);
+        let stats = refine_partition(&g, &mut p, &RefinementConfig::default());
+        assert_eq!(stats.total_gain, 0);
+        assert_eq!(stats.global_iterations, 0);
+    }
+
+    #[test]
+    fn deeper_bands_and_more_iterations_do_not_hurt() {
+        let g = random_geometric_graph(2000, 7);
+        let base = RefinementConfig {
+            bfs_depth: 1,
+            local_iterations: 1,
+            max_global_iterations: 3,
+            ..Default::default()
+        };
+        let strong = RefinementConfig {
+            bfs_depth: 10,
+            local_iterations: 3,
+            max_global_iterations: 10,
+            stop_after_no_change: 2,
+            patience_alpha: 0.20,
+            ..Default::default()
+        };
+        let mut p1 = greedy_graph_growing(&g, 8, 0.03, 1);
+        let mut p2 = p1.clone();
+        refine_partition(&g, &mut p1, &base);
+        refine_partition(&g, &mut p2, &strong);
+        // The strong setting explores strictly more, so it must not be
+        // noticeably worse (allow 5 % slack for randomisation).
+        assert!(
+            (p2.edge_cut(&g) as f64) <= 1.05 * p1.edge_cut(&g) as f64,
+            "strong {} vs fast {}",
+            p2.edge_cut(&g),
+            p1.edge_cut(&g)
+        );
+    }
+
+    #[test]
+    fn repairs_unbalanced_input() {
+        let g = grid2d(16, 16);
+        // Heavily unbalanced starting point.
+        let assignment = (0..256).map(|i| if i < 200 { 0u32 } else { 1 }).collect();
+        let mut p = Partition::from_assignment(2, assignment);
+        refine_partition(&g, &mut p, &RefinementConfig::default());
+        assert!(p.is_balanced(&g, 0.03), "balance {}", p.balance(&g));
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let g = grid2d(12, 12);
+        let mut p = random_partition(&g, 3, 9);
+        let before = p.edge_cut(&g);
+        let stats = refine_partition(&g, &mut p, &RefinementConfig::default());
+        assert_eq!(stats.total_gain, before as i64 - p.edge_cut(&g) as i64);
+        assert!(stats.global_iterations >= 1);
+        assert!(stats.pair_searches >= 1);
+    }
+}

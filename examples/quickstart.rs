@@ -1,0 +1,55 @@
+//! Quickstart: partition a graph in a dozen lines.
+//!
+//! Builds a small random geometric graph (the `rggX` family of the paper),
+//! partitions it into 8 blocks with the fast configuration, and prints the
+//! quality metrics plus a per-block weight summary.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use kappa::prelude::*;
+
+fn main() {
+    // 1. Get a graph. Any undirected graph in CSR form works; here we generate
+    //    a random geometric graph with 20 000 nodes (plus 2-D coordinates,
+    //    which the partitioner exploits for matching locality).
+    let graph = kappa::gen::random_geometric_graph(20_000, 42);
+    println!(
+        "input: {} nodes, {} edges, {} components",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_components()
+    );
+
+    // 2. Configure and run the partitioner. `fast(k)` is the paper's default
+    //    trade-off; `minimal` and `strong` trade quality against time.
+    let config = KappaConfig::fast(8).with_seed(42).with_epsilon(0.03);
+    let result = KappaPartitioner::new(config).partition(&graph);
+
+    // 3. Inspect the result.
+    println!(
+        "k = 8: cut = {}, balance = {:.3}, feasible = {}, time = {:.3} s",
+        result.metrics.edge_cut,
+        result.metrics.balance,
+        result.metrics.feasible,
+        result.metrics.runtime_secs()
+    );
+    println!(
+        "hierarchy: {} levels, coarsest graph {} nodes",
+        result.hierarchy_levels, result.coarsest_nodes
+    );
+    println!(
+        "phases: coarsening {:.3} s, initial partitioning {:.3} s, refinement {:.3} s",
+        result.timings.coarsening.as_secs_f64(),
+        result.timings.initial_partitioning.as_secs_f64(),
+        result.timings.refinement.as_secs_f64()
+    );
+
+    let weights = kappa::graph::BlockWeights::compute(&graph, &result.partition);
+    for b in 0..8u32 {
+        println!("  block {b}: weight {}", weights.weight(b));
+    }
+
+    // 4. The partition is just a block id per node; use it however you like.
+    let first_ten: Vec<_> = result.partition.assignment().iter().take(10).collect();
+    println!("first ten node assignments: {first_ten:?}");
+}

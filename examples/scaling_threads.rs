@@ -1,0 +1,54 @@
+//! Domain example: thread scaling of one partitioning run (Figure 3 in miniature).
+//!
+//! Shows how to pin the partitioner to an explicit number of worker threads
+//! (the shared-memory stand-in for the paper's PEs) and how the wall-clock
+//! time of the three phases behaves as the thread count grows.
+//!
+//! Run with: `cargo run --release --example scaling_threads`
+
+use kappa::prelude::*;
+
+fn main() {
+    let graph = kappa::gen::random_geometric_graph(100_000, 7);
+    let k = 32u32;
+    println!(
+        "graph: rgg with {} nodes / {} edges, k = {k}\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>12} {:>8}",
+        "threads", "total [s]", "coarsen [s]", "init [s]", "refine [s]", "cut"
+    );
+
+    let max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut threads = 1usize;
+    let mut baseline_time = None;
+    while threads <= max_threads {
+        let config = KappaConfig::fast(k).with_seed(11).with_threads(threads);
+        let result = KappaPartitioner::new(config).partition(&graph);
+        let total = result.metrics.runtime_secs();
+        if threads == 1 {
+            baseline_time = Some(total);
+        }
+        println!(
+            "{:>8} {:>10.3} {:>12.3} {:>10.3} {:>12.3} {:>8}",
+            threads,
+            total,
+            result.timings.coarsening.as_secs_f64(),
+            result.timings.initial_partitioning.as_secs_f64(),
+            result.timings.refinement.as_secs_f64(),
+            result.metrics.edge_cut
+        );
+        threads *= 2;
+    }
+    if let Some(t1) = baseline_time {
+        println!("\n(speedup is total(1 thread) / total(p threads); t1 = {t1:.3} s)");
+    }
+    println!(
+        "Quality is essentially independent of the thread count — only the seed matters —\n\
+         which is the property that lets the paper scale to hundreds of PEs without losing cut quality."
+    );
+}

@@ -1,0 +1,188 @@
+//! `kappa-partition` — command-line front end of the partitioner.
+//!
+//! Reads a graph in METIS text format (the interchange format of Metis,
+//! Scotch, KaHIP and the Walshaw archive), partitions it into `k` blocks and
+//! writes one block id per line to an output file, mirroring the interface of
+//! the original tools.
+//!
+//! ```text
+//! USAGE:
+//!   kappa-partition <GRAPH.metis> --k <K> [options]
+//!
+//! OPTIONS:
+//!   --k <K>               number of blocks (required)
+//!   --preset <P>          minimal | fast | strong      [default: fast]
+//!   --epsilon <E>         imbalance tolerance           [default: 0.03]
+//!   --seed <S>            random seed                   [default: 0]
+//!   --threads <T>         worker threads (0 = all)      [default: 0]
+//!   --output <FILE>       partition output path         [default: <GRAPH>.part.<K>]
+//!   --generate <FAMILY>   ignore <GRAPH> and generate an instance instead:
+//!                         rgg | delaunay | grid | road | rmat
+//!   --nodes <N>           node count for --generate     [default: 100000]
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kappa::prelude::*;
+
+struct CliArgs {
+    graph_path: Option<PathBuf>,
+    k: u32,
+    preset: ConfigPreset,
+    epsilon: f64,
+    seed: u64,
+    threads: usize,
+    output: Option<PathBuf>,
+    generate: Option<String>,
+    nodes: usize,
+}
+
+fn parse_args() -> Result<CliArgs, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut cli = CliArgs {
+        graph_path: None,
+        k: 0,
+        preset: ConfigPreset::Fast,
+        epsilon: 0.03,
+        seed: 0,
+        threads: 0,
+        output: None,
+        generate: None,
+        nodes: 100_000,
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--k" => cli.k = value("--k")?.parse().map_err(|e| format!("bad --k: {e}"))?,
+            "--preset" => {
+                cli.preset = match value("--preset")?.as_str() {
+                    "minimal" => ConfigPreset::Minimal,
+                    "fast" => ConfigPreset::Fast,
+                    "strong" => ConfigPreset::Strong,
+                    other => return Err(format!("unknown preset {other:?}")),
+                }
+            }
+            "--epsilon" => {
+                cli.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("bad --epsilon: {e}"))?
+            }
+            "--seed" => cli.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--threads" => {
+                cli.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--output" => cli.output = Some(PathBuf::from(value("--output")?)),
+            "--generate" => cli.generate = Some(value("--generate")?),
+            "--nodes" => {
+                cli.nodes = value("--nodes")?.parse().map_err(|e| format!("bad --nodes: {e}"))?
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other if !other.starts_with("--") && cli.graph_path.is_none() => {
+                cli.graph_path = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    if cli.k < 1 {
+        return Err("--k is required and must be >= 1".to_string());
+    }
+    if cli.graph_path.is_none() && cli.generate.is_none() {
+        return Err("either a METIS graph file or --generate <family> is required".to_string());
+    }
+    Ok(cli)
+}
+
+fn load_graph(cli: &CliArgs) -> Result<(CsrGraph, String), String> {
+    if let Some(family) = &cli.generate {
+        let n = cli.nodes;
+        let graph = match family.as_str() {
+            "rgg" => kappa::gen::random_geometric_graph(n, cli.seed),
+            "delaunay" => kappa::gen::delaunay_like_graph(n, cli.seed),
+            "grid" => {
+                let side = (n as f64).sqrt().round() as usize;
+                kappa::gen::grid2d(side.max(2), side.max(2))
+            }
+            "road" => kappa::gen::road_network_like(n, cli.seed),
+            "rmat" => {
+                let scale = (usize::BITS - 1 - n.max(16).leading_zeros()).clamp(4, 24);
+                kappa::gen::rmat_graph(scale, 8, cli.seed)
+            }
+            other => return Err(format!("unknown --generate family {other:?}")),
+        };
+        Ok((graph, format!("{family}-{n}")))
+    } else {
+        let path = cli.graph_path.as_ref().unwrap();
+        let graph = kappa::graph::read_metis(path)?;
+        Ok((graph, path.display().to_string()))
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: kappa-partition <GRAPH.metis> --k <K> [--preset minimal|fast|strong] \
+                 [--epsilon 0.03] [--seed 0] [--threads 0] [--output FILE] \
+                 [--generate rgg|delaunay|grid|road|rmat --nodes N]"
+            );
+            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    let (graph, name) = match load_graph(&cli) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "graph {name}: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let config = KappaConfig::preset(cli.preset, cli.k)
+        .with_epsilon(cli.epsilon)
+        .with_seed(cli.seed)
+        .with_threads(cli.threads);
+    let result = KappaPartitioner::new(config).partition(&graph);
+    eprintln!(
+        "{}: cut = {}, balance = {:.3}, feasible = {}, time = {:.3} s",
+        cli.preset.name(),
+        result.metrics.edge_cut,
+        result.metrics.balance,
+        result.metrics.feasible,
+        result.metrics.runtime_secs()
+    );
+
+    let output = cli.output.clone().unwrap_or_else(|| {
+        let base = cli
+            .graph_path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| name.clone());
+        PathBuf::from(format!("{base}.part.{}", cli.k))
+    });
+    let lines: Vec<String> = result
+        .partition
+        .assignment()
+        .iter()
+        .map(|b| b.to_string())
+        .collect();
+    if let Err(e) = std::fs::write(&output, lines.join("\n") + "\n") {
+        eprintln!("error: cannot write {}: {e}", output.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote partition to {}", output.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,69 @@
+//! # kappa — a scalable high quality graph partitioner
+//!
+//! Facade crate of **KaPPa-rs**, a Rust reproduction of Holtgrewe, Sanders and
+//! Schulz, *Engineering a Scalable High Quality Graph Partitioner* (2010).
+//! It re-exports the workspace crates so applications only need a single
+//! dependency:
+//!
+//! * [`graph`] — CSR graphs, partitions, quotient graphs, METIS I/O
+//!   (`kappa-graph`);
+//! * [`gen`] — synthetic benchmark-instance generators (`kappa-gen`);
+//! * [`matching`] — edge ratings and matching algorithms (`kappa-matching`);
+//! * [`coarsen`] — contraction and the multilevel hierarchy (`kappa-coarsen`);
+//! * [`initial`] — initial partitioning of the coarsest graph (`kappa-initial`);
+//! * [`refine`] — 2-way FM, quotient-graph colouring and the pairwise parallel
+//!   refinement scheduler (`kappa-refine`);
+//! * [`core`] — the [`KappaPartitioner`](crate::core::KappaPartitioner) and its
+//!   Minimal / Fast / Strong configurations (`kappa-core`);
+//! * [`baselines`] — Metis-/parMetis-/Scotch-like comparison partitioners
+//!   (`kappa-baselines`).
+//!
+//! ## Example
+//!
+//! ```
+//! use kappa::prelude::*;
+//!
+//! // Generate a small random geometric graph and split it into 8 blocks.
+//! let graph = kappa::gen::random_geometric_graph(2_000, 42);
+//! let result = KappaPartitioner::new(KappaConfig::fast(8).with_seed(42)).partition(&graph);
+//!
+//! assert!(result.partition.is_balanced(&graph, 0.03 + 1e-9));
+//! println!(
+//!     "cut = {}, balance = {:.3}, {} hierarchy levels",
+//!     result.metrics.edge_cut, result.metrics.balance, result.hierarchy_levels
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kappa_baselines as baselines;
+pub use kappa_coarsen as coarsen;
+pub use kappa_core as core;
+pub use kappa_gen as gen;
+pub use kappa_graph as graph;
+pub use kappa_initial as initial;
+pub use kappa_matching as matching;
+pub use kappa_refine as refine;
+
+/// The most commonly used types, for `use kappa::prelude::*`.
+pub mod prelude {
+    pub use kappa_baselines::{BaselineKind, BaselinePartitioner};
+    pub use kappa_core::{ConfigPreset, KappaConfig, KappaPartitioner, PartitionMetrics};
+    pub use kappa_graph::{CsrGraph, GraphBuilder, Partition};
+    pub use kappa_matching::{EdgeRating, MatchingAlgorithm};
+    pub use kappa_refine::QueueSelection;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_full_pipeline() {
+        let graph = crate::gen::grid2d(16, 16);
+        let result = KappaPartitioner::new(KappaConfig::minimal(4)).partition(&graph);
+        assert!(result.partition.validate(&graph).is_ok());
+        assert_eq!(result.partition.k(), 4);
+    }
+}
