@@ -110,8 +110,12 @@ mod tests {
         let mut par_total = 0u64;
         let mut seq_total = 0u64;
         for seed in 0..3 {
-            par_total += ParMetisLike::default().partition(&g, 8, 0.03, seed).edge_cut(&g);
-            seq_total += MetisLike::default().partition(&g, 8, 0.03, seed).edge_cut(&g);
+            par_total += ParMetisLike::default()
+                .partition(&g, 8, 0.03, seed)
+                .edge_cut(&g);
+            seq_total += MetisLike::default()
+                .partition(&g, 8, 0.03, seed)
+                .edge_cut(&g);
         }
         assert!(
             par_total as f64 >= 0.9 * seq_total as f64,

@@ -79,10 +79,18 @@ impl ScotchLike {
             seed,
         };
         let coarsest_level = hierarchy.num_levels() - 1;
-        refine_partition(hierarchy.graph_at(coarsest_level), &mut current, &refinement_config);
+        refine_partition(
+            hierarchy.graph_at(coarsest_level),
+            &mut current,
+            &refinement_config,
+        );
         for level in (1..hierarchy.num_levels()).rev() {
             current = hierarchy.project_one_level(level, &current);
-            refine_partition(hierarchy.graph_at(level - 1), &mut current, &refinement_config);
+            refine_partition(
+                hierarchy.graph_at(level - 1),
+                &mut current,
+                &refinement_config,
+            );
         }
 
         // For uneven splits (k_left != k_right) shift boundary weight greedily:
@@ -123,8 +131,18 @@ impl ScotchLike {
         let k_right = num_blocks - k_left;
         let mut left = Vec::new();
         let mut right = Vec::new();
-        self.bisect(graph, nodes, k_left, k_right, epsilon, seed, &mut left, &mut right);
-        self.partition_recursive(graph, &left, first_block, k_left, epsilon, seed.wrapping_add(1), partition);
+        self.bisect(
+            graph, nodes, k_left, k_right, epsilon, seed, &mut left, &mut right,
+        );
+        self.partition_recursive(
+            graph,
+            &left,
+            first_block,
+            k_left,
+            epsilon,
+            seed.wrapping_add(1),
+            partition,
+        );
         self.partition_recursive(
             graph,
             &right,

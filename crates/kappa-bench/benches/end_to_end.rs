@@ -13,10 +13,14 @@ fn bench_presets_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("end_to_end_rgg13_k16");
     group.sample_size(10);
     for preset in ConfigPreset::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &preset, |b, &p| {
-            let partitioner = KappaPartitioner::new(KappaConfig::preset(p, 16).with_seed(3));
-            b.iter(|| partitioner.partition(&graph));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(preset.name()),
+            &preset,
+            |b, &p| {
+                let partitioner = KappaPartitioner::new(KappaConfig::preset(p, 16).with_seed(3));
+                b.iter(|| partitioner.partition(&graph));
+            },
+        );
     }
     group.finish();
 }

@@ -29,9 +29,13 @@ fn bench_edge_ratings(c: &mut Criterion) {
     let graph = delaunay_like_graph(1 << 13, 2);
     let mut group = c.benchmark_group("edge_rating_delaunay13");
     for rating in EdgeRating::all() {
-        group.bench_with_input(BenchmarkId::from_parameter(rating.name()), &rating, |b, &r| {
-            b.iter(|| rated_edges(&graph, r));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rating.name()),
+            &rating,
+            |b, &r| {
+                b.iter(|| rated_edges(&graph, r));
+            },
+        );
     }
     group.finish();
 }

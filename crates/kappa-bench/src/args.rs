@@ -52,7 +52,9 @@ impl Args {
 
     /// Parsed value of `--name`, falling back to `default`.
     pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
-        self.get(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// True if the bare switch `--name` was given.
@@ -63,10 +65,7 @@ impl Args {
     /// Comma-separated list of `u32` (e.g. `--k 2,4,8`), with a default.
     pub fn get_u32_list(&self, name: &str, default: &[u32]) -> Vec<u32> {
         match self.get(name) {
-            Some(v) => v
-                .split(',')
-                .filter_map(|s| s.trim().parse().ok())
-                .collect(),
+            Some(v) => v.split(',').filter_map(|s| s.trim().parse().ok()).collect(),
             None => default.to_vec(),
         }
     }
@@ -107,7 +106,9 @@ mod tests {
 
     #[test]
     fn parses_flags_and_switches() {
-        let a = args(&["--scale", "0.5", "--json", "--k", "2,4,8", "--config", "strong"]);
+        let a = args(&[
+            "--scale", "0.5", "--json", "--k", "2,4,8", "--config", "strong",
+        ]);
         assert!((a.scale() - 0.5).abs() < 1e-12);
         assert!(a.json());
         assert_eq!(a.get_u32_list("k", &[64]), vec![2, 4, 8]);

@@ -21,7 +21,8 @@ fn main() {
     let side = args.get_or("side", 24usize);
     let graph = grid2d(side, side);
 
-    let result = KappaPartitioner::new(KappaConfig::fast(k).with_seed(args.seed())).partition(&graph);
+    let result =
+        KappaPartitioner::new(KappaConfig::fast(k).with_seed(args.seed())).partition(&graph);
     let quotient = QuotientGraph::build(&graph, &result.partition);
     let coloring = color_quotient_edges(&quotient, args.seed());
 
@@ -49,7 +50,11 @@ fn main() {
     for c in 0..coloring.num_colors() {
         let class = coloring.class(c);
         let pairs: Vec<String> = class.iter().map(|&(a, b)| format!("({a},{b})")).collect();
-        println!("  colour {c}: M({c}) = {{ {} }}  -> {} concurrent pairwise refinements", pairs.join(", "), class.len());
+        println!(
+            "  colour {c}: M({c}) = {{ {} }}  -> {} concurrent pairwise refinements",
+            pairs.join(", "),
+            class.len()
+        );
     }
     assert!(coloring.validate().is_ok());
     assert_eq!(coloring.num_pairs(), quotient.num_edges());

@@ -23,7 +23,8 @@ fn main() {
     let k = args.get_or("k", 8u32);
     let graph = random_geometric_graph(n, args.seed());
 
-    let result = KappaPartitioner::new(KappaConfig::fast(k).with_seed(args.seed())).partition(&graph);
+    let result =
+        KappaPartitioner::new(KappaConfig::fast(k).with_seed(args.seed())).partition(&graph);
     let partition = &result.partition;
     let quotient = QuotientGraph::build(&graph, partition);
     let &(a, b, cut_weight) = quotient

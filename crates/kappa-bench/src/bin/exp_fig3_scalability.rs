@@ -18,7 +18,9 @@
 use kappa_baselines::BaselineKind;
 use kappa_bench::{fmt_f, run_tool, Args, Table, Tool};
 use kappa_core::ConfigPreset;
-use kappa_gen::{delaunay_like_graph, random_geometric_graph, road_network_like, Instance, InstanceFamily};
+use kappa_gen::{
+    delaunay_like_graph, random_geometric_graph, road_network_like, Instance, InstanceFamily,
+};
 
 fn main() {
     let args = Args::from_env();
@@ -89,7 +91,16 @@ fn main() {
                         run_tool(&inst.graph, &inst.name, tool, k, 0.03, args.seed(), 0, reps)
                     })
                 } else {
-                    run_tool(&inst.graph, &inst.name, tool, k, 0.03, args.seed(), threads, reps)
+                    run_tool(
+                        &inst.graph,
+                        &inst.name,
+                        tool,
+                        k,
+                        0.03,
+                        args.seed(),
+                        threads,
+                        reps,
+                    )
                 };
                 if args.json() {
                     println!(

@@ -18,7 +18,10 @@ fn main() {
     println!("Table 1 — benchmark instances (scale = {scale}, seed = {seed})\n");
 
     for (title, suite) in [
-        ("small / medium (configuration suite)", small_suite(scale, seed)),
+        (
+            "small / medium (configuration suite)",
+            small_suite(scale, seed),
+        ),
         ("large (comparison suite)", large_suite(scale, seed)),
     ] {
         println!("{title}:");

@@ -11,8 +11,8 @@
 //! Usage: `cargo run --release -p kappa-bench --bin exp_table2_configs -- [--scale 0.1] [--k 2,8,32] [--reps 3]`
 
 use kappa_bench::{fmt_f, run_kappa, Args, Table};
-use kappa_core::{ConfigPreset, KappaConfig};
 use kappa_core::metrics::geometric_mean;
+use kappa_core::{ConfigPreset, KappaConfig};
 use kappa_gen::small_suite;
 
 fn main() {
@@ -28,14 +28,54 @@ fn main() {
     );
 
     let mut table = Table::new(&["parameter / metric", "minimal", "fast", "strong"]);
-    table.add_row(vec!["rating".into(), "expansion*2".into(), "expansion*2".into(), "expansion*2".into()]);
-    table.add_row(vec!["matching".into(), "GPA".into(), "GPA".into(), "GPA".into()]);
-    table.add_row(vec!["init. repeats".into(), "1".into(), "3".into(), "5".into()]);
-    table.add_row(vec!["queue selection".into(), "TopGain".into(), "TopGain".into(), "TopGain".into()]);
-    table.add_row(vec!["BFS search depth".into(), "1".into(), "5".into(), "20".into()]);
-    table.add_row(vec!["max. global iterations".into(), "1".into(), "15".into(), "15".into()]);
-    table.add_row(vec!["local iterations".into(), "1".into(), "3".into(), "5".into()]);
-    table.add_row(vec!["FM patience".into(), "1 %".into(), "5 %".into(), "20 %".into()]);
+    table.add_row(vec![
+        "rating".into(),
+        "expansion*2".into(),
+        "expansion*2".into(),
+        "expansion*2".into(),
+    ]);
+    table.add_row(vec![
+        "matching".into(),
+        "GPA".into(),
+        "GPA".into(),
+        "GPA".into(),
+    ]);
+    table.add_row(vec![
+        "init. repeats".into(),
+        "1".into(),
+        "3".into(),
+        "5".into(),
+    ]);
+    table.add_row(vec![
+        "queue selection".into(),
+        "TopGain".into(),
+        "TopGain".into(),
+        "TopGain".into(),
+    ]);
+    table.add_row(vec![
+        "BFS search depth".into(),
+        "1".into(),
+        "5".into(),
+        "20".into(),
+    ]);
+    table.add_row(vec![
+        "max. global iterations".into(),
+        "1".into(),
+        "15".into(),
+        "15".into(),
+    ]);
+    table.add_row(vec![
+        "local iterations".into(),
+        "1".into(),
+        "3".into(),
+        "5".into(),
+    ]);
+    table.add_row(vec![
+        "FM patience".into(),
+        "1 %".into(),
+        "5 %".into(),
+        "20 %".into(),
+    ]);
 
     let mut cut_cells = vec!["avg. cut (geom.)".to_string()];
     let mut time_cells = vec!["avg. time (geom.) [s]".to_string()];

@@ -26,7 +26,13 @@ fn main() {
         args.reps()
     );
 
-    let mut table = Table::new(&["Seq. Matching", "avg. cut", "best cut", "avg. bal.", "avg. t [s]"]);
+    let mut table = Table::new(&[
+        "Seq. Matching",
+        "avg. cut",
+        "best cut",
+        "avg. bal.",
+        "avg. t [s]",
+    ]);
     for algorithm in MatchingAlgorithm::all() {
         let mut cuts = Vec::new();
         let mut bests = Vec::new();

@@ -25,7 +25,13 @@ fn main() {
         args.reps()
     );
 
-    let mut table = Table::new(&["Queue Sel. Strategy", "avg. cut", "best cut", "avg. bal.", "avg. t [s]"]);
+    let mut table = Table::new(&[
+        "Queue Sel. Strategy",
+        "avg. cut",
+        "best cut",
+        "avg. bal.",
+        "avg. t [s]",
+    ]);
     for strategy in QueueSelection::all() {
         let mut cuts = Vec::new();
         let mut bests = Vec::new();
@@ -56,7 +62,5 @@ fn main() {
         ]);
     }
     table.print();
-    println!(
-        "\nExpected shape (paper): TopGain best cut; MaxLoad best balance but worst cut."
-    );
+    println!("\nExpected shape (paper): TopGain best cut; MaxLoad best balance but worst cut.");
 }

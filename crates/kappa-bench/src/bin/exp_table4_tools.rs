@@ -24,7 +24,14 @@ fn main() {
         ks
     );
 
-    let mut table = Table::new(&["Variant", "avg. cut", "best cut", "avg. bal.", "avg. t [s]", "feas."]);
+    let mut table = Table::new(&[
+        "Variant",
+        "avg. cut",
+        "best cut",
+        "avg. bal.",
+        "avg. t [s]",
+        "feas.",
+    ]);
     for tool in Tool::comparison_lineup() {
         let mut cuts = Vec::new();
         let mut bests = Vec::new();
@@ -59,7 +66,10 @@ fn main() {
             fmt_f(geometric_mean(&bests), 0),
             fmt_f(geometric_mean(&balances), 3),
             fmt_f(geometric_mean(&times), 3),
-            fmt_f(feasible.iter().sum::<f64>() / feasible.len().max(1) as f64, 2),
+            fmt_f(
+                feasible.iter().sum::<f64>() / feasible.len().max(1) as f64,
+                2,
+            ),
         ]);
     }
     table.print();

@@ -11,7 +11,9 @@
 //! Usage: `cargo run --release -p kappa-bench --bin exp_table5_large -- [--scale 0.05] [--k 64] [--reps 2]`
 
 use kappa_bench::{fmt_f, run_tool, Args, Table, Tool};
-use kappa_gen::{delaunay_like_graph, random_geometric_graph, road_network_like, Instance, InstanceFamily};
+use kappa_gen::{
+    delaunay_like_graph, random_geometric_graph, road_network_like, Instance, InstanceFamily,
+};
 
 fn coordinate_instances(scale: f64, seed: u64) -> Vec<Instance> {
     let s = |base: usize| ((base as f64 * scale).round() as usize).max(512);
@@ -52,7 +54,13 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "alg.", "k", "graph", "avg. cut", "best cut", "avg. balance", "avg. runtime [s]",
+        "alg.",
+        "k",
+        "graph",
+        "avg. cut",
+        "best cut",
+        "avg. balance",
+        "avg. runtime [s]",
     ]);
     for tool in Tool::comparison_lineup() {
         for &k in &ks {

@@ -32,7 +32,13 @@ fn main() {
                 table_number_for(tool, k),
                 tool.name()
             );
-            let mut table = Table::new(&["graph", "avg. cut", "best cut", "avg. balance", "avg. runtime [s]"]);
+            let mut table = Table::new(&[
+                "graph",
+                "avg. cut",
+                "best cut",
+                "avg. balance",
+                "avg. runtime [s]",
+            ]);
             for inst in &suite {
                 let agg = run_baseline(&inst.graph, &inst.name, tool, k, 0.03, args.seed(), reps);
                 if args.json() {

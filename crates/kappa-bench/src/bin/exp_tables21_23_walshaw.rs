@@ -54,7 +54,14 @@ fn main() {
         );
         let mut improvements = 0usize;
         let mut cells = 0usize;
-        let mut table = Table::new(&["graph", "k", "KaPPa best", "rating", "baseline best", "improved"]);
+        let mut table = Table::new(&[
+            "graph",
+            "k",
+            "KaPPa best",
+            "rating",
+            "baseline best",
+            "improved",
+        ]);
         for inst in &suite {
             for &k in &ks {
                 // Strengthened KaPPa over the three Walshaw ratings.
@@ -90,7 +97,8 @@ fn main() {
                         }
                     }
                 }
-                let (kappa_cut, rating) = best.map(|(c, r)| (c, rating_marker(r))).unwrap_or((0, "?"));
+                let (kappa_cut, rating) =
+                    best.map(|(c, r)| (c, rating_marker(r))).unwrap_or((0, "?"));
                 let base_cut = baseline_best.unwrap_or(u64::MAX);
                 let improved = kappa_cut <= base_cut;
                 cells += 1;

@@ -33,7 +33,13 @@ fn main() {
                 "\nTable {table_number} — {} k = {k} (scale = {scale}, reps = {reps})",
                 preset.name()
             );
-            let mut table = Table::new(&["graph", "avg. cut", "best cut", "avg. balance", "avg. runtime [s]"]);
+            let mut table = Table::new(&[
+                "graph",
+                "avg. cut",
+                "best cut",
+                "avg. balance",
+                "avg. runtime [s]",
+            ]);
             for inst in &suite {
                 let config = KappaConfig::preset(preset, k)
                     .with_seed(args.seed())

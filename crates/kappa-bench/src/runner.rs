@@ -29,7 +29,10 @@ impl Tool {
 
     /// The tool line-up of Table 4 (right): KaPPa variants then the baselines.
     pub fn comparison_lineup() -> Vec<Tool> {
-        let mut tools: Vec<Tool> = ConfigPreset::all().iter().map(|&p| Tool::Kappa(p)).collect();
+        let mut tools: Vec<Tool> = ConfigPreset::all()
+            .iter()
+            .map(|&p| Tool::Kappa(p))
+            .collect();
         tools.extend(BaselineKind::all().iter().map(|&b| Tool::Baseline(b)));
         tools
     }
@@ -122,7 +125,9 @@ pub fn run_baseline(
         let start = Instant::now();
         let partition = tool.partition(graph, k, epsilon, seed.wrapping_add(rep as u64 * 7919));
         let runtime = start.elapsed();
-        metrics.push(PartitionMetrics::measure(graph, &partition, epsilon, runtime));
+        metrics.push(PartitionMetrics::measure(
+            graph, &partition, epsilon, runtime,
+        ));
     }
     AggregatedRun::from_metrics(tool.name(), graph_name, k, epsilon, &metrics)
 }
@@ -206,10 +211,28 @@ mod tests {
     #[test]
     fn run_tool_covers_kappa_and_baselines() {
         let g = grid2d(16, 16);
-        let kappa = run_tool(&g, "grid", Tool::Kappa(ConfigPreset::Minimal), 4, 0.03, 1, 0, 1);
+        let kappa = run_tool(
+            &g,
+            "grid",
+            Tool::Kappa(ConfigPreset::Minimal),
+            4,
+            0.03,
+            1,
+            0,
+            1,
+        );
         assert_eq!(kappa.tool, "KaPPa-Minimal");
         assert!(kappa.avg_cut > 0.0);
-        let metis = run_tool(&g, "grid", Tool::Baseline(BaselineKind::MetisLike), 4, 0.03, 1, 0, 1);
+        let metis = run_tool(
+            &g,
+            "grid",
+            Tool::Baseline(BaselineKind::MetisLike),
+            4,
+            0.03,
+            1,
+            0,
+            1,
+        );
         assert_eq!(metis.tool, "kmetis-like");
         assert!(metis.avg_cut > 0.0);
     }

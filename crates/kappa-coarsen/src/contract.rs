@@ -129,18 +129,11 @@ mod tests {
     #[test]
     fn node_weight_is_conserved() {
         let g = kappa_gen::grid::grid2d(8, 8);
-        let m = kappa_matching::gpa_matching(
-            &g,
-            kappa_matching::EdgeRating::ExpansionStar2,
-            1,
-        );
+        let m = kappa_matching::gpa_matching(&g, kappa_matching::EdgeRating::ExpansionStar2, 1);
         let c = contract_matching(&g, &m);
         assert_eq!(c.coarse_graph.total_node_weight(), g.total_node_weight());
         assert!(c.coarse_graph.validate().is_ok());
-        assert_eq!(
-            c.coarse_graph.num_nodes(),
-            g.num_nodes() - m.cardinality()
-        );
+        assert_eq!(c.coarse_graph.num_nodes(), g.num_nodes() - m.cardinality());
     }
 
     #[test]
@@ -151,10 +144,8 @@ mod tests {
         let m = kappa_matching::gpa_matching(&g, kappa_matching::EdgeRating::Weight, 3);
         let c = contract_matching(&g, &m);
         let coarse_n = c.coarse_graph.num_nodes();
-        let coarse_part = Partition::from_assignment(
-            2,
-            (0..coarse_n).map(|i| (i % 2) as u32).collect(),
-        );
+        let coarse_part =
+            Partition::from_assignment(2, (0..coarse_n).map(|i| (i % 2) as u32).collect());
         let fine_part = coarse_part.project(&c.coarse_of);
         assert_eq!(
             coarse_part.edge_cut(&c.coarse_graph),

@@ -81,18 +81,20 @@ impl MultilevelHierarchy {
     /// matcher configured in `config`.
     pub fn build(finest: CsrGraph, config: &CoarseningConfig) -> Self {
         let matcher_config = *config;
-        Self::build_with(finest, config, move |graph, seed| match matcher_config.matcher {
-            MatcherKind::Sequential(alg) => {
-                compute_matching(graph, alg, matcher_config.rating, seed)
-            }
-            MatcherKind::Parallel { local, num_parts } => {
-                let pconfig = ParallelMatchingConfig {
-                    num_parts,
-                    local_algorithm: local,
-                    rating: matcher_config.rating,
-                    seed,
-                };
-                parallel_matching(graph, None, &pconfig)
+        Self::build_with(finest, config, move |graph, seed| {
+            match matcher_config.matcher {
+                MatcherKind::Sequential(alg) => {
+                    compute_matching(graph, alg, matcher_config.rating, seed)
+                }
+                MatcherKind::Parallel { local, num_parts } => {
+                    let pconfig = ParallelMatchingConfig {
+                        num_parts,
+                        local_algorithm: local,
+                        rating: matcher_config.rating,
+                        seed,
+                    };
+                    parallel_matching(graph, None, &pconfig)
+                }
             }
         })
     }

@@ -45,7 +45,11 @@ impl ConfigPreset {
 
     /// All presets in the order of Table 2.
     pub fn all() -> [ConfigPreset; 3] {
-        [ConfigPreset::Minimal, ConfigPreset::Fast, ConfigPreset::Strong]
+        [
+            ConfigPreset::Minimal,
+            ConfigPreset::Fast,
+            ConfigPreset::Strong,
+        ]
     }
 }
 

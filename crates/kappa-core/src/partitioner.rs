@@ -170,7 +170,11 @@ impl KappaPartitioner {
 
         // Refine the coarsest level first, then project + refine level by level.
         let coarsest_level = hierarchy.num_levels() - 1;
-        let stats = refine_partition(hierarchy.graph_at(coarsest_level), &mut current, &refinement_config);
+        let stats = refine_partition(
+            hierarchy.graph_at(coarsest_level),
+            &mut current,
+            &refinement_config,
+        );
         accumulate(&mut refinement, &stats);
         for level in (1..hierarchy.num_levels()).rev() {
             current = hierarchy.project_one_level(level, &current);
@@ -217,10 +221,18 @@ mod tests {
         let g = grid2d(40, 40);
         let result = KappaPartitioner::new(KappaConfig::fast(4).with_seed(1)).partition(&g);
         assert!(result.partition.validate(&g).is_ok());
-        assert!(result.metrics.feasible, "balance {}", result.metrics.balance);
+        assert!(
+            result.metrics.feasible,
+            "balance {}",
+            result.metrics.balance
+        );
         // A 4-way partition of a 40x40 grid should be in the vicinity of the
         // ideal two straight cuts (80); anything under 3x is clearly "working".
-        assert!(result.metrics.edge_cut < 240, "cut {}", result.metrics.edge_cut);
+        assert!(
+            result.metrics.edge_cut < 240,
+            "cut {}",
+            result.metrics.edge_cut
+        );
         assert!(result.hierarchy_levels > 1);
         assert!(result.coarsest_nodes < g.num_nodes());
     }
@@ -261,7 +273,11 @@ mod tests {
         let g = rmat_graph(10, 6, 2);
         let result = KappaPartitioner::new(KappaConfig::fast(8).with_seed(2)).partition(&g);
         assert!(result.partition.validate(&g).is_ok());
-        assert!(result.metrics.feasible, "balance {}", result.metrics.balance);
+        assert!(
+            result.metrics.feasible,
+            "balance {}",
+            result.metrics.balance
+        );
     }
 
     #[test]
@@ -288,10 +304,9 @@ mod tests {
     fn explicit_thread_counts_give_valid_results() {
         let g = random_geometric_graph(3000, 9);
         for threads in [1usize, 2, 4] {
-            let result = KappaPartitioner::new(
-                KappaConfig::fast(8).with_seed(6).with_threads(threads),
-            )
-            .partition(&g);
+            let result =
+                KappaPartitioner::new(KappaConfig::fast(8).with_seed(6).with_threads(threads))
+                    .partition(&g);
             assert!(result.metrics.feasible, "threads {threads}");
             assert!(result.partition.validate(&g).is_ok());
         }

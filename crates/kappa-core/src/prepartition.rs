@@ -65,7 +65,14 @@ fn rcb_recurse(
     });
     let (left, right) = nodes.split_at_mut(split_idx);
     rcb_recurse(coords, left, first_part, left_parts, 1 - axis, part);
-    rcb_recurse(coords, right, first_part + left_parts, right_parts, 1 - axis, part);
+    rcb_recurse(
+        coords,
+        right,
+        first_part + left_parts,
+        right_parts,
+        1 - axis,
+        part,
+    );
 }
 
 #[cfg(test)]

@@ -86,7 +86,10 @@ mod tests {
     fn average_degree_is_near_six() {
         let g = delaunay_like_graph(4096, 9);
         let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
-        assert!(avg > 4.5 && avg < 6.5, "avg degree {avg} not triangulation-like");
+        assert!(
+            avg > 4.5 && avg < 6.5,
+            "avg degree {avg} not triangulation-like"
+        );
     }
 
     #[test]

@@ -43,14 +43,22 @@ pub fn road_network_like(n: usize, seed: u64) -> CsrGraph {
         for x in 0..w {
             if x + 1 < w {
                 let crosses_river = river_cols.contains(&(x + 1));
-                let p = if crosses_river { bridge_prob } else { keep_prob };
+                let p = if crosses_river {
+                    bridge_prob
+                } else {
+                    keep_prob
+                };
                 if rng.gen::<f64>() < p {
                     b.add_edge(id(x, y), id(x + 1, y), 1);
                 }
             }
             if y + 1 < h {
                 let crosses_river = river_rows.contains(&(y + 1));
-                let p = if crosses_river { bridge_prob } else { keep_prob };
+                let p = if crosses_river {
+                    bridge_prob
+                } else {
+                    keep_prob
+                };
                 if rng.gen::<f64>() < p {
                     b.add_edge(id(x, y), id(x, y + 1), 1);
                 }
@@ -105,7 +113,9 @@ pub fn largest_component(graph: &CsrGraph) -> CsrGraph {
         .max_by_key(|&(_, s)| *s)
         .map(|(i, _)| i)
         .unwrap();
-    let keep: Vec<NodeId> = (0..n as NodeId).filter(|&v| comp[v as usize] == best).collect();
+    let keep: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| comp[v as usize] == best)
+        .collect();
     let sub = kappa_graph::extract_subgraph(graph, &keep, false);
     sub.graph
 }

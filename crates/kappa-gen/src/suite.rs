@@ -83,7 +83,11 @@ pub fn small_suite(scale: f64, seed: u64) -> Vec<Instance> {
             InstanceFamily::Delaunay,
             delaunay_like_graph(s(8192), seed + 1),
         ),
-        Instance::new("4elt'", InstanceFamily::Fem, grid2d(s_side(s(6400)), s_side(s(6400)))),
+        Instance::new(
+            "4elt'",
+            InstanceFamily::Fem,
+            grid2d(s_side(s(6400)), s_side(s(6400))),
+        ),
         Instance::new(
             "fesphere'",
             InstanceFamily::Fem,
@@ -119,7 +123,11 @@ pub fn large_suite(scale: f64, seed: u64) -> Vec<Instance> {
         Instance::new(
             "fetooth'",
             InstanceFamily::Fem,
-            grid3d(cbrt_side(s(32768)), cbrt_side(s(32768)), cbrt_side(s(32768))),
+            grid3d(
+                cbrt_side(s(32768)),
+                cbrt_side(s(32768)),
+                cbrt_side(s(32768)),
+            ),
         ),
         Instance::new(
             "auto'",
@@ -178,8 +186,14 @@ mod tests {
 
     #[test]
     fn large_suite_is_larger_than_small() {
-        let small: usize = small_suite(0.25, 1).iter().map(|i| i.graph.num_nodes()).sum();
-        let large: usize = large_suite(0.25, 1).iter().map(|i| i.graph.num_nodes()).sum();
+        let small: usize = small_suite(0.25, 1)
+            .iter()
+            .map(|i| i.graph.num_nodes())
+            .sum();
+        let large: usize = large_suite(0.25, 1)
+            .iter()
+            .map(|i| i.graph.num_nodes())
+            .sum();
         assert!(large > small);
     }
 

@@ -18,7 +18,10 @@ pub fn boundary_nodes(graph: &CsrGraph, partition: &Partition) -> Vec<NodeId> {
         .nodes()
         .filter(|&v| {
             let b = partition.block_of(v);
-            graph.neighbors(v).iter().any(|&u| partition.block_of(u) != b)
+            graph
+                .neighbors(v)
+                .iter()
+                .any(|&u| partition.block_of(u) != b)
         })
         .collect()
 }
@@ -36,9 +39,15 @@ pub fn pair_boundary_nodes(
         .filter(|&v| {
             let bv = partition.block_of(v);
             if bv == a {
-                graph.neighbors(v).iter().any(|&u| partition.block_of(u) == b)
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| partition.block_of(u) == b)
             } else if bv == b {
-                graph.neighbors(v).iter().any(|&u| partition.block_of(u) == a)
+                graph
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| partition.block_of(u) == a)
             } else {
                 false
             }
@@ -56,8 +65,9 @@ pub fn band_around_boundary(
     allowed_blocks: (BlockId, BlockId),
     depth: usize,
 ) -> Vec<NodeId> {
-    let allowed =
-        |v: NodeId| partition.block_of(v) == allowed_blocks.0 || partition.block_of(v) == allowed_blocks.1;
+    let allowed = |v: NodeId| {
+        partition.block_of(v) == allowed_blocks.0 || partition.block_of(v) == allowed_blocks.1
+    };
     let mut dist = vec![usize::MAX; graph.num_nodes()];
     let mut order = Vec::new();
     let mut queue = VecDeque::new();

@@ -68,7 +68,11 @@ impl GraphBuilder {
 
     /// Attaches planar coordinates (must cover every node).
     pub fn set_coords(&mut self, coords: Vec<[f64; 2]>) {
-        assert_eq!(coords.len(), self.num_nodes, "coordinate array length mismatch");
+        assert_eq!(
+            coords.len(),
+            self.num_nodes,
+            "coordinate array length mismatch"
+        );
         self.coords = Some(coords);
     }
 

@@ -202,7 +202,11 @@ impl CsrGraph {
     /// Attach (or replace) coordinates.
     pub fn set_coords(&mut self, coords: Option<Vec<[f64; 2]>>) {
         if let Some(c) = &coords {
-            assert_eq!(c.len(), self.num_nodes(), "coordinate array length mismatch");
+            assert_eq!(
+                c.len(),
+                self.num_nodes(),
+                "coordinate array length mismatch"
+            );
         }
         self.coords = coords;
     }

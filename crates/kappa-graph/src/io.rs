@@ -27,8 +27,12 @@ pub fn parse_metis(text: &str) -> Result<CsrGraph, String> {
     if head.len() < 2 {
         return Err(format!("bad METIS header: {header:?}"));
     }
-    let n: usize = head[0].parse().map_err(|e| format!("bad node count: {e}"))?;
-    let m: usize = head[1].parse().map_err(|e| format!("bad edge count: {e}"))?;
+    let n: usize = head[0]
+        .parse()
+        .map_err(|e| format!("bad node count: {e}"))?;
+    let m: usize = head[1]
+        .parse()
+        .map_err(|e| format!("bad edge count: {e}"))?;
     let fmt = head.get(2).copied().unwrap_or("000");
     let has_vwgt = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
     let has_ewgt = fmt.as_bytes()[fmt.len() - 1] == b'1';

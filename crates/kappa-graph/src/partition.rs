@@ -76,9 +76,7 @@ impl Partition {
     /// Panics if an entry is `≥ k` (unassigned sentinel excepted).
     pub fn from_assignment(k: BlockId, assignment: Vec<BlockId>) -> Self {
         assert!(
-            assignment
-                .iter()
-                .all(|&b| b < k || b == INVALID_BLOCK),
+            assignment.iter().all(|&b| b < k || b == INVALID_BLOCK),
             "block id out of range"
         );
         Partition { k, assignment }

@@ -56,7 +56,11 @@ pub fn best_of_repeats(graph: &CsrGraph, config: &InitialPartitionConfig) -> Par
         .collect();
     candidates
         .into_iter()
-        .min_by(|a, b| rank(graph, a, config.epsilon).partial_cmp(&rank(graph, b, config.epsilon)).unwrap())
+        .min_by(|a, b| {
+            rank(graph, a, config.epsilon)
+                .partial_cmp(&rank(graph, b, config.epsilon))
+                .unwrap()
+        })
         .expect("at least one repeat")
 }
 

@@ -44,9 +44,7 @@ pub fn greedy_graph_growing(graph: &CsrGraph, k: u32, epsilon: f64, seed: u64) -
         let must_leave = (k - 1 - block) as usize;
 
         // Seed: next unassigned node in the shuffled order.
-        while order_cursor < n
-            && partition.block_of(node_order[order_cursor]) != INVALID_BLOCK
-        {
+        while order_cursor < n && partition.block_of(node_order[order_cursor]) != INVALID_BLOCK {
             order_cursor += 1;
         }
         if order_cursor >= n {
@@ -104,12 +102,7 @@ fn gain_into_block(graph: &CsrGraph, partition: &Partition, v: NodeId, block: u3
 /// Moves nodes out of overloaded blocks into the lightest feasible neighbouring
 /// block (or the globally lightest block as a fallback) until every block is
 /// within `L_max` or no further progress is possible.
-pub fn repair_balance(
-    graph: &CsrGraph,
-    partition: &mut Partition,
-    epsilon: f64,
-    rng: &mut StdRng,
-) {
+pub fn repair_balance(graph: &CsrGraph, partition: &mut Partition, epsilon: f64, rng: &mut StdRng) {
     let k = partition.k();
     let lmax = Partition::l_max(graph, k, epsilon);
     let mut weights = BlockWeights::compute(graph, partition);
@@ -137,11 +130,11 @@ pub fn repair_balance(
                     best = Some(b);
                 }
             }
-            let lightest = (0..k)
-                .min_by_key(|&b| weights.weight(b))
-                .expect("k >= 1");
+            let lightest = (0..k).min_by_key(|&b| weights.weight(b)).expect("k >= 1");
             let to = match best {
-                Some(b) if weights.weight(b) <= weights.weight(lightest) + graph.node_weight(v) => b,
+                Some(b) if weights.weight(b) <= weights.weight(lightest) + graph.node_weight(v) => {
+                    b
+                }
                 _ => lightest,
             };
             if to == from {

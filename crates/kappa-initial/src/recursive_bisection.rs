@@ -110,7 +110,11 @@ fn grow_half(
             }
         }
     }
-    let rest: Vec<NodeId> = nodes.iter().copied().filter(|&v| !taken[v as usize]).collect();
+    let rest: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .filter(|&v| !taken[v as usize])
+        .collect();
     (half, rest)
 }
 

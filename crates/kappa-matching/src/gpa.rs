@@ -96,7 +96,11 @@ pub fn gpa_on_edges(num_nodes: usize, edges_sorted_desc: &[RatedEdge]) -> Matchi
         selected[idx] = true;
         forest.union(u, v);
         for &w in &[u, v] {
-            let slot = if incident[w as usize][0] == usize::MAX { 0 } else { 1 };
+            let slot = if incident[w as usize][0] == usize::MAX {
+                0
+            } else {
+                1
+            };
             incident[w as usize][slot] = idx;
             degree[w as usize] += 1;
         }
@@ -109,9 +113,7 @@ pub fn gpa_on_edges(num_nodes: usize, edges_sorted_desc: &[RatedEdge]) -> Matchi
 
     // Walk from every endpoint (degree 1) first to enumerate paths, then sweep
     // the remaining structure (cycles).
-    let visit_from = |start: NodeId,
-                          matching: &mut Matching,
-                          edge_used: &mut Vec<bool>| {
+    let visit_from = |start: NodeId, matching: &mut Matching, edge_used: &mut Vec<bool>| {
         // Collect the chain of edge indices starting at `start`.
         let mut chain: Vec<usize> = Vec::new();
         let mut cur = start;
@@ -250,7 +252,14 @@ mod tests {
         // 6-cycle with unit weights: optimum is 3 edges.
         let g = graph_from_edges(
             6,
-            vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1), (5, 0, 1)],
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (5, 0, 1),
+            ],
         );
         let m = gpa_matching(&g, EdgeRating::Weight, 1);
         assert_eq!(m.cardinality(), 3);
@@ -312,7 +321,8 @@ mod tests {
             }
             let g = b.build();
             let gpa = gpa_matching(&g, EdgeRating::Weight, seed).total_weight(&g);
-            let greedy = crate::greedy::greedy_matching(&g, EdgeRating::Weight, seed).total_weight(&g);
+            let greedy =
+                crate::greedy::greedy_matching(&g, EdgeRating::Weight, seed).total_weight(&g);
             assert!(
                 (gpa as f64) >= 0.95 * greedy as f64,
                 "seed {seed}: gpa {gpa} much worse than greedy {greedy}"

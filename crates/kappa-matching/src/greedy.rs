@@ -36,7 +36,11 @@ pub fn greedy_on_edges(num_nodes: usize, edges_sorted_desc: &[RatedEdge]) -> Mat
 /// Stable sort by descending rating (callers shuffle first for random
 /// tie-breaking).
 pub fn sort_by_rating_desc(edges: &mut [RatedEdge]) {
-    edges.sort_by(|a, b| b.rating.partial_cmp(&a.rating).unwrap_or(std::cmp::Ordering::Equal));
+    edges.sort_by(|a, b| {
+        b.rating
+            .partial_cmp(&a.rating)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 }
 
 #[cfg(test)]
@@ -90,7 +94,14 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let g = kappa_graph::builder::graph_from_edges(
             6,
-            vec![(0, 1, 2), (1, 2, 2), (2, 3, 2), (3, 4, 2), (4, 5, 2), (5, 0, 2)],
+            vec![
+                (0, 1, 2),
+                (1, 2, 2),
+                (2, 3, 2),
+                (3, 4, 2),
+                (4, 5, 2),
+                (5, 0, 2),
+            ],
         );
         assert_eq!(
             greedy_matching(&g, EdgeRating::Weight, 5).edges(),

@@ -341,9 +341,24 @@ mod tests {
     #[test]
     fn locally_heaviest_matches_unique_maxima() {
         let edges = vec![
-            RatedEdge { u: 0, v: 1, weight: 3, rating: 3.0 },
-            RatedEdge { u: 1, v: 2, weight: 2, rating: 2.0 },
-            RatedEdge { u: 2, v: 3, weight: 1, rating: 1.0 },
+            RatedEdge {
+                u: 0,
+                v: 1,
+                weight: 3,
+                rating: 3.0,
+            },
+            RatedEdge {
+                u: 1,
+                v: 2,
+                weight: 2,
+                rating: 2.0,
+            },
+            RatedEdge {
+                u: 2,
+                v: 3,
+                weight: 1,
+                rating: 1.0,
+            },
         ];
         let mut m = Matching::new(4);
         locally_heaviest_matching(&mut m, edges);

@@ -122,7 +122,9 @@ mod tests {
     #[test]
     fn prefers_cheap_moves() {
         let g = grid2d(10, 10);
-        let assignment = (0..100).map(|i| if i % 10 < 7 { 0u32 } else { 1 }).collect();
+        let assignment = (0..100)
+            .map(|i| if i % 10 < 7 { 0u32 } else { 1 })
+            .collect();
         let mut p = Partition::from_assignment(2, assignment);
         let cut_before = p.edge_cut(&g);
         rebalance(&g, &mut p, Partition::l_max(&g, 2, 0.03));

@@ -6,7 +6,9 @@
 //! band would have helped, a later global iteration will reach it because the
 //! boundary (and hence the band) will have shifted.
 
-use kappa_graph::{band_around_boundary, pair_boundary_nodes, BlockId, CsrGraph, NodeId, Partition};
+use kappa_graph::{
+    band_around_boundary, pair_boundary_nodes, BlockId, CsrGraph, NodeId, Partition,
+};
 
 /// Computes the band of eligible nodes for refining the pair `(a, b)`:
 /// a BFS of depth `depth` from the pair boundary, restricted to the two blocks.
@@ -74,6 +76,8 @@ mod tests {
         let p = Partition::from_assignment(4, assignment);
         let band = pair_band(&g, &p, 0, 1, 2);
         assert!(!band.is_empty());
-        assert!(band.iter().all(|&v| p.block_of(v) == 0 || p.block_of(v) == 1));
+        assert!(band
+            .iter()
+            .all(|&v| p.block_of(v) == 0 || p.block_of(v) == 1));
     }
 }

@@ -131,8 +131,8 @@ pub fn color_quotient_edges(quotient: &QuotientGraph, seed: u64) -> EdgeColoring
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kappa_graph::{graph_from_edges, Partition, QuotientGraph};
     use kappa_gen::grid::grid2d;
+    use kappa_graph::{graph_from_edges, Partition, QuotientGraph};
 
     fn quotient_of_stripes(side: usize, k: u32) -> QuotientGraph {
         let g = grid2d(side, side);
@@ -180,7 +180,14 @@ mod tests {
         // may use up to 6.
         let g = graph_from_edges(
             4,
-            vec![(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 2, 1), (1, 3, 1), (2, 3, 1)],
+            vec![
+                (0, 1, 1),
+                (0, 2, 1),
+                (0, 3, 1),
+                (1, 2, 1),
+                (1, 3, 1),
+                (2, 3, 1),
+            ],
         );
         let p = Partition::from_assignment(4, vec![0, 1, 2, 3]);
         let q = QuotientGraph::build(&g, &p);

@@ -187,7 +187,9 @@ pub fn two_way_fm(
         .filter(|&v| {
             let own = partition.block_of(v);
             let other = if own == block_a { block_b } else { block_a };
-            graph.edges_of(v).any(|(u, _)| partition.block_of(u) == other)
+            graph
+                .edges_of(v)
+                .any(|(u, _)| partition.block_of(u) == other)
         })
         .collect();
     // Fisher-Yates via rand.
@@ -208,8 +210,7 @@ pub fn two_way_fm(
         .filter(|&&v| partition.block_of(v) == block_a)
         .count();
     let count_b = eligible.len() - count_a;
-    let patience =
-        ((config.patience_alpha * count_a.min(count_b) as f64).ceil() as usize).max(8);
+    let patience = ((config.patience_alpha * count_a.min(count_b) as f64).ceil() as usize).max(8);
 
     let mut w_a = weight_a;
     let mut w_b = weight_b;
@@ -235,14 +236,10 @@ pub fn two_way_fm(
         let ga = queue_a.peek_valid(&gains, &moved, partition, block_a);
         let gb = queue_b.peek_valid(&gains, &moved, partition, block_b);
         let overloaded = w_a > config.l_max || w_b > config.l_max;
-        let Some(from_a) = config.queue_selection.choose(
-            ga,
-            gb,
-            w_a,
-            w_b,
-            overloaded,
-            last_was_a,
-        ) else {
+        let Some(from_a) = config
+            .queue_selection
+            .choose(ga, gb, w_a, w_b, overloaded, last_was_a)
+        else {
             break;
         };
         let (queue, from, to) = if from_a {
@@ -297,9 +294,17 @@ pub fn two_way_fm(
             if bu != block_a && bu != block_b {
                 continue;
             }
-            let delta = if bu == from { 2 * w as i64 } else { -2 * w as i64 };
+            let delta = if bu == from {
+                2 * w as i64
+            } else {
+                -2 * w as i64
+            };
             gains[u as usize] += delta;
-            let q = if bu == block_a { &mut queue_a } else { &mut queue_b };
+            let q = if bu == block_a {
+                &mut queue_a
+            } else {
+                &mut queue_b
+            };
             q.push(u, gains[u as usize], &mut rng);
         }
 
@@ -330,14 +335,10 @@ pub fn two_way_fm(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kappa_graph::{graph_from_edges, BlockWeights};
     use kappa_gen::grid::grid2d;
+    use kappa_graph::{graph_from_edges, BlockWeights};
 
-    fn run_fm(
-        graph: &CsrGraph,
-        partition: &mut Partition,
-        config: &FmConfig,
-    ) -> FmResult {
+    fn run_fm(graph: &CsrGraph, partition: &mut Partition, config: &FmConfig) -> FmResult {
         let eligible: Vec<NodeId> = graph.nodes().collect();
         let weights = BlockWeights::compute(graph, partition);
         two_way_fm(
@@ -403,7 +404,10 @@ mod tests {
     #[test]
     fn respects_the_band_restriction() {
         // Only nodes 0 and 1 are eligible; nothing else may move.
-        let g = graph_from_edges(6, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)]);
+        let g = graph_from_edges(
+            6,
+            vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)],
+        );
         let mut p = Partition::from_assignment(2, vec![0, 1, 0, 1, 0, 1]);
         let weights = BlockWeights::compute(&g, &p);
         let config = FmConfig {
@@ -413,7 +417,16 @@ mod tests {
             ..Default::default()
         };
         let before = p.assignment().to_vec();
-        let _ = two_way_fm(&g, &mut p, 0, 1, &[0, 1], weights.weight(0), weights.weight(1), &config);
+        let _ = two_way_fm(
+            &g,
+            &mut p,
+            0,
+            1,
+            &[0, 1],
+            weights.weight(0),
+            weights.weight(1),
+            &config,
+        );
         for v in 2..6 {
             assert_eq!(p.block_of(v), before[v as usize], "frozen node {v} moved");
         }
@@ -467,7 +480,12 @@ mod tests {
             let before = p.edge_cut(&g);
             let result = run_fm(&g, &mut p, &config);
             assert!(p.validate(&g).is_ok());
-            assert_eq!(before as i64 - p.edge_cut(&g) as i64, result.gain, "{:?}", strategy);
+            assert_eq!(
+                before as i64 - p.edge_cut(&g) as i64,
+                result.gain,
+                "{:?}",
+                strategy
+            );
         }
     }
 

@@ -11,7 +11,13 @@ use kappa_graph::{BlockId, CsrGraph, NodeId, Partition};
 /// Gain of moving `v` to the other block of the pair `(a, b)`.
 ///
 /// `v` must currently be in block `a` or `b`.
-pub fn pair_gain(graph: &CsrGraph, partition: &Partition, v: NodeId, a: BlockId, b: BlockId) -> i64 {
+pub fn pair_gain(
+    graph: &CsrGraph,
+    partition: &Partition,
+    v: NodeId,
+    a: BlockId,
+    b: BlockId,
+) -> i64 {
     let own = partition.block_of(v);
     debug_assert!(own == a || own == b, "node {v} not in the pair ({a}, {b})");
     let other = if own == a { b } else { a };
@@ -76,7 +82,14 @@ mod tests {
         // Applying a move must change the pair cut by exactly the gain.
         let g = graph_from_edges(
             6,
-            vec![(0, 1, 3), (1, 2, 1), (2, 3, 7), (3, 4, 2), (4, 5, 1), (1, 4, 2)],
+            vec![
+                (0, 1, 3),
+                (1, 2, 1),
+                (2, 3, 7),
+                (3, 4, 2),
+                (4, 5, 1),
+                (1, 4, 2),
+            ],
         );
         let mut p = Partition::from_assignment(2, vec![0, 0, 0, 1, 1, 1]);
         for v in 0..6u32 {

@@ -128,8 +128,14 @@ mod tests {
     #[test]
     fn maxload_follows_weight() {
         let s = QueueSelection::MaxLoad;
-        assert_eq!(s.choose(Some(100), Some(-5), 10, 90, false, false), Some(false));
-        assert_eq!(s.choose(Some(-5), Some(100), 90, 10, false, false), Some(true));
+        assert_eq!(
+            s.choose(Some(100), Some(-5), 10, 90, false, false),
+            Some(false)
+        );
+        assert_eq!(
+            s.choose(Some(-5), Some(100), 90, 10, false, false),
+            Some(true)
+        );
     }
 
     #[test]
@@ -145,7 +151,10 @@ mod tests {
     #[test]
     fn topgain_maxload_breaks_ties_by_weight() {
         let s = QueueSelection::TopGainMaxLoad;
-        assert_eq!(s.choose(Some(4), Some(4), 10, 90, false, false), Some(false));
+        assert_eq!(
+            s.choose(Some(4), Some(4), 10, 90, false, false),
+            Some(false)
+        );
         assert_eq!(s.choose(Some(4), Some(4), 90, 10, false, false), Some(true));
         assert_eq!(s.choose(Some(9), Some(4), 10, 90, false, false), Some(true));
     }

@@ -100,10 +100,8 @@ pub fn refine_partition(
         if quotient.num_edges() == 0 {
             break;
         }
-        let coloring = color_quotient_edges(
-            &quotient,
-            config.seed.wrapping_add(global_iter as u64),
-        );
+        let coloring =
+            color_quotient_edges(&quotient, config.seed.wrapping_add(global_iter as u64));
         let mut iteration_gain = 0i64;
 
         for (color_idx, class) in coloring.classes().enumerate() {

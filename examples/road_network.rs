@@ -32,7 +32,10 @@ fn main() {
     let metis_partition = metis.partition(&roads, k, 0.03, 1);
     let metis_time = start.elapsed();
 
-    println!("{:<14} {:>10} {:>10} {:>10}", "tool", "cut", "balance", "time [s]");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "tool", "cut", "balance", "time [s]"
+    );
     println!(
         "{:<14} {:>10} {:>10.3} {:>10.3}",
         "KaPPa-Fast",
@@ -48,7 +51,8 @@ fn main() {
         metis_time.as_secs_f64()
     );
 
-    let ratio = metis_partition.edge_cut(&roads) as f64 / kappa_result.metrics.edge_cut.max(1) as f64;
+    let ratio =
+        metis_partition.edge_cut(&roads) as f64 / kappa_result.metrics.edge_cut.max(1) as f64;
     println!("\nkmetis-like cuts {ratio:.2}x as many road segments as KaPPa-Fast.");
 
     // Persist the graph in METIS format next to a partition file — the same

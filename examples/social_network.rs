@@ -25,7 +25,10 @@ fn main() {
     // Compare two edge ratings: the classical `weight` and the paper's default
     // `expansion*2` (which discourages the formation of heavy super-nodes, the
     // usual failure mode of multilevel partitioning on power-law graphs).
-    println!("{:<14} {:>10} {:>10} {:>10}", "rating", "cut", "balance", "time [s]");
+    println!(
+        "{:<14} {:>10} {:>10} {:>10}",
+        "rating", "cut", "balance", "time [s]"
+    );
     for rating in [EdgeRating::Weight, EdgeRating::ExpansionStar2] {
         let config = KappaConfig::fast(k)
             .with_rating(rating)

@@ -1,0 +1,209 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! Keeps the bench-definition API (`criterion_group!` / `criterion_main!`,
+//! `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`) so the
+//! workspace's benches compile and run under `cargo bench`, but replaces the
+//! statistical machinery with a plain timing loop: a warm-up iteration, then
+//! `sample_size` measured iterations, reporting min / mean wall-clock time
+//! per iteration on stdout.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, like `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to a benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration durations, filled by [`Bencher::iter`].
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` once for warm-up and `sample_size` measured times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().expect("non-empty");
+    println!(
+        "{label}: mean {:.3} ms, min {:.3} ms ({} samples)",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+        durations.len()
+    );
+}
+
+fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        durations: Vec::new(),
+    };
+    f(&mut bencher);
+    report(label, &bencher.durations);
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Benchmarks a plain closure.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut routine: R,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            routine(b)
+        });
+        self
+    }
+
+    /// Ends the group (reporting already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut routine: R,
+    ) -> &mut Self {
+        run_one(name, self.default_sample_size, |b| routine(b));
+        self
+    }
+}
+
+/// Declares a group function that runs each listed bench with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

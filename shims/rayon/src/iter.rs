@@ -1,0 +1,151 @@
+//! Eager parallel iterators: sources materialise their items, `map` fans the
+//! work out over scoped threads in contiguous chunks, and `collect` gathers
+//! the results in input order.
+
+use std::ops::Range;
+
+use crate::current_num_threads;
+
+/// A materialised parallel iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+/// A pending parallel `map`; the closure runs when the result is collected.
+pub struct MapIter<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Collection types a parallel iterator can gather into (ordered).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection from items already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs every item with its index, like [`Iterator::enumerate`].
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Applies `f` to every item in parallel (executed on `collect`).
+    pub fn map<R, F>(self, f: F) -> MapIter<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        MapIter {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items (no-op parallelism for an un-mapped source).
+    pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_ordered_vec(self.items)
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> MapIter<T, F> {
+    /// Runs the map on `current_num_threads()` scoped threads and collects the
+    /// results in input order.
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_vec(par_map(self.items, &self.f))
+    }
+}
+
+/// Chunked fork-join map: splits `items` into one contiguous chunk per worker
+/// thread, maps each chunk on its own scoped thread and concatenates the
+/// results in order. Panics in workers are propagated to the caller.
+fn par_map<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let threads = current_num_threads().clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut rest = items;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Conversion of an owned collection into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The iterated item type.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(usize, u32, u64, i32, i64);
+
+/// Conversion of a borrowed collection into a parallel iterator of references.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterated item type (a reference).
+    type Item: Send + 'data;
+    /// Borrows `self` as a [`ParIter`] of references.
+    fn par_iter(&'data self) -> ParIter<Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    fn par_iter(&'data self) -> ParIter<&'data T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The JSON data model shared by the `serde` and `serde_json` shims.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number. Like real `serde_json`, integers keep an exact tagged
+/// representation (`u64` for non-negative, `i64` for negative) so values
+/// above 2^53 — e.g. `u64::MAX` sentinels — round-trip without going through
+/// `f64`.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(Repr);
+
+#[derive(Clone, Copy, Debug)]
+enum Repr {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float (or an integer too large for the exact representations).
+    Float(f64),
+}
+
+impl Number {
+    /// Builds a number from any integer that fits `i128`.
+    pub fn from_i128(v: i128) -> Self {
+        if let Ok(u) = u64::try_from(v) {
+            Number(Repr::PosInt(u))
+        } else if let Ok(i) = i64::try_from(v) {
+            Number(Repr::NegInt(i))
+        } else {
+            Number(Repr::Float(v as f64))
+        }
+    }
+
+    /// Builds a number from a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number(Repr::Float(v))
+    }
+
+    /// The numeric value as `f64` (lossy above 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match self.0 {
+            Repr::PosInt(u) => u as f64,
+            Repr::NegInt(i) => i as f64,
+            Repr::Float(f) => f,
+        }
+    }
+
+    /// The exact integer value, if the number is integral: tagged integers
+    /// always, floats only when they are integral and inside the exactly
+    /// representable ±2^53 range.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self.0 {
+            Repr::PosInt(u) => Some(u as i128),
+            Repr::NegInt(i) => Some(i as i128),
+            Repr::Float(f) if f.is_finite() && f.fract() == 0.0 && f.abs() <= 9.0e15 => {
+                Some(f as i128)
+            }
+            Repr::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i128(), other.as_i128()) {
+            // Integral values compare exactly (covers > 2^53).
+            (Some(a), Some(b)) => a == b,
+            (None, Some(_)) | (Some(_), None) => false,
+            (None, None) => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Repr::PosInt(u) => write!(f, "{u}"),
+            Repr::NegInt(i) => write!(f, "{i}"),
+            // Integral floats print without a decimal point; non-finite
+            // values serialise as null like real serde_json.
+            Repr::Float(v) if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.0e15 => {
+                write!(f, "{}", v as i64)
+            }
+            Repr::Float(v) if v.is_finite() => write!(f, "{v}"),
+            Repr::Float(_) => f.write_str("null"),
+        }
+    }
+}
+
+/// A JSON value tree. Objects preserve insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object as an ordered list of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_i128().and_then(|i| u64::try_from(i).ok()),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// Object field access; missing keys index to `Value::Null` like
+    /// real `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// Array element access; out-of-range indexes to `Value::Null`.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON text (no whitespace), matching `serde_json::to_string`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+macro_rules! impl_value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    // Exact comparison, correct above 2^53.
+                    Value::Number(n) => n.as_i128() == Some(*other as i128),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_value_eq_float {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_float!(f32, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}

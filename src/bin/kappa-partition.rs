@@ -53,7 +53,8 @@ fn parse_args() -> Result<CliArgs, String> {
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
-            args.next().ok_or_else(|| format!("missing value for {name}"))
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
         };
         match arg.as_str() {
             "--k" => cli.k = value("--k")?.parse().map_err(|e| format!("bad --k: {e}"))?,
@@ -70,7 +71,11 @@ fn parse_args() -> Result<CliArgs, String> {
                     .parse()
                     .map_err(|e| format!("bad --epsilon: {e}"))?
             }
-            "--seed" => cli.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
             "--threads" => {
                 cli.threads = value("--threads")?
                     .parse()
@@ -79,7 +84,9 @@ fn parse_args() -> Result<CliArgs, String> {
             "--output" => cli.output = Some(PathBuf::from(value("--output")?)),
             "--generate" => cli.generate = Some(value("--generate")?),
             "--nodes" => {
-                cli.nodes = value("--nodes")?.parse().map_err(|e| format!("bad --nodes: {e}"))?
+                cli.nodes = value("--nodes")?
+                    .parse()
+                    .map_err(|e| format!("bad --nodes: {e}"))?
             }
             "--help" | "-h" => return Err("help".to_string()),
             other if !other.starts_with("--") && cli.graph_path.is_none() => {
@@ -122,19 +129,55 @@ fn load_graph(cli: &CliArgs) -> Result<(CsrGraph, String), String> {
     }
 }
 
+/// Full flag reference printed for `--help` (and, in short form, on errors).
+/// Kept in sync with `docs/usage.md`.
+const HELP: &str = "\
+kappa-partition — multilevel graph partitioner (KaPPa-rs)
+
+Reads a graph in METIS text format, partitions it into K blocks minimising
+the edge cut under a balance constraint, and writes one block id per line.
+
+USAGE:
+  kappa-partition <GRAPH.metis> --k <K> [options]
+  kappa-partition --generate <FAMILY> --nodes <N> --k <K> [options]
+
+OPTIONS:
+  --k <K>               number of blocks (required, >= 1)
+  --preset <P>          minimal | fast | strong            [default: fast]
+  --epsilon <E>         imbalance tolerance, e.g. 0.03 = 3% [default: 0.03]
+  --seed <S>            random seed (fixed seed + fixed --threads
+                        => identical output)               [default: 0]
+  --threads <T>         worker threads (0 = all cores)     [default: 0]
+  --output <FILE>       partition output path   [default: <GRAPH>.part.<K>]
+  --generate <FAMILY>   ignore <GRAPH> and generate an instance instead:
+                        rgg | delaunay | grid | road | rmat
+  --nodes <N>           node count for --generate          [default: 100000]
+  -h, --help            print this help
+
+INPUT:   METIS text format — first line `n m [fmt]`, then one line per node
+         listing its (1-indexed) neighbours; fmt 001 adds edge weights,
+         010 node weights, 011 both; `%` lines are comments (docs/usage.md).
+OUTPUT:  one block id (0..K-1) per line, line i = block of node i.
+METRICS: cut, balance, feasibility and wall-clock time go to stderr.
+";
+
 fn main() -> ExitCode {
     let cli = match parse_args() {
         Ok(cli) => cli,
         Err(msg) => {
-            if msg != "help" {
+            return if msg == "help" {
+                print!("{HELP}");
+                ExitCode::SUCCESS
+            } else {
                 eprintln!("error: {msg}\n");
-            }
-            eprintln!(
-                "usage: kappa-partition <GRAPH.metis> --k <K> [--preset minimal|fast|strong] \
-                 [--epsilon 0.03] [--seed 0] [--threads 0] [--output FILE] \
-                 [--generate rgg|delaunay|grid|road|rmat --nodes N]"
-            );
-            return if msg == "help" { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+                eprintln!(
+                    "usage: kappa-partition <GRAPH.metis> --k <K> [--preset minimal|fast|strong] \
+                     [--epsilon 0.03] [--seed 0] [--threads 0] [--output FILE] \
+                     [--generate rgg|delaunay|grid|road|rmat --nodes N]\n\
+                     run kappa-partition --help for the full flag reference"
+                );
+                ExitCode::FAILURE
+            };
         }
     };
 

@@ -70,9 +70,7 @@ fn kappa_beats_or_matches_the_cheap_baselines_on_meshes() {
     // baselines (averaged over seeds to smooth randomisation noise).
     let graph = kappa::gen::grid2d(60, 60);
     let k = 8u32;
-    let avg = |f: &dyn Fn(u64) -> u64| -> f64 {
-        (0..3).map(|s| f(s) as f64).sum::<f64>() / 3.0
-    };
+    let avg = |f: &dyn Fn(u64) -> u64| -> f64 { (0..3).map(|s| f(s) as f64).sum::<f64>() / 3.0 };
     let kappa_cut = avg(&|s| {
         KappaPartitioner::new(KappaConfig::strong(k).with_seed(s))
             .partition(&graph)
@@ -159,6 +157,10 @@ fn large_k_and_odd_k_work() {
         let result = KappaPartitioner::new(KappaConfig::minimal(k).with_seed(1)).partition(&graph);
         assert!(result.partition.validate(&graph).is_ok(), "k = {k}");
         assert_eq!(result.partition.num_nonempty_blocks() as u32, k, "k = {k}");
-        assert!(result.metrics.feasible, "k = {k}, balance {}", result.metrics.balance);
+        assert!(
+            result.metrics.feasible,
+            "k = {k}, balance {}",
+            result.metrics.balance
+        );
     }
 }
