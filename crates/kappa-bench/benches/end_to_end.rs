@@ -4,9 +4,12 @@
 //! pipeline and of its coarsening building block).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use kappa_coarsen::{CoarseningConfig, MultilevelHierarchy};
+use kappa_coarsen::{
+    contract_matching, contract_matching_reference, CoarseningConfig, MultilevelHierarchy,
+};
 use kappa_core::{ConfigPreset, KappaConfig, KappaPartitioner};
 use kappa_gen::{delaunay_like_graph, random_geometric_graph, rmat_graph, road_network_like};
+use kappa_matching::{gpa_matching, EdgeRating};
 
 fn bench_presets_end_to_end(c: &mut Criterion) {
     let graph = random_geometric_graph(1 << 13, 1);
@@ -54,10 +57,27 @@ fn bench_coarsening_only(c: &mut Criterion) {
     });
 }
 
+/// Parallel range-fragment contraction against the sequential GraphBuilder
+/// reference, one full matching contraction of an rgg15 instance.
+fn bench_contraction_parallel_vs_reference(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 15, 9);
+    let matching = gpa_matching(&graph, EdgeRating::ExpansionStar2, 2);
+    let mut group = c.benchmark_group("contraction_rgg15");
+    group.sample_size(10);
+    group.bench_function("parallel", |b| {
+        b.iter(|| contract_matching(&graph, &matching))
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| contract_matching_reference(&graph, &matching))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_presets_end_to_end,
     bench_families_fast,
-    bench_coarsening_only
+    bench_coarsening_only,
+    bench_contraction_parallel_vs_reference
 );
 criterion_main!(benches);

@@ -7,8 +7,8 @@ use kappa_gen::{grid2d, random_geometric_graph};
 use kappa_graph::{BlockWeights, Partition, QuotientGraph};
 use kappa_initial::greedy_graph_growing;
 use kappa_refine::{
-    color_quotient_edges, pair_band, refine_partition, two_way_fm, FmConfig, QueueSelection,
-    RefinementConfig,
+    color_quotient_edges, pair_band, refine_partition, refine_partition_reference, two_way_fm,
+    FmConfig, QueueSelection, RefinementConfig,
 };
 
 fn bench_two_way_fm_band_depth(c: &mut Criterion) {
@@ -110,11 +110,49 @@ fn bench_full_refinement_sweep(c: &mut Criterion) {
     });
 }
 
+/// The headline comparison of this PR: the delta-move scheduler against the
+/// snapshot-cloning reference, at a k where the per-pair partition clones of
+/// the reference dominate.
+fn bench_delta_vs_snapshot_scheduler(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 13, 8);
+    let config = RefinementConfig {
+        max_global_iterations: 2,
+        ..Default::default()
+    };
+    for k in [16u32, 64] {
+        let partition = greedy_graph_growing(&graph, k, 0.03, 4);
+        let mut group = c.benchmark_group(format!("refinement_rgg13_k{k}"));
+        group.sample_size(10);
+        group.bench_with_input(
+            BenchmarkId::from_parameter("delta"),
+            &partition,
+            |b, start| {
+                b.iter(|| {
+                    let mut p = start.clone();
+                    refine_partition(&graph, &mut p, &config)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter("snapshot"),
+            &partition,
+            |b, start| {
+                b.iter(|| {
+                    let mut p = start.clone();
+                    refine_partition_reference(&graph, &mut p, &config)
+                });
+            },
+        );
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_two_way_fm_band_depth,
     bench_queue_selection,
     bench_edge_coloring,
-    bench_full_refinement_sweep
+    bench_full_refinement_sweep,
+    bench_delta_vs_snapshot_scheduler
 );
 criterion_main!(benches);

@@ -4,9 +4,18 @@
 //! `c(x) = c(u) + c(v)`; parallel edges created this way are merged by summing
 //! their weights. Contracting a whole matching does this for every matched pair
 //! simultaneously, which at most halves the number of nodes per level.
+//!
+//! The paper runs contraction per PE; [`contract_matching`] mirrors that by
+//! partitioning the coarse-node id space into contiguous per-worker ranges,
+//! building each range's CSR fragment (adjacency, node weights, coordinates)
+//! independently, and concatenating the fragments with an ordered collect. The
+//! result is bit-identical to the sequential
+//! [`contract_matching_reference`] for every thread count because each coarse
+//! node's adjacency is derived only from its own fine nodes.
 
-use kappa_graph::{CsrGraph, GraphBuilder, NodeId};
+use kappa_graph::{CsrGraph, EdgeWeight, GraphBuilder, NodeId, NodeWeight, INVALID_NODE};
 use kappa_matching::Matching;
+use rayon::prelude::*;
 
 /// The result of contracting a matching: the coarse graph plus the mapping
 /// from fine nodes to coarse nodes.
@@ -18,12 +27,186 @@ pub struct Contraction {
     pub coarse_of: Vec<NodeId>,
 }
 
-/// Contracts every edge of `matching` in `graph`.
+/// One worker's share of the coarse CSR arrays: a contiguous coarse-id range.
+struct CsrFragment {
+    /// Adjacency-list end offsets, cumulative *within this fragment*.
+    ends: Vec<usize>,
+    adjncy: Vec<NodeId>,
+    adjwgt: Vec<EdgeWeight>,
+    vwgt: Vec<NodeWeight>,
+    coords: Option<Vec<[f64; 2]>>,
+}
+
+/// Contracts every edge of `matching` in `graph`, in parallel over the coarse
+/// node ids.
 ///
 /// Unmatched nodes survive as singleton coarse nodes. Coordinates (if present)
 /// are averaged over the merged fine nodes so geometric pre-partitioning keeps
 /// working on coarser levels.
+///
+/// The coarse graph is identical — bit for bit, including coordinate floats —
+/// to the one produced by [`contract_matching_reference`], for any worker
+/// count (see `tests/parity.rs` at the workspace root).
+///
+/// ```
+/// use kappa_coarsen::contract_matching;
+/// use kappa_graph::graph_from_edges;
+/// use kappa_matching::Matching;
+///
+/// // Path 0-1-2-3; contract the matched pairs {0,1} and {2,3}.
+/// let g = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 5), (2, 3, 1)]);
+/// let mut m = Matching::new(4);
+/// m.try_match(0, 1);
+/// m.try_match(2, 3);
+/// let c = contract_matching(&g, &m);
+/// assert_eq!(c.coarse_graph.num_nodes(), 2);
+/// assert_eq!(c.coarse_graph.edge_weight_between(0, 1), Some(5));
+/// assert_eq!(c.coarse_graph.total_node_weight(), 4);
+/// ```
 pub fn contract_matching(graph: &CsrGraph, matching: &Matching) -> Contraction {
+    let n = graph.num_nodes();
+    debug_assert_eq!(matching.num_nodes(), n);
+
+    // Phase 1 (sequential, O(n)): assign coarse ids — matched pairs share one
+    // id, everything else keeps its own — and record each coarse node's fine
+    // representatives `(v, partner-or-INVALID)`.
+    let mut coarse_of = vec![NodeId::MAX; n];
+    let mut reps: Vec<(NodeId, NodeId)> = Vec::with_capacity(n);
+    for v in graph.nodes() {
+        if coarse_of[v as usize] != NodeId::MAX {
+            continue;
+        }
+        let next_id = reps.len() as NodeId;
+        match matching.partner_of(v) {
+            Some(p) if p > v => {
+                coarse_of[v as usize] = next_id;
+                coarse_of[p as usize] = next_id;
+                reps.push((v, p));
+            }
+            Some(_) => unreachable!("partner < v must already have been assigned"),
+            None => {
+                coarse_of[v as usize] = next_id;
+                reps.push((v, INVALID_NODE));
+            }
+        }
+    }
+    let coarse_n = reps.len();
+
+    // Phase 2 (parallel): one contiguous coarse-id range per worker; each
+    // builds its fragment of the coarse CSR arrays independently.
+    let threads = rayon::current_num_threads().max(1);
+    let chunk = coarse_n.div_ceil(threads).max(1);
+    let has_coords = graph.coords().is_some();
+    let fragments: Vec<CsrFragment> = reps
+        .par_chunks(chunk)
+        .map(|range| build_fragment(graph, &coarse_of, range, has_coords))
+        .collect();
+
+    // Phase 3 (sequential, O(m) concatenation): ordered merge of the
+    // fragments into the final CSR arrays.
+    let total_half_edges: usize = fragments.iter().map(|f| f.adjncy.len()).sum();
+    let mut xadj = Vec::with_capacity(coarse_n + 1);
+    xadj.push(0usize);
+    let mut adjncy: Vec<NodeId> = Vec::with_capacity(total_half_edges);
+    let mut adjwgt: Vec<EdgeWeight> = Vec::with_capacity(total_half_edges);
+    let mut vwgt: Vec<NodeWeight> = Vec::with_capacity(coarse_n);
+    let mut coords: Option<Vec<[f64; 2]>> = has_coords.then(|| Vec::with_capacity(coarse_n));
+    for fragment in fragments {
+        let offset = adjncy.len();
+        xadj.extend(fragment.ends.iter().map(|&e| offset + e));
+        adjncy.extend_from_slice(&fragment.adjncy);
+        adjwgt.extend_from_slice(&fragment.adjwgt);
+        vwgt.extend_from_slice(&fragment.vwgt);
+        if let (Some(all), Some(frag)) = (&mut coords, &fragment.coords) {
+            all.extend_from_slice(frag);
+        }
+    }
+
+    Contraction {
+        coarse_graph: CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt, coords),
+        coarse_of,
+    }
+}
+
+/// Builds the CSR fragment of one contiguous coarse-id range: for every coarse
+/// node, the merged adjacency over its fine representatives (sorted by target,
+/// parallel edges summed, self loops dropped), its node weight, and its
+/// averaged coordinates.
+fn build_fragment(
+    graph: &CsrGraph,
+    coarse_of: &[NodeId],
+    range: &[(NodeId, NodeId)],
+    has_coords: bool,
+) -> CsrFragment {
+    let mut fragment = CsrFragment {
+        ends: Vec::with_capacity(range.len()),
+        adjncy: Vec::new(),
+        adjwgt: Vec::new(),
+        vwgt: Vec::with_capacity(range.len()),
+        coords: has_coords.then(|| Vec::with_capacity(range.len())),
+    };
+    let mut scratch: Vec<(NodeId, EdgeWeight)> = Vec::new();
+    for &(u, p) in range {
+        let c = coarse_of[u as usize];
+        scratch.clear();
+        for (v, w) in graph.edges_of(u) {
+            let cv = coarse_of[v as usize];
+            if cv != c {
+                scratch.push((cv, w));
+            }
+        }
+        if p != INVALID_NODE {
+            for (v, w) in graph.edges_of(p) {
+                let cv = coarse_of[v as usize];
+                if cv != c {
+                    scratch.push((cv, w));
+                }
+            }
+        }
+        // Sort by coarse target and merge parallel edges by summing; the sum
+        // is order-independent, so the merged list is deterministic even
+        // though equal targets may arrive in either order.
+        scratch.sort_unstable_by_key(|&(t, _)| t);
+        let start = fragment.adjncy.len();
+        for &(t, w) in scratch.iter() {
+            if fragment.adjncy.len() > start && *fragment.adjncy.last().unwrap() == t {
+                *fragment.adjwgt.last_mut().unwrap() += w;
+            } else {
+                fragment.adjncy.push(t);
+                fragment.adjwgt.push(w);
+            }
+        }
+        fragment.ends.push(fragment.adjncy.len());
+        let mut weight = graph.node_weight(u);
+        if p != INVALID_NODE {
+            weight += graph.node_weight(p);
+        }
+        fragment.vwgt.push(weight);
+        if let Some(frag_coords) = &mut fragment.coords {
+            let all = graph.coords().expect("has_coords implies coords");
+            let cu = all[u as usize];
+            // Sum in ascending fine-node order, then divide — the same float
+            // operation order as the sequential reference, so coordinates are
+            // bit-identical.
+            let (sum, count) = if p != INVALID_NODE {
+                let cp = all[p as usize];
+                ([cu[0] + cp[0], cu[1] + cp[1]], 2.0)
+            } else {
+                (cu, 1.0)
+            };
+            frag_coords.push([sum[0] / count, sum[1] / count]);
+        }
+    }
+    fragment
+}
+
+/// The sequential reference contraction: one global [`GraphBuilder`] fed every
+/// surviving fine edge.
+///
+/// Kept as the ground truth the parallel [`contract_matching`] is checked
+/// against (parity tests, benches). Semantics are identical; prefer
+/// [`contract_matching`] everywhere else.
+pub fn contract_matching_reference(graph: &CsrGraph, matching: &Matching) -> Contraction {
     let n = graph.num_nodes();
     debug_assert_eq!(matching.num_nodes(), n);
 
@@ -181,5 +364,33 @@ mod tests {
         let c = contract_matching(&g, &m);
         assert_eq!(c.coarse_graph.num_nodes(), 2);
         assert_eq!(c.coarse_graph.degree(c.coarse_of[2]), 0);
+    }
+
+    #[test]
+    fn parallel_contraction_matches_reference_for_every_thread_count() {
+        let g = kappa_gen::rgg::random_geometric_graph(1500, 11);
+        let m = kappa_matching::gpa_matching(&g, kappa_matching::EdgeRating::ExpansionStar2, 5);
+        let reference = contract_matching_reference(&g, &m);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let parallel = pool.install(|| contract_matching(&g, &m));
+            assert_eq!(parallel.coarse_of, reference.coarse_of, "threads {threads}");
+            assert_eq!(
+                parallel.coarse_graph, reference.coarse_graph,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_contracts_to_empty() {
+        let g = CsrGraph::empty();
+        let m = Matching::new(0);
+        let c = contract_matching(&g, &m);
+        assert_eq!(c.coarse_graph.num_nodes(), 0);
+        assert!(c.coarse_of.is_empty());
     }
 }

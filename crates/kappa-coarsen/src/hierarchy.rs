@@ -108,12 +108,10 @@ impl MultilevelHierarchy {
         F: FnMut(&CsrGraph, u64) -> kappa_matching::Matching,
     {
         let mut levels: Vec<Level> = Vec::new();
-        let mut hierarchy = MultilevelHierarchy {
-            finest,
-            levels: Vec::new(),
-        };
-        let mut current = hierarchy.finest.clone();
         for level_idx in 0..config.max_levels {
+            // Borrow the current (finest or last coarse) graph in place — no
+            // per-level clone of the whole graph.
+            let current = levels.last().map(|l| &l.graph).unwrap_or(&finest);
             if current.num_nodes() <= config.stop_at_nodes {
                 break;
             }
@@ -121,7 +119,7 @@ impl MultilevelHierarchy {
                 .seed
                 .wrapping_mul(0x9E3779B97F4A7C15)
                 .wrapping_add(level_idx as u64);
-            let matching = matcher(&current, seed);
+            let matching = matcher(current, seed);
             let shrink = matching.cardinality() as f64 / current.num_nodes().max(1) as f64;
             if matching.cardinality() == 0 || shrink < config.min_shrink_factor {
                 break;
@@ -129,15 +127,13 @@ impl MultilevelHierarchy {
             let Contraction {
                 coarse_graph,
                 coarse_of,
-            } = contract_matching(&current, &matching);
-            current = coarse_graph.clone();
+            } = contract_matching(current, &matching);
             levels.push(Level {
                 graph: coarse_graph,
                 coarse_of,
             });
         }
-        hierarchy.levels = levels;
-        hierarchy
+        MultilevelHierarchy { finest, levels }
     }
 
     /// The input (finest) graph.

@@ -6,6 +6,12 @@
 //! the fine-to-coarse node mappings needed to project partitions back down
 //! during uncoarsening.
 //!
+//! Contraction runs in parallel per coarse-id range, mirroring the paper's
+//! per-PE contraction: [`contract_matching`] builds per-worker CSR fragments
+//! and concatenates them with an ordered collect, producing a coarse graph
+//! that is bit-identical to the sequential [`contract_matching_reference`]
+//! for every thread count.
+//!
 //! ```
 //! use kappa_coarsen::{CoarseningConfig, MultilevelHierarchy};
 //! use kappa_gen::grid::grid2d;
@@ -23,5 +29,5 @@
 pub mod contract;
 pub mod hierarchy;
 
-pub use contract::{contract_matching, Contraction};
+pub use contract::{contract_matching, contract_matching_reference, Contraction};
 pub use hierarchy::{CoarseningConfig, MatcherKind, MultilevelHierarchy};

@@ -8,12 +8,12 @@
 use std::collections::VecDeque;
 
 use crate::csr::CsrGraph;
-use crate::partition::Partition;
+use crate::partition::BlockAssignment;
 use crate::types::{BlockId, NodeId};
 
 /// All boundary nodes of the partition: nodes with at least one neighbour in a
 /// different block.
-pub fn boundary_nodes(graph: &CsrGraph, partition: &Partition) -> Vec<NodeId> {
+pub fn boundary_nodes<A: BlockAssignment>(graph: &CsrGraph, partition: &A) -> Vec<NodeId> {
     graph
         .nodes()
         .filter(|&v| {
@@ -28,9 +28,9 @@ pub fn boundary_nodes(graph: &CsrGraph, partition: &Partition) -> Vec<NodeId> {
 
 /// The boundary nodes of the *pair* `{a, b}`: nodes of block `a` with a
 /// neighbour in block `b`, and vice versa.
-pub fn pair_boundary_nodes(
+pub fn pair_boundary_nodes<A: BlockAssignment>(
     graph: &CsrGraph,
-    partition: &Partition,
+    partition: &A,
     a: BlockId,
     b: BlockId,
 ) -> Vec<NodeId> {
@@ -58,15 +58,16 @@ pub fn pair_boundary_nodes(
 /// Bounded BFS from `seeds`, restricted to nodes whose block is in
 /// `allowed_blocks`, up to `depth` hops (depth 0 returns just the seeds that
 /// are in an allowed block). Returns the visited nodes in BFS order.
-pub fn band_around_boundary(
+pub fn band_around_boundary<A: BlockAssignment>(
     graph: &CsrGraph,
-    partition: &Partition,
+    partition: &A,
     seeds: &[NodeId],
     allowed_blocks: (BlockId, BlockId),
     depth: usize,
 ) -> Vec<NodeId> {
     let allowed = |v: NodeId| {
-        partition.block_of(v) == allowed_blocks.0 || partition.block_of(v) == allowed_blocks.1
+        let b = partition.block_of(v);
+        b == allowed_blocks.0 || b == allowed_blocks.1
     };
     let mut dist = vec![usize::MAX; graph.num_nodes()];
     let mut order = Vec::new();
@@ -98,6 +99,7 @@ pub fn band_around_boundary(
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::partition::Partition;
 
     /// Path of 10 nodes split 5 | 5 between two blocks.
     fn split_path() -> (CsrGraph, Partition) {

@@ -5,6 +5,8 @@
 //! edge, §2 of the paper) and produces a CSR graph whose adjacency lists are
 //! sorted by target id.
 
+use rayon::prelude::*;
+
 use crate::csr::CsrGraph;
 use crate::types::{EdgeWeight, NodeId, NodeWeight};
 
@@ -102,7 +104,10 @@ impl GraphBuilder {
             half.push((u, v, w));
             half.push((v, u, w));
         }
-        half.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        // Parallel chunk-sort + ordered merge. Equal (u, v) keys may land in
+        // any relative order, but the merge below *sums* their weights, so
+        // the built graph is identical for every thread count.
+        half.par_sort_unstable_by_key(|&(u, v, _)| (u, v));
 
         let mut xadj = Vec::with_capacity(n + 1);
         let mut adjncy: Vec<NodeId> = Vec::with_capacity(half.len());

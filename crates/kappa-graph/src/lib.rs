@@ -48,7 +48,7 @@ pub use boundary::{band_around_boundary, boundary_nodes, pair_boundary_nodes};
 pub use builder::{graph_from_edges, GraphBuilder};
 pub use csr::CsrGraph;
 pub use io::{parse_metis, read_metis, to_metis_string, write_metis};
-pub use partition::{BlockWeights, Partition};
+pub use partition::{BlockAssignment, BlockAssignmentMut, BlockWeights, Partition};
 pub use quotient::QuotientGraph;
 pub use subgraph::{extract_block_pair, extract_subgraph, ExtractedSubgraph};
 pub use types::{BlockId, EdgeWeight, NodeId, NodeWeight, INVALID_BLOCK, INVALID_NODE};

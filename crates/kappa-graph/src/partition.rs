@@ -7,6 +7,47 @@
 use crate::csr::CsrGraph;
 use crate::types::{BlockId, EdgeWeight, NodeId, NodeWeight, INVALID_BLOCK};
 
+/// Read access to a node → block assignment.
+///
+/// [`Partition`] is the canonical implementor; refinement workers implement it
+/// on lightweight overlay views (a shared base partition plus a small set of
+/// local moves) so that concurrent pairwise searches need not clone the whole
+/// partition. Algorithms that only *read* block ids (gain computation,
+/// boundary and band extraction, 2-way FM) are generic over this trait.
+pub trait BlockAssignment {
+    /// Number of blocks `k`.
+    fn k(&self) -> BlockId;
+
+    /// Block of node `v` (may be `INVALID_BLOCK` if unassigned).
+    fn block_of(&self, v: NodeId) -> BlockId;
+}
+
+/// Mutable access to a node → block assignment.
+pub trait BlockAssignmentMut: BlockAssignment {
+    /// Assigns node `v` to block `b`.
+    fn assign(&mut self, v: NodeId, b: BlockId);
+}
+
+impl BlockAssignment for Partition {
+    #[inline]
+    fn k(&self) -> BlockId {
+        self.k
+    }
+
+    #[inline]
+    fn block_of(&self, v: NodeId) -> BlockId {
+        self.assignment[v as usize]
+    }
+}
+
+impl BlockAssignmentMut for Partition {
+    #[inline]
+    fn assign(&mut self, v: NodeId, b: BlockId) {
+        debug_assert!(b < self.k || b == INVALID_BLOCK);
+        self.assignment[v as usize] = b;
+    }
+}
+
 /// Per-block node-weight bookkeeping.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BlockWeights {

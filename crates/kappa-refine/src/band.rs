@@ -7,16 +7,18 @@
 //! boundary (and hence the band) will have shifted.
 
 use kappa_graph::{
-    band_around_boundary, pair_boundary_nodes, BlockId, CsrGraph, NodeId, Partition,
+    band_around_boundary, pair_boundary_nodes, BlockAssignment, BlockId, CsrGraph, NodeId,
 };
 
 /// Computes the band of eligible nodes for refining the pair `(a, b)`:
 /// a BFS of depth `depth` from the pair boundary, restricted to the two blocks.
 ///
 /// Returns an empty vector when the blocks share no edge (nothing to refine).
-pub fn pair_band(
+/// Generic over [`BlockAssignment`] so the parallel scheduler can compute
+/// bands against its per-pair delta views.
+pub fn pair_band<A: BlockAssignment>(
     graph: &CsrGraph,
-    partition: &Partition,
+    partition: &A,
     a: BlockId,
     b: BlockId,
     depth: usize,
@@ -32,6 +34,7 @@ pub fn pair_band(
 mod tests {
     use super::*;
     use kappa_gen::grid::grid2d;
+    use kappa_graph::Partition;
 
     fn half_split(side: usize) -> (CsrGraph, Partition) {
         let g = grid2d(side, side);
@@ -62,6 +65,31 @@ mod tests {
         let p = Partition::from_assignment(3, assignment);
         assert!(pair_band(&g, &p, 0, 2, 5).is_empty());
         assert!(!pair_band(&g, &p, 0, 1, 5).is_empty());
+    }
+
+    #[test]
+    fn band_through_a_delta_view_matches_band_on_an_equal_partition() {
+        use crate::delta::{DeltaPairView, SharedAssignment};
+        use kappa_graph::BlockAssignmentMut;
+
+        let (g, p) = half_split(12);
+        let shared = SharedAssignment::from_partition(&p);
+        let mut view = DeltaPairView::new(&shared);
+        // Shift a few nodes across the cut, mirroring the moves on a plain
+        // partition; the bands must agree at every depth.
+        let mut moved = p.clone();
+        for v in [5u32, 17, 29, 41, 6, 18] {
+            let side = moved.block_of(v);
+            view.assign(v, 1 - side);
+            moved.assign(v, 1 - side);
+        }
+        for depth in [0usize, 1, 3, 100] {
+            assert_eq!(
+                pair_band(&g, &view, 0, 1, depth),
+                pair_band(&g, &moved, 0, 1, depth),
+                "depth {depth}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use std::collections::BinaryHeap;
 
-use kappa_graph::{BlockId, CsrGraph, NodeId, NodeWeight, Partition};
+use kappa_graph::{BlockAssignment, BlockAssignmentMut, BlockId, CsrGraph, NodeId, NodeWeight};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -101,11 +101,11 @@ impl LazyQueue {
     }
 
     /// Drops stale entries and returns the best valid gain without removing it.
-    fn peek_valid(
+    fn peek_valid<A: BlockAssignment>(
         &mut self,
         gains: &[i64],
         moved: &[bool],
-        partition: &Partition,
+        partition: &A,
         block: BlockId,
     ) -> Option<i64> {
         while let Some(top) = self.heap.peek() {
@@ -122,11 +122,11 @@ impl LazyQueue {
         None
     }
 
-    fn pop_valid(
+    fn pop_valid<A: BlockAssignment>(
         &mut self,
         gains: &[i64],
         moved: &[bool],
-        partition: &Partition,
+        partition: &A,
         block: BlockId,
     ) -> Option<NodeId> {
         self.peek_valid(gains, moved, partition, block)?;
@@ -143,11 +143,14 @@ impl LazyQueue {
 ///   (not just the band), needed for the balance bound.
 ///
 /// The partition is mutated in place; the returned [`FmResult::moves`] lists
-/// the surviving moves (after rollback) so callers that work on a snapshot can
-/// replay them.
-pub fn two_way_fm(
+/// the surviving moves (after rollback) so callers that work on a snapshot or
+/// a delta view can replay them. The function is generic over
+/// [`BlockAssignmentMut`]: the scheduler passes a
+/// [`DeltaPairView`](crate::delta::DeltaPairView) so concurrent pair searches
+/// share one read-only base partition instead of cloning it.
+pub fn two_way_fm<P: BlockAssignmentMut>(
     graph: &CsrGraph,
-    partition: &mut Partition,
+    partition: &mut P,
     block_a: BlockId,
     block_b: BlockId,
     eligible: &[NodeId],
@@ -336,7 +339,7 @@ pub fn two_way_fm(
 mod tests {
     use super::*;
     use kappa_gen::grid::grid2d;
-    use kappa_graph::{graph_from_edges, BlockWeights};
+    use kappa_graph::{graph_from_edges, BlockWeights, Partition};
 
     fn run_fm(graph: &CsrGraph, partition: &mut Partition, config: &FmConfig) -> FmResult {
         let eligible: Vec<NodeId> = graph.nodes().collect();

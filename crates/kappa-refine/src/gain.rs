@@ -6,14 +6,16 @@
 //! enter the gain — this is what makes pairwise refinement embarrassingly
 //! parallel across disjoint block pairs.
 
-use kappa_graph::{BlockId, CsrGraph, NodeId, Partition};
+use kappa_graph::{BlockAssignment, BlockId, CsrGraph, NodeId};
 
 /// Gain of moving `v` to the other block of the pair `(a, b)`.
 ///
-/// `v` must currently be in block `a` or `b`.
-pub fn pair_gain(
+/// `v` must currently be in block `a` or `b`. Generic over
+/// [`BlockAssignment`] so it works on full partitions and on the delta-move
+/// views the parallel scheduler hands its FM workers.
+pub fn pair_gain<A: BlockAssignment>(
     graph: &CsrGraph,
-    partition: &Partition,
+    partition: &A,
     v: NodeId,
     a: BlockId,
     b: BlockId,
@@ -34,7 +36,12 @@ pub fn pair_gain(
 }
 
 /// The total cut between blocks `a` and `b` (useful for verifying FM results).
-pub fn pair_cut(graph: &CsrGraph, partition: &Partition, a: BlockId, b: BlockId) -> u64 {
+pub fn pair_cut<A: BlockAssignment>(
+    graph: &CsrGraph,
+    partition: &A,
+    a: BlockId,
+    b: BlockId,
+) -> u64 {
     let mut cut = 0u64;
     for (u, v, w) in graph.undirected_edges() {
         let (bu, bv) = (partition.block_of(u), partition.block_of(v));
@@ -48,7 +55,7 @@ pub fn pair_cut(graph: &CsrGraph, partition: &Partition, a: BlockId, b: BlockId)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kappa_graph::graph_from_edges;
+    use kappa_graph::{graph_from_edges, Partition};
 
     #[test]
     fn gain_counts_only_pair_edges() {

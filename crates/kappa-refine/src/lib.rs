@@ -15,9 +15,26 @@
 //! * the **pairwise refinement scheduler** ([`scheduler`]) that walks the
 //!   colour classes, refines all pairs of a class concurrently, and iterates
 //!   (local iterations per pair, global iterations over all colours);
+//! * **delta-move views** ([`delta`]): concurrent pair searches read and
+//!   write one shared atomic mirror of the assignment instead of cloning the
+//!   partition per pair — exact because write sets are block-disjoint and
+//!   cross-pair reads are membership tests — returning only their surviving
+//!   moves as per-pair deltas;
 //! * a **k-way greedy balancer** ([`balance`]) that repairs residual balance
 //!   violations, needed because the initial partition of the coarsest graph
 //!   may be infeasible at node-weight granularity.
+//!
+//! ```
+//! use kappa_gen::grid::grid2d;
+//! use kappa_initial::greedy_graph_growing;
+//! use kappa_refine::{refine_partition, RefinementConfig};
+//!
+//! let graph = grid2d(24, 24);
+//! let mut partition = greedy_graph_growing(&graph, 4, 0.03, 5);
+//! let before = partition.edge_cut(&graph);
+//! refine_partition(&graph, &mut partition, &RefinementConfig::default());
+//! assert!(partition.edge_cut(&graph) <= before);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +42,7 @@
 pub mod balance;
 pub mod band;
 pub mod coloring;
+pub mod delta;
 pub mod fm;
 pub mod gain;
 pub mod queue_select;
@@ -33,7 +51,10 @@ pub mod scheduler;
 pub use balance::rebalance;
 pub use band::pair_band;
 pub use coloring::{color_quotient_edges, EdgeColoring};
+pub use delta::{DeltaPairView, SharedAssignment};
 pub use fm::{two_way_fm, FmConfig, FmResult};
 pub use gain::pair_gain;
 pub use queue_select::QueueSelection;
-pub use scheduler::{refine_partition, RefinementConfig, RefinementStats};
+pub use scheduler::{
+    refine_partition, refine_partition_reference, RefinementConfig, RefinementStats,
+};

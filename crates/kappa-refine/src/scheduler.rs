@@ -12,16 +12,30 @@
 //!
 //! Because a 2-way move between blocks `A` and `B` only affects edges with both
 //! endpoints in `A ∪ B`, the concurrent searches of one colour class are
-//! independent: each runs against a snapshot of the partition and returns its
-//! move list, which the scheduler then applies — the shared-memory analogue of
-//! the paper's "the better partitioning of the two blocks is adopted" exchange.
+//! independent: each works through a [`DeltaPairView`] — a handle on one
+//! [`SharedAssignment`] atomic mirror that *all* workers read and write
+//! directly (safe because write sets are block-disjoint and cross-pair reads
+//! are membership tests; see [`crate::delta`]). Note there is no pair-local
+//! buffer: a worker's moves land in the shared mirror immediately, and it is
+//! the FM search's own rollback of non-surviving moves that keeps the mirror
+//! consistent. Each worker returns its surviving move list (the delta), which
+//! the scheduler applies to the real partition once per class — the
+//! shared-memory analogue of the paper's "the better partitioning of the two
+//! blocks is adopted" exchange. Earlier revisions cloned the entire partition
+//! once per colour class and once more per pair; the shared mirror cuts that
+//! `O(n·k)` copying out of the hot path entirely (see
+//! `refine_partition_reference`, kept as the bit-identical ground truth).
 
-use kappa_graph::{BlockWeights, CsrGraph, Partition, QuotientGraph};
+use kappa_graph::{
+    BlockAssignmentMut, BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition,
+    QuotientGraph,
+};
 use rayon::prelude::*;
 
 use crate::balance::rebalance;
 use crate::band::pair_band;
 use crate::coloring::color_quotient_edges;
+use crate::delta::{DeltaPairView, SharedAssignment};
 use crate::fm::{two_way_fm, FmConfig};
 use crate::queue_select::QueueSelection;
 
@@ -75,7 +89,101 @@ pub struct RefinementStats {
     pub nodes_moved: usize,
 }
 
+/// The delta a single pair search hands back to the scheduler: the surviving
+/// moves, the cut gain they achieve, and the number of FM searches run.
+struct PairDelta {
+    moves: Vec<(NodeId, BlockId)>,
+    gain: i64,
+    searches: usize,
+}
+
+/// Runs the local iterations of one pair `(a, b)` — band extraction, seeded
+/// 2-way FM, pair-local block-weight tracking — against `target` and returns
+/// the pair's delta.
+///
+/// `target` is a [`DeltaPairView`] in the production scheduler and a snapshot
+/// clone in [`refine_partition_reference`]; sharing this body is what keeps
+/// the two bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn search_pair<P: BlockAssignmentMut>(
+    graph: &CsrGraph,
+    target: &mut P,
+    a: BlockId,
+    b: BlockId,
+    mut w_a: NodeWeight,
+    mut w_b: NodeWeight,
+    l_max: NodeWeight,
+    config: &RefinementConfig,
+    global_iter: usize,
+    color_idx: usize,
+) -> PairDelta {
+    let mut pair_gain_total = 0i64;
+    let mut all_moves = Vec::new();
+    let mut searches = 0usize;
+    for local_iter in 0..config.local_iterations {
+        let band = pair_band(graph, target, a, b, config.bfs_depth);
+        if band.is_empty() {
+            break;
+        }
+        let fm_config = FmConfig {
+            queue_selection: config.queue_selection,
+            patience_alpha: config.patience_alpha,
+            l_max,
+            seed: config
+                .seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((global_iter * 1000 + color_idx * 100 + local_iter) as u64)
+                .wrapping_add((a as u64) << 32 | b as u64),
+        };
+        let result = two_way_fm(graph, target, a, b, &band, w_a, w_b, &fm_config);
+        searches += 1;
+        if result.moves.is_empty() {
+            break;
+        }
+        // Update the pair's block weights for the next local iteration.
+        for &(v, to) in &result.moves {
+            let vw = graph.node_weight(v);
+            if to == a {
+                w_a += vw;
+                w_b -= vw;
+            } else {
+                w_b += vw;
+                w_a -= vw;
+            }
+        }
+        pair_gain_total += result.gain;
+        all_moves.extend(result.moves);
+        if result.gain == 0 {
+            break;
+        }
+    }
+    PairDelta {
+        moves: all_moves,
+        gain: pair_gain_total,
+        searches,
+    }
+}
+
 /// Refines `partition` in place on one hierarchy level. Returns statistics.
+///
+/// All block pairs of one quotient-colour class run concurrently, each against
+/// a [`DeltaPairView`] of the shared partition; the merged deltas are applied
+/// once per class. The result is bit-identical to the snapshot-cloning
+/// [`refine_partition_reference`] for every thread count.
+///
+/// ```
+/// use kappa_gen::grid::grid2d;
+/// use kappa_initial::random_partition;
+/// use kappa_refine::{refine_partition, RefinementConfig};
+///
+/// let graph = grid2d(16, 16);
+/// let mut partition = random_partition(&graph, 4, 7);
+/// let before = partition.edge_cut(&graph);
+/// let stats = refine_partition(&graph, &mut partition, &RefinementConfig::default());
+/// assert_eq!(stats.total_gain, before as i64 - partition.edge_cut(&graph) as i64);
+/// assert!(partition.edge_cut(&graph) < before);
+/// assert!(partition.is_balanced(&graph, 0.03));
+/// ```
 pub fn refine_partition(
     graph: &CsrGraph,
     partition: &mut Partition,
@@ -94,6 +202,12 @@ pub fn refine_partition(
         stats.nodes_moved += rebalance(graph, partition, l_max);
     }
 
+    // One atomic mirror of the assignment for the whole refinement call. FM
+    // workers read and write it through DeltaPairViews; applying their deltas
+    // to `partition` below keeps the two in sync (FM rolls back every
+    // non-surviving move itself), so the mirror is never rebuilt.
+    let shared = SharedAssignment::from_partition(partition);
+
     let mut no_change_streak = 0usize;
     for global_iter in 0..config.max_global_iterations {
         let quotient = QuotientGraph::build(graph, partition);
@@ -104,70 +218,44 @@ pub fn refine_partition(
             color_quotient_edges(&quotient, config.seed.wrapping_add(global_iter as u64));
         let mut iteration_gain = 0i64;
 
+        // Block weights for the whole global iteration, updated incrementally
+        // as deltas are applied (replaces an O(n) recompute per colour class).
+        let mut weights = BlockWeights::compute(graph, partition);
+
         for (color_idx, class) in coloring.classes().enumerate() {
-            // All pairs of one colour are block-disjoint: refine them
-            // concurrently against a snapshot and apply the resulting moves.
-            let snapshot = partition.clone();
-            let weights = BlockWeights::compute(graph, &snapshot);
-            let results: Vec<_> = class
+            // All pairs of one colour are block-disjoint: each worker works
+            // on the shared mirror through a pair-local delta view and
+            // returns its moves; no clone of the partition is ever taken.
+            let deltas: Vec<PairDelta> = class
                 .par_iter()
                 .map(|&(a, b)| {
-                    let mut local = snapshot.clone();
-                    let mut pair_gain_total = 0i64;
-                    let mut all_moves = Vec::new();
-                    let mut searches = 0usize;
-                    let mut w_a = weights.weight(a);
-                    let mut w_b = weights.weight(b);
-                    for local_iter in 0..config.local_iterations {
-                        let band = pair_band(graph, &local, a, b, config.bfs_depth);
-                        if band.is_empty() {
-                            break;
-                        }
-                        let fm_config = FmConfig {
-                            queue_selection: config.queue_selection,
-                            patience_alpha: config.patience_alpha,
-                            l_max,
-                            seed: config
-                                .seed
-                                .wrapping_mul(0x9E3779B97F4A7C15)
-                                .wrapping_add(
-                                    (global_iter * 1000 + color_idx * 100 + local_iter) as u64,
-                                )
-                                .wrapping_add((a as u64) << 32 | b as u64),
-                        };
-                        let result =
-                            two_way_fm(graph, &mut local, a, b, &band, w_a, w_b, &fm_config);
-                        searches += 1;
-                        if result.moves.is_empty() {
-                            break;
-                        }
-                        // Update the pair's block weights for the next local iteration.
-                        for &(v, to) in &result.moves {
-                            let vw = graph.node_weight(v);
-                            if to == a {
-                                w_a += vw;
-                                w_b -= vw;
-                            } else {
-                                w_b += vw;
-                                w_a -= vw;
-                            }
-                        }
-                        pair_gain_total += result.gain;
-                        all_moves.extend(result.moves);
-                        if result.gain == 0 {
-                            break;
-                        }
-                    }
-                    (all_moves, pair_gain_total, searches)
+                    let mut view = DeltaPairView::new(&shared);
+                    search_pair(
+                        graph,
+                        &mut view,
+                        a,
+                        b,
+                        weights.weight(a),
+                        weights.weight(b),
+                        l_max,
+                        config,
+                        global_iter,
+                        color_idx,
+                    )
                 })
                 .collect();
 
-            for (moves, gain, searches) in results {
-                stats.pair_searches += searches;
-                iteration_gain += gain;
-                stats.nodes_moved += moves.len();
-                for (v, to) in moves {
-                    partition.assign(v, to);
+            // Apply the merged deltas once per class.
+            for delta in deltas {
+                stats.pair_searches += delta.searches;
+                iteration_gain += delta.gain;
+                stats.nodes_moved += delta.moves.len();
+                for (v, to) in delta.moves {
+                    let from = partition.block_of(v);
+                    if from != to {
+                        weights.apply_move(from, to, graph.node_weight(v));
+                        partition.assign(v, to);
+                    }
                 }
             }
         }
@@ -191,6 +279,88 @@ pub fn refine_partition(
     }
     // Total gain is reported against recomputed cuts so rebalancing moves
     // (which are not FM moves) are accounted for as well.
+    stats.total_gain = cut_before - partition.edge_cut(graph) as i64;
+    stats
+}
+
+/// The snapshot-cloning reference scheduler: clones the partition once per
+/// colour class and once more per pair, exactly as earlier revisions did.
+///
+/// Kept as the ground truth [`refine_partition`] is checked against (parity
+/// tests, benches). Use [`refine_partition`] everywhere else.
+pub fn refine_partition_reference(
+    graph: &CsrGraph,
+    partition: &mut Partition,
+    config: &RefinementConfig,
+) -> RefinementStats {
+    let mut stats = RefinementStats::default();
+    let k = partition.k();
+    if k < 2 || graph.num_nodes() == 0 {
+        return stats;
+    }
+    let l_max = Partition::l_max(graph, k, config.epsilon);
+    let cut_before = partition.edge_cut(graph) as i64;
+
+    if !partition.is_balanced(graph, config.epsilon) {
+        stats.nodes_moved += rebalance(graph, partition, l_max);
+    }
+
+    let mut no_change_streak = 0usize;
+    for global_iter in 0..config.max_global_iterations {
+        let quotient = QuotientGraph::build(graph, partition);
+        if quotient.num_edges() == 0 {
+            break;
+        }
+        let coloring =
+            color_quotient_edges(&quotient, config.seed.wrapping_add(global_iter as u64));
+        let mut iteration_gain = 0i64;
+
+        for (color_idx, class) in coloring.classes().enumerate() {
+            let snapshot = partition.clone();
+            let weights = BlockWeights::compute(graph, &snapshot);
+            let results: Vec<PairDelta> = class
+                .par_iter()
+                .map(|&(a, b)| {
+                    let mut local = snapshot.clone();
+                    search_pair(
+                        graph,
+                        &mut local,
+                        a,
+                        b,
+                        weights.weight(a),
+                        weights.weight(b),
+                        l_max,
+                        config,
+                        global_iter,
+                        color_idx,
+                    )
+                })
+                .collect();
+
+            for delta in results {
+                stats.pair_searches += delta.searches;
+                iteration_gain += delta.gain;
+                stats.nodes_moved += delta.moves.len();
+                for (v, to) in delta.moves {
+                    partition.assign(v, to);
+                }
+            }
+        }
+
+        stats.global_iterations += 1;
+        if iteration_gain <= 0 {
+            no_change_streak += 1;
+            if no_change_streak >= config.stop_after_no_change {
+                break;
+            }
+        } else {
+            no_change_streak = 0;
+        }
+    }
+
+    if !partition.is_balanced(graph, config.epsilon) {
+        stats.nodes_moved += rebalance(graph, partition, l_max);
+    }
     stats.total_gain = cut_before - partition.edge_cut(graph) as i64;
     stats
 }
@@ -273,6 +443,31 @@ mod tests {
         let mut p = Partition::from_assignment(2, assignment);
         refine_partition(&g, &mut p, &RefinementConfig::default());
         assert!(p.is_balanced(&g, 0.03), "balance {}", p.balance(&g));
+    }
+
+    #[test]
+    fn delta_scheduler_matches_snapshot_reference_for_every_thread_count() {
+        let g = random_geometric_graph(3000, 13);
+        let start = random_partition(&g, 16, 21);
+        let config = RefinementConfig {
+            max_global_iterations: 4,
+            ..Default::default()
+        };
+        let mut expected = start.clone();
+        let expected_stats = refine_partition_reference(&g, &mut expected, &config);
+        for threads in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut p = start.clone();
+            let stats = pool.install(|| refine_partition(&g, &mut p, &config));
+            assert_eq!(p.assignment(), expected.assignment(), "threads {threads}");
+            assert_eq!(stats.total_gain, expected_stats.total_gain);
+            assert_eq!(stats.pair_searches, expected_stats.pair_searches);
+            assert_eq!(stats.nodes_moved, expected_stats.nodes_moved);
+            assert_eq!(stats.global_iterations, expected_stats.global_iterations);
+        }
     }
 
     #[test]

@@ -6,9 +6,32 @@
 //! statistical machinery with a plain timing loop: a warm-up iteration, then
 //! `sample_size` measured iterations, reporting min / mean wall-clock time
 //! per iteration on stdout.
+//!
+//! ## JSON baselines
+//!
+//! Mirroring real criterion's `--save-baseline`, a run can persist its
+//! measurements as one JSON file per bench binary under
+//! `target/criterion-json/<baseline>/<bench>.json`, for CI artifact upload and
+//! cross-PR regression tracking. Activate it either with the bench argument
+//! `--save-baseline <name>` (e.g.
+//! `cargo bench -p kappa-bench --bench end_to_end -- --save-baseline pr42`)
+//! or, because `cargo bench` without a bench filter also invokes libtest
+//! harnesses that reject unknown flags, with the environment variable
+//! `CRITERION_SAVE_BASELINE=<name>`.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished benchmark: its full id and the measured per-iteration times.
+#[derive(Clone, Debug)]
+struct Measurement {
+    id: String,
+    durations: Vec<Duration>,
+}
+
+/// All measurements of this bench process, in execution order.
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
 
 /// Prevents the optimiser from deleting a benchmarked computation.
 pub fn black_box<T>(value: T) -> T {
@@ -75,6 +98,123 @@ fn report(label: &str, durations: &[Duration]) {
         min.as_secs_f64() * 1e3,
         durations.len()
     );
+    MEASUREMENTS.lock().unwrap().push(Measurement {
+        id: label.to_string(),
+        durations: durations.to_vec(),
+    });
+}
+
+/// Renders the recorded measurements as a JSON document (stable key order,
+/// times in nanoseconds).
+fn measurements_to_json(baseline: &str, measurements: &[Measurement]) -> String {
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"baseline\": \"{}\",\n", escape(baseline)));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let ns = |d: &Duration| d.as_nanos();
+        let total: u128 = m.durations.iter().map(&ns).sum();
+        let mean = total / m.durations.len().max(1) as u128;
+        let min = m.durations.iter().map(&ns).min().unwrap_or(0);
+        let max = m.durations.iter().map(&ns).max().unwrap_or(0);
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}{}\n",
+            escape(&m.id),
+            m.durations.len(),
+            mean,
+            min,
+            max,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The baseline name requested via `--save-baseline <name>` /
+/// `--save-baseline=<name>` in `args`, or the `CRITERION_SAVE_BASELINE`
+/// environment variable.
+fn requested_baseline(args: &[String]) -> Option<String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--save-baseline" {
+            match iter.next() {
+                Some(name) => return Some(name.clone()),
+                None => {
+                    // Don't silently drop the request; fall through so the
+                    // env fallback below still applies.
+                    eprintln!("criterion shim: --save-baseline given without a name, ignoring");
+                    break;
+                }
+            }
+        }
+        if let Some(name) = arg.strip_prefix("--save-baseline=") {
+            return Some(name.to_string());
+        }
+    }
+    std::env::var("CRITERION_SAVE_BASELINE")
+        .ok()
+        .filter(|name| !name.is_empty())
+}
+
+/// Writes this process's measurements to
+/// `target/criterion-json/<baseline>/<bench>.json` when a baseline was
+/// requested. Called by [`criterion_main!`] after all groups have run; a no-op
+/// otherwise. The bench name is the executable's file stem with cargo's
+/// `-<hash>` suffix stripped.
+pub fn save_baseline_if_requested() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(baseline) = requested_baseline(&args) else {
+        return;
+    };
+    let exe = std::env::current_exe().ok();
+    let stem = exe
+        .as_deref()
+        .and_then(|p| p.file_stem())
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench");
+    // `cargo bench` names binaries `<bench>-<16 hex digits>`; strip the hash.
+    let bench_name = match stem.rsplit_once('-') {
+        Some((head, tail)) if tail.len() == 16 && tail.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            head
+        }
+        _ => stem,
+    };
+    // Anchor the output below the build's `target/` dir (bench binaries live
+    // in `target/<profile>/deps/`), not the cwd: cargo runs bench binaries
+    // with the *package* directory as cwd, which for workspace members is not
+    // the workspace root.
+    let target_dir = exe
+        .as_deref()
+        .and_then(|p| p.ancestors().find(|a| a.ends_with("target")))
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| std::path::PathBuf::from("target"));
+    let dir = target_dir.join("criterion-json").join(&baseline);
+    let json = {
+        let measurements = MEASUREMENTS.lock().unwrap();
+        measurements_to_json(&baseline, &measurements)
+    };
+    if let Err(err) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join(format!("{bench_name}.json")), json))
+    {
+        eprintln!("criterion shim: could not save baseline {baseline:?}: {err}");
+    } else {
+        println!(
+            "saved baseline {:?} to {}",
+            baseline,
+            dir.join(format!("{bench_name}.json")).display()
+        );
+    }
 }
 
 fn run_one(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
@@ -176,12 +316,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the listed groups.
+/// Declares `main` running the listed groups, then saving a JSON baseline if
+/// one was requested (see the crate docs).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::save_baseline_if_requested();
         }
     };
 }
@@ -205,5 +347,59 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn json_report_has_stable_shape() {
+        let measurements = vec![
+            Measurement {
+                id: "group/bench \"quoted\"".into(),
+                durations: vec![
+                    Duration::from_nanos(100),
+                    Duration::from_nanos(300),
+                    Duration::from_nanos(200),
+                ],
+            },
+            Measurement {
+                id: "plain".into(),
+                durations: vec![Duration::from_nanos(50)],
+            },
+        ];
+        let json = measurements_to_json("pr-test", &measurements);
+        assert!(json.contains("\"baseline\": \"pr-test\""));
+        assert!(json.contains("\"id\": \"group/bench \\\"quoted\\\"\""));
+        assert!(json.contains("\"samples\": 3, \"mean_ns\": 200, \"min_ns\": 100, \"max_ns\": 300"));
+        assert!(json.contains("\"samples\": 1, \"mean_ns\": 50, \"min_ns\": 50, \"max_ns\": 50"));
+        // Exactly one trailing comma between the two entries, none after the last.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn baseline_request_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            requested_baseline(&args(&["--save-baseline", "ci"])).as_deref(),
+            Some("ci")
+        );
+        assert_eq!(
+            requested_baseline(&args(&["--bench", "--save-baseline=pr7"])).as_deref(),
+            Some("pr7")
+        );
+        // No flag and (in the test environment) no env var: None.
+        if std::env::var("CRITERION_SAVE_BASELINE").is_err() {
+            assert_eq!(requested_baseline(&args(&["--bench"])), None);
+        }
+    }
+
+    #[test]
+    fn measurements_are_recorded_for_reports() {
+        MEASUREMENTS.lock().unwrap().clear();
+        run_one("recorded/one", 2, |b| b.iter(|| 1 + 1));
+        let measurements = MEASUREMENTS.lock().unwrap();
+        let m = measurements
+            .iter()
+            .find(|m| m.id == "recorded/one")
+            .expect("measurement recorded");
+        assert_eq!(m.durations.len(), 2);
     }
 }

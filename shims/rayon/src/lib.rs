@@ -4,9 +4,11 @@
 //! The build environment has no access to crates.io, so this workspace vendors
 //! the small slice of rayon's API that KaPPa-rs uses:
 //!
-//! * [`prelude`] with `par_iter` / `into_par_iter`, `enumerate`, `map` and
-//!   `collect` — eager parallel iterators that fan work out over
+//! * [`prelude`] with `par_iter` / `into_par_iter`, `enumerate`, `map`,
+//!   `collect` and `reduce` — eager parallel iterators that fan work out over
 //!   [`std::thread::scope`] worker threads in contiguous chunks;
+//! * slice primitives: `par_chunks` and `par_sort_unstable_by` /
+//!   `par_sort_unstable_by_key` (chunk-sort + ordered merge);
 //! * [`current_num_threads`];
 //! * [`ThreadPoolBuilder`] / [`ThreadPool::install`], which scope the worker
 //!   count for everything running inside `install` via a thread-local.
@@ -23,6 +25,7 @@ pub mod iter;
 pub mod prelude {
     pub use crate::iter::{
         FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, MapIter, ParIter,
+        ParallelSlice, ParallelSliceMut,
     };
 }
 
@@ -157,6 +160,76 @@ mod tests {
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         pool.install(|| assert_eq!(current_num_threads(), 3));
         assert_ne!(INSTALLED_THREADS.with(Cell::get), 3);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_across_thread_counts() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let expected: u64 = data.iter().sum();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let total = pool.install(|| {
+                data.clone()
+                    .into_par_iter()
+                    .map(|x| x)
+                    .reduce(|| 0u64, |a, b| a + b)
+            });
+            assert_eq!(total, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn unmapped_reduce_works() {
+        let total: u64 = vec![1u64, 2, 3, 4]
+            .into_par_iter()
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn par_chunks_preserves_order_and_coverage() {
+        let data: Vec<u32> = (0..103).collect();
+        let flattened: Vec<Vec<u32>> = data.par_chunks(10).map(|c| c.to_vec()).collect();
+        assert_eq!(flattened.len(), 11);
+        assert_eq!(flattened.last().unwrap().len(), 3);
+        let rejoined: Vec<u32> = flattened.into_iter().flatten().collect();
+        assert_eq!(rejoined, data);
+    }
+
+    #[test]
+    fn par_sort_sorts_like_sequential_for_total_orders() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let data: Vec<u64> = (0..50_000).map(|_| next()).collect();
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        for threads in [1usize, 2, 4, 7] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let mut sorted = data.clone();
+            pool.install(|| sorted.par_sort_unstable_by(|a, b| a.cmp(b)));
+            assert_eq!(sorted, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_by_key_handles_small_and_odd_sizes() {
+        for n in [0usize, 1, 2, 3, 17, 1023, 1025] {
+            let mut v: Vec<i64> = (0..n as i64).rev().collect();
+            v.par_sort_unstable_by_key(|&x| x);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "n = {n}");
+            assert_eq!(v.len(), n);
+        }
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! Parallel/sequential parity: the parallel contraction and the delta-move
+//! refinement scheduler must be deterministic and bit-identical to their
+//! sequential reference implementations, across seeded random graphs and
+//! worker counts from 1 to 8.
+//!
+//! These properties are what make the parallelisation safe to adopt: a fixed
+//! seed reproduces the exact same hierarchy and partition no matter how many
+//! threads run the pipeline.
+
+use kappa::coarsen::{contract_matching, contract_matching_reference};
+use kappa::graph::GraphBuilder;
+use kappa::initial::random_partition;
+use kappa::matching::{compute_matching, EdgeRating, MatchingAlgorithm};
+use kappa::prelude::*;
+use kappa::refine::{refine_partition, refine_partition_reference, RefinementConfig};
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Strategy: a random connected-ish weighted graph with up to `max_n` nodes
+/// (ring backbone plus random chords, weighted 1..=9).
+fn arbitrary_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut builder = GraphBuilder::new(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..n {
+            builder.add_edge(i as u32, ((i + 1) % n) as u32, 1 + next() % 9);
+        }
+        for _ in 0..n {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v {
+                builder.add_edge(u, v, 1 + next() % 9);
+            }
+        }
+        builder.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_contraction_is_bit_identical_to_sequential(
+        graph in arbitrary_graph(300),
+        seed in any::<u64>(),
+    ) {
+        let matching = compute_matching(
+            &graph,
+            MatchingAlgorithm::Gpa,
+            EdgeRating::ExpansionStar2,
+            seed,
+        );
+        let reference = contract_matching_reference(&graph, &matching);
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let parallel = pool.install(|| contract_matching(&graph, &matching));
+            prop_assert_eq!(&parallel.coarse_of, &reference.coarse_of, "threads {}", threads);
+            prop_assert_eq!(
+                &parallel.coarse_graph,
+                &reference.coarse_graph,
+                "threads {}",
+                threads
+            );
+        }
+    }
+
+    #[test]
+    fn delta_move_refinement_is_bit_identical_to_snapshot_reference(
+        graph in arbitrary_graph(250),
+        k in 2u32..9,
+        seed in any::<u64>(),
+    ) {
+        let start = random_partition(&graph, k, seed);
+        let config = RefinementConfig {
+            max_global_iterations: 3,
+            seed,
+            ..Default::default()
+        };
+        let mut expected = start.clone();
+        let expected_stats = refine_partition_reference(&graph, &mut expected, &config);
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut p = start.clone();
+            let stats = pool.install(|| refine_partition(&graph, &mut p, &config));
+            prop_assert_eq!(p.assignment(), expected.assignment(), "threads {}", threads);
+            prop_assert_eq!(stats.total_gain, expected_stats.total_gain);
+            prop_assert_eq!(stats.pair_searches, expected_stats.pair_searches);
+            prop_assert_eq!(stats.nodes_moved, expected_stats.nodes_moved);
+        }
+    }
+
+    // The full pipeline is *not* invariant across thread counts — the paper's
+    // parallel matcher partitions the graph into one part per PE, so the
+    // matching (and everything downstream) legitimately depends on the worker
+    // count. The documented guarantee is determinism for a fixed seed AND
+    // thread count; the two properties above are the stronger per-phase
+    // invariances that hold regardless.
+    #[test]
+    fn full_partitioner_is_deterministic_per_seed_and_thread_count(
+        graph in arbitrary_graph(200),
+        k in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        for threads in [1usize, 4] {
+            let config = KappaConfig::fast(k).with_seed(seed).with_threads(threads);
+            let first = KappaPartitioner::new(config).partition(&graph);
+            let config = KappaConfig::fast(k).with_seed(seed).with_threads(threads);
+            let second = KappaPartitioner::new(config).partition(&graph);
+            prop_assert_eq!(
+                first.partition.assignment(),
+                second.partition.assignment(),
+                "threads {}",
+                threads
+            );
+            prop_assert_eq!(first.metrics.edge_cut, second.metrics.edge_cut);
+        }
+    }
+}
