@@ -4,11 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kappa_gen::{grid2d, random_geometric_graph};
-use kappa_graph::{BlockWeights, Partition, QuotientGraph};
+use kappa_graph::{pair_boundary_nodes, BlockWeights, BoundaryIndex, Partition, QuotientGraph};
 use kappa_initial::greedy_graph_growing;
 use kappa_refine::{
     color_quotient_edges, pair_band, refine_partition, refine_partition_reference, two_way_fm,
-    FmConfig, QueueSelection, RefinementConfig,
+    two_way_fm_in, FmConfig, FmScratch, QueueSelection, RefinementConfig,
 };
 
 fn bench_two_way_fm_band_depth(c: &mut Criterion) {
@@ -147,12 +147,108 @@ fn bench_delta_vs_snapshot_scheduler(c: &mut Criterion) {
     }
 }
 
+/// Headline of the boundary-index PR: extracting a pair boundary of FIXED
+/// size (a 64-wide grid split across the middle row — always 128 boundary
+/// nodes) as the graph grows 16× taller. The full scan grows linearly with
+/// `n`; the index extraction stays flat. `index_build` is the once-per-global-
+/// iteration cost the extractions amortise.
+fn bench_boundary_extraction_scaling(c: &mut Criterion) {
+    const WIDTH: usize = 64;
+    for height in [64usize, 256, 1024] {
+        let graph = grid2d(WIDTH, height);
+        let assignment = (0..WIDTH * height)
+            .map(|i| if i / WIDTH < height / 2 { 0u32 } else { 1 })
+            .collect();
+        let partition = Partition::from_assignment(2, assignment);
+        let index = BoundaryIndex::build(&graph, &partition);
+        assert_eq!(index.boundary_len(), 2 * WIDTH, "boundary must stay fixed");
+        let mut group = c.benchmark_group(format!("pair_boundary_grid64x{height}"));
+        group.bench_function(BenchmarkId::from_parameter("full_scan"), |b| {
+            b.iter(|| pair_boundary_nodes(&graph, &partition, 0, 1));
+        });
+        group.bench_function(BenchmarkId::from_parameter("index"), |b| {
+            b.iter(|| index.pair_boundary_sorted(0, 1));
+        });
+        group.bench_function(BenchmarkId::from_parameter("index_build"), |b| {
+            b.iter(|| BoundaryIndex::build(&graph, &partition));
+        });
+        group.finish();
+    }
+}
+
+/// Companion of the scratch-pool change: one banded FM search on a large
+/// graph, with per-call `O(n)` allocations (`two_way_fm`) vs. a reused
+/// band-indexed scratch (`two_way_fm_in`).
+fn bench_fm_scratch_reuse(c: &mut Criterion) {
+    let graph = grid2d(256, 256);
+    let assignment = (0..256 * 256)
+        .map(|i| if i / 256 < 128 { 0u32 } else { 1 })
+        .collect();
+    let partition = Partition::from_assignment(2, assignment);
+    let weights = BlockWeights::compute(&graph, &partition);
+    let band = pair_band(&graph, &partition, 0, 1, 2);
+    let config = FmConfig {
+        l_max: Partition::l_max(&graph, 2, 0.03),
+        patience_alpha: 0.05,
+        seed: 3,
+        ..Default::default()
+    };
+    // Undoing the surviving moves (O(|moves|)) instead of cloning the
+    // partition (O(n)) keeps the measured loop free of everything but the
+    // search itself, so the per-call allocation difference is visible.
+    let undo = |p: &mut Partition, moves: &[(u32, u32)]| {
+        for &(v, to) in moves {
+            p.assign(v, 1 - to);
+        }
+    };
+    let mut group = c.benchmark_group("two_way_fm_grid256_band2");
+    group.bench_function(BenchmarkId::from_parameter("fresh_alloc"), |b| {
+        let mut p = partition.clone();
+        b.iter(|| {
+            let r = two_way_fm(
+                &graph,
+                &mut p,
+                0,
+                1,
+                &band,
+                weights.weight(0),
+                weights.weight(1),
+                &config,
+            );
+            undo(&mut p, &r.moves);
+            r
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("pooled_scratch"), |b| {
+        let mut p = partition.clone();
+        let mut scratch = FmScratch::new();
+        b.iter(|| {
+            let r = two_way_fm_in(
+                &graph,
+                &mut p,
+                0,
+                1,
+                &band,
+                weights.weight(0),
+                weights.weight(1),
+                &config,
+                &mut scratch,
+            );
+            undo(&mut p, &r.moves);
+            r
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_two_way_fm_band_depth,
     bench_queue_selection,
     bench_edge_coloring,
     bench_full_refinement_sweep,
-    bench_delta_vs_snapshot_scheduler
+    bench_delta_vs_snapshot_scheduler,
+    bench_boundary_extraction_scaling,
+    bench_fm_scratch_reuse
 );
 criterion_main!(benches);

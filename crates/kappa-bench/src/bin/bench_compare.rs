@@ -1,0 +1,204 @@
+//! Compares two criterion JSON baseline directories and annotates
+//! regressions.
+//!
+//! The criterion shim writes one JSON file per bench binary
+//! (`target/criterion-json/<baseline>/<bench>.json`, see `shims/criterion`);
+//! CI uploads that directory as an artifact and caches it between runs. This
+//! tool diffs a previous baseline against the current one:
+//!
+//! ```text
+//! bench_compare <baseline-dir> <current-dir> [--threshold 0.10]
+//!               [--github-annotations] [--fail-on-regression]
+//! ```
+//!
+//! Per benchmark id it compares the *minimum* per-iteration time (the most
+//! noise-resistant statistic the shim records; the mean is shown for
+//! context) and flags every slowdown beyond the threshold (default 10 %).
+//! With `--github-annotations` each regression is also emitted as a
+//! `::warning::` workflow command so it surfaces on the PR checks page;
+//! `--fail-on-regression` turns regressions into a non-zero exit code.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// One benchmark's recorded statistics.
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    mean_ns: f64,
+    min_ns: f64,
+}
+
+/// Reads every `<bench>.json` in `dir` into `bench/id -> Stats`.
+fn load_dir(dir: &Path) -> Result<BTreeMap<String, Stats>, String> {
+    let mut out = BTreeMap::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read directory {dir:?}: {e}"))?;
+    for entry in entries {
+        let path = entry
+            .map_err(|e| format!("cannot list {dir:?}: {e}"))?
+            .path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let bench = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("bench")
+            .to_string();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| format!("bad JSON in {path:?}: {e:?}"))?;
+        let Some(Value::Array(benchmarks)) = value.get("benchmarks") else {
+            return Err(format!("{path:?} has no \"benchmarks\" array"));
+        };
+        for b in benchmarks {
+            let id = b
+                .get("id")
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("{path:?}: benchmark without id"))?;
+            let num = |key: &str| {
+                b.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("{path:?}: benchmark {id:?} without {key}"))
+            };
+            out.insert(
+                format!("{bench}/{id}"),
+                Stats {
+                    mean_ns: num("mean_ns")?,
+                    min_ns: num("min_ns")?,
+                },
+            );
+        }
+    }
+    Ok(out)
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut annotations = false;
+    let mut fail_on_regression = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(value) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("--threshold needs a fractional value, e.g. 0.10");
+                    return ExitCode::from(2);
+                };
+                threshold = value;
+            }
+            "--github-annotations" => annotations = true,
+            "--fail-on-regression" => fail_on_regression = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_compare <baseline-dir> <current-dir> \
+                     [--threshold 0.10] [--github-annotations] [--fail-on-regression]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => dirs.push(PathBuf::from(other)),
+        }
+    }
+    let [baseline_dir, current_dir] = dirs.as_slice() else {
+        eprintln!("expected exactly two directories (baseline, current); see --help");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, current) = match (load_dir(baseline_dir), load_dir(current_dir)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions: Vec<(String, f64)> = Vec::new();
+    let mut improvements = 0usize;
+    println!(
+        "{:<55} {:>12} {:>12} {:>8}   (min per iteration; threshold {:.0} %)",
+        "benchmark",
+        "baseline",
+        "current",
+        "delta",
+        threshold * 100.0
+    );
+    for (id, cur) in &current {
+        let Some(base) = baseline.get(id) else {
+            println!(
+                "{id:<55} {:>12} {:>12} {:>8}",
+                "-",
+                human(cur.min_ns),
+                "new"
+            );
+            continue;
+        };
+        let delta = (cur.min_ns - base.min_ns) / base.min_ns;
+        let marker = if delta > threshold {
+            regressions.push((id.clone(), delta));
+            "  << REGRESSION"
+        } else if delta < -threshold {
+            improvements += 1;
+            "  (improved)"
+        } else {
+            ""
+        };
+        println!(
+            "{id:<55} {:>12} {:>12} {:>+7.1}%{marker}",
+            human(base.min_ns),
+            human(cur.min_ns),
+            delta * 100.0
+        );
+    }
+    for id in baseline.keys().filter(|id| !current.contains_key(*id)) {
+        println!(
+            "{id:<55} {:>12} {:>12} {:>8}",
+            human(baseline[id].min_ns),
+            "-",
+            "gone"
+        );
+    }
+
+    println!(
+        "\n{} benchmarks compared, {} regression(s) > {:.0} %, {} improvement(s)",
+        current.len(),
+        regressions.len(),
+        threshold * 100.0,
+        improvements
+    );
+    for (id, delta) in &regressions {
+        let (base, cur) = (&baseline[id], &current[id]);
+        let line = format!(
+            "{id}: {} -> {} min per iteration (+{:.1} %, mean {} -> {})",
+            human(base.min_ns),
+            human(cur.min_ns),
+            delta * 100.0,
+            human(base.mean_ns),
+            human(cur.mean_ns),
+        );
+        if annotations {
+            // GitHub Actions workflow command: shows up as a PR annotation.
+            println!("::warning title=bench regression::{line}");
+        } else {
+            println!("regression: {line}");
+        }
+    }
+    if fail_on_regression && !regressions.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -65,15 +65,38 @@ pub fn band_around_boundary<A: BlockAssignment>(
     allowed_blocks: (BlockId, BlockId),
     depth: usize,
 ) -> Vec<NodeId> {
+    let mut dist = Vec::new();
+    band_around_boundary_in(graph, partition, seeds, allowed_blocks, depth, &mut dist)
+}
+
+/// [`band_around_boundary`] with a caller-provided distance scratch array, so
+/// repeated band extractions (one per pair per local refinement iteration)
+/// perform no `O(n)` allocation. `dist` is grown to `n` entries of `u32::MAX`
+/// on first use and left fully reset on return, at `O(|band|)` cost; the
+/// returned band is identical to [`band_around_boundary`]'s.
+pub fn band_around_boundary_in<A: BlockAssignment>(
+    graph: &CsrGraph,
+    partition: &A,
+    seeds: &[NodeId],
+    allowed_blocks: (BlockId, BlockId),
+    depth: usize,
+    dist: &mut Vec<u32>,
+) -> Vec<NodeId> {
+    const UNSEEN: u32 = u32::MAX;
+    if dist.len() < graph.num_nodes() {
+        dist.resize(graph.num_nodes(), UNSEEN);
+    }
+    debug_assert!(dist.iter().all(|&d| d == UNSEEN), "dirty distance scratch");
     let allowed = |v: NodeId| {
         let b = partition.block_of(v);
         b == allowed_blocks.0 || b == allowed_blocks.1
     };
-    let mut dist = vec![usize::MAX; graph.num_nodes()];
+    // BFS depths are clamped to the sentinel; a band never reaches 2^32 hops.
+    let depth = depth.min((UNSEEN - 1) as usize) as u32;
     let mut order = Vec::new();
     let mut queue = VecDeque::new();
     for &s in seeds {
-        if allowed(s) && dist[s as usize] == usize::MAX {
+        if allowed(s) && dist[s as usize] == UNSEEN {
             dist[s as usize] = 0;
             order.push(s);
             queue.push_back(s);
@@ -85,12 +108,16 @@ pub fn band_around_boundary<A: BlockAssignment>(
             continue;
         }
         for &v in graph.neighbors(u) {
-            if allowed(v) && dist[v as usize] == usize::MAX {
+            if allowed(v) && dist[v as usize] == UNSEEN {
                 dist[v as usize] = d + 1;
                 order.push(v);
                 queue.push_back(v);
             }
         }
+    }
+    // Reset only the touched entries so the scratch can be reused.
+    for &v in &order {
+        dist[v as usize] = UNSEEN;
     }
     order
 }

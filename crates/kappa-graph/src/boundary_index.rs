@@ -1,0 +1,357 @@
+//! Incremental partition-boundary index.
+//!
+//! [`boundary_nodes`](crate::boundary::boundary_nodes) and
+//! [`pair_boundary_nodes`](crate::boundary::pair_boundary_nodes) rescan the
+//! whole graph — `O(n + m)` per call — which makes every band extraction of
+//! the pairwise refinement scale with *total* graph size instead of boundary
+//! size. KaHIP's line of partitioners keeps an incremental boundary for
+//! exactly this reason, and §5.2 of the paper restricts each 2-way search to
+//! a band grown from the pair boundary, so the boundary is the natural unit
+//! of refinement cost.
+//!
+//! [`BoundaryIndex`] maintains, for every node, the number of neighbours it
+//! has in each adjacent block (a sorted run-length list, at most `deg(v)`
+//! entries) plus the count of *foreign* neighbours, and from that a membership
+//! set of all current boundary nodes. A single node move is absorbed in
+//! `O(deg(v) · log maxdeg)` by [`BoundaryIndex::apply_move`]; extracting the
+//! boundary of a block pair costs `O(|boundary| + |pair boundary| · log)` via
+//! [`BoundaryIndex::pair_boundary_sorted`] — independent of `n` and `m`.
+//!
+//! The index stores its own copy of the node → block map so that it is
+//! self-contained: consistency with a partition only requires replaying the
+//! same moves, which is what the refinement scheduler does with the committed
+//! per-pair deltas. The full-scan functions in [`crate::boundary`] are kept
+//! as the ground truth the index is checked against (unit tests here,
+//! property and parity tests at the workspace level).
+
+use crate::csr::CsrGraph;
+use crate::partition::BlockAssignment;
+use crate::types::{BlockId, NodeId, INVALID_NODE};
+
+/// Incrementally maintained boundary information for one partition.
+///
+/// ```
+/// use kappa_graph::{graph_from_edges, BoundaryIndex, Partition};
+///
+/// // A path 0 - 1 - 2 - 3 split 2 | 2.
+/// let g = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+/// let p = Partition::from_assignment(2, vec![0, 0, 1, 1]);
+/// let mut index = BoundaryIndex::build(&g, &p);
+/// assert_eq!(index.boundary_nodes_sorted(), vec![1, 2]);
+///
+/// // Move node 2 across the cut: the boundary shifts to {2, 3}.
+/// index.apply_move(&g, 2, 0);
+/// assert_eq!(index.boundary_nodes_sorted(), vec![2, 3]);
+/// assert_eq!(index.pair_boundary_sorted(0, 1), vec![2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoundaryIndex {
+    /// Number of blocks.
+    k: BlockId,
+    /// The index's own node → block map (kept in sync via `apply_move`).
+    block: Vec<BlockId>,
+    /// Per node: `(block, count)` pairs for every block with at least one
+    /// neighbour of the node, sorted by block id. At most `deg(v)` entries.
+    counts: Vec<Vec<(BlockId, u32)>>,
+    /// Per node: number of neighbours in a block other than the node's own.
+    foreign: Vec<u32>,
+    /// Membership bitmap of the boundary set.
+    in_boundary: Vec<bool>,
+    /// Position of each boundary node inside `list` (`INVALID_NODE` if absent).
+    pos: Vec<NodeId>,
+    /// The boundary set in unspecified order (swap-remove on leave).
+    list: Vec<NodeId>,
+}
+
+impl BoundaryIndex {
+    /// Builds the index from scratch in `O(n + m log maxdeg)`.
+    pub fn build<A: BlockAssignment>(graph: &CsrGraph, partition: &A) -> Self {
+        let n = graph.num_nodes();
+        let mut index = BoundaryIndex {
+            k: partition.k(),
+            block: (0..n as NodeId).map(|v| partition.block_of(v)).collect(),
+            counts: Vec::with_capacity(n),
+            foreign: vec![0; n],
+            in_boundary: vec![false; n],
+            pos: vec![INVALID_NODE; n],
+            list: Vec::new(),
+        };
+        let mut scratch: Vec<BlockId> = Vec::new();
+        for v in graph.nodes() {
+            scratch.clear();
+            scratch.extend(graph.neighbors(v).iter().map(|&u| index.block[u as usize]));
+            scratch.sort_unstable();
+            let mut counts: Vec<(BlockId, u32)> = Vec::new();
+            for &b in scratch.iter() {
+                match counts.last_mut() {
+                    Some((last, c)) if *last == b => *c += 1,
+                    _ => counts.push((b, 1)),
+                }
+            }
+            let own = index.block[v as usize];
+            let own_count = counts
+                .iter()
+                .find(|&&(b, _)| b == own)
+                .map(|&(_, c)| c)
+                .unwrap_or(0);
+            index.foreign[v as usize] = graph.degree(v) as u32 - own_count;
+            index.counts.push(counts);
+            if index.foreign[v as usize] > 0 {
+                index.enter_boundary(v);
+            }
+        }
+        index
+    }
+
+    /// Number of blocks of the underlying partition.
+    #[inline]
+    pub fn k(&self) -> BlockId {
+        self.k
+    }
+
+    /// The block the index believes `v` is in.
+    #[inline]
+    pub fn block_of(&self, v: NodeId) -> BlockId {
+        self.block[v as usize]
+    }
+
+    /// Number of neighbours of `v` currently in block `b`.
+    #[inline]
+    pub fn count(&self, v: NodeId, b: BlockId) -> u32 {
+        let counts = &self.counts[v as usize];
+        match counts.binary_search_by_key(&b, |&(block, _)| block) {
+            Ok(i) => counts[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// True if `v` has at least one neighbour in a foreign block.
+    #[inline]
+    pub fn is_boundary(&self, v: NodeId) -> bool {
+        self.in_boundary[v as usize]
+    }
+
+    /// Number of boundary nodes.
+    #[inline]
+    pub fn boundary_len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// The boundary set in unspecified (membership) order — `O(1)` access to
+    /// the live list, for callers that sort or filter themselves.
+    #[inline]
+    pub fn boundary_nodes_unordered(&self) -> &[NodeId] {
+        &self.list
+    }
+
+    /// The boundary set sorted by node id — same output as a fresh
+    /// [`boundary_nodes`](crate::boundary::boundary_nodes) scan, in
+    /// `O(|boundary| log |boundary|)`.
+    pub fn boundary_nodes_sorted(&self) -> Vec<NodeId> {
+        let mut nodes = self.list.clone();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// The boundary of the pair `{a, b}` sorted by node id — same output as a
+    /// fresh [`pair_boundary_nodes`](crate::boundary::pair_boundary_nodes)
+    /// scan, in `O(|boundary|)` plus the sort of the (smaller) result.
+    pub fn pair_boundary_sorted(&self, a: BlockId, b: BlockId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .list
+            .iter()
+            .copied()
+            .filter(|&v| {
+                let bv = self.block[v as usize];
+                (bv == a && self.count(v, b) > 0) || (bv == b && self.count(v, a) > 0)
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// Moves `v` to block `to`, updating the neighbour counts, foreign-degree
+    /// counters and boundary membership of `v` and all its neighbours in
+    /// `O(deg(v) · log maxdeg)`. A no-op when `v` is already in `to`.
+    pub fn apply_move(&mut self, graph: &CsrGraph, v: NodeId, to: BlockId) {
+        let from = self.block[v as usize];
+        if from == to {
+            return;
+        }
+        debug_assert!(to < self.k, "move of node {v} to out-of-range block {to}");
+        self.block[v as usize] = to;
+
+        for &u in graph.neighbors(v) {
+            // Neighbour `u` sees one neighbour (`v`) switch `from` → `to`.
+            self.adjust_count(u, from, -1);
+            self.adjust_count(u, to, 1);
+            let bu = self.block[u as usize];
+            if bu == from {
+                self.foreign[u as usize] += 1;
+            } else if bu == to {
+                self.foreign[u as usize] -= 1;
+            }
+            self.update_membership(u);
+        }
+
+        // `v`'s neighbour counts are unchanged, but its own block moved.
+        self.foreign[v as usize] = graph.degree(v) as u32 - self.count(v, to);
+        self.update_membership(v);
+    }
+
+    /// Adds `delta` to `count(v, b)`, inserting or removing the run entry.
+    fn adjust_count(&mut self, v: NodeId, b: BlockId, delta: i32) {
+        let counts = &mut self.counts[v as usize];
+        match counts.binary_search_by_key(&b, |&(block, _)| block) {
+            Ok(i) => {
+                let c = counts[i].1 as i64 + delta as i64;
+                debug_assert!(c >= 0, "negative neighbour count for node {v}");
+                if c == 0 {
+                    counts.remove(i);
+                } else {
+                    counts[i].1 = c as u32;
+                }
+            }
+            Err(i) => {
+                debug_assert!(delta > 0, "decrement of absent count for node {v}");
+                counts.insert(i, (b, delta as u32));
+            }
+        }
+    }
+
+    fn update_membership(&mut self, v: NodeId) {
+        let should = self.foreign[v as usize] > 0;
+        if should && !self.in_boundary[v as usize] {
+            self.enter_boundary(v);
+        } else if !should && self.in_boundary[v as usize] {
+            self.leave_boundary(v);
+        }
+    }
+
+    fn enter_boundary(&mut self, v: NodeId) {
+        self.in_boundary[v as usize] = true;
+        self.pos[v as usize] = self.list.len() as NodeId;
+        self.list.push(v);
+    }
+
+    fn leave_boundary(&mut self, v: NodeId) {
+        self.in_boundary[v as usize] = false;
+        let p = self.pos[v as usize] as usize;
+        self.pos[v as usize] = INVALID_NODE;
+        let last = *self.list.last().expect("leave from empty boundary list");
+        self.list.swap_remove(p);
+        if last != v {
+            self.pos[last as usize] = p as NodeId;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::{boundary_nodes, pair_boundary_nodes};
+    use crate::builder::{graph_from_edges, GraphBuilder};
+    use crate::partition::Partition;
+
+    fn assert_matches_fresh_scan(graph: &CsrGraph, partition: &Partition, index: &BoundaryIndex) {
+        assert_eq!(
+            index.boundary_nodes_sorted(),
+            boundary_nodes(graph, partition),
+            "boundary set diverged"
+        );
+        for a in 0..partition.k() {
+            for b in 0..partition.k() {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    index.pair_boundary_sorted(a, b),
+                    pair_boundary_nodes(graph, partition, a, b),
+                    "pair ({a}, {b}) boundary diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_matches_full_scan_on_a_grid() {
+        let mut b = GraphBuilder::new(16);
+        for y in 0..4u32 {
+            for x in 0..4u32 {
+                let v = y * 4 + x;
+                if x + 1 < 4 {
+                    b.add_edge(v, v + 1, 1);
+                }
+                if y + 1 < 4 {
+                    b.add_edge(v, v + 4, 1);
+                }
+            }
+        }
+        let g = b.build();
+        let p = Partition::from_assignment(
+            4,
+            (0..16)
+                .map(|i| ((i % 4) / 2 + (i / 8) * 2) as u32)
+                .collect(),
+        );
+        let index = BoundaryIndex::build(&g, &p);
+        assert_matches_fresh_scan(&g, &p, &index);
+    }
+
+    #[test]
+    fn moves_keep_the_index_in_sync() {
+        let g = graph_from_edges(
+            6,
+            vec![
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 1),
+                (4, 5, 1),
+                (0, 5, 1),
+            ],
+        );
+        let mut p = Partition::from_assignment(3, vec![0, 0, 1, 1, 2, 2]);
+        let mut index = BoundaryIndex::build(&g, &p);
+        assert_matches_fresh_scan(&g, &p, &index);
+        for (v, to) in [(2u32, 0u32), (3, 2), (0, 1), (5, 0), (2, 2), (2, 1)] {
+            p.assign(v, to);
+            index.apply_move(&g, v, to);
+            assert_eq!(index.block_of(v), to);
+            assert_matches_fresh_scan(&g, &p, &index);
+        }
+    }
+
+    #[test]
+    fn move_to_same_block_is_a_no_op() {
+        let g = graph_from_edges(3, vec![(0, 1, 1), (1, 2, 1)]);
+        let p = Partition::from_assignment(2, vec![0, 0, 1]);
+        let mut index = BoundaryIndex::build(&g, &p);
+        let before = index.boundary_nodes_sorted();
+        index.apply_move(&g, 1, 0);
+        assert_eq!(index.boundary_nodes_sorted(), before);
+    }
+
+    #[test]
+    fn counts_track_neighbour_blocks() {
+        let g = graph_from_edges(4, vec![(0, 1, 1), (0, 2, 1), (0, 3, 1)]);
+        let mut index = BoundaryIndex::build(&g, &Partition::from_assignment(3, vec![0, 0, 1, 2]));
+        assert_eq!(index.count(0, 0), 1);
+        assert_eq!(index.count(0, 1), 1);
+        assert_eq!(index.count(0, 2), 1);
+        index.apply_move(&g, 3, 1);
+        assert_eq!(index.count(0, 2), 0);
+        assert_eq!(index.count(0, 1), 2);
+        assert_eq!(index.count(1, 0), 1);
+    }
+
+    #[test]
+    fn interior_and_isolated_nodes_are_not_boundary() {
+        let g = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 1)]);
+        // Node 3 is isolated; all nodes share one block.
+        let index = BoundaryIndex::build(&g, &Partition::trivial(2, 4));
+        assert_eq!(index.boundary_len(), 0);
+        assert!(!index.is_boundary(3));
+        assert!(index.pair_boundary_sorted(0, 1).is_empty());
+    }
+}

@@ -1,93 +1,311 @@
 //! METIS-format text I/O.
 //!
 //! The METIS graph format is the de-facto interchange format of the graph
-//! partitioning community (Walshaw archive, Metis, Scotch, KaHIP all read it):
-//! the header line is `n m [fmt]` where `fmt` is a three-digit flag string
-//! (`1xx` unused here, `x1x` = node weights present, `xx1` = edge weights
-//! present); line `i` then lists the neighbours of node `i` (1-based), each
-//! preceded by the edge weight if `xx1` and prefixed by the node weight if
-//! `x1x`. Lines starting with `%` are comments.
+//! partitioning community (Walshaw archive, Metis, Scotch, KaHIP all read
+//! it): the header line is `n m [fmt [ncon]]` where `fmt` is a flag string of
+//! up to three binary digits (`1xx` = vertex sizes present, `x1x` = vertex
+//! weights present, `xx1` = edge weights present) and `ncon` is the number of
+//! vertex weights (constraints) per vertex. Line `i` then lists the
+//! neighbours of node `i` (1-based), each preceded by the edge weight if
+//! `xx1`, the whole line prefixed by the vertex size if `1xx` and by the
+//! `ncon` vertex weights if `x1x`. Lines starting with `%` are comments.
+//!
+//! Deviations and tolerances, all documented on [`parse_metis`]: vertex sizes
+//! and all but the first vertex weight are parsed and validated but ignored
+//! (this partitioner balances a single node-weight constraint), and a file
+//! whose adjacency lists contain exactly `m` half-edges is accepted as the
+//! "each edge listed once" convention some writers use. Every malformed input
+//! is reported as a typed [`MetisError`] — parsing never panics.
 
+use std::fmt;
 use std::fs;
 use std::io::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::types::NodeId;
 
+/// Everything that can go wrong reading or writing METIS text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetisError {
+    /// The file contains no non-comment, non-blank lines.
+    Empty,
+    /// The header line (`n m [fmt [ncon]]`) is malformed.
+    Header {
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The adjacency line of a node could not be parsed.
+    Line {
+        /// 1-based node id the line belongs to (METIS numbering).
+        node: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The file ends before every node got its adjacency line.
+    Truncated {
+        /// Number of nodes the header declared.
+        expected: usize,
+        /// Number of adjacency lines actually present.
+        found: usize,
+    },
+    /// The number of listed half-edges matches neither the symmetric (`2m`)
+    /// nor the once-listed (`m`) convention.
+    EdgeCount {
+        /// Edge count `m` from the header.
+        declared: usize,
+        /// Half-edges (neighbour entries) found in the body.
+        listed: usize,
+    },
+    /// An edge appears more than once in a file using the once-listed
+    /// convention (merging them would silently sum the weights).
+    Duplicate {
+        /// 1-based lower endpoint.
+        u: usize,
+        /// 1-based upper endpoint.
+        v: usize,
+    },
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The OS error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for MetisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetisError::Empty => write!(f, "empty METIS file (no non-comment lines)"),
+            MetisError::Header { message } => write!(f, "bad METIS header: {message}"),
+            MetisError::Line { node, message } => {
+                write!(f, "bad adjacency line for node {node}: {message}")
+            }
+            MetisError::Truncated { expected, found } => write!(
+                f,
+                "truncated METIS file: header declares {expected} nodes but only {found} \
+                 adjacency lines follow"
+            ),
+            MetisError::EdgeCount { declared, listed } => write!(
+                f,
+                "edge count mismatch: header declares {declared} edges but the file lists \
+                 {listed} half-edges (expected {} or {declared})",
+                2 * declared
+            ),
+            MetisError::Duplicate { u, v } => write!(
+                f,
+                "edge {{{u}, {v}}} is listed more than once in a once-listed METIS file"
+            ),
+            MetisError::Io { path, message } => write!(f, "cannot access {path:?}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for MetisError {}
+
+/// Lets callers in `Result<_, String>` contexts keep using `?`.
+impl From<MetisError> for String {
+    fn from(err: MetisError) -> String {
+        err.to_string()
+    }
+}
+
+/// The flags of a parsed `fmt` field.
+#[derive(Clone, Copy, Debug, Default)]
+struct FmtFlags {
+    has_vsize: bool,
+    has_vwgt: bool,
+    has_ewgt: bool,
+}
+
+fn parse_fmt(fmt: &str) -> Result<FmtFlags, MetisError> {
+    if fmt.is_empty() || fmt.len() > 3 || !fmt.bytes().all(|b| b == b'0' || b == b'1') {
+        return Err(MetisError::Header {
+            message: format!("fmt field {fmt:?} is not 1-3 binary digits"),
+        });
+    }
+    let digit = |i: usize| fmt.len() > i && fmt.as_bytes()[fmt.len() - 1 - i] == b'1';
+    Ok(FmtFlags {
+        has_ewgt: digit(0),
+        has_vwgt: digit(1),
+        has_vsize: digit(2),
+    })
+}
+
 /// Parses a graph from METIS text format.
-pub fn parse_metis(text: &str) -> Result<CsrGraph, String> {
+///
+/// Supports all `fmt` codes: vertex sizes (`1xx`) and the 2nd..`ncon`-th
+/// vertex weights (`x1x` with an `ncon` header field) are parsed and
+/// validated but ignored — this partitioner balances the first node-weight
+/// constraint only. `%` comment lines and blank lines are skipped anywhere.
+/// Both the symmetric convention (every undirected edge listed from both
+/// endpoints, `2m` half-edges) and the once-listed convention (`m`
+/// half-edges) are accepted; anything else is a typed [`MetisError`], never a
+/// panic.
+///
+/// Blank lines are skipped everywhere (historical behaviour), so an isolated
+/// vertex cannot be written as an empty adjacency line — such a file is now
+/// reported as [`MetisError::Truncated`] instead of silently mis-attributing
+/// every following line to the wrong node, as earlier revisions did.
+pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
     let mut lines = text
         .lines()
         .map(str::trim)
         .filter(|l| !l.is_empty() && !l.starts_with('%'));
-    let header = lines.next().ok_or("empty METIS file")?;
+    let header = lines.next().ok_or(MetisError::Empty)?;
     let head: Vec<&str> = header.split_whitespace().collect();
-    if head.len() < 2 {
-        return Err(format!("bad METIS header: {header:?}"));
+    if head.len() < 2 || head.len() > 4 {
+        return Err(MetisError::Header {
+            message: format!("expected `n m [fmt [ncon]]`, got {header:?}"),
+        });
     }
-    let n: usize = head[0]
-        .parse()
-        .map_err(|e| format!("bad node count: {e}"))?;
-    let m: usize = head[1]
-        .parse()
-        .map_err(|e| format!("bad edge count: {e}"))?;
-    let fmt = head.get(2).copied().unwrap_or("000");
-    let has_vwgt = fmt.len() >= 2 && fmt.as_bytes()[fmt.len() - 2] == b'1';
-    let has_ewgt = fmt.as_bytes()[fmt.len() - 1] == b'1';
+    let n: usize = head[0].parse().map_err(|e| MetisError::Header {
+        message: format!("bad node count {:?}: {e}", head[0]),
+    })?;
+    let m: usize = head[1].parse().map_err(|e| MetisError::Header {
+        message: format!("bad edge count {:?}: {e}", head[1]),
+    })?;
+    let flags = match head.get(2) {
+        Some(fmt) => parse_fmt(fmt)?,
+        None => FmtFlags::default(),
+    };
+    let ncon: usize = match head.get(3) {
+        Some(tok) => {
+            let ncon = tok.parse().map_err(|e| MetisError::Header {
+                message: format!("bad ncon field {tok:?}: {e}"),
+            })?;
+            if !flags.has_vwgt {
+                return Err(MetisError::Header {
+                    message: format!("ncon = {ncon} given but fmt has no vertex-weight flag (x1x)"),
+                });
+            }
+            if ncon == 0 {
+                return Err(MetisError::Header {
+                    message: "ncon must be at least 1".to_string(),
+                });
+            }
+            ncon
+        }
+        None => 1,
+    };
 
     let mut builder = GraphBuilder::new(n);
-    let mut edges_seen = 0usize;
+    // Half-edges as listed; which convention the file uses (symmetric vs
+    // once-listed) is only decidable once all of them are counted.
+    let mut half_edges: Vec<(NodeId, NodeId, u64)> = Vec::new();
+    let mut found = 0usize;
     for (u, line) in lines.take(n).enumerate() {
+        found += 1;
+        let node = u + 1; // 1-based, for error messages
         let mut tokens = line.split_whitespace();
-        if has_vwgt {
-            let w: u64 = tokens
-                .next()
-                .ok_or_else(|| format!("node {} missing weight", u + 1))?
-                .parse()
-                .map_err(|e| format!("bad node weight on line {}: {e}", u + 1))?;
-            builder.set_node_weight(u as NodeId, w);
+        if flags.has_vsize {
+            let tok = tokens.next().ok_or_else(|| MetisError::Line {
+                node,
+                message: "missing vertex size".to_string(),
+            })?;
+            // Parsed for validation; sizes are a communication-volume input
+            // this partitioner does not use.
+            tok.parse::<u64>().map_err(|e| MetisError::Line {
+                node,
+                message: format!("bad vertex size {tok:?}: {e}"),
+            })?;
+        }
+        if flags.has_vwgt {
+            for c in 0..ncon {
+                let tok = tokens.next().ok_or_else(|| MetisError::Line {
+                    node,
+                    message: format!("missing vertex weight {} of {ncon}", c + 1),
+                })?;
+                let w: u64 = tok.parse().map_err(|e| MetisError::Line {
+                    node,
+                    message: format!("bad vertex weight {tok:?}: {e}"),
+                })?;
+                // Only the first constraint is balanced.
+                if c == 0 {
+                    builder.set_node_weight(u as NodeId, w);
+                }
+            }
         }
         let tokens: Vec<&str> = tokens.collect();
         let mut i = 0usize;
         while i < tokens.len() {
-            let v: usize = tokens[i]
-                .parse()
-                .map_err(|e| format!("bad neighbour id on line {}: {e}", u + 1))?;
+            let v: usize = tokens[i].parse().map_err(|e| MetisError::Line {
+                node,
+                message: format!("bad neighbour id {:?}: {e}", tokens[i]),
+            })?;
             if v == 0 || v > n {
-                return Err(format!("neighbour id {v} out of range on line {}", u + 1));
+                return Err(MetisError::Line {
+                    node,
+                    message: format!("neighbour id {v} out of range 1..={n}"),
+                });
             }
-            let w = if has_ewgt {
+            if v == node {
+                return Err(MetisError::Line {
+                    node,
+                    message: "self loops are not allowed in METIS graphs".to_string(),
+                });
+            }
+            let w = if flags.has_ewgt {
                 i += 1;
-                tokens
-                    .get(i)
-                    .ok_or_else(|| format!("missing edge weight on line {}", u + 1))?
-                    .parse::<u64>()
-                    .map_err(|e| format!("bad edge weight on line {}: {e}", u + 1))?
+                let tok = tokens.get(i).ok_or_else(|| MetisError::Line {
+                    node,
+                    message: format!("missing edge weight after neighbour {v}"),
+                })?;
+                tok.parse::<u64>().map_err(|e| MetisError::Line {
+                    node,
+                    message: format!("bad edge weight {tok:?}: {e}"),
+                })?
             } else {
                 1
             };
-            i += 1;
-            let v = (v - 1) as NodeId;
-            // Every undirected edge appears twice in the file; add it once.
-            if (u as NodeId) < v {
-                builder.add_edge(u as NodeId, v, w);
-                edges_seen += 1;
-            } else if (u as NodeId) > v {
-                edges_seen += 1;
+            if w == 0 {
+                return Err(MetisError::Line {
+                    node,
+                    message: format!("edge weight of neighbour {v} must be positive"),
+                });
             }
+            i += 1;
+            half_edges.push((u as NodeId, (v - 1) as NodeId, w));
         }
     }
-    if edges_seen / 2 + edges_seen % 2 != m && edges_seen != 2 * m {
-        // Tolerate both conventions (some writers count half-edges); only fail
-        // on gross mismatch.
-        if edges_seen != 2 * m && (edges_seen + 1) / 2 != m {
-            return Err(format!(
-                "edge count mismatch: header says {m}, file contains {} half-edges",
-                edges_seen
-            ));
+    if found < n {
+        return Err(MetisError::Truncated { expected: n, found });
+    }
+    if half_edges.len() == 2 * m {
+        // Symmetric convention: every undirected edge appears twice; add the
+        // lower-endpoint copy only.
+        for &(u, v, w) in &half_edges {
+            if u < v {
+                builder.add_edge(u, v, w);
+            }
         }
+    } else if half_edges.len() == m {
+        // Once-listed convention: every listed half-edge is one edge,
+        // whichever direction it was written in. Reject duplicates — the
+        // builder would merge them by summing weights, silently corrupting
+        // the graph (a symmetric file with a miscounted header looks exactly
+        // like this).
+        let mut normalized: Vec<(NodeId, NodeId)> = half_edges
+            .iter()
+            .map(|&(u, v, _)| (u.min(v), u.max(v)))
+            .collect();
+        normalized.sort_unstable();
+        if let Some(w) = normalized.windows(2).find(|w| w[0] == w[1]) {
+            return Err(MetisError::Duplicate {
+                u: w[0].0 as usize + 1,
+                v: w[0].1 as usize + 1,
+            });
+        }
+        for &(u, v, w) in &half_edges {
+            builder.add_edge(u, v, w);
+        }
+    } else {
+        return Err(MetisError::EdgeCount {
+            declared: m,
+            listed: half_edges.len(),
+        });
     }
     Ok(builder.build())
 }
@@ -116,16 +334,23 @@ pub fn to_metis_string(graph: &CsrGraph) -> String {
 }
 
 /// Reads a METIS graph from a file.
-pub fn read_metis(path: &Path) -> Result<CsrGraph, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+pub fn read_metis(path: &Path) -> Result<CsrGraph, MetisError> {
+    let text = fs::read_to_string(path).map_err(|e| MetisError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })?;
     parse_metis(&text)
 }
 
 /// Writes a graph to a file in METIS format.
-pub fn write_metis(graph: &CsrGraph, path: &Path) -> Result<(), String> {
-    let mut f = fs::File::create(path).map_err(|e| format!("cannot create {path:?}: {e}"))?;
+pub fn write_metis(graph: &CsrGraph, path: &Path) -> Result<(), MetisError> {
+    let io_err = |e: std::io::Error| MetisError::Io {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    };
+    let mut f = fs::File::create(path).map_err(io_err)?;
     f.write_all(to_metis_string(graph).as_bytes())
-        .map_err(|e| format!("cannot write {path:?}: {e}"))
+        .map_err(io_err)
 }
 
 #[cfg(test)]
@@ -157,6 +382,39 @@ mod tests {
     }
 
     #[test]
+    fn parse_with_vertex_sizes() {
+        // fmt 100: a vertex size prefixes each line and is otherwise ignored.
+        let text = "3 2 100\n9 2\n3 1 3\n1 2\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.node_weight(0), 1); // sizes are not weights
+        assert_eq!(g.edge_weight_between(0, 1), Some(1));
+    }
+
+    #[test]
+    fn parse_all_fmt_flags_with_multiple_constraints() {
+        // fmt 111, ncon 2: vertex size, two vertex weights (only the first is
+        // balanced), then (neighbour, edge weight) pairs.
+        let text = "2 1 111 2\n4 5 50 2 3\n8 6 60 1 3\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.node_weight(0), 5);
+        assert_eq!(g.node_weight(1), 6);
+        assert_eq!(g.edge_weight_between(0, 1), Some(3));
+    }
+
+    #[test]
+    fn once_listed_edges_are_accepted() {
+        // m = 4 half-edges in the body: the once-listed convention, in mixed
+        // directions (node 4 lists its edge towards 1).
+        let text = "4 4\n2\n3\n4\n1\n";
+        let g = parse_metis(text).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.edge_weight_between(0, 3), Some(1));
+        assert_eq!(g.edge_weight_between(2, 3), Some(1));
+    }
+
+    #[test]
     fn roundtrip_preserves_graph() {
         let mut b = GraphBuilder::with_node_weights(vec![1, 2, 3, 4, 5]);
         b.add_edge(0, 1, 3);
@@ -185,10 +443,93 @@ mod tests {
     }
 
     #[test]
-    fn errors_on_garbage() {
-        assert!(parse_metis("").is_err());
-        assert!(parse_metis("nonsense header").is_err());
-        assert!(parse_metis("2 1\n5\n1\n").is_err()); // neighbour id 5 out of range
+    fn typed_errors_identify_the_failure() {
+        assert_eq!(parse_metis(""), Err(MetisError::Empty));
+        assert_eq!(parse_metis("%only\n% comments\n"), Err(MetisError::Empty));
+        assert!(matches!(
+            parse_metis("nonsense header"),
+            Err(MetisError::Header { .. })
+        ));
+        assert!(matches!(
+            parse_metis("2 1 badfmt\n2\n1\n"),
+            Err(MetisError::Header { .. })
+        ));
+        assert!(matches!(
+            parse_metis("2 1 0111\n2\n1\n"), // four fmt digits
+            Err(MetisError::Header { .. })
+        ));
+        assert!(matches!(
+            parse_metis("2 1 001 2\n2 1\n1 1\n"), // ncon without x1x
+            Err(MetisError::Header { .. })
+        ));
+        assert!(matches!(
+            parse_metis("2 1 011 0\n1 2 1\n1 1 1\n"), // ncon = 0
+            Err(MetisError::Header { .. })
+        ));
+        assert!(matches!(
+            parse_metis("2 1\n5\n1\n"), // neighbour id out of range
+            Err(MetisError::Line { node: 1, .. })
+        ));
+        assert!(matches!(
+            parse_metis("2 1\n2 2\n1\n"), // node 1 lists node 2 twice: 3 half-edges vs m = 1
+            Err(MetisError::EdgeCount { .. })
+        ));
+        assert!(matches!(
+            parse_metis("3 2\n2\n1 3\n2\n\n"), // fine: symmetric 4 = 2m
+            Ok(_)
+        ));
+        assert!(matches!(
+            parse_metis("2 1 011\n1 2 0\n1 1 0\n"), // zero edge weight
+            Err(MetisError::Line { .. })
+        ));
+        assert!(matches!(
+            parse_metis("3 1\n2\n1\n"), // only 2 of 3 adjacency lines
+            Err(MetisError::Truncated {
+                expected: 3,
+                found: 2
+            })
+        ));
+        // A symmetric listing with a header that miscounts edges as 4 looks
+        // like the once-listed convention but contains duplicates — rejected
+        // instead of silently summing the weights.
+        assert!(matches!(
+            parse_metis("4 4\n2\n1\n4\n3\n"),
+            Err(MetisError::Duplicate { u: 1, v: 2 })
+        ));
+        assert!(matches!(
+            parse_metis("2 5\n2\n1\n"), // 2 half-edges vs declared 5
+            Err(MetisError::EdgeCount {
+                declared: 5,
+                listed: 2
+            })
+        ));
+        assert!(matches!(
+            read_metis(Path::new("/nonexistent/kappa.graph")),
+            Err(MetisError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loops_are_rejected() {
+        assert!(matches!(
+            parse_metis("2 2\n1 2\n2 1\n"),
+            Err(MetisError::Line { node: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn errors_render_and_convert_to_string() {
+        let err = parse_metis("1 0 999").unwrap_err();
+        let rendered = err.to_string();
+        assert!(rendered.contains("fmt"), "unhelpful message: {rendered}");
+        let as_string: String = err.into();
+        assert_eq!(as_string, rendered);
+        let trunc = MetisError::Truncated {
+            expected: 7,
+            found: 3,
+        };
+        assert!(trunc.to_string().contains('7'));
+        assert!(std::error::Error::source(&trunc).is_none());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Graph substrate for the KaPPa-rs partitioner: a compressed sparse row (CSR)
 //! representation of weighted undirected graphs, a builder that deduplicates
 //! parallel edges, partitions with balance accounting, quotient graphs,
-//! induced subgraphs with back-mappings, boundary/band utilities and METIS-style
-//! text I/O.
+//! induced subgraphs with back-mappings, boundary/band utilities, an
+//! incrementally maintained [`BoundaryIndex`] and METIS-style text I/O.
 //!
 //! The design follows Section 2 of Holtgrewe, Sanders and Schulz,
 //! *Engineering a Scalable High Quality Graph Partitioner* (2010): graphs are
@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod boundary;
+pub mod boundary_index;
 pub mod builder;
 pub mod csr;
 pub mod io;
@@ -44,10 +45,13 @@ pub mod quotient;
 pub mod subgraph;
 pub mod types;
 
-pub use boundary::{band_around_boundary, boundary_nodes, pair_boundary_nodes};
+pub use boundary::{
+    band_around_boundary, band_around_boundary_in, boundary_nodes, pair_boundary_nodes,
+};
+pub use boundary_index::BoundaryIndex;
 pub use builder::{graph_from_edges, GraphBuilder};
 pub use csr::CsrGraph;
-pub use io::{parse_metis, read_metis, to_metis_string, write_metis};
+pub use io::{parse_metis, read_metis, to_metis_string, write_metis, MetisError};
 pub use partition::{BlockAssignment, BlockAssignmentMut, BlockWeights, Partition};
 pub use quotient::QuotientGraph;
 pub use subgraph::{extract_block_pair, extract_subgraph, ExtractedSubgraph};

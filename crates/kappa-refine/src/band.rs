@@ -5,9 +5,30 @@
 //! FM search is then limited to band nodes; if moving something outside the
 //! band would have helped, a later global iteration will reach it because the
 //! boundary (and hence the band) will have shifted.
+//!
+//! ## Seeding the band
+//!
+//! Finding the seeds — the pair boundary itself — used to be a full
+//! `O(n + m)` graph scan per pair per local iteration
+//! ([`pair_boundary_nodes`]). The [`BandSeeder`] trait abstracts the seed
+//! source so the scheduler can plug in the incremental [`BoundaryIndex`]
+//! instead:
+//!
+//! * [`FullScanSeeder`] is the retained reference — a fresh full scan every
+//!   time, exactly the historical behaviour;
+//! * [`IndexSeeder`] draws the initial seeds from the boundary index (built
+//!   per global iteration, `O(|boundary|)` per extraction) and then tracks
+//!   the worker's own FM moves: only nodes that were pair-boundary at class
+//!   start, were moved, or neighbour a moved node can ever be pair-boundary
+//!   during the worker's local iterations, so re-seeding re-examines just
+//!   this candidate set — never the whole graph.
+//!
+//! Both seeders return the pair boundary in ascending node order, so band
+//! seeds and everything downstream are bit-identical (`tests/parity.rs`).
 
 use kappa_graph::{
-    band_around_boundary, pair_boundary_nodes, BlockAssignment, BlockId, CsrGraph, NodeId,
+    band_around_boundary, pair_boundary_nodes, BlockAssignment, BlockId, BoundaryIndex, CsrGraph,
+    NodeId,
 };
 
 /// Computes the band of eligible nodes for refining the pair `(a, b)`:
@@ -28,6 +49,163 @@ pub fn pair_band<A: BlockAssignment>(
         return Vec::new();
     }
     band_around_boundary(graph, partition, &seeds, (a, b), depth)
+}
+
+/// Source of band seeds (the pair boundary) for the local iterations of one
+/// pair search.
+///
+/// [`seeds`](BandSeeder::seeds) must return exactly what a fresh
+/// [`pair_boundary_nodes`] scan of `view` would — ascending node order
+/// included; [`observe_moves`](BandSeeder::observe_moves) tells the seeder
+/// which surviving moves the FM search just applied to `view`, so an
+/// incremental implementation can keep up without rescanning.
+pub trait BandSeeder<P: BlockAssignment> {
+    /// The current boundary of the pair, ascending by node id.
+    fn seeds(&mut self, view: &P) -> Vec<NodeId>;
+
+    /// Records surviving FM moves `(node, new_block)` applied to the view.
+    fn observe_moves(&mut self, moves: &[(NodeId, BlockId)]);
+}
+
+/// The reference seeder: a fresh `O(n + m)` [`pair_boundary_nodes`] scan on
+/// every call. Retained as the ground truth [`IndexSeeder`] is checked
+/// against; used by `refine_partition_reference`.
+pub struct FullScanSeeder<'g> {
+    graph: &'g CsrGraph,
+    a: BlockId,
+    b: BlockId,
+}
+
+impl<'g> FullScanSeeder<'g> {
+    /// A full-scan seeder for the pair `(a, b)`.
+    pub fn new(graph: &'g CsrGraph, a: BlockId, b: BlockId) -> Self {
+        FullScanSeeder { graph, a, b }
+    }
+}
+
+impl<P: BlockAssignment> BandSeeder<P> for FullScanSeeder<'_> {
+    fn seeds(&mut self, view: &P) -> Vec<NodeId> {
+        pair_boundary_nodes(self.graph, view, self.a, self.b)
+    }
+
+    fn observe_moves(&mut self, _moves: &[(NodeId, BlockId)]) {}
+}
+
+/// Incremental seeder over a shared [`BoundaryIndex`].
+///
+/// The index reflects the partition at class start; within the pair search
+/// only this worker's own moves can change membership of blocks `a`/`b` (the
+/// concurrent pairs of a colour class are block-disjoint), so the true pair
+/// boundary is always a subset of: the index's pair boundary at class start,
+/// plus moved nodes, plus neighbours of moved nodes. `seeds` re-examines this
+/// candidate set against the live view — `O(Σ deg(candidate))`, independent
+/// of `n` — and `observe_moves` grows it.
+pub struct IndexSeeder<'a> {
+    graph: &'a CsrGraph,
+    index: &'a BoundaryIndex,
+    a: BlockId,
+    b: BlockId,
+    /// Sorted, deduplicated candidate superset of the pair boundary;
+    /// `None` until the first `seeds` call draws it from the index.
+    candidates: Option<Vec<NodeId>>,
+}
+
+impl<'a> IndexSeeder<'a> {
+    /// An index-backed seeder for the pair `(a, b)`. The index must mirror
+    /// the state `view` had when the pair search started.
+    pub fn new(graph: &'a CsrGraph, index: &'a BoundaryIndex, a: BlockId, b: BlockId) -> Self {
+        IndexSeeder {
+            graph,
+            index,
+            a,
+            b,
+            candidates: None,
+        }
+    }
+
+    /// True if `v` is on the pair boundary in the live `view`.
+    fn is_pair_boundary<P: BlockAssignment>(&self, view: &P, v: NodeId) -> bool {
+        let bv = view.block_of(v);
+        let other = if bv == self.a {
+            self.b
+        } else if bv == self.b {
+            self.a
+        } else {
+            return false;
+        };
+        self.graph
+            .neighbors(v)
+            .iter()
+            .any(|&u| view.block_of(u) == other)
+    }
+
+    /// Draws the initial candidate set from the index on first use.
+    fn ensure_candidates(&mut self) -> &mut Vec<NodeId> {
+        if self.candidates.is_none() {
+            self.candidates = Some(self.index.pair_boundary_sorted(self.a, self.b));
+        }
+        self.candidates.as_mut().expect("just initialised")
+    }
+}
+
+impl<P: BlockAssignment> BandSeeder<P> for IndexSeeder<'_> {
+    fn seeds(&mut self, view: &P) -> Vec<NodeId> {
+        self.ensure_candidates();
+        let candidates = self.candidates.as_ref().expect("just initialised");
+        // Filtering the sorted candidates against the live view keeps the
+        // ascending order of the full scan and revalidates every membership.
+        candidates
+            .iter()
+            .copied()
+            .filter(|&v| self.is_pair_boundary(view, v))
+            .collect()
+    }
+
+    fn observe_moves(&mut self, moves: &[(NodeId, BlockId)]) {
+        if moves.is_empty() {
+            return;
+        }
+        self.ensure_candidates();
+        let candidates = self.candidates.as_mut().expect("just initialised");
+        let mut extra: Vec<NodeId> = Vec::with_capacity(moves.len());
+        for &(v, _) in moves {
+            extra.push(v);
+            extra.extend_from_slice(self.graph.neighbors(v));
+        }
+        extra.sort_unstable();
+        extra.dedup();
+        // Sorted-merge the new candidates in, keeping the list deduplicated.
+        let mut merged = Vec::with_capacity(candidates.len() + extra.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < candidates.len() || j < extra.len() {
+            let next = match (candidates.get(i), extra.get(j)) {
+                (Some(&c), Some(&e)) if c < e => {
+                    i += 1;
+                    c
+                }
+                (Some(&c), Some(&e)) if c > e => {
+                    j += 1;
+                    e
+                }
+                (Some(&c), Some(_)) => {
+                    i += 1;
+                    j += 1;
+                    c
+                }
+                (Some(&c), None) => {
+                    i += 1;
+                    c
+                }
+                (None, Some(&e)) => {
+                    j += 1;
+                    e
+                }
+                (None, None) => break,
+            };
+            merged.push(next);
+        }
+        *candidates = merged;
+    }
 }
 
 #[cfg(test)]

@@ -6,27 +6,53 @@
 //! at the pair boundary (restricted to the *band* the caller supplies). Each
 //! node moves at most once per search. The queue to serve next is chosen by a
 //! [`QueueSelection`] strategy; the search stops when both queues are empty or
-//! more than `α·min(|A|, |B|)` consecutive moves failed to improve the best
+//! more than [`patience_bound`] consecutive moves failed to improve the best
 //! seen state; finally the move sequence is rolled back to the prefix with the
 //! lexicographically smallest `(imbalance, cut)`, where
 //! `imbalance = max(0, c(A) − L_max, c(B) − L_max)`.
+//!
+//! The paper phrases the adaptive stopping rule as `α·min(|A|, |B|)` over the
+//! block sizes; since the search can only ever move *band* nodes, this
+//! implementation deliberately evaluates the bound over the band-restricted
+//! node counts of the two sides (see [`patience_bound`] for the rationale).
 
 use std::collections::BinaryHeap;
 
-use kappa_graph::{BlockAssignment, BlockAssignmentMut, BlockId, CsrGraph, NodeId, NodeWeight};
+use kappa_graph::{
+    BlockAssignment, BlockAssignmentMut, BlockId, CsrGraph, NodeId, NodeWeight, INVALID_NODE,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::gain::pair_gain;
 use crate::queue_select::QueueSelection;
+use crate::scratch::FmScratch;
+
+/// The adaptive stopping bound of one 2-way FM search: the search aborts
+/// after this many consecutive moves without improvement.
+///
+/// The paper (§5.2) gives the rule as `α·min(|A|, |B|)` over the block sizes.
+/// This implementation evaluates it over the **band-restricted** node counts
+/// of the two sides — `band_count_a` / `band_count_b` are the numbers of
+/// eligible (movable) nodes currently in each block — because the search can
+/// only ever move band nodes: patience proportional to the full block sizes
+/// would make the abort horizon scale with `n` even when only a handful of
+/// nodes is searchable, reintroducing exactly the `n`-dependence the banded
+/// search exists to avoid. The floor of 8 keeps tiny bands from aborting
+/// before the first improving move can be found.
+pub fn patience_bound(alpha: f64, band_count_a: usize, band_count_b: usize) -> usize {
+    ((alpha * band_count_a.min(band_count_b) as f64).ceil() as usize).max(8)
+}
 
 /// Tuning knobs of a single 2-way FM search.
 #[derive(Clone, Copy, Debug)]
 pub struct FmConfig {
     /// Queue selection strategy (the paper defaults to `TopGain`).
     pub queue_selection: QueueSelection,
-    /// FM patience `α`: the search aborts after `α·min(|A|,|B|)` consecutive
-    /// moves without improvement (1 %, 5 %, 20 % for minimal/fast/strong).
+    /// FM patience `α`: the search aborts after
+    /// [`patience_bound(α, …)`](patience_bound) consecutive moves without
+    /// improvement (1 %, 5 %, 20 % for minimal/fast/strong), where the counts
+    /// are the band-restricted sizes of the two sides.
     pub patience_alpha: f64,
     /// Balance bound `L_max` each block must respect.
     pub l_max: NodeWeight,
@@ -100,19 +126,21 @@ impl LazyQueue {
         });
     }
 
-    /// Drops stale entries and returns the best valid gain without removing it.
+    /// Drops stale entries and returns the best valid gain without removing
+    /// it. `pos` maps nodes to band positions; `gains` and `moved` are
+    /// band-indexed. Every queued node is a band node, so its position is
+    /// always valid.
     fn peek_valid<A: BlockAssignment>(
         &mut self,
+        pos: &[NodeId],
         gains: &[i64],
         moved: &[bool],
         partition: &A,
         block: BlockId,
     ) -> Option<i64> {
         while let Some(top) = self.heap.peek() {
-            let v = top.node;
-            let stale = moved[v as usize]
-                || partition.block_of(v) != block
-                || gains[v as usize] != top.gain;
+            let p = pos[top.node as usize] as usize;
+            let stale = moved[p] || partition.block_of(top.node) != block || gains[p] != top.gain;
             if stale {
                 self.heap.pop();
             } else {
@@ -124,12 +152,13 @@ impl LazyQueue {
 
     fn pop_valid<A: BlockAssignment>(
         &mut self,
+        pos: &[NodeId],
         gains: &[i64],
         moved: &[bool],
         partition: &A,
         block: BlockId,
     ) -> Option<NodeId> {
-        self.peek_valid(gains, moved, partition, block)?;
+        self.peek_valid(pos, gains, moved, partition, block)?;
         self.heap.pop().map(|e| e.node)
     }
 }
@@ -148,6 +177,12 @@ impl LazyQueue {
 /// [`BlockAssignmentMut`]: the scheduler passes a
 /// [`DeltaPairView`](crate::delta::DeltaPairView) so concurrent pair searches
 /// share one read-only base partition instead of cloning it.
+///
+/// This convenience wrapper allocates a fresh [`FmScratch`] per call; hot
+/// paths (the refinement scheduler) use [`two_way_fm_in`] with a pooled
+/// scratch instead, which performs no per-call `O(n)` allocation. Both are
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
 pub fn two_way_fm<P: BlockAssignmentMut>(
     graph: &CsrGraph,
     partition: &mut P,
@@ -158,28 +193,63 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
     weight_b: NodeWeight,
     config: &FmConfig,
 ) -> FmResult {
+    let mut scratch = FmScratch::new();
+    two_way_fm_in(
+        graph,
+        partition,
+        block_a,
+        block_b,
+        eligible,
+        weight_a,
+        weight_b,
+        config,
+        &mut scratch,
+    )
+}
+
+/// [`two_way_fm`] with caller-provided scratch buffers.
+///
+/// The search's working state (`gains` and `moved` indexed by *band
+/// position*, the node → band-position map, the band BFS distances) lives in
+/// `scratch`; the node-indexed arrays are grown to `n` once and reset at only
+/// the touched entries before returning, so a reused scratch makes the whole
+/// search allocate `O(|band|)` instead of `O(n)`. `eligible` must not contain
+/// duplicates (bands never do).
+#[allow(clippy::too_many_arguments)]
+pub fn two_way_fm_in<P: BlockAssignmentMut>(
+    graph: &CsrGraph,
+    partition: &mut P,
+    block_a: BlockId,
+    block_b: BlockId,
+    eligible: &[NodeId],
+    weight_a: NodeWeight,
+    weight_b: NodeWeight,
+    config: &FmConfig,
+    scratch: &mut FmScratch,
+) -> FmResult {
     let mut result = FmResult::default();
     if eligible.is_empty() {
         return result;
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let mut in_band = vec![false; graph.num_nodes()];
-    for &v in eligible {
+    scratch.prepare(graph.num_nodes(), eligible.len());
+    let FmScratch {
+        pos, gains, moved, ..
+    } = scratch;
+    for (i, &v) in eligible.iter().enumerate() {
         debug_assert!(
             partition.block_of(v) == block_a || partition.block_of(v) == block_b,
             "band node {v} outside the pair"
         );
-        in_band[v as usize] = true;
+        debug_assert_eq!(pos[v as usize], INVALID_NODE, "duplicate band node {v}");
+        pos[v as usize] = i as NodeId;
+    }
+    // `pos[v] != INVALID_NODE` now means "v is in the band".
+    for (i, &v) in eligible.iter().enumerate() {
+        gains[i] = pair_gain(graph, partition, v, block_a, block_b);
     }
 
-    // Gains for band nodes (others are never consulted).
-    let mut gains = vec![0i64; graph.num_nodes()];
-    for &v in eligible {
-        gains[v as usize] = pair_gain(graph, partition, v, block_a, block_b);
-    }
-
-    let mut moved = vec![false; graph.num_nodes()];
     let mut queue_a = LazyQueue::new();
     let mut queue_b = LazyQueue::new();
 
@@ -201,19 +271,20 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
     }
     for &v in &init {
         if partition.block_of(v) == block_a {
-            queue_a.push(v, gains[v as usize], &mut rng);
+            queue_a.push(v, gains[pos[v as usize] as usize], &mut rng);
         } else {
-            queue_b.push(v, gains[v as usize], &mut rng);
+            queue_b.push(v, gains[pos[v as usize] as usize], &mut rng);
         }
     }
 
-    // Block sizes (node counts) for the patience bound.
+    // Band-restricted node counts of the two sides for the patience bound
+    // (see `patience_bound` for why these, not the full block sizes).
     let count_a = eligible
         .iter()
         .filter(|&&v| partition.block_of(v) == block_a)
         .count();
     let count_b = eligible.len() - count_a;
-    let patience = ((config.patience_alpha * count_a.min(count_b) as f64).ceil() as usize).max(8);
+    let patience = patience_bound(config.patience_alpha, count_a, count_b);
 
     let mut w_a = weight_a;
     let mut w_b = weight_b;
@@ -231,13 +302,14 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
     let mut best_prefix = 0usize;
     let mut since_best = 0usize;
     let mut last_was_a = false;
+    let mut failed_pops = 0usize;
 
     loop {
         if since_best > patience {
             break;
         }
-        let ga = queue_a.peek_valid(&gains, &moved, partition, block_a);
-        let gb = queue_b.peek_valid(&gains, &moved, partition, block_b);
+        let ga = queue_a.peek_valid(pos, gains, moved, partition, block_a);
+        let gb = queue_b.peek_valid(pos, gains, moved, partition, block_b);
         let overloaded = w_a > config.l_max || w_b > config.l_max;
         let Some(from_a) = config
             .queue_selection
@@ -250,33 +322,36 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
         } else {
             (&mut queue_b, block_b, block_a)
         };
-        let Some(v) = queue.pop_valid(&gains, &moved, partition, from) else {
-            // The chosen queue was exhausted after all; try the other side once
-            // more on the next iteration (the strategy will see `None`).
-            if from_a {
-                last_was_a = true;
-            } else {
-                last_was_a = false;
-            }
-            // Avoid infinite loops when both report empty next round.
-            if ga.is_none() && gb.is_none() {
+        let Some(v) = queue.pop_valid(pos, gains, moved, partition, from) else {
+            // The chosen queue was exhausted after all; try the other side
+            // once more on the next iteration (the strategy will see `None`).
+            last_was_a = from_a;
+            // A failed pop performs no move, so no queue can have refilled
+            // since the peek: a second consecutive failure means the strategy
+            // keeps selecting an emptied queue and retrying would spin
+            // forever. (Unreachable for the built-in strategies, which never
+            // select a side whose peeked gain is `None`.)
+            if failed_pops > 0 || (ga.is_none() && gb.is_none()) {
                 break;
             }
+            failed_pops += 1;
             continue;
         };
+        failed_pops = 0;
         last_was_a = from_a;
 
         // Never completely drain a block.
         let vw = graph.node_weight(v);
+        let p = pos[v as usize] as usize;
         if (from_a && w_a <= vw) || (!from_a && w_b <= vw) {
-            moved[v as usize] = true;
+            moved[p] = true;
             continue;
         }
 
         // Apply the move.
-        let gain_v = gains[v as usize];
+        let gain_v = gains[p];
         partition.assign(v, to);
-        moved[v as usize] = true;
+        moved[p] = true;
         if from_a {
             w_a -= vw;
             w_b += vw;
@@ -290,7 +365,8 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
 
         // Update gains of unmoved band neighbours inside the pair.
         for (u, w) in graph.edges_of(v) {
-            if !in_band[u as usize] || moved[u as usize] {
+            let pu = pos[u as usize];
+            if pu == INVALID_NODE || moved[pu as usize] {
                 continue;
             }
             let bu = partition.block_of(u);
@@ -302,13 +378,13 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
             } else {
                 -2 * w as i64
             };
-            gains[u as usize] += delta;
+            gains[pu as usize] += delta;
             let q = if bu == block_a {
                 &mut queue_a
             } else {
                 &mut queue_b
             };
-            q.push(u, gains[u as usize], &mut rng);
+            q.push(u, gains[pu as usize], &mut rng);
         }
 
         // Track the lexicographically best (imbalance, cut) prefix.
@@ -332,6 +408,12 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
         .iter()
         .map(|&(v, _from, to)| (v, to))
         .collect();
+
+    // Reset the node-indexed scratch at the touched entries only, restoring
+    // the reuse contract.
+    for &v in eligible {
+        pos[v as usize] = INVALID_NODE;
+    }
     result
 }
 
@@ -339,7 +421,7 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
 mod tests {
     use super::*;
     use kappa_gen::grid::grid2d;
-    use kappa_graph::{graph_from_edges, BlockWeights, Partition};
+    use kappa_graph::{graph_from_edges, BlockWeights, GraphBuilder, Partition};
 
     fn run_fm(graph: &CsrGraph, partition: &mut Partition, config: &FmConfig) -> FmResult {
         let eligible: Vec<NodeId> = graph.nodes().collect();
@@ -488,6 +570,161 @@ mod tests {
                 result.gain,
                 "{:?}",
                 strategy
+            );
+        }
+    }
+
+    /// Regression for the patience bound: it is `ceil(α·min(count_a,
+    /// count_b))` over the *band-restricted* node counts with a floor of 8 —
+    /// not over the full block sizes (see `patience_bound`'s doc for why the
+    /// implementation deliberately deviates from the paper's `α·min(|A|,|B|)`
+    /// phrasing).
+    #[test]
+    fn patience_bound_uses_band_counts_with_a_floor() {
+        assert_eq!(patience_bound(0.05, 100, 300), 8); // ceil(5) < floor
+        assert_eq!(patience_bound(0.05, 1000, 2000), 50);
+        assert_eq!(patience_bound(0.05, 2000, 1000), 50); // symmetric
+        assert_eq!(patience_bound(0.20, 41, 1_000_000), 9); // ceil(8.2)
+        assert_eq!(patience_bound(1.0, 3, 3), 8); // tiny bands hit the floor
+        assert_eq!(patience_bound(0.0, 1000, 1000), 8);
+        // The bound takes only the band counts — a 64-node band yields the
+        // same patience whether the graph has 128 or 10^8 nodes, which is
+        // what keeps banded searches O(|band|).
+        assert_eq!(patience_bound(0.05, 64, 64), 8);
+        assert_eq!(patience_bound(0.5, 64, 64), 32);
+    }
+
+    /// The patience actually gates the search: with a large band of mostly
+    /// negative-gain nodes, a small α must abort after fewer attempted moves
+    /// than α = 1.0 does.
+    #[test]
+    fn smaller_patience_aborts_earlier() {
+        let g = grid2d(24, 24);
+        let assignment = (0..576).map(|i| ((i / 24) % 2) as u32).collect();
+        let original = Partition::from_assignment(2, assignment);
+        let run = |alpha: f64| {
+            let mut p = original.clone();
+            run_fm(
+                &g,
+                &mut p,
+                &FmConfig {
+                    l_max: Partition::l_max(&g, 2, 0.03),
+                    patience_alpha: alpha,
+                    seed: 11,
+                    ..Default::default()
+                },
+            )
+            .attempted_moves
+        };
+        let impatient = run(0.0); // patience = 8 (the floor)
+        let patient = run(1.0); // patience = 288
+        assert!(
+            impatient < patient,
+            "patience had no effect: {impatient} vs {patient}"
+        );
+    }
+
+    /// A strategy that insists on an emptied queue must not spin the search
+    /// loop forever: the termination guard breaks after the second
+    /// consecutive failed pop.
+    #[test]
+    fn terminates_when_strategy_repeatedly_selects_an_emptied_queue() {
+        // Block A = {0} with weight 10: the never-drain-a-block rule discards
+        // node 0 without moving it, leaving queue A empty while queue B still
+        // holds candidates — exactly the state StuckOnA refuses to leave.
+        let mut b = GraphBuilder::with_node_weights(vec![10, 1, 1, 1]);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let mut p = Partition::from_assignment(2, vec![0, 1, 1, 1]);
+        let result = two_way_fm(
+            &g,
+            &mut p,
+            0,
+            1,
+            &[0, 1, 2, 3],
+            10,
+            3,
+            &FmConfig {
+                queue_selection: QueueSelection::StuckOnA,
+                l_max: NodeWeight::MAX,
+                patience_alpha: 1.0,
+                seed: 0,
+            },
+        );
+        // Reaching this line is the point (no hang); the stuck strategy never
+        // successfully serves B, so nothing can have moved.
+        assert!(result.moves.is_empty());
+        assert_eq!(p.assignment(), &[0, 1, 1, 1]);
+    }
+
+    /// A reused scratch must leave no residue: running the same search twice
+    /// through one `FmScratch` — with a different search in between — gives
+    /// bit-identical results, and matches the fresh-allocation wrapper.
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        let g = grid2d(10, 10);
+        let assignment: Vec<u32> = (0..100).map(|i| ((i * 13) % 2) as u32).collect();
+        let config = FmConfig {
+            l_max: Partition::l_max(&g, 2, 0.10),
+            patience_alpha: 0.5,
+            seed: 17,
+            ..Default::default()
+        };
+        let eligible: Vec<NodeId> = g.nodes().collect();
+        let run_fresh = || {
+            let mut p = Partition::from_assignment(2, assignment.clone());
+            let weights = BlockWeights::compute(&g, &p);
+            let r = two_way_fm(
+                &g,
+                &mut p,
+                0,
+                1,
+                &eligible,
+                weights.weight(0),
+                weights.weight(1),
+                &config,
+            );
+            (r.gain, r.moves, r.attempted_moves, p)
+        };
+        let expected = run_fresh();
+
+        let mut scratch = crate::scratch::FmScratch::new();
+        for round in 0..3 {
+            let mut p = Partition::from_assignment(2, assignment.clone());
+            let weights = BlockWeights::compute(&g, &p);
+            let r = two_way_fm_in(
+                &g,
+                &mut p,
+                0,
+                1,
+                &eligible,
+                weights.weight(0),
+                weights.weight(1),
+                &config,
+                &mut scratch,
+            );
+            assert_eq!(
+                (r.gain, r.moves, r.attempted_moves, p),
+                expected,
+                "round {round} diverged"
+            );
+            // Dirty the scratch with a different search (different band,
+            // different pair orientation) before the next round.
+            let mut q = Partition::from_assignment(2, (0..100).map(|i| (i % 2) as u32).collect());
+            let qw = BlockWeights::compute(&g, &q);
+            let band: Vec<NodeId> = (20..60).collect();
+            let _ = two_way_fm_in(
+                &g,
+                &mut q,
+                1,
+                0,
+                &band,
+                qw.weight(1),
+                qw.weight(0),
+                &config,
+                &mut scratch,
             );
         }
     }

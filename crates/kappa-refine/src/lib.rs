@@ -9,7 +9,14 @@
 //!   the lexicographically best `(imbalance, cut)` state;
 //! * **boundary bands** ([`band`], Figure 2): the search is restricted to a
 //!   bounded-BFS neighbourhood of the block-pair boundary so only a small
-//!   fraction of each block ever needs to be exchanged between PEs;
+//!   fraction of each block ever needs to be exchanged between PEs; band
+//!   seeds come from an incremental
+//!   [`BoundaryIndex`](kappa_graph::BoundaryIndex) via [`IndexSeeder`]
+//!   (the full-scan [`FullScanSeeder`] is the retained reference), so seed
+//!   extraction costs `O(|boundary|)`, not `O(n + m)`;
+//! * a **scratch pool** ([`scratch`]): FM and band-BFS buffers are pooled
+//!   per worker and indexed by band position, so a pair search performs no
+//!   `O(n)` allocation;
 //! * a **parallel greedy edge colouring** of the quotient graph ([`coloring`],
 //!   §5.1) whose colour classes are matchings of block pairs;
 //! * the **pairwise refinement scheduler** ([`scheduler`]) that walks the
@@ -47,14 +54,16 @@ pub mod fm;
 pub mod gain;
 pub mod queue_select;
 pub mod scheduler;
+pub mod scratch;
 
 pub use balance::rebalance;
-pub use band::pair_band;
+pub use band::{pair_band, BandSeeder, FullScanSeeder, IndexSeeder};
 pub use coloring::{color_quotient_edges, EdgeColoring};
 pub use delta::{DeltaPairView, SharedAssignment};
-pub use fm::{two_way_fm, FmConfig, FmResult};
+pub use fm::{patience_bound, two_way_fm, two_way_fm_in, FmConfig, FmResult};
 pub use gain::pair_gain;
 pub use queue_select::QueueSelection;
 pub use scheduler::{
     refine_partition, refine_partition_reference, RefinementConfig, RefinementStats,
 };
+pub use scratch::{FmScratch, ScratchPool};

@@ -26,6 +26,11 @@ pub enum QueueSelection {
     TopGain,
     /// `TopGain` with ties broken towards the heavier block.
     TopGainMaxLoad,
+    /// Test-only pathological strategy that insists on block A even when A's
+    /// queue is empty — exercises the FM loop's termination guard for
+    /// strategies that repeatedly select an emptied queue.
+    #[cfg(test)]
+    StuckOnA,
 }
 
 impl QueueSelection {
@@ -36,6 +41,8 @@ impl QueueSelection {
             QueueSelection::MaxLoad => "MaxLoad",
             QueueSelection::TopGain => "TopGain",
             QueueSelection::TopGainMaxLoad => "TopGainMaxLoad",
+            #[cfg(test)]
+            QueueSelection::StuckOnA => "StuckOnA",
         }
     }
 
@@ -68,6 +75,15 @@ impl QueueSelection {
         overloaded: bool,
         last_was_a: bool,
     ) -> Option<bool> {
+        // The pathological test strategy bypasses the empty-queue shortcut
+        // below on purpose: it selects A as long as *any* queue is non-empty.
+        #[cfg(test)]
+        if matches!(self, QueueSelection::StuckOnA) {
+            return match (gain_a, gain_b) {
+                (None, None) => None,
+                _ => Some(true),
+            };
+        }
         match (gain_a, gain_b) {
             (None, None) => None,
             (Some(_), None) => Some(true),
@@ -93,6 +109,8 @@ impl QueueSelection {
                         weight_a >= weight_b
                     }
                 }
+                #[cfg(test)]
+                QueueSelection::StuckOnA => unreachable!("handled before the match"),
             }),
         }
     }

@@ -27,17 +27,18 @@
 //! `refine_partition_reference`, kept as the bit-identical ground truth).
 
 use kappa_graph::{
-    BlockAssignmentMut, BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition,
-    QuotientGraph,
+    band_around_boundary_in, BlockAssignmentMut, BlockId, BlockWeights, BoundaryIndex, CsrGraph,
+    NodeId, NodeWeight, Partition, QuotientGraph,
 };
 use rayon::prelude::*;
 
 use crate::balance::rebalance;
-use crate::band::pair_band;
+use crate::band::{BandSeeder, FullScanSeeder, IndexSeeder};
 use crate::coloring::color_quotient_edges;
 use crate::delta::{DeltaPairView, SharedAssignment};
-use crate::fm::{two_way_fm, FmConfig};
+use crate::fm::{two_way_fm_in, FmConfig};
 use crate::queue_select::QueueSelection;
+use crate::scratch::{FmScratch, ScratchPool};
 
 /// Configuration of the refinement scheduler (one entry per knob of Table 2).
 #[derive(Clone, Copy, Debug)]
@@ -97,17 +98,21 @@ struct PairDelta {
     searches: usize,
 }
 
-/// Runs the local iterations of one pair `(a, b)` — band extraction, seeded
+/// Runs the local iterations of one pair `(a, b)` — band seeding + BFS,
 /// 2-way FM, pair-local block-weight tracking — against `target` and returns
 /// the pair's delta.
 ///
 /// `target` is a [`DeltaPairView`] in the production scheduler and a snapshot
-/// clone in [`refine_partition_reference`]; sharing this body is what keeps
-/// the two bit-identical.
+/// clone in [`refine_partition_reference`]; `seeder` is an [`IndexSeeder`]
+/// over the shared [`BoundaryIndex`] in production and the full-scan
+/// reference otherwise. Sharing this body — and the seeders' identical
+/// outputs — is what keeps the two schedulers bit-identical.
 #[allow(clippy::too_many_arguments)]
-fn search_pair<P: BlockAssignmentMut>(
+fn search_pair<P: BlockAssignmentMut, S: BandSeeder<P>>(
     graph: &CsrGraph,
     target: &mut P,
+    seeder: &mut S,
+    scratch: &mut FmScratch,
     a: BlockId,
     b: BlockId,
     mut w_a: NodeWeight,
@@ -121,10 +126,18 @@ fn search_pair<P: BlockAssignmentMut>(
     let mut all_moves = Vec::new();
     let mut searches = 0usize;
     for local_iter in 0..config.local_iterations {
-        let band = pair_band(graph, target, a, b, config.bfs_depth);
-        if band.is_empty() {
+        let seeds = seeder.seeds(target);
+        if seeds.is_empty() {
             break;
         }
+        let band = band_around_boundary_in(
+            graph,
+            target,
+            &seeds,
+            (a, b),
+            config.bfs_depth,
+            scratch.bfs_dist(),
+        );
         let fm_config = FmConfig {
             queue_selection: config.queue_selection,
             patience_alpha: config.patience_alpha,
@@ -135,11 +148,12 @@ fn search_pair<P: BlockAssignmentMut>(
                 .wrapping_add((global_iter * 1000 + color_idx * 100 + local_iter) as u64)
                 .wrapping_add((a as u64) << 32 | b as u64),
         };
-        let result = two_way_fm(graph, target, a, b, &band, w_a, w_b, &fm_config);
+        let result = two_way_fm_in(graph, target, a, b, &band, w_a, w_b, &fm_config, scratch);
         searches += 1;
         if result.moves.is_empty() {
             break;
         }
+        seeder.observe_moves(&result.moves);
         // Update the pair's block weights for the next local iteration.
         for &(v, to) in &result.moves {
             let vw = graph.node_weight(v);
@@ -168,8 +182,13 @@ fn search_pair<P: BlockAssignmentMut>(
 ///
 /// All block pairs of one quotient-colour class run concurrently, each against
 /// a [`DeltaPairView`] of the shared partition; the merged deltas are applied
-/// once per class. The result is bit-identical to the snapshot-cloning
-/// [`refine_partition_reference`] for every thread count.
+/// once per class. Band seeds come from an incremental [`BoundaryIndex`]
+/// (built once per global iteration, updated with every committed delta-move)
+/// instead of per-pair full scans, and the FM searches draw their buffers
+/// from a [`ScratchPool`], so neither boundary extraction nor FM performs
+/// per-search `O(n)` work. The result is bit-identical to the
+/// snapshot-cloning, full-scanning [`refine_partition_reference`] for every
+/// thread count.
 ///
 /// ```
 /// use kappa_gen::grid::grid2d;
@@ -207,6 +226,9 @@ pub fn refine_partition(
     // to `partition` below keeps the two in sync (FM rolls back every
     // non-surviving move itself), so the mirror is never rebuilt.
     let shared = SharedAssignment::from_partition(partition);
+    // Pooled FM/BFS scratch buffers, reused across all pair searches of this
+    // refinement call (at most one live scratch per concurrent worker).
+    let scratch_pool = ScratchPool::new();
 
     let mut no_change_streak = 0usize;
     for global_iter in 0..config.max_global_iterations {
@@ -221,6 +243,10 @@ pub fn refine_partition(
         // Block weights for the whole global iteration, updated incrementally
         // as deltas are applied (replaces an O(n) recompute per colour class).
         let mut weights = BlockWeights::compute(graph, partition);
+        // Boundary index for the whole global iteration: pair workers seed
+        // their bands from it (no O(n + m) scans), and committed delta-moves
+        // are folded back in below, keeping it exact across colour classes.
+        let mut boundary = BoundaryIndex::build(graph, partition);
 
         for (color_idx, class) in coloring.classes().enumerate() {
             // All pairs of one colour are block-disjoint: each worker works
@@ -230,9 +256,13 @@ pub fn refine_partition(
                 .par_iter()
                 .map(|&(a, b)| {
                     let mut view = DeltaPairView::new(&shared);
-                    search_pair(
+                    let mut seeder = IndexSeeder::new(graph, &boundary, a, b);
+                    let mut scratch = scratch_pool.take();
+                    let delta = search_pair(
                         graph,
                         &mut view,
+                        &mut seeder,
+                        &mut scratch,
                         a,
                         b,
                         weights.weight(a),
@@ -241,11 +271,15 @@ pub fn refine_partition(
                         config,
                         global_iter,
                         color_idx,
-                    )
+                    );
+                    scratch_pool.put(scratch);
+                    delta
                 })
                 .collect();
 
-            // Apply the merged deltas once per class.
+            // Apply the merged deltas once per class — to the partition, the
+            // incremental block weights AND the boundary index, so the next
+            // class seeds from the committed state.
             for delta in deltas {
                 stats.pair_searches += delta.searches;
                 iteration_gain += delta.gain;
@@ -255,6 +289,7 @@ pub fn refine_partition(
                     if from != to {
                         weights.apply_move(from, to, graph.node_weight(v));
                         partition.assign(v, to);
+                        boundary.apply_move(graph, v, to);
                     }
                 }
             }
@@ -283,8 +318,10 @@ pub fn refine_partition(
     stats
 }
 
-/// The snapshot-cloning reference scheduler: clones the partition once per
-/// colour class and once more per pair, exactly as earlier revisions did.
+/// The snapshot-cloning, full-scanning reference scheduler: clones the
+/// partition once per colour class and once more per pair, and re-derives
+/// every band seed with an `O(n + m)` [`FullScanSeeder`] scan, exactly as
+/// earlier revisions did.
 ///
 /// Kept as the ground truth [`refine_partition`] is checked against (parity
 /// tests, benches). Use [`refine_partition`] everywhere else.
@@ -322,9 +359,13 @@ pub fn refine_partition_reference(
                 .par_iter()
                 .map(|&(a, b)| {
                     let mut local = snapshot.clone();
+                    let mut seeder = FullScanSeeder::new(graph, a, b);
+                    let mut scratch = FmScratch::new();
                     search_pair(
                         graph,
                         &mut local,
+                        &mut seeder,
+                        &mut scratch,
                         a,
                         b,
                         weights.weight(a),

@@ -1,18 +1,23 @@
-//! Parallel/sequential parity: the parallel contraction and the delta-move
-//! refinement scheduler must be deterministic and bit-identical to their
-//! sequential reference implementations, across seeded random graphs and
-//! worker counts from 1 to 8.
+//! Parallel/sequential parity: the parallel contraction, the delta-move
+//! refinement scheduler and the incremental boundary index must be
+//! deterministic and bit-identical to their sequential / full-scan reference
+//! implementations, across seeded random graphs and worker counts from 1 to
+//! 8. (`refine_partition` seeds its bands from the `BoundaryIndex` and the
+//! reference re-scans the whole graph, so the delta-vs-snapshot property
+//! below doubles as the end-to-end index-on vs. index-off parity proof.)
 //!
 //! These properties are what make the parallelisation safe to adopt: a fixed
 //! seed reproduces the exact same hierarchy and partition no matter how many
 //! threads run the pipeline.
 
 use kappa::coarsen::{contract_matching, contract_matching_reference};
-use kappa::graph::GraphBuilder;
+use kappa::graph::boundary::{band_around_boundary, boundary_nodes, pair_boundary_nodes};
+use kappa::graph::{BoundaryIndex, GraphBuilder};
 use kappa::initial::random_partition;
 use kappa::matching::{compute_matching, EdgeRating, MatchingAlgorithm};
 use kappa::prelude::*;
 use kappa::refine::{refine_partition, refine_partition_reference, RefinementConfig};
+use kappa::refine::{BandSeeder, FullScanSeeder, IndexSeeder};
 use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
 
@@ -94,6 +99,108 @@ proptest! {
             prop_assert_eq!(stats.total_gain, expected_stats.total_gain);
             prop_assert_eq!(stats.pair_searches, expected_stats.pair_searches);
             prop_assert_eq!(stats.nodes_moved, expected_stats.nodes_moved);
+        }
+    }
+
+    // Satellite of the boundary-index PR: after ANY sequence of moves, the
+    // incrementally maintained index must agree with a fresh full-graph scan,
+    // both on the global boundary and on every pair boundary.
+    #[test]
+    fn boundary_index_matches_fresh_scans_after_random_moves(
+        graph in arbitrary_graph(120),
+        k in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let mut partition = random_partition(&graph, k, seed);
+        let mut index = BoundaryIndex::build(&graph, &partition);
+        let n = graph.num_nodes() as u64;
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..40 {
+            let v = (next() % n) as u32;
+            let to = (next() % k as u64) as u32;
+            partition.assign(v, to);
+            index.apply_move(&graph, v, to);
+            prop_assert_eq!(index.block_of(v), to);
+            prop_assert_eq!(
+                index.boundary_nodes_sorted(),
+                boundary_nodes(&graph, &partition),
+                "global boundary diverged at step {}",
+                step
+            );
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    prop_assert_eq!(
+                        index.pair_boundary_sorted(a, b),
+                        pair_boundary_nodes(&graph, &partition, a, b),
+                        "pair ({}, {}) diverged at step {}",
+                        a,
+                        b,
+                        step
+                    );
+                }
+            }
+        }
+    }
+
+    // Band seeds drawn from the boundary index must be bit-identical to the
+    // retained full-scan reference — initially and after every batch of
+    // simulated FM moves the seeder observes — and so must the bands grown
+    // from them.
+    #[test]
+    fn index_seeder_band_seeds_are_bit_identical_to_full_scan(
+        graph in arbitrary_graph(150),
+        k in 2u32..5,
+        seed in any::<u64>(),
+    ) {
+        let partition = random_partition(&graph, k, seed);
+        let index = BoundaryIndex::build(&graph, &partition);
+        let n = graph.num_nodes() as u64;
+        let (a, b) = (0u32, 1u32);
+        let mut with_index = IndexSeeder::new(&graph, &index, a, b);
+        let mut full_scan = FullScanSeeder::new(&graph, a, b);
+        // `view` plays the DeltaPairView: the pair's live state during the
+        // worker's local iterations, diverging from the index by exactly the
+        // observed moves.
+        let mut view = partition.clone();
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..6 {
+            let expected = BandSeeder::<Partition>::seeds(&mut full_scan, &view);
+            let got = BandSeeder::<Partition>::seeds(&mut with_index, &view);
+            prop_assert_eq!(&got, &expected, "seeds diverged in round {}", round);
+            for depth in [1usize, 3] {
+                prop_assert_eq!(
+                    band_around_boundary(&graph, &view, &got, (a, b), depth),
+                    band_around_boundary(&graph, &view, &expected, (a, b), depth),
+                    "band diverged in round {} depth {}",
+                    round,
+                    depth
+                );
+            }
+            // Simulate one FM result: a few nodes of the pair switch sides.
+            let mut moves = Vec::new();
+            for _ in 0..4 {
+                let v = (next() % n) as u32;
+                let bv = view.block_of(v);
+                if bv == a || bv == b {
+                    let to = if bv == a { b } else { a };
+                    view.assign(v, to);
+                    moves.push((v, to));
+                }
+            }
+            BandSeeder::<Partition>::observe_moves(&mut with_index, &moves);
+            BandSeeder::<Partition>::observe_moves(&mut full_scan, &moves);
         }
     }
 
