@@ -3,10 +3,81 @@
 //! adjacent block with the largest positive gain, provided the move keeps the
 //! target block under the weight limit. No hill climbing, no rollback — which
 //! is exactly why it is fast and why its quality trails pairwise FM.
+//!
+//! Two implementations share the per-node move rule:
+//!
+//! * [`greedy_kway_refinement`] — the retained full-sweep reference: every
+//!   pass visits all `n` nodes in ascending order and skips interior ones by
+//!   inspecting their neighbourhoods, `O(n + m)` per pass regardless of how
+//!   small the boundary is.
+//! * [`greedy_kway_refinement_indexed`] — the production boundary sweep over
+//!   a [`PartitionState`]: each pass visits, in the same ascending order,
+//!   exactly the nodes that are boundary *at visit time* (the pass-start
+//!   boundary from the index, extended on the fly with higher-id neighbours
+//!   of moved nodes — the only nodes whose boundary status a move can
+//!   change), so a pass costs `O(|boundary| log |boundary| + Σ deg)` over
+//!   visited nodes. Moves go through [`PartitionState::apply_move`], keeping
+//!   index, weights and cached cut exact. Bit-identical to the reference
+//!   (unit + property tests): the reference's interior test "all neighbours
+//!   in my block" is precisely non-membership in the boundary index.
 
-use kappa_graph::{BlockId, BlockWeights, CsrGraph, NodeWeight, Partition};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
-/// Runs `passes` greedy sweeps; returns the total cut improvement.
+use kappa_graph::{BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition, PartitionState};
+
+/// The shared move rule: the best strictly-positive-gain move of `v` out of
+/// `from`, among the blocks adjacent to `v`, honouring `l_max`. `conn` is a
+/// zeroed k-sized scratch, returned zeroed. Returns `None` for interior
+/// nodes and nodes with no feasible improving move.
+#[inline]
+fn best_move_of(
+    graph: &CsrGraph,
+    block_of: impl Fn(NodeId) -> BlockId,
+    weights: &BlockWeights,
+    l_max: NodeWeight,
+    v: NodeId,
+    conn: &mut [i64],
+    touched: &mut Vec<BlockId>,
+) -> Option<(i64, BlockId)> {
+    let from = block_of(v);
+    touched.clear();
+    for (u, w) in graph.edges_of(v) {
+        let b = block_of(u);
+        if conn[b as usize] == 0 {
+            touched.push(b);
+        }
+        conn[b as usize] += w as i64;
+    }
+    let interior = touched.iter().all(|&b| b == from);
+    let mut best: Option<(i64, BlockId)> = None;
+    if !interior {
+        let own_conn = conn[from as usize];
+        let vw = graph.node_weight(v);
+        for &b in touched.iter() {
+            if b == from {
+                continue;
+            }
+            let gain = conn[b as usize] - own_conn;
+            if gain > 0
+                && weights.weight(b) + vw <= l_max
+                && best.map(|(g, _)| gain > g).unwrap_or(true)
+            {
+                best = Some((gain, b));
+            }
+        }
+    }
+    for &b in touched.iter() {
+        conn[b as usize] = 0;
+    }
+    best
+}
+
+/// Runs `passes` greedy full sweeps; returns the total cut improvement.
+///
+/// The retained reference implementation: `O(n + m)` per pass. Production
+/// callers that hold a [`PartitionState`] use
+/// [`greedy_kway_refinement_indexed`], which is bit-identical.
 pub fn greedy_kway_refinement(
     graph: &CsrGraph,
     partition: &mut Partition,
@@ -17,52 +88,106 @@ pub fn greedy_kway_refinement(
     let mut weights = BlockWeights::compute(graph, partition);
     let mut total_gain = 0i64;
     let mut conn: Vec<i64> = vec![0; k as usize];
+    let mut touched: Vec<BlockId> = Vec::new();
 
     for _ in 0..passes {
         let mut pass_gain = 0i64;
         for v in graph.nodes() {
+            let Some((gain, to)) = best_move_of(
+                graph,
+                |u| partition.block_of(u),
+                &weights,
+                l_max,
+                v,
+                &mut conn,
+                &mut touched,
+            ) else {
+                continue;
+            };
             let from = partition.block_of(v);
-            // Connectivity of v to every block (sparse: touch only neighbours).
-            let mut touched: Vec<BlockId> = Vec::new();
-            for (u, w) in graph.edges_of(v) {
-                let b = partition.block_of(u);
-                if conn[b as usize] == 0 {
-                    touched.push(b);
-                }
-                conn[b as usize] += w as i64;
-            }
-            if touched.iter().all(|&b| b == from) {
-                for &b in &touched {
-                    conn[b as usize] = 0;
-                }
-                continue; // interior node
-            }
-            let own_conn = conn[from as usize];
             let vw = graph.node_weight(v);
-            let mut best: Option<(i64, BlockId)> = None;
-            for &b in &touched {
-                if b == from {
-                    continue;
-                }
-                let gain = conn[b as usize] - own_conn;
-                if gain > 0
-                    && weights.weight(b) + vw <= l_max
-                    && best.map(|(g, _)| gain > g).unwrap_or(true)
-                {
-                    best = Some((gain, b));
-                }
+            // Never drain a block completely.
+            if weights.weight(from) <= vw {
+                continue;
             }
-            for &b in &touched {
-                conn[b as usize] = 0;
+            partition.assign(v, to);
+            weights.apply_move(from, to, vw);
+            pass_gain += gain;
+        }
+        total_gain += pass_gain;
+        if pass_gain == 0 {
+            break;
+        }
+    }
+    total_gain
+}
+
+/// [`greedy_kway_refinement`] as an index-backed boundary sweep over a
+/// [`PartitionState`]; returns the total cut improvement.
+///
+/// Each pass seeds a min-heap with the current boundary (from the state's
+/// index) and walks it in ascending node order — the reference's visit
+/// order. When a node moves, its higher-id neighbours are pushed: they are
+/// the only nodes later in the pass whose boundary status the move can
+/// change, so a node is boundary at visit time iff it is popped here and
+/// still boundary — exactly the nodes on which the reference's interior test
+/// fails. Interior nodes are never touched.
+pub fn greedy_kway_refinement_indexed(
+    graph: &CsrGraph,
+    state: &mut PartitionState,
+    l_max: NodeWeight,
+    passes: usize,
+) -> i64 {
+    let k = state.k();
+    let mut total_gain = 0i64;
+    let mut conn: Vec<i64> = vec![0; k as usize];
+    let mut touched: Vec<BlockId> = Vec::new();
+    let mut heap: BinaryHeap<Reverse<NodeId>> = BinaryHeap::new();
+
+    for _ in 0..passes {
+        let mut pass_gain = 0i64;
+        heap.clear();
+        heap.extend(
+            state
+                .boundary()
+                .boundary_nodes_unordered()
+                .iter()
+                .map(|&v| Reverse(v)),
+        );
+        let mut last: Option<NodeId> = None;
+        while let Some(Reverse(v)) = heap.pop() {
+            if last == Some(v) {
+                continue; // duplicate push — already visited
             }
-            if let Some((gain, to)) = best {
-                // Never drain a block completely.
-                if weights.weight(from) <= vw {
-                    continue;
+            last = Some(v);
+            if !state.boundary().is_boundary(v) {
+                continue; // left the boundary before its visit position
+            }
+            let Some((gain, to)) = best_move_of(
+                graph,
+                |u| state.block_of(u),
+                state.weights(),
+                l_max,
+                v,
+                &mut conn,
+                &mut touched,
+            ) else {
+                continue;
+            };
+            let from = state.block_of(v);
+            let vw = graph.node_weight(v);
+            // Never drain a block completely.
+            if state.weights().weight(from) <= vw {
+                continue;
+            }
+            state.apply_move(graph, v, to);
+            pass_gain += gain;
+            // The move can only change the boundary status of v's
+            // neighbours; those later in the pass must get a visit.
+            for &u in graph.neighbors(v) {
+                if u > v {
+                    heap.push(Reverse(u));
                 }
-                partition.assign(v, to);
-                weights.apply_move(from, to, vw);
-                pass_gain += gain;
             }
         }
         total_gain += pass_gain;
@@ -77,6 +202,7 @@ pub fn greedy_kway_refinement(
 mod tests {
     use super::*;
     use kappa_gen::grid::grid2d;
+    use kappa_gen::rgg::random_geometric_graph;
 
     #[test]
     fn improves_a_noisy_partition() {
@@ -121,5 +247,62 @@ mod tests {
         let before = p.assignment().to_vec();
         assert_eq!(greedy_kway_refinement(&g, &mut p, 100, 0), 0);
         assert_eq!(p.assignment(), &before[..]);
+    }
+
+    fn assert_indexed_matches_reference(g: &CsrGraph, p: Partition, l_max: u64, passes: usize) {
+        let mut reference = p.clone();
+        let gain_ref = greedy_kway_refinement(g, &mut reference, l_max, passes);
+        let mut state = PartitionState::build(g, p);
+        let gain_idx = greedy_kway_refinement_indexed(g, &mut state, l_max, passes);
+        assert_eq!(gain_idx, gain_ref);
+        assert_eq!(state.partition().assignment(), reference.assignment());
+        state.verify_exact(g).unwrap();
+    }
+
+    #[test]
+    fn indexed_sweep_is_bit_identical_to_the_full_sweep() {
+        let g = grid2d(16, 16);
+        let noisy = (0..256)
+            .map(|i| {
+                let stripe = ((i % 16) / 4) as u32;
+                if i % 10 == 0 {
+                    (stripe + 1) % 4
+                } else {
+                    stripe
+                }
+            })
+            .collect();
+        assert_indexed_matches_reference(
+            &g,
+            Partition::from_assignment(4, noisy),
+            Partition::l_max(&g, 4, 0.05),
+            5,
+        );
+
+        // Geometric graph with a scrambled partition: many mid-pass boundary
+        // changes exercise the heap-extension path.
+        let g = random_geometric_graph(1500, 3);
+        let scrambled = (0..1500).map(|i| (i * 7 % 5) as u32).collect();
+        assert_indexed_matches_reference(
+            &g,
+            Partition::from_assignment(5, scrambled),
+            Partition::l_max(&g, 5, 0.05),
+            4,
+        );
+    }
+
+    #[test]
+    fn indexed_sweep_handles_tight_limits_and_zero_passes() {
+        let g = grid2d(8, 8);
+        let assignment: Vec<u32> = (0..64).map(|i| if i % 8 < 4 { 0u32 } else { 1 }).collect();
+        assert_indexed_matches_reference(
+            &g,
+            Partition::from_assignment(2, assignment.clone()),
+            32,
+            3,
+        );
+        let mut state = PartitionState::build(&g, Partition::from_assignment(2, assignment));
+        assert_eq!(greedy_kway_refinement_indexed(&g, &mut state, 100, 0), 0);
+        state.verify_exact(&g).unwrap();
     }
 }

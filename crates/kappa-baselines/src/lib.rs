@@ -30,7 +30,7 @@ pub mod metis_like;
 pub mod parmetis_like;
 pub mod scotch_like;
 
-pub use kway_refine::greedy_kway_refinement;
+pub use kway_refine::{greedy_kway_refinement, greedy_kway_refinement_indexed};
 pub use metis_like::MetisLike;
 pub use parmetis_like::ParMetisLike;
 pub use scotch_like::ScotchLike;

@@ -8,12 +8,12 @@
 //! quality gap reported in Tables 4 and 15–20.
 
 use kappa_coarsen::{CoarseningConfig, MatcherKind, MultilevelHierarchy};
-use kappa_graph::{CsrGraph, Partition};
+use kappa_graph::{CsrGraph, Partition, PartitionState};
 use kappa_initial::{greedy_graph_growing, random_partition};
 use kappa_matching::{EdgeRating, MatchingAlgorithm};
-use kappa_refine::rebalance;
+use kappa_refine::rebalance_state;
 
-use crate::kway_refine::greedy_kway_refinement;
+use crate::kway_refine::greedy_kway_refinement_indexed;
 use crate::BaselinePartitioner;
 
 /// Metis-like sequential multilevel k-way partitioner.
@@ -56,33 +56,36 @@ impl BaselinePartitioner for MetisLike {
         let hierarchy = MultilevelHierarchy::build(graph.clone(), &coarsen_config);
 
         let coarsest = hierarchy.coarsest();
-        let mut current = if coarsest.num_nodes() >= k as usize {
+        let current = if coarsest.num_nodes() >= k as usize {
             greedy_graph_growing(coarsest, k, epsilon, seed)
         } else {
             random_partition(coarsest, k, seed)
         };
 
+        // One persistent state per run: full derivation at the coarsest
+        // level, seeded projection below, boundary sweeps from the index.
         let coarsest_level = hierarchy.num_levels() - 1;
         let l_max_coarse = Partition::l_max(hierarchy.graph_at(coarsest_level), k, epsilon);
-        greedy_kway_refinement(
+        let mut state = PartitionState::build(hierarchy.graph_at(coarsest_level), current);
+        greedy_kway_refinement_indexed(
             hierarchy.graph_at(coarsest_level),
-            &mut current,
+            &mut state,
             l_max_coarse,
             self.refine_passes,
         );
         for level in (1..hierarchy.num_levels()).rev() {
-            current = hierarchy.project_one_level(level, &current);
+            state = hierarchy.project_state_one_level(level, &state);
             let fine = hierarchy.graph_at(level - 1);
             let l_max = Partition::l_max(fine, k, epsilon);
-            greedy_kway_refinement(fine, &mut current, l_max, self.refine_passes);
+            greedy_kway_refinement_indexed(fine, &mut state, l_max, self.refine_passes);
         }
         // kMetis honours the balance constraint reasonably well; emulate that
         // with a final repair pass.
         let l_max = Partition::l_max(graph, k, epsilon);
-        if !current.is_balanced(graph, epsilon) {
-            rebalance(graph, &mut current, l_max);
+        if !state.is_balanced(l_max) {
+            rebalance_state(graph, &mut state, l_max);
         }
-        current
+        state.into_partition()
     }
 }
 

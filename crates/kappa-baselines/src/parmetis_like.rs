@@ -9,11 +9,11 @@
 //! balance bound, and no final repair.
 
 use kappa_coarsen::{CoarseningConfig, MatcherKind, MultilevelHierarchy};
-use kappa_graph::{CsrGraph, Partition};
+use kappa_graph::{CsrGraph, Partition, PartitionState};
 use kappa_initial::{greedy_graph_growing, random_partition};
 use kappa_matching::{EdgeRating, MatchingAlgorithm};
 
-use crate::kway_refine::greedy_kway_refinement;
+use crate::kway_refine::greedy_kway_refinement_indexed;
 use crate::BaselinePartitioner;
 
 /// parMetis-like parallel multilevel k-way partitioner.
@@ -66,21 +66,24 @@ impl BaselinePartitioner for ParMetisLike {
         let hierarchy = MultilevelHierarchy::build(graph.clone(), &coarsen_config);
 
         let coarsest = hierarchy.coarsest();
-        let mut current = if coarsest.num_nodes() >= k as usize {
+        let current = if coarsest.num_nodes() >= k as usize {
             greedy_graph_growing(coarsest, k, epsilon + self.balance_slack, seed)
         } else {
             random_partition(coarsest, k, seed)
         };
 
         // Single cheap pass per level against the relaxed bound; no repair.
+        // The state is derived in full once at the coarsest level and its
+        // boundary index seeded through every projection below.
         let relaxed = epsilon + self.balance_slack;
+        let mut state = PartitionState::build(coarsest, current);
         for level in (1..hierarchy.num_levels()).rev() {
-            current = hierarchy.project_one_level(level, &current);
+            state = hierarchy.project_state_one_level(level, &state);
             let fine = hierarchy.graph_at(level - 1);
             let l_max = Partition::l_max(fine, k, relaxed);
-            greedy_kway_refinement(fine, &mut current, l_max, 1);
+            greedy_kway_refinement_indexed(fine, &mut state, l_max, 1);
         }
-        current
+        state.into_partition()
     }
 }
 

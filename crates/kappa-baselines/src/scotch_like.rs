@@ -9,7 +9,7 @@
 //! separated early.
 
 use kappa_coarsen::{CoarseningConfig, MatcherKind, MultilevelHierarchy};
-use kappa_graph::{extract_subgraph, CsrGraph, NodeId, Partition};
+use kappa_graph::{extract_subgraph, CsrGraph, NodeId, Partition, PartitionState};
 use kappa_initial::greedy_graph_growing;
 use kappa_matching::{EdgeRating, MatchingAlgorithm};
 use kappa_refine::{rebalance, refine_partition, QueueSelection, RefinementConfig};
@@ -67,7 +67,7 @@ impl ScotchLike {
         // Unequal target sizes are emulated by growing the first block to the
         // k_left share; greedy_graph_growing targets c(V)/2 for k = 2, so for
         // uneven splits we bias via epsilon on the lighter side.
-        let mut current = greedy_graph_growing(coarsest, 2, epsilon, seed);
+        let current = greedy_graph_growing(coarsest, 2, epsilon, seed);
         let refinement_config = RefinementConfig {
             epsilon,
             bfs_depth: self.band_depth,
@@ -78,20 +78,24 @@ impl ScotchLike {
             patience_alpha: 0.03,
             seed,
         };
+        // One state per bisection run: full derivation at the bisection's
+        // coarsest level, seeded projections below.
         let coarsest_level = hierarchy.num_levels() - 1;
+        let mut state = PartitionState::build(hierarchy.graph_at(coarsest_level), current);
         refine_partition(
             hierarchy.graph_at(coarsest_level),
-            &mut current,
+            &mut state,
             &refinement_config,
         );
         for level in (1..hierarchy.num_levels()).rev() {
-            current = hierarchy.project_one_level(level, &current);
+            state = hierarchy.project_state_one_level(level, &state);
             refine_partition(
                 hierarchy.graph_at(level - 1),
-                &mut current,
+                &mut state,
                 &refinement_config,
             );
         }
+        let mut current = state.into_partition();
 
         // For uneven splits (k_left != k_right) shift boundary weight greedily:
         // the 2-way refinement above targeted a 50:50 split, so rebalance the

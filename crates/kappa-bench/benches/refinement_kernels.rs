@@ -3,9 +3,13 @@
 //! edge colouring, and one full refinement sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kappa_coarsen::contract_matching;
 use kappa_gen::{grid2d, random_geometric_graph};
-use kappa_graph::{pair_boundary_nodes, BlockWeights, BoundaryIndex, Partition, QuotientGraph};
+use kappa_graph::{
+    pair_boundary_nodes, BlockWeights, BoundaryIndex, Partition, PartitionState, QuotientGraph,
+};
 use kappa_initial::greedy_graph_growing;
+use kappa_matching::{gpa_matching, EdgeRating};
 use kappa_refine::{
     color_quotient_edges, pair_band, refine_partition, refine_partition_reference, two_way_fm,
     two_way_fm_in, FmConfig, FmScratch, QueueSelection, RefinementConfig,
@@ -97,10 +101,12 @@ fn bench_full_refinement_sweep(c: &mut Criterion) {
     let partition = greedy_graph_growing(&graph, 8, 0.03, 4);
     c.bench_function("refinement_sweep_rgg12_k8", |b| {
         b.iter(|| {
-            let mut p = partition.clone();
+            // The state build is charged to the measurement: it is the one
+            // full derivation a refinement entered "cold" has to pay.
+            let mut state = PartitionState::build(&graph, partition.clone());
             refine_partition(
                 &graph,
-                &mut p,
+                &mut state,
                 &RefinementConfig {
                     max_global_iterations: 2,
                     ..Default::default()
@@ -128,8 +134,8 @@ fn bench_delta_vs_snapshot_scheduler(c: &mut Criterion) {
             &partition,
             |b, start| {
                 b.iter(|| {
-                    let mut p = start.clone();
-                    refine_partition(&graph, &mut p, &config)
+                    let mut state = PartitionState::build(&graph, start.clone());
+                    refine_partition(&graph, &mut state, &config)
                 });
             },
         );
@@ -241,6 +247,37 @@ fn bench_fm_scratch_reuse(c: &mut Criterion) {
     group.finish();
 }
 
+/// Headline of the persistent-state PR: per-level index derivation during
+/// uncoarsening. `full_build` is what every level used to pay (a fresh
+/// `O(n + m)` `BoundaryIndex::build` on the fine graph); `projected_seed` is
+/// the `PartitionState::project` path — partition projection plus a seeded
+/// index build that edge-scans only fine nodes whose coarse image is
+/// boundary. Both produce identical indices (`tests/parity.rs`); only the
+/// cost differs, and the gap widens as the boundary shrinks relative to `n`.
+fn bench_projected_seed_vs_full_build(c: &mut Criterion) {
+    for (name, graph) in [
+        ("rgg14", random_geometric_graph(1 << 14, 5)),
+        ("grid160", grid2d(160, 160)),
+    ] {
+        // One contraction step gives a real fine/coarse pair with the same
+        // shape the uncoarsening loop sees.
+        let matching = gpa_matching(&graph, EdgeRating::ExpansionStar2, 2);
+        let contraction = contract_matching(&graph, &matching);
+        let coarse_partition = greedy_graph_growing(&contraction.coarse_graph, 8, 0.03, 4);
+        let coarse_state = PartitionState::build(&contraction.coarse_graph, coarse_partition);
+        let fine_partition = coarse_state.partition().project(&contraction.coarse_of);
+
+        let mut group = c.benchmark_group(format!("index_seed_{name}_k8"));
+        group.bench_function(BenchmarkId::from_parameter("full_build"), |b| {
+            b.iter(|| BoundaryIndex::build(&graph, &fine_partition));
+        });
+        group.bench_function(BenchmarkId::from_parameter("projected_seed"), |b| {
+            b.iter(|| coarse_state.project(&graph, &contraction.coarse_of));
+        });
+        group.finish();
+    }
+}
+
 criterion_group!(
     benches,
     bench_two_way_fm_band_depth,
@@ -249,6 +286,7 @@ criterion_group!(
     bench_full_refinement_sweep,
     bench_delta_vs_snapshot_scheduler,
     bench_boundary_extraction_scaling,
-    bench_fm_scratch_reuse
+    bench_fm_scratch_reuse,
+    bench_projected_seed_vs_full_build
 );
 criterion_main!(benches);

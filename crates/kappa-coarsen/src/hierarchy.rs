@@ -7,7 +7,7 @@
 //! fails to shrink the graph appreciably (e.g. on star-like graphs where
 //! matchings are tiny), which mirrors the usual multilevel safeguard.
 
-use kappa_graph::{CsrGraph, NodeId, Partition};
+use kappa_graph::{CsrGraph, NodeId, Partition, PartitionState};
 use kappa_matching::{
     compute_matching, parallel_matching, EdgeRating, MatchingAlgorithm, ParallelMatchingConfig,
 };
@@ -172,6 +172,21 @@ impl MultilevelHierarchy {
         partition.project(coarse_of)
     }
 
+    /// Projects a full [`PartitionState`] one level down, onto the graph at
+    /// `level - 1`. Block weights and the cached cut carry over unchanged
+    /// (contraction preserves both); the fine boundary index is **seeded**
+    /// from the coarse one — only fine nodes whose coarse image is boundary
+    /// are edge-scanned — so no level below the coarsest ever pays a full
+    /// `O(n + m)` index build.
+    ///
+    /// # Panics
+    /// Panics if `level == 0`.
+    pub fn project_state_one_level(&self, level: usize, state: &PartitionState) -> PartitionState {
+        assert!(level > 0, "cannot project below the finest level");
+        let coarse_of = &self.levels[level - 1].coarse_of;
+        state.project(self.graph_at(level - 1), coarse_of)
+    }
+
     /// Projects a partition of the coarsest graph all the way down to the
     /// finest graph (without any refinement — useful for testing and as the
     /// baseline for "no refinement" ablations).
@@ -230,6 +245,33 @@ mod tests {
         let fine = h.project_to_finest(&p);
         assert_eq!(fine.edge_cut(h.finest()), cut_coarse);
         assert!(fine.validate(h.finest()).is_ok());
+    }
+
+    #[test]
+    fn state_projection_matches_a_full_rebuild_on_every_level() {
+        let g = grid2d(20, 20);
+        let config = CoarseningConfig {
+            stop_at_nodes: 30,
+            ..Default::default()
+        };
+        let h = MultilevelHierarchy::build(g, &config);
+        let coarsest = h.coarsest();
+        let p = Partition::from_assignment(
+            3,
+            (0..coarsest.num_nodes()).map(|i| (i % 3) as u32).collect(),
+        );
+        let mut state = PartitionState::build(coarsest, p.clone());
+        let mut partition = p;
+        for level in (1..h.num_levels()).rev() {
+            state = h.project_state_one_level(level, &state);
+            partition = h.project_one_level(level, &partition);
+            let fine = h.graph_at(level - 1);
+            assert_eq!(state.partition().assignment(), partition.assignment());
+            // Seeded projection never performs another full build…
+            assert_eq!(state.full_builds(), 1);
+            // …yet every piece of derived state matches a fresh recompute.
+            state.verify_exact(fine).unwrap();
+        }
     }
 
     #[test]

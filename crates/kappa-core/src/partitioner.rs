@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use kappa_coarsen::{CoarseningConfig, MatcherKind, MultilevelHierarchy};
-use kappa_graph::{CsrGraph, Partition};
+use kappa_graph::{CsrGraph, Partition, PartitionState};
 use kappa_initial::{best_of_repeats, InitialAlgorithm, InitialPartitionConfig};
 use kappa_matching::{parallel_matching, ParallelMatchingConfig};
 use kappa_refine::{refine_partition, RefinementConfig, RefinementStats};
@@ -46,6 +46,10 @@ pub struct PartitionResult {
     pub coarsest_nodes: usize,
     /// Aggregated refinement statistics over all levels.
     pub refinement: RefinementStats,
+    /// Number of full `O(n + m)` boundary-index builds the run performed.
+    /// Exactly 1 for any non-degenerate run: the coarsest level's; every
+    /// finer level seeds its index from the projected coarse boundary.
+    pub boundary_full_builds: usize,
 }
 
 /// The KaPPa graph partitioner (paper §2–§5 end to end).
@@ -99,6 +103,7 @@ impl KappaPartitioner {
                 hierarchy_levels: 1,
                 coarsest_nodes: n,
                 refinement: RefinementStats::default(),
+                boundary_full_builds: 0,
             };
         }
 
@@ -151,7 +156,7 @@ impl KappaPartitioner {
             repeats: config.initial_repeats.max(1) * num_parts,
             seed: config.seed.wrapping_add(0xC0A2),
         };
-        let mut current = best_of_repeats(coarsest, &initial_config);
+        let current = best_of_repeats(coarsest, &initial_config);
         let initial_time = initial_start.elapsed();
 
         // --- Phase 3: uncoarsening with pairwise parallel refinement. ---
@@ -168,23 +173,30 @@ impl KappaPartitioner {
         };
         let mut refinement = RefinementStats::default();
 
-        // Refine the coarsest level first, then project + refine level by level.
+        // One persistent PartitionState for the whole uncoarsening: built in
+        // full exactly once (here, at the coarsest level — the only O(n + m)
+        // boundary-index build of the run), then refined, projected with a
+        // seeded index, and refined again level by level. Refinement and
+        // rebalancing receive it current and return it current.
         let coarsest_level = hierarchy.num_levels() - 1;
+        let mut state = PartitionState::build(hierarchy.graph_at(coarsest_level), current);
         let stats = refine_partition(
             hierarchy.graph_at(coarsest_level),
-            &mut current,
+            &mut state,
             &refinement_config,
         );
         accumulate(&mut refinement, &stats);
         for level in (1..hierarchy.num_levels()).rev() {
-            current = hierarchy.project_one_level(level, &current);
+            state = hierarchy.project_state_one_level(level, &state);
             let fine_graph = hierarchy.graph_at(level - 1);
-            let stats = refine_partition(fine_graph, &mut current, &refinement_config);
+            let stats = refine_partition(fine_graph, &mut state, &refinement_config);
             accumulate(&mut refinement, &stats);
         }
         let refinement_time = refine_start.elapsed();
 
         let runtime = start.elapsed();
+        let boundary_full_builds = state.full_builds();
+        let current = state.into_partition();
         PartitionResult {
             metrics: PartitionMetrics::measure(graph, &current, config.epsilon, runtime),
             partition: current,
@@ -196,6 +208,7 @@ impl KappaPartitioner {
             hierarchy_levels: hierarchy.num_levels(),
             coarsest_nodes: hierarchy.coarsest().num_nodes(),
             refinement,
+            boundary_full_builds,
         }
     }
 }
@@ -310,6 +323,23 @@ mod tests {
             assert!(result.metrics.feasible, "threads {threads}");
             assert!(result.partition.validate(&g).is_ok());
         }
+    }
+
+    #[test]
+    fn exactly_one_full_boundary_index_build_per_run() {
+        // The acceptance criterion of the persistent-state refactor: the
+        // coarsest level pays the one O(n + m) index build; every finer level
+        // seeds from the projected coarse boundary.
+        let g = random_geometric_graph(4000, 5);
+        for preset in ConfigPreset::all() {
+            let result =
+                KappaPartitioner::new(KappaConfig::preset(preset, 8).with_seed(3)).partition(&g);
+            assert!(result.hierarchy_levels > 1, "{preset:?} did not coarsen");
+            assert_eq!(result.boundary_full_builds, 1, "{preset:?}");
+        }
+        // Degenerate runs never build an index at all.
+        let r = KappaPartitioner::new(KappaConfig::fast(1)).partition(&g);
+        assert_eq!(r.boundary_full_builds, 0);
     }
 
     #[test]

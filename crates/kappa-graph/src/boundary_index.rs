@@ -44,7 +44,7 @@ use crate::types::{BlockId, NodeId, INVALID_NODE};
 /// assert_eq!(index.boundary_nodes_sorted(), vec![2, 3]);
 /// assert_eq!(index.pair_boundary_sorted(0, 1), vec![2, 3]);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BoundaryIndex {
     /// Number of blocks.
     k: BlockId,
@@ -64,8 +64,33 @@ pub struct BoundaryIndex {
 }
 
 impl BoundaryIndex {
-    /// Builds the index from scratch in `O(n + m log maxdeg)`.
+    /// Builds the index from scratch in `O(n + m log maxdeg)`: every node is
+    /// a candidate of [`build_seeded`](Self::build_seeded), so both builders
+    /// share one per-node scan and cannot drift apart.
     pub fn build<A: BlockAssignment>(graph: &CsrGraph, partition: &A) -> Self {
+        Self::build_seeded(graph, partition, |_| true)
+    }
+
+    /// Builds the index scanning edges of **candidate** nodes only.
+    ///
+    /// Precondition: every non-candidate node has all of its neighbours in
+    /// its own block (it is interior, and stays so under any assignment the
+    /// caller derived the candidate set from). The uncoarsening projection
+    /// satisfies this with "candidate ⇔ coarse image is boundary": a fine
+    /// node whose coarse image is interior has all coarse-neighbour images in
+    /// the same block, hence all fine neighbours too — so the fine boundary
+    /// is a subset of the image of the coarse boundary.
+    ///
+    /// For a non-candidate the neighbour-count list is written directly as
+    /// `[(own block, deg)]` in `O(1)`; candidates get the same `O(deg · log)`
+    /// treatment as in [`build`](Self::build). Under the precondition the
+    /// result is **identical** to a full build (asserted in debug builds),
+    /// but costs `O(n + Σ_{candidates} deg)` instead of `O(n + m)`.
+    pub fn build_seeded<A, F>(graph: &CsrGraph, partition: &A, mut is_candidate: F) -> Self
+    where
+        A: BlockAssignment,
+        F: FnMut(NodeId) -> bool,
+    {
         let n = graph.num_nodes();
         let mut index = BoundaryIndex {
             k: partition.k(),
@@ -78,6 +103,23 @@ impl BoundaryIndex {
         };
         let mut scratch: Vec<BlockId> = Vec::new();
         for v in graph.nodes() {
+            if !is_candidate(v) {
+                // Interior by precondition: every neighbour shares v's block.
+                debug_assert!(
+                    graph
+                        .neighbors(v)
+                        .iter()
+                        .all(|&u| index.block[u as usize] == index.block[v as usize]),
+                    "non-candidate node {v} has a foreign neighbour"
+                );
+                let deg = graph.degree(v) as u32;
+                if deg > 0 {
+                    index.counts.push(vec![(index.block[v as usize], deg)]);
+                } else {
+                    index.counts.push(Vec::new());
+                }
+                continue;
+            }
             scratch.clear();
             scratch.extend(graph.neighbors(v).iter().map(|&u| index.block[u as usize]));
             scratch.sort_unstable();
@@ -101,6 +143,21 @@ impl BoundaryIndex {
             }
         }
         index
+    }
+
+    /// Semantic equality: same assignment, neighbour counts, foreign degrees
+    /// and boundary *set*, ignoring the internal order of the membership list
+    /// (a maintained index accumulates swap-remove order, a fresh build is
+    /// ascending — no consumer observes the difference). The derived
+    /// `PartialEq` is stricter and additionally compares that order; freshly
+    /// built indices (full or seeded) agree under it.
+    pub fn equivalent(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.block == other.block
+            && self.counts == other.counts
+            && self.foreign == other.foreign
+            && self.in_boundary == other.in_boundary
+            && self.boundary_nodes_sorted() == other.boundary_nodes_sorted()
     }
 
     /// Number of blocks of the underlying partition.

@@ -4,7 +4,9 @@
 //! representation of weighted undirected graphs, a builder that deduplicates
 //! parallel edges, partitions with balance accounting, quotient graphs,
 //! induced subgraphs with back-mappings, boundary/band utilities, an
-//! incrementally maintained [`BoundaryIndex`] and METIS-style text I/O.
+//! incrementally maintained [`BoundaryIndex`], the persistent
+//! [`PartitionState`] (assignment + weights + boundary index + cached cut
+//! behind one exact `apply_move`) and METIS-style text I/O.
 //!
 //! The design follows Section 2 of Holtgrewe, Sanders and Schulz,
 //! *Engineering a Scalable High Quality Graph Partitioner* (2010): graphs are
@@ -41,6 +43,7 @@ pub mod builder;
 pub mod csr;
 pub mod io;
 pub mod partition;
+pub mod partition_state;
 pub mod quotient;
 pub mod subgraph;
 pub mod types;
@@ -53,6 +56,7 @@ pub use builder::{graph_from_edges, GraphBuilder};
 pub use csr::CsrGraph;
 pub use io::{parse_metis, read_metis, to_metis_string, write_metis, MetisError};
 pub use partition::{BlockAssignment, BlockAssignmentMut, BlockWeights, Partition};
+pub use partition_state::PartitionState;
 pub use quotient::QuotientGraph;
 pub use subgraph::{extract_block_pair, extract_subgraph, ExtractedSubgraph};
 pub use types::{BlockId, EdgeWeight, NodeId, NodeWeight, INVALID_BLOCK, INVALID_NODE};

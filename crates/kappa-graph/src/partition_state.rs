@@ -1,0 +1,332 @@
+//! The persistent, incrementally maintained partition state of one
+//! partitioning run.
+//!
+//! The paper's central engineering claim is that refinement cost should scale
+//! with the *boundary*, not the graph — which only holds if nothing in the
+//! pipeline quietly re-derives global state. Historically every layer did:
+//! the scheduler rebuilt the [`BoundaryIndex`] and recomputed [`BlockWeights`]
+//! per global iteration, `edge_cut` was an `O(m)` rescan per refinement call,
+//! and the rebalancer mutated the partition behind the index's back.
+//!
+//! [`PartitionState`] bundles the four pieces of derived state — the block
+//! assignment, the per-block weights, the boundary index and the cached edge
+//! cut — behind one [`apply_move`](PartitionState::apply_move) that keeps all
+//! of them exact in `O(deg(v))`. Layers *thread the state through* instead of
+//! rebuilding it: the refinement scheduler receives it current and returns it
+//! current, the rebalancer routes its moves through it, and the uncoarsening
+//! loop carries it across hierarchy levels via
+//! [`project`](PartitionState::project), which seeds the fine level's index
+//! from the coarse boundary (the fine boundary is a subset of the image of
+//! the coarse boundary). The only full `O(n + m)` [`BoundaryIndex::build`] in
+//! a run is the coarsest level's — [`full_builds`](PartitionState::full_builds)
+//! counts them so tests can prove it.
+
+use crate::boundary_index::BoundaryIndex;
+use crate::csr::CsrGraph;
+use crate::partition::{BlockWeights, Partition};
+use crate::types::{BlockId, EdgeWeight, NodeId, NodeWeight};
+
+/// A partition plus its incrementally maintained derived state: block
+/// weights, boundary index and cached edge cut.
+///
+/// Invariant (after every public call): `weights`, `boundary` and `cut` are
+/// exactly what [`BlockWeights::compute`], [`BoundaryIndex::build`] and
+/// [`Partition::edge_cut`] would recompute from `partition` — see
+/// [`verify_exact`](PartitionState::verify_exact), which tests use to assert
+/// it after arbitrary interleavings of moves and projections.
+///
+/// ```
+/// use kappa_graph::{graph_from_edges, Partition, PartitionState};
+///
+/// // A path 0 - 1 - 2 - 3 split 2 | 2.
+/// let g = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+/// let mut state = PartitionState::build(&g, Partition::from_assignment(2, vec![0, 0, 1, 1]));
+/// assert_eq!(state.edge_cut(), 1);
+/// assert_eq!(state.weights().weight(0), 2);
+///
+/// // One call moves node 2 across the cut and keeps everything exact.
+/// state.apply_move(&g, 2, 0);
+/// assert_eq!(state.edge_cut(), 1);
+/// assert_eq!(state.weights().weight(0), 3);
+/// assert_eq!(state.boundary().boundary_nodes_sorted(), vec![2, 3]);
+/// assert!(state.verify_exact(&g).is_ok());
+/// ```
+#[derive(Clone, Debug)]
+pub struct PartitionState {
+    partition: Partition,
+    weights: BlockWeights,
+    boundary: BoundaryIndex,
+    cut: EdgeWeight,
+    /// Number of full `O(n + m)` boundary-index builds this state (and the
+    /// coarse states it was projected from) has performed.
+    full_builds: usize,
+}
+
+impl PartitionState {
+    /// Builds the derived state from scratch: one `O(n + m)` pass each for
+    /// the weights, the boundary index and the cut. This is the *only* full
+    /// build a partitioning run should perform (at the coarsest level);
+    /// every finer level arrives via [`project`](PartitionState::project).
+    ///
+    /// `partition` must be a complete assignment for `graph`.
+    pub fn build(graph: &CsrGraph, partition: Partition) -> Self {
+        debug_assert!(partition.is_complete(), "state over a partial assignment");
+        let weights = BlockWeights::compute(graph, &partition);
+        let boundary = BoundaryIndex::build(graph, &partition);
+        let cut = partition.edge_cut(graph);
+        PartitionState {
+            partition,
+            weights,
+            boundary,
+            cut,
+            full_builds: 1,
+        }
+    }
+
+    /// Projects this state of a coarse graph onto the finer `fine_graph`,
+    /// given the `coarse_of` map (for every fine node, its coarse image).
+    ///
+    /// Contraction preserves block weights and the edge cut, so both carry
+    /// over unchanged; the fine boundary index is seeded by scanning **only**
+    /// fine nodes whose coarse image is boundary (the fine boundary is a
+    /// subset of the image of the coarse boundary), via
+    /// [`BoundaryIndex::build_seeded`] — no full `O(n + m)` build.
+    pub fn project(&self, fine_graph: &CsrGraph, coarse_of: &[NodeId]) -> PartitionState {
+        debug_assert_eq!(fine_graph.num_nodes(), coarse_of.len());
+        let partition = self.partition.project(coarse_of);
+        let boundary = BoundaryIndex::build_seeded(fine_graph, &partition, |v| {
+            self.boundary.is_boundary(coarse_of[v as usize])
+        });
+        debug_assert_eq!(
+            self.cut,
+            partition.edge_cut(fine_graph),
+            "projection changed the edge cut"
+        );
+        PartitionState {
+            partition,
+            weights: self.weights.clone(),
+            boundary,
+            cut: self.cut,
+            full_builds: self.full_builds,
+        }
+    }
+
+    /// The block assignment.
+    #[inline]
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The incrementally maintained per-block weights.
+    #[inline]
+    pub fn weights(&self) -> &BlockWeights {
+        &self.weights
+    }
+
+    /// The incrementally maintained boundary index.
+    #[inline]
+    pub fn boundary(&self) -> &BoundaryIndex {
+        &self.boundary
+    }
+
+    /// The cached edge cut `Σ_{i<j} ω(E_ij)`.
+    #[inline]
+    pub fn edge_cut(&self) -> EdgeWeight {
+        self.cut
+    }
+
+    /// Number of blocks `k`.
+    #[inline]
+    pub fn k(&self) -> BlockId {
+        self.partition.k()
+    }
+
+    /// Block of node `v`.
+    #[inline]
+    pub fn block_of(&self, v: NodeId) -> BlockId {
+        self.partition.block_of(v)
+    }
+
+    /// Number of full `O(n + m)` boundary-index builds behind this state,
+    /// inherited through projections. One per run is the target.
+    #[inline]
+    pub fn full_builds(&self) -> usize {
+        self.full_builds
+    }
+
+    /// True if every block weight is at most `l_max` — the balance test
+    /// against the already-maintained weights, no recompute.
+    pub fn is_balanced(&self, l_max: NodeWeight) -> bool {
+        self.weights.as_slice().iter().all(|&w| w <= l_max)
+    }
+
+    /// Moves `v` to block `to`, updating the assignment, block weights,
+    /// boundary index and cached cut in `O(deg(v) · log maxdeg)`. Returns
+    /// `false` (and does nothing) when `v` is already in `to`.
+    pub fn apply_move(&mut self, graph: &CsrGraph, v: NodeId, to: BlockId) -> bool {
+        let from = self.partition.block_of(v);
+        if from == to {
+            return false;
+        }
+        // Weighted connectivity of v to its old and new block decides the cut
+        // delta: edges into `from` become cut, edges into `to` stop being cut.
+        let mut conn_from: EdgeWeight = 0;
+        let mut conn_to: EdgeWeight = 0;
+        for (u, w) in graph.edges_of(v) {
+            let b = self.partition.block_of(u);
+            if b == from {
+                conn_from += w;
+            } else if b == to {
+                conn_to += w;
+            }
+        }
+        self.cut = self.cut + conn_from - conn_to;
+        self.weights.apply_move(from, to, graph.node_weight(v));
+        self.partition.assign(v, to);
+        self.boundary.apply_move(graph, v, to);
+        true
+    }
+
+    /// Consumes the state, returning the partition.
+    pub fn into_partition(self) -> Partition {
+        self.partition
+    }
+
+    /// Checks every piece of derived state against a fresh recomputation —
+    /// the ground truth the incremental maintenance is tested against.
+    pub fn verify_exact(&self, graph: &CsrGraph) -> Result<(), String> {
+        self.partition.validate(graph)?;
+        let weights = BlockWeights::compute(graph, &self.partition);
+        if weights != self.weights {
+            return Err(format!(
+                "block weights diverged: cached {:?}, recomputed {:?}",
+                self.weights.as_slice(),
+                weights.as_slice()
+            ));
+        }
+        let cut = self.partition.edge_cut(graph);
+        if cut != self.cut {
+            return Err(format!(
+                "edge cut diverged: cached {}, recomputed {cut}",
+                self.cut
+            ));
+        }
+        let boundary = BoundaryIndex::build(graph, &self.partition);
+        if !boundary.equivalent(&self.boundary) {
+            return Err("boundary index diverged from a fresh build".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, GraphBuilder};
+
+    fn grid4() -> CsrGraph {
+        let mut b = GraphBuilder::new(16);
+        for y in 0..4u32 {
+            for x in 0..4u32 {
+                let v = y * 4 + x;
+                if x + 1 < 4 {
+                    b.add_edge(v, v + 1, 1);
+                }
+                if y + 1 < 4 {
+                    b.add_edge(v, v + 4, 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn build_matches_recomputation() {
+        let g = grid4();
+        let p = Partition::from_assignment(2, (0..16).map(|i| (i % 4 / 2) as u32).collect());
+        let state = PartitionState::build(&g, p);
+        assert_eq!(state.full_builds(), 1);
+        assert!(state.verify_exact(&g).is_ok());
+    }
+
+    #[test]
+    fn moves_keep_all_four_pieces_exact() {
+        let g = grid4();
+        let p = Partition::from_assignment(3, (0..16).map(|i| (i % 3) as u32).collect());
+        let mut state = PartitionState::build(&g, p);
+        for (v, to) in [(0u32, 1u32), (5, 0), (10, 2), (10, 1), (3, 0), (0, 0)] {
+            state.apply_move(&g, v, to);
+            assert_eq!(state.block_of(v), to);
+            state.verify_exact(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn move_to_same_block_is_a_no_op() {
+        let g = graph_from_edges(3, vec![(0, 1, 1), (1, 2, 1)]);
+        let mut state = PartitionState::build(&g, Partition::from_assignment(2, vec![0, 0, 1]));
+        let cut = state.edge_cut();
+        assert!(!state.apply_move(&g, 0, 0));
+        assert_eq!(state.edge_cut(), cut);
+        assert!(state.apply_move(&g, 2, 0));
+        assert_eq!(state.edge_cut(), 0);
+    }
+
+    #[test]
+    fn weighted_cut_tracks_moves() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 10);
+        b.add_edge(1, 2, 3);
+        b.add_edge(2, 3, 10);
+        let g = b.build();
+        let mut state = PartitionState::build(&g, Partition::from_assignment(2, vec![0, 0, 1, 1]));
+        assert_eq!(state.edge_cut(), 3);
+        state.apply_move(&g, 1, 1); // edge (0,1) w=10 becomes cut, (1,2) w=3 healed
+        assert_eq!(state.edge_cut(), 10);
+        state.verify_exact(&g).unwrap();
+    }
+
+    #[test]
+    fn is_balanced_uses_maintained_weights() {
+        let g = grid4();
+        let mut state = PartitionState::build(
+            &g,
+            Partition::from_assignment(2, vec![0; 15].into_iter().chain([1]).collect()),
+        );
+        assert!(!state.is_balanced(Partition::l_max(&g, 2, 0.03)));
+        for v in 8..15u32 {
+            state.apply_move(&g, v, 1);
+        }
+        assert!(state.is_balanced(Partition::l_max(&g, 2, 0.03)));
+        state.verify_exact(&g).unwrap();
+    }
+
+    #[test]
+    fn projection_carries_weights_cut_and_seeds_the_index() {
+        // Fine path 0-1-2-3-4-5 contracted pairwise into a coarse path 0-1-2.
+        let fine = graph_from_edges(
+            6,
+            vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 5, 1)],
+        );
+        let coarse = {
+            let mut b = GraphBuilder::new(3);
+            b.set_node_weight(0, 2);
+            b.set_node_weight(1, 2);
+            b.set_node_weight(2, 2);
+            b.add_edge(0, 1, 1);
+            b.add_edge(1, 2, 1);
+            b.build()
+        };
+        let coarse_of = vec![0, 0, 1, 1, 2, 2];
+        let coarse_state =
+            PartitionState::build(&coarse, Partition::from_assignment(2, vec![0, 0, 1]));
+        let fine_state = coarse_state.project(&fine, &coarse_of);
+        assert_eq!(fine_state.edge_cut(), coarse_state.edge_cut());
+        assert_eq!(
+            fine_state.weights().as_slice(),
+            coarse_state.weights().as_slice()
+        );
+        assert_eq!(fine_state.full_builds(), 1);
+        fine_state.verify_exact(&fine).unwrap();
+    }
+}

@@ -7,11 +7,106 @@
 //! the complementary k-way repair pass: repeatedly move the cheapest boundary
 //! node (smallest cut increase) out of an overloaded block into its lightest
 //! adjacent block until every block fits or no move helps.
+//!
+//! [`rebalance_state`] is the production entry point: it enumerates
+//! candidates from the [`PartitionState`]'s boundary index (only boundary
+//! nodes can move cheaply — interior nodes contribute no candidates in the
+//! full scan either, so the candidate *set* is identical) and routes every
+//! move through [`PartitionState::apply_move`], so the index, weights and
+//! cached cut stay exact. Historically the rebalancer wrote raw
+//! `Partition::assign`s, silently invalidating any live boundary index — the
+//! desync this refactor closes. [`rebalance`] is the retained full-scan
+//! reference; both pick the minimum of the same candidate tuple set, so they
+//! are bit-identical (proven in `tests/parity.rs`).
 
-use kappa_graph::{BlockId, BlockWeights, CsrGraph, NodeWeight, Partition};
+use kappa_graph::{BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition, PartitionState};
+
+/// Candidate move: `(cut delta, resulting target weight, node, target block)`.
+/// The tuple ordering makes "cheapest cut increase, then lightest target,
+/// then smallest node id" the unique minimum, independent of scan order.
+type Candidate = (i64, NodeWeight, NodeId, BlockId);
+
+/// Scores every feasible move of boundary node `v` out of `over_block` and
+/// folds the best into `best`. Shared verbatim by the full-scan reference and
+/// the index-driven production path so their choices cannot drift.
+fn consider_moves_of(
+    graph: &CsrGraph,
+    partition: &Partition,
+    weights: &BlockWeights,
+    over_block: BlockId,
+    l_max: NodeWeight,
+    v: NodeId,
+    best: &mut Option<Candidate>,
+) {
+    let vw = graph.node_weight(v);
+    // Gather connectivity to each neighbouring block.
+    let mut to_own = 0i64;
+    let mut per_block: Vec<(BlockId, i64)> = Vec::new();
+    for (u, w) in graph.edges_of(v) {
+        let bu = partition.block_of(u);
+        if bu == over_block {
+            to_own += w as i64;
+        } else if let Some(entry) = per_block.iter_mut().find(|(b, _)| *b == bu) {
+            entry.1 += w as i64;
+        } else {
+            per_block.push((bu, w as i64));
+        }
+    }
+    for &(to, conn) in &per_block {
+        if weights.weight(to) + vw > l_max {
+            continue; // would just shift the overload
+        }
+        let delta = to_own - conn; // cut increase (negative = improvement)
+        let candidate = (delta, weights.weight(to) + vw, v, to);
+        if best.map(|b| candidate < b).unwrap_or(true) {
+            *best = Some(candidate);
+        }
+    }
+}
+
+/// The fallback when no boundary move is feasible: move an interior node of
+/// `over_block` into the globally lightest block. Full scan in both paths —
+/// it only runs when the cheap phase found nothing.
+fn fallback_candidate(
+    graph: &CsrGraph,
+    partition: &Partition,
+    weights: &BlockWeights,
+    over_block: BlockId,
+    l_max: NodeWeight,
+) -> Option<Candidate> {
+    let k = partition.k();
+    let lightest = (0..k).min_by_key(|&b| weights.weight(b))?;
+    if lightest == over_block {
+        return None;
+    }
+    let mut best: Option<Candidate> = None;
+    for v in graph.nodes() {
+        if partition.block_of(v) != over_block {
+            continue;
+        }
+        let vw = graph.node_weight(v);
+        if weights.weight(lightest) + vw <= l_max {
+            let to_own: i64 = graph
+                .edges_of(v)
+                .filter(|&(u, _)| partition.block_of(u) == over_block)
+                .map(|(_, w)| w as i64)
+                .sum();
+            let candidate = (to_own, weights.weight(lightest) + vw, v, lightest);
+            if best.map(|b| candidate < b).unwrap_or(true) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
 
 /// Moves nodes out of overloaded blocks until all blocks obey `l_max` or no
 /// further progress is possible. Returns the number of nodes moved.
+///
+/// This is the retained full-scan reference: it recomputes the block weights
+/// on entry and scans every node per move. Production code holds a
+/// [`PartitionState`] and uses [`rebalance_state`], which picks the exact
+/// same moves from the boundary index and keeps the state's invariants.
 pub fn rebalance(graph: &CsrGraph, partition: &mut Partition, l_max: NodeWeight) -> usize {
     let k = partition.k();
     let mut weights = BlockWeights::compute(graph, partition);
@@ -24,66 +119,63 @@ pub fn rebalance(graph: &CsrGraph, partition: &mut Partition, l_max: NodeWeight)
             break;
         };
         // Candidate moves: boundary nodes of the overloaded block, scored by
-        // (cut increase, resulting target weight).
-        let mut best: Option<(i64, NodeWeight, u32, BlockId)> = None; // (delta, target weight, node, to)
+        // (cut increase, resulting target weight). Interior nodes have no
+        // foreign neighbours, so the full scan only ever collects candidates
+        // from boundary nodes.
+        let mut best: Option<Candidate> = None;
         for v in graph.nodes() {
             if partition.block_of(v) != over_block {
                 continue;
             }
-            let vw = graph.node_weight(v);
-            // Gather connectivity to each neighbouring block.
-            let mut to_own = 0i64;
-            let mut per_block: Vec<(BlockId, i64)> = Vec::new();
-            for (u, w) in graph.edges_of(v) {
-                let bu = partition.block_of(u);
-                if bu == over_block {
-                    to_own += w as i64;
-                } else if let Some(entry) = per_block.iter_mut().find(|(b, _)| *b == bu) {
-                    entry.1 += w as i64;
-                } else {
-                    per_block.push((bu, w as i64));
-                }
-            }
-            for &(to, conn) in &per_block {
-                if weights.weight(to) + vw > l_max {
-                    continue; // would just shift the overload
-                }
-                let delta = to_own - conn; // cut increase (negative = improvement)
-                let candidate = (delta, weights.weight(to) + vw, v, to);
-                if best.map(|b| candidate < b).unwrap_or(true) {
-                    best = Some(candidate);
-                }
-            }
+            consider_moves_of(graph, partition, &weights, over_block, l_max, v, &mut best);
         }
-        // Fall back to moving an interior node into the globally lightest block
-        // if no boundary move is feasible.
         if best.is_none() {
-            let lightest = (0..k).min_by_key(|&b| weights.weight(b)).unwrap();
-            if lightest != over_block {
-                for v in graph.nodes() {
-                    if partition.block_of(v) != over_block {
-                        continue;
-                    }
-                    let vw = graph.node_weight(v);
-                    if weights.weight(lightest) + vw <= l_max {
-                        let to_own: i64 = graph
-                            .edges_of(v)
-                            .filter(|&(u, _)| partition.block_of(u) == over_block)
-                            .map(|(_, w)| w as i64)
-                            .sum();
-                        let candidate = (to_own, weights.weight(lightest) + vw, v, lightest);
-                        if best.map(|b| candidate < b).unwrap_or(true) {
-                            best = Some(candidate);
-                        }
-                    }
-                }
-            }
+            best = fallback_candidate(graph, partition, &weights, over_block, l_max);
         }
         let Some((_, _, v, to)) = best else { break };
         let from = partition.block_of(v);
         let vw = graph.node_weight(v);
         partition.assign(v, to);
         weights.apply_move(from, to, vw);
+        moved += 1;
+    }
+    moved
+}
+
+/// [`rebalance`] through a [`PartitionState`]: candidates come from the
+/// boundary index (`O(|boundary|)` per move instead of `O(n)`) and every move
+/// goes through [`PartitionState::apply_move`], keeping the index, weights
+/// and cached cut exact. Bit-identical to [`rebalance`] — the candidate sets
+/// coincide (interior nodes never produce candidates) and both take the
+/// unique minimum candidate tuple.
+pub fn rebalance_state(graph: &CsrGraph, state: &mut PartitionState, l_max: NodeWeight) -> usize {
+    let k = state.k();
+    let mut moved = 0usize;
+
+    for _ in 0..graph.num_nodes().saturating_mul(2).max(8) {
+        let Some(over_block) = (0..k).find(|&b| state.weights().weight(b) > l_max) else {
+            break;
+        };
+        let mut best: Option<Candidate> = None;
+        for &v in state.boundary().boundary_nodes_unordered() {
+            if state.partition().block_of(v) != over_block {
+                continue;
+            }
+            consider_moves_of(
+                graph,
+                state.partition(),
+                state.weights(),
+                over_block,
+                l_max,
+                v,
+                &mut best,
+            );
+        }
+        if best.is_none() {
+            best = fallback_candidate(graph, state.partition(), state.weights(), over_block, l_max);
+        }
+        let Some((_, _, v, to)) = best else { break };
+        state.apply_move(graph, v, to);
         moved += 1;
     }
     moved
@@ -142,5 +234,50 @@ mod tests {
         let l_max = Partition::l_max(&g, 4, 0.05);
         rebalance(&g, &mut p, l_max);
         assert!(p.is_balanced(&g, 0.05), "balance {}", p.balance(&g));
+    }
+
+    #[test]
+    fn state_rebalance_is_bit_identical_and_keeps_the_state_exact() {
+        for (w, h, k, stripe) in [
+            (8usize, 8usize, 2u32, 6usize),
+            (12, 12, 4, 9),
+            (10, 7, 3, 8),
+        ] {
+            let g = grid2d(w, h);
+            let assignment = (0..w * h)
+                .map(|i| {
+                    if i % w < stripe {
+                        0u32
+                    } else {
+                        (i % k as usize) as u32
+                    }
+                })
+                .collect();
+            let p = Partition::from_assignment(k, assignment);
+            let l_max = Partition::l_max(&g, k, 0.03);
+            let mut reference = p.clone();
+            let moved_ref = rebalance(&g, &mut reference, l_max);
+            let mut state = PartitionState::build(&g, p);
+            let moved_state = rebalance_state(&g, &mut state, l_max);
+            assert_eq!(moved_state, moved_ref, "{w}x{h} k={k}");
+            assert_eq!(state.partition().assignment(), reference.assignment());
+            state.verify_exact(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn state_rebalance_handles_the_interior_fallback() {
+        // Everything in block 0 (no boundary at all): only the fallback can
+        // make progress, and it must match the reference exactly.
+        let g = grid2d(6, 6);
+        let p = Partition::trivial(3, 36);
+        let l_max = Partition::l_max(&g, 3, 0.05);
+        let mut reference = p.clone();
+        rebalance(&g, &mut reference, l_max);
+        let mut state = PartitionState::build(&g, p);
+        rebalance_state(&g, &mut state, l_max);
+        assert_eq!(state.partition().assignment(), reference.assignment());
+        assert!(state.is_balanced(l_max));
+        state.verify_exact(&g).unwrap();
     }
 }

@@ -29,18 +29,27 @@
 //!   moves as per-pair deltas;
 //! * a **k-way greedy balancer** ([`balance`]) that repairs residual balance
 //!   violations, needed because the initial partition of the coarsest graph
-//!   may be infeasible at node-weight granularity.
+//!   may be infeasible at node-weight granularity — routed through the
+//!   partition state so its moves never desync the boundary index.
+//!
+//! The scheduler and balancer operate on one persistent
+//! [`PartitionState`](kappa_graph::PartitionState) — assignment, incremental
+//! block weights, incremental boundary index and cached edge cut behind a
+//! single exact `apply_move` — which the uncoarsening loop threads across
+//! hierarchy levels, so a whole run performs exactly one full boundary-index
+//! build (at the coarsest level).
 //!
 //! ```
 //! use kappa_gen::grid::grid2d;
+//! use kappa_graph::PartitionState;
 //! use kappa_initial::greedy_graph_growing;
 //! use kappa_refine::{refine_partition, RefinementConfig};
 //!
 //! let graph = grid2d(24, 24);
-//! let mut partition = greedy_graph_growing(&graph, 4, 0.03, 5);
-//! let before = partition.edge_cut(&graph);
-//! refine_partition(&graph, &mut partition, &RefinementConfig::default());
-//! assert!(partition.edge_cut(&graph) <= before);
+//! let mut state = PartitionState::build(&graph, greedy_graph_growing(&graph, 4, 0.03, 5));
+//! let before = state.edge_cut();
+//! refine_partition(&graph, &mut state, &RefinementConfig::default());
+//! assert!(state.edge_cut() <= before);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -56,7 +65,7 @@ pub mod queue_select;
 pub mod scheduler;
 pub mod scratch;
 
-pub use balance::rebalance;
+pub use balance::{rebalance, rebalance_state};
 pub use band::{pair_band, BandSeeder, FullScanSeeder, IndexSeeder};
 pub use coloring::{color_quotient_edges, EdgeColoring};
 pub use delta::{DeltaPairView, SharedAssignment};
@@ -64,6 +73,7 @@ pub use fm::{patience_bound, two_way_fm, two_way_fm_in, FmConfig, FmResult};
 pub use gain::pair_gain;
 pub use queue_select::QueueSelection;
 pub use scheduler::{
-    refine_partition, refine_partition_reference, RefinementConfig, RefinementStats,
+    refine_partition, refine_partition_in_place, refine_partition_reference, RefinementConfig,
+    RefinementStats,
 };
 pub use scratch::{FmScratch, ScratchPool};

@@ -25,14 +25,22 @@
 //! once per colour class and once more per pair; the shared mirror cuts that
 //! `O(n·k)` copying out of the hot path entirely (see
 //! `refine_partition_reference`, kept as the bit-identical ground truth).
+//!
+//! Since the persistent-state refactor the scheduler operates on one
+//! [`PartitionState`] — assignment, incremental block weights, incremental
+//! boundary index and cached cut behind a single `apply_move` — that arrives
+//! current and is returned current. Nothing is rebuilt per call or per
+//! global iteration any more: earlier revisions rebuilt the boundary index
+//! and recomputed the block weights every global iteration and the edge cut
+//! every call, and the rebalancer bypassed the index entirely.
 
 use kappa_graph::{
-    band_around_boundary_in, BlockAssignmentMut, BlockId, BlockWeights, BoundaryIndex, CsrGraph,
-    NodeId, NodeWeight, Partition, QuotientGraph,
+    band_around_boundary_in, BlockAssignmentMut, BlockId, BlockWeights, CsrGraph, NodeId,
+    NodeWeight, Partition, PartitionState, QuotientGraph,
 };
 use rayon::prelude::*;
 
-use crate::balance::rebalance;
+use crate::balance::{rebalance, rebalance_state};
 use crate::band::{BandSeeder, FullScanSeeder, IndexSeeder};
 use crate::coloring::color_quotient_edges;
 use crate::delta::{DeltaPairView, SharedAssignment};
@@ -178,61 +186,74 @@ fn search_pair<P: BlockAssignmentMut, S: BandSeeder<P>>(
     }
 }
 
-/// Refines `partition` in place on one hierarchy level. Returns statistics.
+/// Refines the partition held by `state` in place on one hierarchy level.
+/// Returns statistics.
 ///
-/// All block pairs of one quotient-colour class run concurrently, each against
-/// a [`DeltaPairView`] of the shared partition; the merged deltas are applied
-/// once per class. Band seeds come from an incremental [`BoundaryIndex`]
-/// (built once per global iteration, updated with every committed delta-move)
-/// instead of per-pair full scans, and the FM searches draw their buffers
-/// from a [`ScratchPool`], so neither boundary extraction nor FM performs
-/// per-search `O(n)` work. The result is bit-identical to the
-/// snapshot-cloning, full-scanning [`refine_partition_reference`] for every
-/// thread count.
+/// The state arrives **current** — its boundary index, block weights and
+/// cached cut already match the assignment (built once at the coarsest level,
+/// then carried across levels by [`PartitionState::project`]) — and is
+/// returned current, so this function builds the index **zero** times and
+/// recomputes neither the weights (previously `O(n)` per global iteration)
+/// nor the cut (previously `O(m)` per call). All block pairs of one
+/// quotient-colour class run concurrently, each against a [`DeltaPairView`]
+/// of the shared partition; the merged deltas are applied once per class
+/// through [`PartitionState::apply_move`], and the rebalancer routes its
+/// moves the same way, so nothing ever mutates the assignment behind the
+/// index's back. The FM searches draw their buffers from a [`ScratchPool`],
+/// so neither boundary extraction nor FM performs per-search `O(n)` work.
+/// The result is bit-identical to the snapshot-cloning, full-scanning
+/// [`refine_partition_reference`] for every thread count.
 ///
 /// ```
 /// use kappa_gen::grid::grid2d;
+/// use kappa_graph::PartitionState;
 /// use kappa_initial::random_partition;
 /// use kappa_refine::{refine_partition, RefinementConfig};
 ///
 /// let graph = grid2d(16, 16);
-/// let mut partition = random_partition(&graph, 4, 7);
-/// let before = partition.edge_cut(&graph);
-/// let stats = refine_partition(&graph, &mut partition, &RefinementConfig::default());
-/// assert_eq!(stats.total_gain, before as i64 - partition.edge_cut(&graph) as i64);
-/// assert!(partition.edge_cut(&graph) < before);
-/// assert!(partition.is_balanced(&graph, 0.03));
+/// let mut state = PartitionState::build(&graph, random_partition(&graph, 4, 7));
+/// let before = state.edge_cut();
+/// let stats = refine_partition(&graph, &mut state, &RefinementConfig::default());
+/// assert_eq!(stats.total_gain, before as i64 - state.edge_cut() as i64);
+/// assert!(state.edge_cut() < before);
+/// assert!(state.partition().is_balanced(&graph, 0.03));
+/// assert!(state.verify_exact(&graph).is_ok()); // returned current
 /// ```
 pub fn refine_partition(
     graph: &CsrGraph,
-    partition: &mut Partition,
+    state: &mut PartitionState,
     config: &RefinementConfig,
 ) -> RefinementStats {
     let mut stats = RefinementStats::default();
-    let k = partition.k();
+    let k = state.k();
     if k < 2 || graph.num_nodes() == 0 {
         return stats;
     }
     let l_max = Partition::l_max(graph, k, config.epsilon);
-    let cut_before = partition.edge_cut(graph) as i64;
+    let cut_before = state.edge_cut() as i64;
+    debug_assert_eq!(
+        state.edge_cut(),
+        state.partition().edge_cut(graph),
+        "stale cut cache on entry"
+    );
 
     // Repair gross imbalance first so FM starts from a feasible state.
-    if !partition.is_balanced(graph, config.epsilon) {
-        stats.nodes_moved += rebalance(graph, partition, l_max);
+    if !state.is_balanced(l_max) {
+        stats.nodes_moved += rebalance_state(graph, state, l_max);
     }
 
     // One atomic mirror of the assignment for the whole refinement call. FM
     // workers read and write it through DeltaPairViews; applying their deltas
-    // to `partition` below keeps the two in sync (FM rolls back every
+    // to the state below keeps the two in sync (FM rolls back every
     // non-surviving move itself), so the mirror is never rebuilt.
-    let shared = SharedAssignment::from_partition(partition);
+    let shared = SharedAssignment::from_partition(state.partition());
     // Pooled FM/BFS scratch buffers, reused across all pair searches of this
     // refinement call (at most one live scratch per concurrent worker).
     let scratch_pool = ScratchPool::new();
 
     let mut no_change_streak = 0usize;
     for global_iter in 0..config.max_global_iterations {
-        let quotient = QuotientGraph::build(graph, partition);
+        let quotient = QuotientGraph::build(graph, state.partition());
         if quotient.num_edges() == 0 {
             break;
         }
@@ -240,23 +261,18 @@ pub fn refine_partition(
             color_quotient_edges(&quotient, config.seed.wrapping_add(global_iter as u64));
         let mut iteration_gain = 0i64;
 
-        // Block weights for the whole global iteration, updated incrementally
-        // as deltas are applied (replaces an O(n) recompute per colour class).
-        let mut weights = BlockWeights::compute(graph, partition);
-        // Boundary index for the whole global iteration: pair workers seed
-        // their bands from it (no O(n + m) scans), and committed delta-moves
-        // are folded back in below, keeping it exact across colour classes.
-        let mut boundary = BoundaryIndex::build(graph, partition);
-
         for (color_idx, class) in coloring.classes().enumerate() {
             // All pairs of one colour are block-disjoint: each worker works
-            // on the shared mirror through a pair-local delta view and
-            // returns its moves; no clone of the partition is ever taken.
+            // on the shared mirror through a pair-local delta view, seeds its
+            // band from the state's live boundary index and reads the state's
+            // live block weights; no clone, recompute or rebuild of anything.
+            let boundary = state.boundary();
+            let weights = state.weights();
             let deltas: Vec<PairDelta> = class
                 .par_iter()
                 .map(|&(a, b)| {
                     let mut view = DeltaPairView::new(&shared);
-                    let mut seeder = IndexSeeder::new(graph, &boundary, a, b);
+                    let mut seeder = IndexSeeder::new(graph, boundary, a, b);
                     let mut scratch = scratch_pool.take();
                     let delta = search_pair(
                         graph,
@@ -277,20 +293,15 @@ pub fn refine_partition(
                 })
                 .collect();
 
-            // Apply the merged deltas once per class — to the partition, the
-            // incremental block weights AND the boundary index, so the next
-            // class seeds from the committed state.
+            // Apply the merged deltas once per class — one state call updates
+            // the partition, block weights, boundary index and cached cut, so
+            // the next class seeds from the committed state.
             for delta in deltas {
                 stats.pair_searches += delta.searches;
                 iteration_gain += delta.gain;
                 stats.nodes_moved += delta.moves.len();
                 for (v, to) in delta.moves {
-                    let from = partition.block_of(v);
-                    if from != to {
-                        weights.apply_move(from, to, graph.node_weight(v));
-                        partition.assign(v, to);
-                        boundary.apply_move(graph, v, to);
-                    }
+                    state.apply_move(graph, v, to);
                 }
             }
         }
@@ -309,12 +320,37 @@ pub fn refine_partition(
     // Final safety net: FM with the MaxLoad exception keeps things feasible in
     // practice, but lumpy node weights on coarse levels can still leave an
     // overload behind.
-    if !partition.is_balanced(graph, config.epsilon) {
-        stats.nodes_moved += rebalance(graph, partition, l_max);
+    if !state.is_balanced(l_max) {
+        stats.nodes_moved += rebalance_state(graph, state, l_max);
     }
-    // Total gain is reported against recomputed cuts so rebalancing moves
-    // (which are not FM moves) are accounted for as well.
-    stats.total_gain = cut_before - partition.edge_cut(graph) as i64;
+    // Total gain is reported against the cached cut so rebalancing moves
+    // (which are not FM moves) are accounted for as well; the cache is exact
+    // (asserted against a recompute in debug builds).
+    debug_assert_eq!(
+        state.edge_cut(),
+        state.partition().edge_cut(graph),
+        "cut cache diverged during refinement"
+    );
+    stats.total_gain = cut_before - state.edge_cut() as i64;
+    stats
+}
+
+/// Convenience wrapper for one-off callers that hold a bare [`Partition`]:
+/// builds a fresh [`PartitionState`] (one full `O(n + m)` derivation),
+/// refines it with [`refine_partition`] and writes the result back.
+///
+/// Pipelines that refine across hierarchy levels should hold a
+/// `PartitionState` and call [`refine_partition`] directly — that is what
+/// keeps the boundary index's full build a once-per-run cost.
+pub fn refine_partition_in_place(
+    graph: &CsrGraph,
+    partition: &mut Partition,
+    config: &RefinementConfig,
+) -> RefinementStats {
+    let owned = std::mem::replace(partition, Partition::unassigned(0, 0));
+    let mut state = PartitionState::build(graph, owned);
+    let stats = refine_partition(graph, &mut state, config);
+    *partition = state.into_partition();
     stats
 }
 
@@ -418,7 +454,7 @@ mod tests {
         let g = grid2d(20, 20);
         let mut p = random_partition(&g, 4, 3);
         let before = p.edge_cut(&g);
-        let stats = refine_partition(&g, &mut p, &RefinementConfig::default());
+        let stats = refine_partition_in_place(&g, &mut p, &RefinementConfig::default());
         let after = p.edge_cut(&g);
         assert!(after < before / 2, "cut {before} -> {after}");
         assert_eq!(before as i64 - after as i64, stats.total_gain);
@@ -431,7 +467,7 @@ mod tests {
         let g = grid2d(24, 24);
         let mut p = greedy_graph_growing(&g, 4, 0.03, 5);
         let before = p.edge_cut(&g);
-        refine_partition(&g, &mut p, &RefinementConfig::default());
+        refine_partition_in_place(&g, &mut p, &RefinementConfig::default());
         assert!(p.edge_cut(&g) <= before);
         assert!(p.is_balanced(&g, 0.03));
     }
@@ -439,8 +475,8 @@ mod tests {
     #[test]
     fn respects_k_equals_one() {
         let g = grid2d(6, 6);
-        let mut p = Partition::trivial(1, 36);
-        let stats = refine_partition(&g, &mut p, &RefinementConfig::default());
+        let mut state = PartitionState::build(&g, Partition::trivial(1, 36));
+        let stats = refine_partition(&g, &mut state, &RefinementConfig::default());
         assert_eq!(stats.total_gain, 0);
         assert_eq!(stats.global_iterations, 0);
     }
@@ -464,8 +500,8 @@ mod tests {
         };
         let mut p1 = greedy_graph_growing(&g, 8, 0.03, 1);
         let mut p2 = p1.clone();
-        refine_partition(&g, &mut p1, &base);
-        refine_partition(&g, &mut p2, &strong);
+        refine_partition_in_place(&g, &mut p1, &base);
+        refine_partition_in_place(&g, &mut p2, &strong);
         // The strong setting explores strictly more, so it must not be
         // noticeably worse (allow 5 % slack for randomisation).
         assert!(
@@ -482,8 +518,38 @@ mod tests {
         // Heavily unbalanced starting point.
         let assignment = (0..256).map(|i| if i < 200 { 0u32 } else { 1 }).collect();
         let mut p = Partition::from_assignment(2, assignment);
-        refine_partition(&g, &mut p, &RefinementConfig::default());
+        refine_partition_in_place(&g, &mut p, &RefinementConfig::default());
         assert!(p.is_balanced(&g, 0.03), "balance {}", p.balance(&g));
+    }
+
+    // Regression for the rebalance / boundary-index desync: rebalancing moves
+    // used to bypass the index (raw `Partition::assign`), so any refinement
+    // that triggered the repair pass left a stale index behind. Refining an
+    // imbalanced input now routes those moves through the state; afterwards
+    // the index must still match a fresh full scan exactly.
+    #[test]
+    fn rebalance_moves_keep_the_boundary_index_in_sync() {
+        let g = grid2d(16, 16);
+        for k in [2u32, 4] {
+            // Heavily unbalanced: almost everything in block 0, so both the
+            // entry and exit rebalance passes have real work to do.
+            let assignment = (0..256)
+                .map(|i| {
+                    if i < 240 {
+                        0u32
+                    } else {
+                        (i % k as usize) as u32
+                    }
+                })
+                .collect();
+            let mut state = PartitionState::build(&g, Partition::from_assignment(k, assignment));
+            let stats = refine_partition(&g, &mut state, &RefinementConfig::default());
+            assert!(stats.nodes_moved > 0);
+            assert!(state.partition().is_balanced(&g, 0.03));
+            state
+                .verify_exact(&g)
+                .expect("index/weights/cut diverged after rebalancing moves");
+        }
     }
 
     #[test]
@@ -501,13 +567,18 @@ mod tests {
                 .num_threads(threads)
                 .build()
                 .unwrap();
-            let mut p = start.clone();
-            let stats = pool.install(|| refine_partition(&g, &mut p, &config));
-            assert_eq!(p.assignment(), expected.assignment(), "threads {threads}");
+            let mut state = PartitionState::build(&g, start.clone());
+            let stats = pool.install(|| refine_partition(&g, &mut state, &config));
+            assert_eq!(
+                state.partition().assignment(),
+                expected.assignment(),
+                "threads {threads}"
+            );
             assert_eq!(stats.total_gain, expected_stats.total_gain);
             assert_eq!(stats.pair_searches, expected_stats.pair_searches);
             assert_eq!(stats.nodes_moved, expected_stats.nodes_moved);
             assert_eq!(stats.global_iterations, expected_stats.global_iterations);
+            state.verify_exact(&g).unwrap();
         }
     }
 
@@ -516,7 +587,7 @@ mod tests {
         let g = grid2d(12, 12);
         let mut p = random_partition(&g, 3, 9);
         let before = p.edge_cut(&g);
-        let stats = refine_partition(&g, &mut p, &RefinementConfig::default());
+        let stats = refine_partition_in_place(&g, &mut p, &RefinementConfig::default());
         assert_eq!(stats.total_gain, before as i64 - p.edge_cut(&g) as i64);
         assert!(stats.global_iterations >= 1);
         assert!(stats.pair_searches >= 1);

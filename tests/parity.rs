@@ -1,21 +1,28 @@
 //! Parallel/sequential parity: the parallel contraction, the delta-move
-//! refinement scheduler and the incremental boundary index must be
-//! deterministic and bit-identical to their sequential / full-scan reference
+//! refinement scheduler, the incremental boundary index and the persistent
+//! `PartitionState` must be deterministic and bit-identical to their
+//! sequential / full-scan / recompute-from-scratch reference
 //! implementations, across seeded random graphs and worker counts from 1 to
 //! 8. (`refine_partition` seeds its bands from the `BoundaryIndex` and the
 //! reference re-scans the whole graph, so the delta-vs-snapshot property
-//! below doubles as the end-to-end index-on vs. index-off parity proof.)
+//! below doubles as the end-to-end index-on vs. index-off parity proof; the
+//! interleaved-mutation property extends it to rebalance moves and seeded
+//! level projections, the pieces PR 4 routed through the state.)
 //!
 //! These properties are what make the parallelisation safe to adopt: a fixed
 //! seed reproduces the exact same hierarchy and partition no matter how many
 //! threads run the pipeline.
 
-use kappa::coarsen::{contract_matching, contract_matching_reference};
+use kappa::baselines::{greedy_kway_refinement, greedy_kway_refinement_indexed};
+use kappa::coarsen::{
+    contract_matching, contract_matching_reference, CoarseningConfig, MultilevelHierarchy,
+};
 use kappa::graph::boundary::{band_around_boundary, boundary_nodes, pair_boundary_nodes};
-use kappa::graph::{BoundaryIndex, GraphBuilder};
+use kappa::graph::{BoundaryIndex, GraphBuilder, PartitionState};
 use kappa::initial::random_partition;
 use kappa::matching::{compute_matching, EdgeRating, MatchingAlgorithm};
 use kappa::prelude::*;
+use kappa::refine::{rebalance, rebalance_state};
 use kappa::refine::{refine_partition, refine_partition_reference, RefinementConfig};
 use kappa::refine::{BandSeeder, FullScanSeeder, IndexSeeder};
 use proptest::prelude::*;
@@ -93,12 +100,18 @@ proptest! {
         let expected_stats = refine_partition_reference(&graph, &mut expected, &config);
         for threads in THREAD_COUNTS {
             let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
-            let mut p = start.clone();
-            let stats = pool.install(|| refine_partition(&graph, &mut p, &config));
-            prop_assert_eq!(p.assignment(), expected.assignment(), "threads {}", threads);
+            let mut state = PartitionState::build(&graph, start.clone());
+            let stats = pool.install(|| refine_partition(&graph, &mut state, &config));
+            prop_assert_eq!(
+                state.partition().assignment(),
+                expected.assignment(),
+                "threads {}",
+                threads
+            );
             prop_assert_eq!(stats.total_gain, expected_stats.total_gain);
             prop_assert_eq!(stats.pair_searches, expected_stats.pair_searches);
             prop_assert_eq!(stats.nodes_moved, expected_stats.nodes_moved);
+            prop_assert!(state.verify_exact(&graph).is_ok(), "state not returned current");
         }
     }
 
@@ -202,6 +215,108 @@ proptest! {
             BandSeeder::<Partition>::observe_moves(&mut with_index, &moves);
             BandSeeder::<Partition>::observe_moves(&mut full_scan, &moves);
         }
+    }
+
+    // Satellite of the persistent-state PR: a seeded index projection (edge
+    // scans only for fine nodes whose coarse image is boundary) must produce
+    // the exact same index a full O(n + m) build would, on every level.
+    #[test]
+    fn seeded_projection_index_is_identical_to_a_full_build(
+        graph in arbitrary_graph(250),
+        k in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let config = CoarseningConfig { stop_at_nodes: 24, ..Default::default() };
+        let hierarchy = MultilevelHierarchy::build(graph, &config);
+        let coarsest = hierarchy.coarsest();
+        let start = random_partition(coarsest, k, seed);
+        let mut state = PartitionState::build(coarsest, start);
+        for level in (1..hierarchy.num_levels()).rev() {
+            state = hierarchy.project_state_one_level(level, &state);
+            let fine = hierarchy.graph_at(level - 1);
+            let full = BoundaryIndex::build(fine, state.partition());
+            prop_assert!(
+                full == *state.boundary(),
+                "seeded index diverged from full build at level {}",
+                level - 1
+            );
+            prop_assert_eq!(state.full_builds(), 1);
+        }
+    }
+
+    // Tentpole property: arbitrary interleavings of FM delta-moves (through
+    // the parallel scheduler), rebalance moves and level projections keep the
+    // PartitionState exact — weights, boundary index AND cached cut match a
+    // fresh recomputation after every step, for every thread count — and the
+    // whole interleaving stays bit-identical to the reference pipeline that
+    // re-derives everything from scratch.
+    #[test]
+    fn partition_state_stays_exact_under_interleaved_mutations(
+        graph in arbitrary_graph(160),
+        k in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let config = CoarseningConfig { stop_at_nodes: 24, ..Default::default() };
+        let hierarchy = MultilevelHierarchy::build(graph, &config);
+        let coarsest = hierarchy.coarsest();
+        let start = random_partition(coarsest, k, seed);
+        let refine_config = RefinementConfig {
+            max_global_iterations: 2,
+            seed,
+            ..Default::default()
+        };
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut state = PartitionState::build(coarsest, start.clone());
+            let mut reference = start.clone();
+            // FM on the coarsest level…
+            pool.install(|| refine_partition(coarsest, &mut state, &refine_config));
+            refine_partition_reference(coarsest, &mut reference, &refine_config);
+            prop_assert!(state.verify_exact(coarsest).is_ok(), "after coarsest FM");
+            prop_assert_eq!(state.partition().assignment(), reference.assignment());
+            for level in (1..hierarchy.num_levels()).rev() {
+                // …then, per level: project, rebalance against a tight bound
+                // (forcing repair moves), and run FM again.
+                state = hierarchy.project_state_one_level(level, &state);
+                reference = hierarchy.project_one_level(level, &reference);
+                let fine = hierarchy.graph_at(level - 1);
+                prop_assert!(state.verify_exact(fine).is_ok(), "after projection");
+
+                let l_max = Partition::l_max(fine, k, 0.0);
+                let moved_state = rebalance_state(fine, &mut state, l_max);
+                let moved_ref = rebalance(fine, &mut reference, l_max);
+                prop_assert_eq!(moved_state, moved_ref, "rebalance move counts");
+                prop_assert_eq!(state.partition().assignment(), reference.assignment());
+                prop_assert!(state.verify_exact(fine).is_ok(), "after rebalance");
+
+                pool.install(|| refine_partition(fine, &mut state, &refine_config));
+                refine_partition_reference(fine, &mut reference, &refine_config);
+                prop_assert_eq!(state.partition().assignment(), reference.assignment());
+                prop_assert!(state.verify_exact(fine).is_ok(), "after FM");
+            }
+            prop_assert_eq!(state.full_builds(), 1, "more than one full index build");
+        }
+    }
+
+    // Satellite: the index-backed boundary sweep of the k-way baseline must
+    // be bit-identical to the retained full-sweep reference, including the
+    // mid-pass boundary growth caused by its own moves.
+    #[test]
+    fn indexed_kway_refinement_matches_the_full_sweep_reference(
+        graph in arbitrary_graph(250),
+        k in 2u32..7,
+        passes in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let start = random_partition(&graph, k, seed);
+        let l_max = Partition::l_max(&graph, k, 0.05);
+        let mut reference = start.clone();
+        let gain_ref = greedy_kway_refinement(&graph, &mut reference, l_max, passes);
+        let mut state = PartitionState::build(&graph, start);
+        let gain_idx = greedy_kway_refinement_indexed(&graph, &mut state, l_max, passes);
+        prop_assert_eq!(gain_idx, gain_ref);
+        prop_assert_eq!(state.partition().assignment(), reference.assignment());
+        prop_assert!(state.verify_exact(&graph).is_ok());
     }
 
     // The full pipeline is *not* invariant across thread counts — the paper's

@@ -4,6 +4,7 @@
 //! quotient-graph colouring is always proper.
 
 use kappa::coarsen::{contract_matching, CoarseningConfig, MultilevelHierarchy};
+use kappa::graph::PartitionState;
 use kappa::graph::{GraphBuilder, Partition, QuotientGraph};
 use kappa::initial::greedy_graph_growing;
 use kappa::matching::{compute_matching, EdgeRating, MatchingAlgorithm};
@@ -104,14 +105,17 @@ proptest! {
         k in 2u32..5,
         seed in any::<u64>(),
     ) {
-        let mut p = greedy_graph_growing(&graph, k, 0.05, seed);
+        let p = greedy_graph_growing(&graph, k, 0.05, seed);
         let before = p.edge_cut(&graph);
         let was_feasible = p.is_balanced(&graph, 0.05);
+        let mut state = PartitionState::build(&graph, p);
         let stats = refine_partition(
             &graph,
-            &mut p,
+            &mut state,
             &RefinementConfig { epsilon: 0.05, max_global_iterations: 3, seed, ..Default::default() },
         );
+        prop_assert!(state.verify_exact(&graph).is_ok());
+        let p = state.into_partition();
         prop_assert!(p.validate(&graph).is_ok());
         prop_assert_eq!(before as i64 - p.edge_cut(&graph) as i64, stats.total_gain);
         // When the input was already feasible, refinement must not make the cut

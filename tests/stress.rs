@@ -1,0 +1,122 @@
+//! Release-profile stress tests on ≥ 2^20-node instances (ROADMAP's
+//! "larger-scale stress" item): assert the end-to-end pipeline stays inside
+//! a wall-clock and peak-RSS budget instead of silently developing cliffs.
+//!
+//! Ignored by default — they take seconds-to-minutes and only mean anything
+//! under `--release`. CI runs them in a dedicated job:
+//!
+//! ```console
+//! cargo test --release --test stress -- --ignored
+//! ```
+//!
+//! The budgets are deliberately loose (several times the currently measured
+//! values, which are recorded next to each test) so machine drift does not
+//! flake the job, while a genuine `O(n + m)`-per-level regression — the
+//! class of bug the persistent `PartitionState` removed — still trips them.
+//! In debug builds only the structural assertions run.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use kappa::gen::{grid2d, random_geometric_graph};
+use kappa::prelude::*;
+
+/// Serialises the stress runs: wall time and peak RSS are process-wide
+/// measurements, so two budgeted runs must never overlap (the CI job also
+/// passes `--test-threads=1`; this guards ad-hoc invocations).
+static STRESS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Best-effort reset of `VmHWM` to the current RSS (writing `5` to
+/// `/proc/self/clear_refs`), so each run's peak is attributed to that run
+/// rather than accumulating monotonically across tests in one process.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+fn run_stress(name: &str, graph: &CsrGraph, k: u32, wall_budget: Duration, rss_budget: u64) {
+    let _guard = STRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    reset_peak_rss();
+    let start = Instant::now();
+    let result = KappaPartitioner::new(KappaConfig::fast(k).with_seed(7)).partition(graph);
+    let elapsed = start.elapsed();
+
+    // Structural acceptance, profile-independent.
+    assert!(result.partition.validate(graph).is_ok(), "{name}: invalid");
+    assert!(
+        result.metrics.feasible,
+        "{name}: infeasible, balance {}",
+        result.metrics.balance
+    );
+    assert_eq!(
+        result.boundary_full_builds, 1,
+        "{name}: more than one full boundary-index build"
+    );
+
+    eprintln!(
+        "stress {name}: n = {}, m = {}, cut = {}, {} levels, {:.2?} wall, peak RSS {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        result.metrics.edge_cut,
+        result.hierarchy_levels,
+        elapsed,
+        peak_rss_bytes()
+            .map(|b| format!("{:.0} MiB", b as f64 / (1024.0 * 1024.0)))
+            .unwrap_or_else(|| "unavailable".to_string()),
+    );
+
+    // Budgets only bind under --release; a debug build is legitimately an
+    // order of magnitude slower.
+    if !cfg!(debug_assertions) {
+        assert!(
+            elapsed <= wall_budget,
+            "{name}: wall-clock budget blown: {elapsed:.2?} > {wall_budget:.2?}"
+        );
+        if let Some(rss) = peak_rss_bytes() {
+            assert!(
+                rss <= rss_budget,
+                "{name}: peak-RSS budget blown: {} MiB > {} MiB",
+                rss / (1024 * 1024),
+                rss_budget / (1024 * 1024)
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "release-profile stress: ≥ 2^20-node instance, run via the CI stress job"]
+fn stress_rgg_2e20_k16_within_budget() {
+    // Measured on the reference container (2026-07-27): 5.2 s wall,
+    // 699 MiB peak RSS.
+    let graph = random_geometric_graph(1 << 20, 11);
+    run_stress(
+        "rgg 2^20 k=16",
+        &graph,
+        16,
+        Duration::from_secs(45),
+        2 * 1024 * 1024 * 1024,
+    );
+}
+
+#[test]
+#[ignore = "release-profile stress: ≥ 2^20-node instance, run via the CI stress job"]
+fn stress_grid_1024_k32_within_budget() {
+    // Measured on the reference container (2026-07-27): 3.7 s wall,
+    // 393 MiB peak RSS.
+    let graph = grid2d(1024, 1024);
+    run_stress(
+        "grid 1024x1024 k=32",
+        &graph,
+        32,
+        Duration::from_secs(45),
+        2 * 1024 * 1024 * 1024,
+    );
+}
