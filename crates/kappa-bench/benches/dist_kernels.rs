@@ -1,0 +1,114 @@
+//! Criterion benches for the distributed-memory runtime (kappa-dist): the
+//! message-passing primitives, the ghost-exchange protocol, the distributed
+//! matching kernel, and the end-to-end distributed pipeline against the
+//! shared-memory baseline. Gated through `scripts/bench_compare` in the CI
+//! `dist` job.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kappa_core::KappaConfig;
+use kappa_dist::{
+    distributed_matching, partition_distributed, Comm, DistConfig, DistGraph, LocalCluster,
+};
+use kappa_gen::random_geometric_graph;
+use kappa_matching::{EdgeRating, MatchingAlgorithm};
+
+fn bench_comm_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_comm_primitives");
+    for ranks in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("alltoallv_1k_u64", ranks),
+            &ranks,
+            |b, &ranks| {
+                b.iter(|| {
+                    LocalCluster::new(ranks).run(|comm| {
+                        let parts: Vec<Vec<u64>> =
+                            (0..ranks).map(|dst| vec![dst as u64; 1024]).collect();
+                        comm.alltoallv(parts).len()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ghost_exchange(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 13, 4);
+    let mut group = c.benchmark_group("dist_ghost_exchange_rgg13");
+    for ranks in [2usize, 4] {
+        // Shards are built once; the kernel measures the exchange rounds.
+        let shards: Vec<DistGraph> = (0..ranks)
+            .map(|r| DistGraph::from_global(&graph, ranks, r))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                LocalCluster::new(ranks).run(|comm| {
+                    let dg = &shards[comm.rank()];
+                    // Ten refresh rounds of a per-node value, the pattern of
+                    // one refinement superstep.
+                    let mut acc = 0u64;
+                    for round in 0..10u64 {
+                        let mirrors = dg.exchange_ghosts(comm, |l| l as u64 + round);
+                        acc += mirrors.len() as u64;
+                    }
+                    acc
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_matching(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 13, 4);
+    let mut group = c.benchmark_group("dist_matching_rgg13");
+    for ranks in [1usize, 2, 4] {
+        let shards: Vec<DistGraph> = (0..ranks)
+            .map(|r| DistGraph::from_global(&graph, ranks, r))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(ranks), &ranks, |b, &ranks| {
+            b.iter(|| {
+                LocalCluster::new(ranks).run(|comm| {
+                    distributed_matching(
+                        comm,
+                        &shards[comm.rank()],
+                        MatchingAlgorithm::Gpa,
+                        EdgeRating::ExpansionStar2,
+                        7,
+                    )
+                    .matched_pairs
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 13, 4);
+    let config = KappaConfig::fast(8).with_seed(3);
+    let mut group = c.benchmark_group("dist_end_to_end_rgg13_k8");
+    group.bench_function("shared_threads1", |b| {
+        b.iter(|| {
+            kappa_core::KappaPartitioner::new(config.with_threads(1))
+                .partition(&graph)
+                .metrics
+                .edge_cut
+        });
+    });
+    for ranks in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &ranks| {
+            b.iter(|| partition_distributed(&graph, &DistConfig::new(config, ranks)).edge_cut);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_comm_primitives,
+    bench_ghost_exchange,
+    bench_distributed_matching,
+    bench_end_to_end
+);
+criterion_main!(benches);

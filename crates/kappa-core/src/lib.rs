@@ -30,6 +30,6 @@ pub mod partitioner;
 pub mod prepartition;
 
 pub use config::{ConfigPreset, KappaConfig};
-pub use metrics::PartitionMetrics;
+pub use metrics::{geometric_mean, PartitionMetrics};
 pub use partitioner::{KappaPartitioner, PartitionResult, PhaseTimings};
 pub use prepartition::{coordinate_prepartition, index_prepartition};

@@ -50,6 +50,11 @@ pub struct PartitionResult {
     /// Exactly 1 for any non-degenerate run: the coarsest level's; every
     /// finer level seeds its index from the projected coarse boundary.
     pub boundary_full_builds: usize,
+    /// Number of full `O(n + m)` quotient-graph scans the run performed.
+    /// Exactly 0: every quotient is derived from the boundary index
+    /// (`PartitionState::quotient`); only the retained reference scheduler
+    /// still pays the full scan.
+    pub quotient_full_scans: usize,
 }
 
 /// The KaPPa graph partitioner (paper §2–§5 end to end).
@@ -104,6 +109,7 @@ impl KappaPartitioner {
                 coarsest_nodes: n,
                 refinement: RefinementStats::default(),
                 boundary_full_builds: 0,
+                quotient_full_scans: 0,
             };
         }
 
@@ -196,6 +202,7 @@ impl KappaPartitioner {
 
         let runtime = start.elapsed();
         let boundary_full_builds = state.full_builds();
+        let refinement_stats_scans = refinement.quotient_full_scans;
         let current = state.into_partition();
         PartitionResult {
             metrics: PartitionMetrics::measure(graph, &current, config.epsilon, runtime),
@@ -209,6 +216,7 @@ impl KappaPartitioner {
             coarsest_nodes: hierarchy.coarsest().num_nodes(),
             refinement,
             boundary_full_builds,
+            quotient_full_scans: refinement_stats_scans,
         }
     }
 }
@@ -218,6 +226,7 @@ fn accumulate(total: &mut RefinementStats, delta: &RefinementStats) {
     total.global_iterations += delta.global_iterations;
     total.pair_searches += delta.pair_searches;
     total.nodes_moved += delta.nodes_moved;
+    total.quotient_full_scans += delta.quotient_full_scans;
 }
 
 #[cfg(test)]

@@ -1,0 +1,531 @@
+//! The rank-based message-passing runtime.
+//!
+//! [`Comm`] is the paper's "PE" abstraction: a rank inside a fixed-size
+//! cluster with typed point-to-point messages and the handful of collective
+//! operations the distributed pipeline needs (barrier, broadcast, gather,
+//! allgather, all-to-all-v, allreduce). Every collective is implemented on
+//! top of `send`/`recv` with a deterministic communication schedule
+//! (gather-to-rank-0 in ascending rank order, then broadcast), so a backend
+//! only supplies the two point-to-point primitives.
+//!
+//! [`LocalCluster`] is the in-process backend: one `std::thread` per rank,
+//! one FIFO channel per ordered rank pair. It is the stand-in for MPI this
+//! offline build ships with; a real network backend implements the same two
+//! methods. Determinism holds by construction — every `recv` names its
+//! source, there is no wildcard receive, so the message order a rank observes
+//! is independent of thread scheduling.
+//!
+//! ## Failing loudly
+//!
+//! A lost message in an SPMD program classically turns into a silent
+//! deadlock. [`LocalComm::recv`] therefore bounds every wait with a timeout
+//! (configurable via [`LocalClusterConfig::recv_timeout`]) and panics with
+//! the blocked rank, the expected source and the expected tag. Tag or type
+//! mismatches panic immediately. [`LocalClusterConfig::drop_message`] injects
+//! a dropped message on purpose so tests can prove the runtime surfaces the
+//! failure instead of hanging (see `dropped_message_fails_loudly_not_silently`).
+
+use std::any::Any;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// A typed point-to-point message in flight.
+struct Envelope {
+    tag: &'static str,
+    payload: Box<dyn Any + Send>,
+}
+
+/// The communication interface of one rank.
+///
+/// All collectives have default implementations over [`send`](Comm::send) /
+/// [`recv`](Comm::recv) with a deterministic schedule; the whole cluster must
+/// call each collective collectively (SPMD style), in the same order on every
+/// rank.
+pub trait Comm {
+    /// This rank's id, `0..num_ranks()`.
+    fn rank(&self) -> usize;
+
+    /// Total number of ranks in the cluster.
+    fn num_ranks(&self) -> usize;
+
+    /// Sends `value` to rank `to` under `tag`. Never blocks.
+    fn send<T: Send + 'static>(&mut self, to: usize, tag: &'static str, value: T);
+
+    /// Receives the next message from rank `from`, which must carry `tag` and
+    /// type `T`. Blocks until it arrives; panics (never deadlocks) when it
+    /// does not.
+    fn recv<T: Send + 'static>(&mut self, from: usize, tag: &'static str) -> T;
+
+    /// Synchronises all ranks.
+    fn barrier(&mut self) {
+        self.gather(0, "barrier", ());
+        self.broadcast::<()>(0, Some(()));
+    }
+
+    /// Gathers one value per rank at `root` (in rank order). Returns `None`
+    /// on non-root ranks.
+    fn gather<T: Send + 'static>(
+        &mut self,
+        root: usize,
+        tag: &'static str,
+        value: T,
+    ) -> Option<Vec<T>> {
+        if self.rank() == root {
+            let mut all: Vec<T> = Vec::with_capacity(self.num_ranks());
+            let mut own = Some(value);
+            for src in 0..self.num_ranks() {
+                if src == root {
+                    all.push(own.take().expect("own value consumed twice"));
+                } else {
+                    all.push(self.recv(src, tag));
+                }
+            }
+            Some(all)
+        } else {
+            self.send(root, tag, value);
+            None
+        }
+    }
+
+    /// Broadcasts `value` (meaningful at `root` only) to every rank.
+    fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+        if self.rank() == root {
+            let value = value.expect("broadcast root must supply a value");
+            for dst in 0..self.num_ranks() {
+                if dst != root {
+                    self.send(dst, "bcast", value.clone());
+                }
+            }
+            value
+        } else {
+            self.recv(root, "bcast")
+        }
+    }
+
+    /// Gathers one value per rank on **every** rank (in rank order).
+    fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, "allgather", value);
+        self.broadcast(0, gathered)
+    }
+
+    /// Personalised all-to-all: `parts[r]` goes to rank `r`; the result holds
+    /// one part per source rank (the own part is moved through untouched).
+    /// Zero-length parts are legal and arrive as empty vectors.
+    fn alltoallv<T: Send + 'static>(&mut self, mut parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let (me, ranks) = (self.rank(), self.num_ranks());
+        assert_eq!(parts.len(), ranks, "alltoallv needs one part per rank");
+        // Post every send first (sends never block), then receive in rank
+        // order — a deterministic, deadlock-free schedule.
+        let mut own = Some(std::mem::take(&mut parts[me]));
+        for (dst, part) in parts.into_iter().enumerate() {
+            if dst != me {
+                self.send(dst, "alltoallv", part);
+            }
+        }
+        (0..ranks)
+            .map(|src| {
+                if src == me {
+                    own.take().expect("own part consumed twice")
+                } else {
+                    self.recv(src, "alltoallv")
+                }
+            })
+            .collect()
+    }
+
+    /// Allreduce by `op`, folded in ascending rank order (deterministic even
+    /// for non-commutative `op`).
+    fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let mut all = self.allgather(value).into_iter();
+        let first = all.next().expect("at least one rank");
+        all.fold(first, op)
+    }
+
+    /// Allreduce-sum of a `u64`.
+    fn allreduce_sum(&mut self, value: u64) -> u64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// Allreduce-max of a `u64`.
+    fn allreduce_max(&mut self, value: u64) -> u64 {
+        self.allreduce(value, std::cmp::max)
+    }
+}
+
+/// Allreduce-min over optional keyed candidates: every rank contributes its
+/// best local candidate (or `None`); all ranks learn the global minimum, with
+/// ties resolved towards the lower rank (the fold keeps the earlier value on
+/// equal keys — matching the sequential "first minimum wins" convention).
+pub fn allreduce_min_opt<C, T, Key, K>(comm: &mut C, value: Option<T>, key: Key) -> Option<T>
+where
+    C: Comm + ?Sized,
+    T: Clone + Send + 'static,
+    Key: Fn(&T) -> K,
+    K: Ord,
+{
+    comm.allreduce(value, |a, b| match (&a, &b) {
+        (Some(x), Some(y)) => {
+            if key(y) < key(x) {
+                b
+            } else {
+                a
+            }
+        }
+        (Some(_), None) => a,
+        (None, _) => b,
+    })
+}
+
+/// Configuration of a [`LocalCluster`].
+#[derive(Clone, Copy, Debug)]
+pub struct LocalClusterConfig {
+    /// How long a `recv` waits before declaring the message lost. The panic
+    /// message names the blocked rank, the source and the tag.
+    pub recv_timeout: Duration,
+    /// Fault injection: silently drop the `nth` (0-based) message sent from
+    /// rank `from` to rank `to`. Used by tests to prove the runtime fails
+    /// loudly instead of deadlocking.
+    pub drop_message: Option<DropSpec>,
+}
+
+/// Which message to drop (fault injection).
+#[derive(Clone, Copy, Debug)]
+pub struct DropSpec {
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank.
+    pub to: usize,
+    /// 0-based index among the messages `from` sends to `to`.
+    pub nth: u64,
+}
+
+impl Default for LocalClusterConfig {
+    fn default() -> Self {
+        LocalClusterConfig {
+            recv_timeout: Duration::from_secs(60),
+            drop_message: None,
+        }
+    }
+}
+
+/// The in-process cluster backend: one thread per rank, one FIFO channel per
+/// ordered rank pair.
+pub struct LocalCluster {
+    ranks: usize,
+    config: LocalClusterConfig,
+}
+
+impl LocalCluster {
+    /// A cluster of `ranks` ranks with default configuration.
+    pub fn new(ranks: usize) -> Self {
+        LocalCluster::with_config(ranks, LocalClusterConfig::default())
+    }
+
+    /// A cluster with explicit timeout / fault-injection configuration.
+    pub fn with_config(ranks: usize, config: LocalClusterConfig) -> Self {
+        assert!(ranks >= 1, "a cluster needs at least one rank");
+        LocalCluster { ranks, config }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Runs `f` on every rank (one thread per rank) and returns the per-rank
+    /// results in rank order. Panics in any rank propagate.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut LocalComm) -> R + Sync,
+    {
+        let ranks = self.ranks;
+        // txs[src][dst] sends into rxs-of-dst[src].
+        let mut txs: Vec<Vec<Option<Sender<Envelope>>>> = (0..ranks)
+            .map(|_| (0..ranks).map(|_| None).collect())
+            .collect();
+        let mut rxs: Vec<Vec<Option<Receiver<Envelope>>>> = (0..ranks)
+            .map(|_| (0..ranks).map(|_| None).collect())
+            .collect();
+        for src in 0..ranks {
+            for dst in 0..ranks {
+                let (tx, rx) = channel();
+                txs[src][dst] = Some(tx);
+                rxs[dst][src] = Some(rx);
+            }
+        }
+        let mut comms: Vec<LocalComm> = Vec::with_capacity(ranks);
+        for (rank, (tx_row, rx_row)) in txs.into_iter().zip(rxs).enumerate() {
+            comms.push(LocalComm {
+                rank,
+                ranks,
+                txs: tx_row.into_iter().map(|t| t.expect("wired")).collect(),
+                rxs: rx_row.into_iter().map(|r| r.expect("wired")).collect(),
+                sent_counts: vec![0; ranks],
+                config: self.config,
+            });
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> = comms
+                .into_iter()
+                .map(|mut comm| scope.spawn(move || f(&mut comm)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+}
+
+/// One rank's endpoint inside a [`LocalCluster`].
+pub struct LocalComm {
+    rank: usize,
+    ranks: usize,
+    txs: Vec<Sender<Envelope>>,
+    rxs: Vec<Receiver<Envelope>>,
+    sent_counts: Vec<u64>,
+    config: LocalClusterConfig,
+}
+
+impl Comm for LocalComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn send<T: Send + 'static>(&mut self, to: usize, tag: &'static str, value: T) {
+        let nth = self.sent_counts[to];
+        self.sent_counts[to] += 1;
+        if let Some(spec) = self.config.drop_message {
+            if spec.from == self.rank && spec.to == to && spec.nth == nth {
+                return; // injected fault: the message vanishes
+            }
+        }
+        // A send can only fail when the receiver already exited — which, in a
+        // lock-step SPMD program, means that rank panicked; surface it.
+        self.txs[to]
+            .send(Envelope {
+                tag,
+                payload: Box::new(value),
+            })
+            .unwrap_or_else(|_| {
+                panic!(
+                    "rank {} cannot send {tag:?} to rank {to}: receiver is gone",
+                    self.rank
+                )
+            });
+    }
+
+    fn recv<T: Send + 'static>(&mut self, from: usize, tag: &'static str) -> T {
+        let envelope = match self.rxs[from].recv_timeout(self.config.recv_timeout) {
+            Ok(env) => env,
+            Err(RecvTimeoutError::Timeout) => panic!(
+                "rank {} timed out after {:?} waiting for {tag:?} from rank {from} — \
+                 message lost or cluster deadlocked",
+                self.rank, self.config.recv_timeout
+            ),
+            Err(RecvTimeoutError::Disconnected) => panic!(
+                "rank {} waiting for {tag:?} from rank {from}, but that rank is gone",
+                self.rank
+            ),
+        };
+        assert_eq!(
+            envelope.tag, tag,
+            "rank {} expected {tag:?} from rank {from} but received {:?} — \
+             collective schedule out of step",
+            self.rank, envelope.tag
+        );
+        *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "rank {} received {tag:?} from rank {from} with an unexpected payload type",
+                self.rank
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(ranks: usize) -> LocalCluster {
+        LocalCluster::with_config(
+            ranks,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(10),
+                drop_message: None,
+            },
+        )
+    }
+
+    #[test]
+    fn point_to_point_round_trip() {
+        let results = cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, "ping", 41u64);
+                comm.recv::<u64>(1, "pong")
+            } else {
+                let x = comm.recv::<u64>(0, "ping");
+                comm.send(0, "pong", x + 1);
+                x
+            }
+        });
+        assert_eq!(results, vec![42, 41]);
+    }
+
+    #[test]
+    fn self_sends_are_ordinary_messages() {
+        let results = cluster(3).run(|comm| {
+            let me = comm.rank();
+            comm.send(me, "self", me as u64 * 10);
+            comm.send(me, "self", me as u64 * 10 + 1);
+            let a = comm.recv::<u64>(me, "self");
+            let b = comm.recv::<u64>(me, "self");
+            (a, b) // FIFO per channel, self included
+        });
+        assert_eq!(results, vec![(0, 1), (10, 11), (20, 21)]);
+    }
+
+    #[test]
+    fn collectives_agree_on_every_rank() {
+        let ranks = 4;
+        let results = cluster(ranks).run(|comm| {
+            let me = comm.rank() as u64;
+            let sum = comm.allreduce_sum(me + 1);
+            let max = comm.allreduce_max(me * 7);
+            let all = comm.allgather(me);
+            let bc = comm.broadcast(2, (comm.rank() == 2).then_some("hello"));
+            (sum, max, all, bc)
+        });
+        for (sum, max, all, bc) in results {
+            assert_eq!(sum, 1 + 2 + 3 + 4);
+            assert_eq!(max, 21);
+            assert_eq!(all, vec![0, 1, 2, 3]);
+            assert_eq!(bc, "hello");
+        }
+    }
+
+    #[test]
+    fn alltoallv_routes_every_segment_including_empty_ones() {
+        let ranks = 4;
+        let results = cluster(ranks).run(|comm| {
+            let me = comm.rank();
+            // Rank r sends [r*10 + dst; dst] to dst — so rank 0 sends empty
+            // segments everywhere, rank 1 singletons, and so on; every
+            // (src, dst) pair exercises a distinct length, including zero.
+            let parts: Vec<Vec<usize>> = (0..ranks).map(|dst| vec![me * 10 + dst; me]).collect();
+            comm.alltoallv(parts)
+        });
+        for (dst, received) in results.into_iter().enumerate() {
+            for (src, part) in received.into_iter().enumerate() {
+                assert_eq!(part, vec![src * 10 + dst; src], "{src} -> {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_tolerates_uneven_work() {
+        // Rank 0 sleeps before the barrier; afterwards every rank must still
+        // observe every pre-barrier increment of the shared counter.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let ranks = 4;
+        cluster(ranks).run(|comm| {
+            if comm.rank() == 0 {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(counter.load(Ordering::SeqCst), ranks);
+        });
+    }
+
+    #[test]
+    fn allreduce_min_opt_picks_the_global_minimum_with_rank_tie_break() {
+        let results = cluster(4).run(|comm| {
+            // Ranks 1 and 3 tie on the key; rank 1 must win. Rank 2
+            // contributes nothing.
+            let mine = match comm.rank() {
+                0 => Some((5u64, "rank0")),
+                1 => Some((3, "rank1")),
+                2 => None,
+                _ => Some((3, "rank3")),
+            };
+            allreduce_min_opt(comm, mine, |&(key, _)| key)
+        });
+        for r in results {
+            assert_eq!(r, Some((3, "rank1")));
+        }
+    }
+
+    #[test]
+    fn single_rank_cluster_runs_all_collectives_trivially() {
+        let results = cluster(1).run(|comm| {
+            comm.barrier();
+            let s = comm.allreduce_sum(7);
+            let parts = comm.alltoallv(vec![vec![1u8, 2, 3]]);
+            let all = comm.allgather("x");
+            (s, parts, all)
+        });
+        assert_eq!(results[0], (7, vec![vec![1, 2, 3]], vec!["x"]));
+    }
+
+    #[test]
+    fn mismatched_tag_panics_instead_of_misdelivering() {
+        let result = std::panic::catch_unwind(|| {
+            cluster(2).run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, "alpha", 1u32);
+                } else {
+                    comm.recv::<u32>(0, "beta");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn dropped_message_fails_loudly_not_silently() {
+        // Drop the first message from rank 0 to rank 1: rank 1's recv must
+        // panic with a diagnostic after the timeout instead of deadlocking
+        // forever.
+        let cluster = LocalCluster::with_config(
+            2,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_millis(200),
+                drop_message: Some(DropSpec {
+                    from: 0,
+                    to: 1,
+                    nth: 0,
+                }),
+            },
+        );
+        let started = std::time::Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cluster.run(|comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, "payload", 99u64);
+                } else {
+                    comm.recv::<u64>(0, "payload");
+                }
+            });
+        }));
+        assert!(result.is_err(), "lost message must not pass silently");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "failure must surface promptly, not hang"
+        );
+    }
+}

@@ -1,0 +1,310 @@
+//! Distributed contraction: from a [`DistGraph`] + [`DistMatching`] to the
+//! next level's [`DistGraph`], with deterministic coarse-id assignment.
+//!
+//! A coarse node is *anchored* at the smaller global endpoint of its matched
+//! pair (or at the node itself when unmatched), and owned by that anchor's
+//! rank. Since ownership ranges are contiguous and ascending, numbering each
+//! rank's anchors in ascending order and offsetting by an exclusive prefix
+//! sum of the per-rank anchor counts yields **globally ascending coarse ids
+//! by anchor** — exactly the id order of the shared-memory
+//! `contract_matching`, which is what makes the one-rank pipeline produce a
+//! bit-identical hierarchy.
+//!
+//! Communication (all collectives, deterministic):
+//! 1. allgather anchor counts → coarse ownership ranges;
+//! 2. two ghost-exchange rounds to mirror coarse ids (the second resolves
+//!    nodes whose anchor lives on another rank);
+//! 3. one `alltoallv` shipping the mapped adjacency of cross-rank matched
+//!    partners to their anchor's owner;
+//! 4. coarse ghost node weights pulled inside [`DistGraph::assemble_with`].
+
+use kappa_graph::{EdgeWeight, NodeId, NodeWeight, INVALID_NODE};
+
+use crate::comm::Comm;
+use crate::graph::DistGraph;
+use crate::matching::DistMatching;
+
+/// Result of one distributed contraction step.
+#[derive(Clone, Debug)]
+pub struct DistContraction {
+    /// The coarse distributed graph.
+    pub coarse: DistGraph,
+    /// Global coarse id of every **owned** fine node.
+    pub coarse_of_owned: Vec<NodeId>,
+}
+
+/// Contracts `matching` on `dg` (collective call).
+pub fn distributed_contraction<C: Comm>(
+    comm: &mut C,
+    dg: &DistGraph,
+    matching: &DistMatching,
+) -> DistContraction {
+    let ln = dg.num_owned();
+    let (lo, _) = dg.owned_range();
+    let ranks = comm.num_ranks();
+
+    // --- 1. Anchors and coarse ownership ranges. ---
+    // Owned node u is an anchor iff unmatched or matched with a larger gid.
+    let is_anchor = |l: NodeId| -> bool {
+        let p = matching.partner_owned[l as usize];
+        p == INVALID_NODE || lo + l < p
+    };
+    let my_anchors: Vec<NodeId> = (0..ln as NodeId).filter(|&l| is_anchor(l)).collect();
+    let counts = comm.allgather(my_anchors.len() as NodeId);
+    let mut coarse_starts: Vec<NodeId> = Vec::with_capacity(ranks + 1);
+    coarse_starts.push(0);
+    for c in &counts {
+        coarse_starts.push(coarse_starts.last().unwrap() + c);
+    }
+    let my_offset = coarse_starts[comm.rank()];
+
+    // --- 2. Coarse ids for owned nodes (two mirror rounds). ---
+    let mut coarse_of_owned: Vec<NodeId> = vec![INVALID_NODE; ln];
+    for (i, &l) in my_anchors.iter().enumerate() {
+        coarse_of_owned[l as usize] = my_offset + i as NodeId;
+    }
+    // Owned partners of local anchors inherit the anchor's id directly.
+    for &l in &my_anchors {
+        let p = matching.partner_owned[l as usize];
+        if p != INVALID_NODE {
+            if let Some(pl) = dg.local_of(p) {
+                if dg.is_owned_local(pl) {
+                    coarse_of_owned[pl as usize] = coarse_of_owned[l as usize];
+                }
+            }
+        }
+    }
+    // Round 1: mirror what is known; owned nodes anchored remotely read
+    // their id off the (ghost) anchor — the partner is a neighbour, hence a
+    // ghost here.
+    let ghost_coarse_round1 = dg.exchange_ghosts(comm, |l| coarse_of_owned[l as usize]);
+    for l in 0..ln as NodeId {
+        if coarse_of_owned[l as usize] == INVALID_NODE {
+            let p = matching.partner_owned[l as usize];
+            debug_assert!(p != INVALID_NODE && p < lo + l);
+            let pl = dg.local_of(p).expect("matched partner must be local");
+            debug_assert!(!dg.is_owned_local(pl));
+            let cid = ghost_coarse_round1[pl as usize - ln];
+            assert_ne!(cid, INVALID_NODE, "anchor id missing for cross pair");
+            coarse_of_owned[l as usize] = cid;
+        }
+    }
+    // Round 2: now every owned id is final; mirror again for the ghosts.
+    let ghost_coarse = dg.exchange_ghosts(comm, |l| coarse_of_owned[l as usize]);
+    let coarse_of_local = |l: NodeId| -> NodeId {
+        if dg.is_owned_local(l) {
+            coarse_of_owned[l as usize]
+        } else {
+            ghost_coarse[l as usize - ln]
+        }
+    };
+
+    // --- 3. Ship mapped adjacency of cross-rank partners to the anchor. ---
+    // For an owned node p matched to a *remote smaller* partner u, the coarse
+    // node lives at owner(u): send (u_gid, p's row mapped to coarse ids).
+    let mut outgoing: Vec<Vec<(NodeId, Vec<(NodeId, EdgeWeight)>, NodeWeight)>> =
+        vec![Vec::new(); ranks];
+    for l in 0..ln as NodeId {
+        let p = matching.partner_owned[l as usize];
+        if p == INVALID_NODE || p > lo + l {
+            continue;
+        }
+        if dg.local_of(p).map(|pl| dg.is_owned_local(pl)) == Some(true) {
+            continue; // pair fully local, handled in-place
+        }
+        let mapped: Vec<(NodeId, EdgeWeight)> = dg
+            .local()
+            .edges_of(l)
+            .map(|(t, w)| (coarse_of_local(t), w))
+            .collect();
+        outgoing[dg.owner_of(p)].push((p, mapped, dg.local().node_weight(l)));
+    }
+    let shipped = comm.alltoallv(outgoing);
+    // Index shipped rows by anchor gid.
+    let mut shipped_rows: std::collections::HashMap<
+        NodeId,
+        (Vec<(NodeId, EdgeWeight)>, NodeWeight),
+    > = std::collections::HashMap::new();
+    for part in shipped {
+        for (anchor, row, weight) in part {
+            let prev = shipped_rows.insert(anchor, (row, weight));
+            debug_assert!(prev.is_none(), "two partners shipped for one anchor");
+        }
+    }
+
+    // --- 4. Build the owned coarse rows (ascending anchor order). ---
+    let mut rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)> =
+        Vec::with_capacity(my_anchors.len());
+    let mut scratch: Vec<(NodeId, EdgeWeight)> = Vec::new();
+    for (i, &l) in my_anchors.iter().enumerate() {
+        let cid = my_offset + i as NodeId;
+        scratch.clear();
+        for (t, w) in dg.local().edges_of(l) {
+            let ct = coarse_of_local(t);
+            if ct != cid {
+                scratch.push((ct, w));
+            }
+        }
+        let mut weight = dg.local().node_weight(l);
+        let p = matching.partner_owned[l as usize];
+        if p != INVALID_NODE {
+            let pl = dg.local_of(p).expect("partner is local");
+            if dg.is_owned_local(pl) {
+                for (t, w) in dg.local().edges_of(pl) {
+                    let ct = coarse_of_local(t);
+                    if ct != cid {
+                        scratch.push((ct, w));
+                    }
+                }
+                weight += dg.local().node_weight(pl);
+            } else {
+                let (row, pw) = shipped_rows
+                    .remove(&(lo + l))
+                    .expect("missing shipped row for cross pair");
+                for (ct, w) in row {
+                    if ct != cid {
+                        scratch.push((ct, w));
+                    }
+                }
+                weight += pw;
+            }
+        }
+        // Sort by coarse target and merge parallel edges (sum order is
+        // irrelevant — u64 addition commutes), mirroring `contract_matching`.
+        scratch.sort_unstable_by_key(|&(t, _)| t);
+        let mut merged: Vec<(NodeId, EdgeWeight)> = Vec::with_capacity(scratch.len());
+        for &(t, w) in &scratch {
+            match merged.last_mut() {
+                Some((last, lw)) if *last == t => *lw += w,
+                _ => merged.push((t, w)),
+            }
+        }
+        rows.push((merged, weight));
+    }
+
+    let coarse = DistGraph::assemble_with(comm, comm.rank(), ranks, coarse_starts, rows);
+    DistContraction {
+        coarse,
+        coarse_of_owned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::LocalCluster;
+    use crate::matching::distributed_matching;
+    use kappa_coarsen::contract_matching;
+    use kappa_gen::grid::grid2d;
+    use kappa_gen::rgg::random_geometric_graph;
+    use kappa_graph::CsrGraph;
+    use kappa_matching::{EdgeRating, MatchingAlgorithm};
+
+    /// Reassembles the global coarse graph + mapping from the per-rank shards.
+    fn run_contraction(
+        g: &CsrGraph,
+        ranks: usize,
+        seed: u64,
+    ) -> (CsrGraph, Vec<NodeId>, Vec<NodeId>) {
+        let shards = LocalCluster::new(ranks).run(|comm| {
+            let dg = DistGraph::from_global(g, ranks, comm.rank());
+            let m = distributed_matching(
+                comm,
+                &dg,
+                MatchingAlgorithm::Gpa,
+                EdgeRating::ExpansionStar2,
+                seed,
+            );
+            let c = distributed_contraction(comm, &dg, &m);
+            let coarse_rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)> = (0
+                ..c.coarse.num_owned() as NodeId)
+                .map(|l| {
+                    (
+                        c.coarse
+                            .local()
+                            .edges_of(l)
+                            .map(|(t, w)| (c.coarse.global_of(t), w))
+                            .collect(),
+                        c.coarse.local().node_weight(l),
+                    )
+                })
+                .collect();
+            (coarse_rows, c.coarse_of_owned.clone(), m)
+        });
+        let mut xadj = vec![0usize];
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        let mut vwgt = Vec::new();
+        let mut coarse_of = Vec::new();
+        let mut partners = Vec::new();
+        for (rows, mapping, m) in shards {
+            for (row, w) in rows {
+                for (t, ew) in row {
+                    adjncy.push(t);
+                    adjwgt.push(ew);
+                }
+                xadj.push(adjncy.len());
+                vwgt.push(w);
+            }
+            coarse_of.extend(mapping);
+            partners.extend(m.partner_owned);
+        }
+        (
+            CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt, None),
+            coarse_of,
+            partners,
+        )
+    }
+
+    #[test]
+    fn distributed_contraction_matches_the_shared_reference() {
+        // The distributed matching equals its own shared-memory replay (the
+        // partners ARE the matching); contracting that matching with the
+        // sequential reference must give a bit-identical coarse graph and
+        // mapping for every rank count.
+        for (g, seed) in [(grid2d(20, 20), 1u64), (random_geometric_graph(900, 5), 9)] {
+            for ranks in [1usize, 2, 3, 4, 8] {
+                let (coarse, coarse_of, partners) = run_contraction(&g, ranks, seed);
+                let mut reference_matching = kappa_matching::Matching::new(g.num_nodes());
+                for v in 0..g.num_nodes() as NodeId {
+                    let p = partners[v as usize];
+                    if p != INVALID_NODE && v < p {
+                        assert!(reference_matching.try_match(v, p));
+                    }
+                }
+                let reference = contract_matching(&g, &reference_matching);
+                assert_eq!(coarse_of, reference.coarse_of, "ranks {ranks} mapping");
+                assert_eq!(
+                    coarse.vwgt(),
+                    reference.coarse_graph.vwgt(),
+                    "ranks {ranks} weights"
+                );
+                assert_eq!(
+                    coarse.xadj(),
+                    reference.coarse_graph.xadj(),
+                    "ranks {ranks} xadj"
+                );
+                assert_eq!(
+                    coarse.adjncy(),
+                    reference.coarse_graph.adjncy(),
+                    "ranks {ranks} adjacency"
+                );
+                assert_eq!(
+                    coarse.adjwgt(),
+                    reference.coarse_graph.adjwgt(),
+                    "ranks {ranks} edge weights"
+                );
+                assert!(coarse.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn node_weight_is_conserved_across_ranks() {
+        let g = random_geometric_graph(500, 17);
+        for ranks in [2usize, 5] {
+            let (coarse, _, _) = run_contraction(&g, ranks, 3);
+            assert_eq!(coarse.total_node_weight(), g.total_node_weight());
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # kappa-dist
+//!
+//! The distributed-memory runtime of KaPPa-rs: the subsystem that turns the
+//! shared-memory reproduction of Holtgrewe, Sanders & Schulz (IPDPS 2010)
+//! back into what the paper actually is — a *distributed* multilevel graph
+//! partitioner running over a partitioned representation of the graph
+//! itself.
+//!
+//! * [`comm`] — the rank/message-passing runtime: the [`Comm`] trait (typed
+//!   point-to-point send/recv plus deterministic collectives) and the
+//!   [`LocalCluster`] backend (one thread per rank, FIFO channel per rank
+//!   pair, timeout-guarded receives that fail loudly instead of
+//!   deadlocking).
+//! * [`graph`] — [`DistGraph`]: 1D block distribution of the CSR with ghost
+//!   (halo) vertices, owner-computes update rules, ghost exchange and pull
+//!   protocols.
+//! * [`state`] — [`DistState`]: each rank's shard of the partition state
+//!   (live local assignment, boundary-index shard, replicated block weights,
+//!   exact partial edge cut).
+//! * [`matching`] — two-phase distributed matching: sequential matching on
+//!   each rank's interior subgraph, then a propose/accept handshake
+//!   (locally-heaviest-edge pointing) across rank boundaries.
+//! * [`contract`] — distributed contraction with deterministic coarse-id
+//!   assignment, producing the next level's [`DistGraph`].
+//! * [`refine`] — pairwise distributed refinement scheduled over the
+//!   quotient-graph edge colouring: each block pair's boundary band is
+//!   gathered to a home rank, refined with the pooled FM of `kappa-refine`,
+//!   and the surviving delta-moves broadcast back into every rank's state
+//!   shard.
+//! * [`pipeline`] — the end-to-end driver: [`partition_distributed`] runs
+//!   coarsening → initial partitioning → uncoarsening over a cluster and is
+//!   cut-bit-identical to the shared-memory [`KappaPartitioner`] for one
+//!   rank (`tests/dist.rs` at the workspace root proves it).
+//!
+//! [`KappaPartitioner`]: kappa_core::KappaPartitioner
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod contract;
+pub mod graph;
+pub mod matching;
+pub mod pipeline;
+pub mod refine;
+pub mod state;
+
+pub use comm::{Comm, DropSpec, LocalCluster, LocalClusterConfig, LocalComm};
+pub use contract::distributed_contraction;
+pub use graph::{DistGraph, LocalAssignment};
+pub use matching::{distributed_matching, DistMatching};
+pub use pipeline::{partition_distributed, DistConfig, DistRunResult};
+pub use refine::{dist_rebalance, dist_refine};
+pub use state::DistState;

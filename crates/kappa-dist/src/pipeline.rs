@@ -1,0 +1,435 @@
+//! The end-to-end distributed pipeline: coarsening → initial partitioning →
+//! uncoarsening, SPMD over a [`LocalCluster`].
+//!
+//! Mirrors `KappaPartitioner::partition` phase by phase:
+//!
+//! * **Coarsening** — repeated [`distributed_matching`] +
+//!   [`distributed_contraction`] with the same per-level seeds and the same
+//!   stop rules (node-count threshold, minimum shrink factor, level cap) as
+//!   the shared pipeline, evaluated on allreduced global counts.
+//! * **Initial partitioning** — the coarsest graph (a few hundred nodes by
+//!   construction) is allgathered; every rank runs its share of the
+//!   best-of-repeats protocol with rank-offset seeds, the winner is chosen
+//!   by the replicated `(infeasible, cut, balance, rank)` key and its
+//!   assignment broadcast — the paper's "partition redundantly on every PE,
+//!   keep the best" step.
+//! * **Uncoarsening** — one [`DistState`] per rank threads through the
+//!   levels: refined with [`dist_refine`], projected with a *pulled* block /
+//!   boundary-flag exchange and a **seeded** boundary-index build (only fine
+//!   nodes whose coarse image is boundary are edge-scanned), so each rank
+//!   performs exactly one full index build per run — the per-rank version of
+//!   the shared pipeline's `boundary_full_builds == 1` invariant.
+//!
+//! With one rank every phase degenerates to the shared-memory code path
+//! (same seeds, same kernels), which makes `--ranks 1` cut-bit-identical to
+//! `KappaPartitioner` at `--threads 1`; `tests/dist.rs` asserts it.
+
+use kappa_core::KappaConfig;
+use kappa_graph::{BlockId, BlockWeights, CsrGraph, EdgeWeight, NodeId, NodeWeight, Partition};
+use kappa_initial::{best_of_repeats, quality_key, InitialAlgorithm, InitialPartitionConfig};
+use kappa_refine::{RefinementConfig, RefinementStats};
+
+use crate::comm::{Comm, LocalCluster};
+use crate::contract::distributed_contraction;
+use crate::graph::DistGraph;
+use crate::matching::distributed_matching;
+use crate::refine::dist_refine;
+use crate::state::DistState;
+
+/// Configuration of a distributed run: the shared pipeline's knobs plus the
+/// number of ranks.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// The algorithmic configuration (presets, seeds, ε, …). `num_threads`
+    /// is ignored — parallelism comes from the ranks.
+    pub base: KappaConfig,
+    /// Number of ranks in the cluster.
+    pub ranks: usize,
+}
+
+impl DistConfig {
+    /// A distributed configuration from a shared one.
+    pub fn new(base: KappaConfig, ranks: usize) -> Self {
+        assert!(ranks >= 1, "at least one rank");
+        DistConfig { base, ranks }
+    }
+}
+
+/// Result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistRunResult {
+    /// The computed global partition.
+    pub partition: Partition,
+    /// The exact edge cut (allreduced at the finest level).
+    pub edge_cut: EdgeWeight,
+    /// Number of hierarchy levels (finest included).
+    pub hierarchy_levels: usize,
+    /// Global node count of the coarsest graph.
+    pub coarsest_nodes: usize,
+    /// Aggregated refinement statistics (identical on every rank).
+    pub refinement: RefinementStats,
+    /// Per-rank count of full boundary-index builds — exactly one each.
+    pub boundary_full_builds_per_rank: Vec<usize>,
+}
+
+/// Partitions `graph` into `config.base.k` blocks over `config.ranks` ranks
+/// of an in-process [`LocalCluster`].
+pub fn partition_distributed(graph: &CsrGraph, config: &DistConfig) -> DistRunResult {
+    let k = config.base.k.max(1);
+    let n = graph.num_nodes();
+    if n == 0 || k == 1 {
+        let partition = Partition::trivial(k, n);
+        return DistRunResult {
+            edge_cut: partition.edge_cut(graph),
+            partition,
+            hierarchy_levels: 1,
+            coarsest_nodes: n,
+            refinement: RefinementStats::default(),
+            boundary_full_builds_per_rank: vec![0; config.ranks],
+        };
+    }
+    // Locality-preserving layout (§3.3): with several ranks and available
+    // coordinates, re-order the nodes by recursive coordinate bisection so
+    // each rank owns a spatially contiguous block — otherwise a spatially
+    // random input ordering (e.g. rgg generation order) makes *every* rank
+    // boundary a random cut through the graph and starves the interior
+    // matching. The result is mapped back through the permutation.
+    let layout = spatial_layout(graph, config.ranks);
+    let (work_graph, range_starts): (&CsrGraph, Vec<NodeId>) = match &layout {
+        Some((permuted, ranges, _)) => (permuted, ranges.clone()),
+        None => (graph, crate::graph::even_ranges(n, config.ranks)),
+    };
+
+    let cluster = LocalCluster::new(config.ranks);
+    let mut rank_results = cluster.run(|comm| rank_main(comm, work_graph, &range_starts, config));
+    let full_builds: Vec<usize> = rank_results.iter().map(|r| r.full_builds).collect();
+    let mut first = rank_results.swap_remove(0);
+    if let Some((_, _, new_of_old)) = &layout {
+        let permuted = first.partition.assignment();
+        let assignment: Vec<BlockId> = new_of_old
+            .iter()
+            .map(|&new| permuted[new as usize])
+            .collect();
+        first.partition = Partition::from_assignment(k, assignment);
+    }
+    DistRunResult {
+        partition: first.partition,
+        edge_cut: first.edge_cut,
+        hierarchy_levels: first.hierarchy_levels,
+        coarsest_nodes: first.coarsest_nodes,
+        refinement: first.refinement,
+        boundary_full_builds_per_rank: full_builds,
+    }
+}
+
+/// The locality-preserving node layout: `None` for one rank (identity — this
+/// keeps `--ranks 1` bit-identical to the shared pipeline) or when the graph
+/// carries no coordinates (index ranges are the paper's fallback too);
+/// otherwise the permuted graph, the per-rank ownership ranges (one
+/// contiguous spatial block each) and the old → new id map.
+fn spatial_layout(graph: &CsrGraph, ranks: usize) -> Option<(CsrGraph, Vec<NodeId>, Vec<NodeId>)> {
+    if ranks <= 1 {
+        return None;
+    }
+    graph.coords()?;
+    let part = kappa_core::coordinate_prepartition(graph, ranks);
+    // New ids: ascending by (part, old id) — each part becomes a contiguous
+    // range, old relative order preserved within a part.
+    let n = graph.num_nodes();
+    let mut counts = vec![0usize; ranks];
+    for &p in &part {
+        counts[p] += 1;
+    }
+    let mut range_starts: Vec<NodeId> = Vec::with_capacity(ranks + 1);
+    range_starts.push(0);
+    for c in &counts {
+        range_starts.push(range_starts.last().unwrap() + *c as NodeId);
+    }
+    let mut next = range_starts.clone();
+    let mut new_of_old: Vec<NodeId> = vec![0; n];
+    for (old, &p) in part.iter().enumerate() {
+        new_of_old[old] = next[p];
+        next[p] += 1;
+    }
+    // Permute the CSR arrays (coordinates are dropped — the layout already
+    // encoded the geometry; the distributed pipeline never reads them).
+    let mut old_of_new: Vec<NodeId> = vec![0; n];
+    for (old, &new) in new_of_old.iter().enumerate() {
+        old_of_new[new as usize] = old as NodeId;
+    }
+    let mut xadj = Vec::with_capacity(n + 1);
+    let mut adjncy: Vec<NodeId> = Vec::with_capacity(graph.num_half_edges());
+    let mut adjwgt = Vec::with_capacity(graph.num_half_edges());
+    let mut vwgt = Vec::with_capacity(n);
+    xadj.push(0usize);
+    let mut row: Vec<(NodeId, u64)> = Vec::new();
+    for new in 0..n {
+        let old = old_of_new[new];
+        row.clear();
+        row.extend(
+            graph
+                .edges_of(old)
+                .map(|(t, w)| (new_of_old[t as usize], w)),
+        );
+        row.sort_unstable_by_key(|&(t, _)| t);
+        for &(t, w) in &row {
+            adjncy.push(t);
+            adjwgt.push(w);
+        }
+        xadj.push(adjncy.len());
+        vwgt.push(graph.node_weight(old));
+    }
+    Some((
+        CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt, None),
+        range_starts,
+        new_of_old,
+    ))
+}
+
+/// Per-rank output of the SPMD body (the partition is replicated).
+struct RankResult {
+    partition: Partition,
+    edge_cut: EdgeWeight,
+    hierarchy_levels: usize,
+    coarsest_nodes: usize,
+    refinement: RefinementStats,
+    full_builds: usize,
+}
+
+/// One level of the distributed hierarchy, as seen by one rank.
+struct DistLevel {
+    /// The (finer) graph of this level.
+    graph: DistGraph,
+    /// Global coarse id of every owned fine node (mapping into the next
+    /// coarser level).
+    coarse_of_owned: Vec<NodeId>,
+}
+
+fn rank_main<C: Comm>(
+    comm: &mut C,
+    graph: &CsrGraph,
+    range_starts: &[NodeId],
+    config: &DistConfig,
+) -> RankResult {
+    let base = &config.base;
+    let k = base.k.max(1);
+    let n = graph.num_nodes();
+    let stop_at_nodes = base.contraction_stop_nodes(n).max(2 * k as usize);
+
+    // --- Phase 1: distributed coarsening. ---
+    let mut levels: Vec<DistLevel> = Vec::new();
+    let mut current = DistGraph::from_global_ranges(graph, range_starts.to_vec(), comm.rank());
+    for level_idx in 0..64u64 {
+        let n_cur = current.num_global_nodes();
+        if n_cur <= stop_at_nodes {
+            break;
+        }
+        let level_seed = base
+            .seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(level_idx);
+        let matching = distributed_matching(comm, &current, base.matching, base.rating, level_seed);
+        let shrink = matching.matched_pairs as f64 / n_cur.max(1) as f64;
+        if matching.matched_pairs == 0 || shrink < 0.02 {
+            break;
+        }
+        let contraction = distributed_contraction(comm, &current, &matching);
+        levels.push(DistLevel {
+            graph: current,
+            coarse_of_owned: contraction.coarse_of_owned,
+        });
+        current = contraction.coarse;
+    }
+    let coarsest_nodes = current.num_global_nodes();
+    let hierarchy_levels = levels.len() + 1;
+
+    // --- Phase 2: redundant initial partitioning of the coarsest graph. ---
+    let coarsest_full = allgather_graph(comm, &current);
+    let repeats = base.initial_repeats.max(1);
+    let initial_config = InitialPartitionConfig {
+        k,
+        epsilon: base.epsilon,
+        algorithm: InitialAlgorithm::GreedyGrowing,
+        repeats,
+        // Rank r explores its own seed window; rank 0's window equals the
+        // shared pipeline's (single-threaded) one.
+        seed: base
+            .seed
+            .wrapping_add(0xC0A2)
+            .wrapping_add(comm.rank() as u64 * repeats as u64),
+    };
+    let mine = best_of_repeats(&coarsest_full, &initial_config);
+    // The same quality key best_of_repeats minimises internally, so the
+    // cross-rank selection cannot drift from the per-rank one.
+    let my_key = quality_key(&coarsest_full, &mine, base.epsilon);
+    let keys = comm.allgather(my_key);
+    let winner_rank = keys
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("no NaN in keys"))
+        .map(|(r, _)| r)
+        .expect("at least one rank");
+    let winner = comm.broadcast(winner_rank, (comm.rank() == winner_rank).then_some(mine));
+
+    // --- Phase 3: uncoarsening with pairwise distributed refinement. ---
+    let refinement_config = RefinementConfig {
+        epsilon: base.epsilon,
+        bfs_depth: base.bfs_depth,
+        max_global_iterations: base.max_global_iterations,
+        local_iterations: base.local_iterations,
+        stop_after_no_change: base.stop_after_no_change,
+        queue_selection: base.queue_selection,
+        patience_alpha: base.fm_patience,
+        seed: base.seed.wrapping_add(0x5EF1),
+    };
+    let mut stats = RefinementStats::default();
+
+    // Coarsest-level state: the one full boundary-index build of the run.
+    let coarsest = current;
+    let view: Vec<BlockId> = (0..coarsest.local().num_nodes() as NodeId)
+        .map(|l| winner.block_of(coarsest.global_of(l)))
+        .collect();
+    let weights = BlockWeights::compute(&coarsest_full, &winner);
+    let mut st = DistState::build(&coarsest, view, k, weights);
+    let l_max = level_l_max(comm, &coarsest, k, base.epsilon);
+    dist_refine(
+        comm,
+        &coarsest,
+        &mut st,
+        &refinement_config,
+        l_max,
+        &mut stats,
+    );
+
+    for i in (0..levels.len()).rev() {
+        let coarse_dg: &DistGraph = if i + 1 < levels.len() {
+            &levels[i + 1].graph
+        } else {
+            &coarsest
+        };
+        st = project_state(
+            comm,
+            &levels[i].graph,
+            coarse_dg,
+            &st,
+            &levels[i].coarse_of_owned,
+        );
+        let l_max = level_l_max(comm, &levels[i].graph, k, base.epsilon);
+        dist_refine(
+            comm,
+            &levels[i].graph,
+            &mut st,
+            &refinement_config,
+            l_max,
+            &mut stats,
+        );
+    }
+
+    // --- Gather the global assignment (replicated) and the exact cut. ---
+    let finest = levels.first().map(|l| &l.graph).unwrap_or(&coarsest);
+    let owned_blocks: Vec<BlockId> = st.view()[..finest.num_owned()].to_vec();
+    let assignment: Vec<BlockId> = comm.allgather(owned_blocks).into_iter().flatten().collect();
+    let partition = Partition::from_assignment(k, assignment);
+    let edge_cut = st.edge_cut(comm);
+
+    RankResult {
+        partition,
+        edge_cut,
+        hierarchy_levels,
+        coarsest_nodes,
+        refinement: stats,
+        full_builds: st.full_builds(),
+    }
+}
+
+/// Allgathers the (small) coarsest graph so every rank can partition it
+/// redundantly.
+fn allgather_graph<C: Comm>(comm: &mut C, dg: &DistGraph) -> CsrGraph {
+    let rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)> = (0..dg.num_owned() as NodeId)
+        .map(|l| {
+            (
+                dg.local()
+                    .edges_of(l)
+                    .map(|(t, w)| (dg.global_of(t), w))
+                    .collect(),
+                dg.local().node_weight(l),
+            )
+        })
+        .collect();
+    let all = comm.allgather(rows);
+    let mut xadj = vec![0usize];
+    let mut adjncy = Vec::new();
+    let mut adjwgt = Vec::new();
+    let mut vwgt = Vec::new();
+    for (row, w) in all.into_iter().flatten() {
+        for (t, ew) in row {
+            adjncy.push(t);
+            adjwgt.push(ew);
+        }
+        xadj.push(adjncy.len());
+        vwgt.push(w);
+    }
+    CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt, None)
+}
+
+/// The balance bound `L_max` of one level, from allreduced totals — exactly
+/// `Partition::l_max` evaluated on the (virtual) global graph.
+fn level_l_max<C: Comm>(comm: &mut C, dg: &DistGraph, k: BlockId, epsilon: f64) -> NodeWeight {
+    let owned = &dg.local().vwgt()[..dg.num_owned()];
+    let total = comm.allreduce_sum(owned.iter().sum());
+    let max = comm.allreduce_max(owned.iter().copied().max().unwrap_or(0));
+    let avg = total as f64 / k as f64;
+    ((1.0 + epsilon) * avg).ceil() as NodeWeight + max
+}
+
+/// Projects the coarse state one level down: pulls the block and boundary
+/// flag of every owned fine node's coarse image from the image's owner,
+/// mirrors the fine blocks over the ghost layer, and seeds the fine
+/// boundary-index shard from the image of the coarse boundary (no full
+/// build). Weights carry over (contraction preserves them); the partial cut
+/// is recomputed from the local shard.
+fn project_state<C: Comm>(
+    comm: &mut C,
+    fine: &DistGraph,
+    coarse: &DistGraph,
+    st: &DistState,
+    coarse_of_owned: &[NodeId],
+) -> DistState {
+    debug_assert_eq!(coarse_of_owned.len(), fine.num_owned());
+    // Deduplicated coarse images of the owned fine nodes.
+    let mut images: Vec<NodeId> = coarse_of_owned.to_vec();
+    images.sort_unstable();
+    images.dedup();
+    let info: Vec<(BlockId, bool)> = coarse.pull(comm, &images, |l| {
+        (st.block_of_local(l), st.index().is_boundary(l))
+    });
+    let lookup = |cid: NodeId| -> (BlockId, bool) {
+        info[images.binary_search(&cid).expect("image present")]
+    };
+
+    let ln = fine.num_owned();
+    let n_local = fine.local().num_nodes();
+    let mut view: Vec<BlockId> = vec![0; n_local];
+    let mut candidate: Vec<bool> = vec![false; n_local];
+    for l in 0..ln {
+        let (block, boundary) = lookup(coarse_of_owned[l]);
+        view[l] = block;
+        candidate[l] = boundary;
+    }
+    // Ghost mirrors of block + candidate flag come from the fine owners
+    // (which just computed them for their owned nodes).
+    let ghost_info = fine.exchange_ghosts(comm, |l| (view[l as usize], candidate[l as usize]));
+    for (g, (block, cand)) in ghost_info.into_iter().enumerate() {
+        view[ln + g] = block;
+        candidate[ln + g] = cand;
+    }
+
+    DistState::build_seeded(
+        fine,
+        view,
+        st.k(),
+        BlockWeights::from_weights(st.weights().as_slice().to_vec()),
+        |l| candidate[l as usize],
+        st.full_builds(),
+    )
+}

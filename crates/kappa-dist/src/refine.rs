@@ -1,0 +1,636 @@
+//! Pairwise distributed refinement, scheduled over the quotient graph.
+//!
+//! The distributed sibling of `kappa_refine::refine_partition`, in BSP
+//! supersteps:
+//!
+//! 1. Per global iteration every rank contributes its boundary-priced share
+//!    of the quotient-graph cut weights; the merged quotient and its greedy
+//!    edge colouring are computed **replicated** (same seed, same result on
+//!    every rank) — no broadcast needed.
+//! 2. The pairs of one colour class are block-disjoint, so they refine
+//!    concurrently: pair `i` of a class is assigned to **home rank**
+//!    `i mod R`. Per local iteration, one batched superstep handles every
+//!    active pair at once: seeds (pair-boundary candidates, maintained per
+//!    rank exactly like the shared `IndexSeeder`) are gathered to the homes,
+//!    a level-synchronised distributed BFS grows the depth-`d` bands, each
+//!    rank ships its shard of every band to the pair's home
+//!    ([`RegionNode`] records), the homes run the pooled FM of
+//!    `kappa-refine` on their gathered regions **in parallel across ranks**,
+//!    and the surviving moves are allgathered.
+//! 3. Every rank applies every announced move to its live view immediately
+//!    (the distributed analogue of the shared scheduler's atomic mirror);
+//!    the boundary-index shards, replicated weights and partial cuts are
+//!    caught up once per colour class by replaying the committed moves in
+//!    deterministic class order.
+//!
+//! For one rank the schedule degenerates to the shared scheduler's exact
+//! sequence of pair searches — same quotient, same colouring, same seeds,
+//! same FM searches (via [`GatheredRegion`]'s bit-parity) — which is the
+//! second half of the `--ranks 1` cut-parity argument. The distributed
+//! rebalancer picks the same moves as `rebalance_state` by construction:
+//! each rank scores its owned boundary candidates with the shared
+//! `best_move_of` and an allreduce-min selects the unique global minimum
+//! candidate tuple.
+
+use std::collections::{HashMap, HashSet};
+
+use kappa_graph::{BlockId, EdgeWeight, NodeId, NodeWeight, QuotientGraph};
+use kappa_refine::{
+    best_move_of, color_quotient_edges, fallback_move_of, fallback_target, pair_search_seed,
+    refine_gathered_band, FmConfig, FmScratch, GatheredRegion, RefinementConfig, RefinementStats,
+    RegionEdge, RegionNode,
+};
+
+use crate::comm::{allreduce_min_opt, Comm};
+use crate::graph::{DistGraph, LocalAssignment};
+use crate::state::{DistState, MoveRec};
+
+/// One pair's per-iteration report, allgathered from its home rank.
+#[derive(Clone, Debug)]
+struct PairReport {
+    pair: usize,
+    searched: bool,
+    done: bool,
+    gain: i64,
+    moves: Vec<MoveRec>,
+}
+
+/// Cluster-wide bookkeeping of one pair within a colour class; every rank
+/// tracks the replicated parts so no extra broadcasts are needed.
+struct PairRun {
+    a: BlockId,
+    b: BlockId,
+    home: usize,
+    active: bool,
+    /// Block weights of the pair, tracked from class start + own moves
+    /// (replicated).
+    w_a: NodeWeight,
+    w_b: NodeWeight,
+    /// This rank's candidate superset of the pair boundary: owned local ids,
+    /// ascending (the rank-local shard of the shared `IndexSeeder` candidate
+    /// list).
+    candidates: Vec<NodeId>,
+    /// All committed moves of the pair so far (replicated).
+    moves: Vec<MoveRec>,
+    gain: i64,
+    searches: usize,
+}
+
+/// Refines the distributed partition state on one level (collective call).
+/// Mirrors `refine_partition`: entry/exit rebalance, global iterations over
+/// quotient colourings, local iterations per pair.
+pub fn dist_refine<C: Comm>(
+    comm: &mut C,
+    dg: &DistGraph,
+    st: &mut DistState,
+    config: &RefinementConfig,
+    l_max: NodeWeight,
+    stats: &mut RefinementStats,
+) {
+    let k = st.k();
+    if k < 2 || dg.num_global_nodes() == 0 {
+        return;
+    }
+    let cut_before = st.edge_cut(comm) as i64;
+
+    if !st.is_balanced(l_max) {
+        stats.nodes_moved += dist_rebalance(comm, dg, st, l_max);
+    }
+
+    let mut no_change_streak = 0usize;
+    for global_iter in 0..config.max_global_iterations {
+        // Replicated quotient from the allgathered boundary-priced shares.
+        let shares = comm.allgather(st.quotient_partial(dg));
+        let mut merged: HashMap<(BlockId, BlockId), EdgeWeight> = HashMap::new();
+        for (a, b, w) in shares.into_iter().flatten() {
+            *merged.entry((a, b)).or_insert(0) += w;
+        }
+        let quotient = QuotientGraph::from_cut_weights(k, merged);
+        if quotient.num_edges() == 0 {
+            break;
+        }
+        let coloring =
+            color_quotient_edges(&quotient, config.seed.wrapping_add(global_iter as u64));
+        let mut iteration_gain = 0i64;
+
+        for (color_idx, class) in coloring.classes().enumerate() {
+            iteration_gain += refine_class(
+                comm,
+                dg,
+                st,
+                class,
+                global_iter,
+                color_idx,
+                config,
+                l_max,
+                stats,
+            );
+        }
+
+        stats.global_iterations += 1;
+        if iteration_gain <= 0 {
+            no_change_streak += 1;
+            if no_change_streak >= config.stop_after_no_change {
+                break;
+            }
+        } else {
+            no_change_streak = 0;
+        }
+    }
+
+    if !st.is_balanced(l_max) {
+        stats.nodes_moved += dist_rebalance(comm, dg, st, l_max);
+    }
+    stats.total_gain += cut_before - st.edge_cut(comm) as i64;
+}
+
+/// Runs all pairs of one colour class to completion (their local iterations)
+/// and commits the surviving moves. Returns the class's total gain.
+#[allow(clippy::too_many_arguments)]
+fn refine_class<C: Comm>(
+    comm: &mut C,
+    dg: &DistGraph,
+    st: &mut DistState,
+    class: &[(BlockId, BlockId)],
+    global_iter: usize,
+    color_idx: usize,
+    config: &RefinementConfig,
+    l_max: NodeWeight,
+    stats: &mut RefinementStats,
+) -> i64 {
+    let me = comm.rank();
+    let ranks = comm.num_ranks();
+    let ln = dg.num_owned();
+
+    let mut pairs: Vec<PairRun> = class
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| PairRun {
+            a,
+            b,
+            home: i % ranks,
+            active: true,
+            w_a: st.weights().weight(a),
+            w_b: st.weights().weight(b),
+            candidates: st
+                .index()
+                .pair_boundary_sorted(a, b)
+                .into_iter()
+                .filter(|&l| (l as usize) < ln)
+                .collect(),
+            moves: Vec::new(),
+            gain: 0,
+            searches: 0,
+        })
+        .collect();
+
+    let mut scratch = FmScratch::new();
+    for local_iter in 0..config.local_iterations {
+        if pairs.iter().all(|p| !p.active) {
+            break;
+        }
+
+        // --- Superstep 1: seeds to the homes. ---
+        // A candidate is a live seed iff it is pair-boundary in the current
+        // view (same revalidation as IndexSeeder::seeds). The filtered lists
+        // double as the initial BFS frontier below.
+        let mut my_seeds: Vec<Vec<NodeId>> = vec![Vec::new(); pairs.len()];
+        let mut seed_parts: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); ranks];
+        for (pi, pair) in pairs.iter().enumerate() {
+            if !pair.active {
+                continue;
+            }
+            for &l in &pair.candidates {
+                if is_pair_boundary(dg, st, l, pair.a, pair.b) {
+                    my_seeds[pi].push(l);
+                    seed_parts[pair.home].push((pi as u32, dg.global_of(l)));
+                }
+            }
+        }
+        let seed_msgs = comm.alltoallv(seed_parts);
+        // Home: per pair, seeds in ascending global order (rank segments are
+        // ascending and ownership ranges are ordered, so concatenation in
+        // rank order is globally ascending).
+        let mut seeds_of: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for part in seed_msgs {
+            for (pi, gid) in part {
+                seeds_of.entry(pi as usize).or_default().push(gid);
+            }
+        }
+
+        // --- Superstep 2: level-synchronised distributed band BFS. ---
+        // visited[pi] = this rank's owned band members (as locals).
+        let mut visited: HashMap<usize, HashSet<NodeId>> = HashMap::new();
+        let mut frontier: Vec<(usize, NodeId)> = Vec::new(); // (pair, owned local)
+        for (pi, seeds) in my_seeds.iter().enumerate() {
+            for &l in seeds {
+                if visited.entry(pi).or_default().insert(l) {
+                    frontier.push((pi, l));
+                }
+            }
+        }
+        for _hop in 0..config.bfs_depth {
+            let mut next: Vec<(usize, NodeId)> = Vec::new();
+            let mut remote: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); ranks];
+            for &(pi, l) in &frontier {
+                let (a, b) = (pairs[pi].a, pairs[pi].b);
+                for (t, _) in dg.local().edges_of(l) {
+                    let bt = st.block_of_local(t);
+                    if bt != a && bt != b {
+                        continue;
+                    }
+                    if dg.is_owned_local(t) {
+                        if visited.entry(pi).or_default().insert(t) {
+                            next.push((pi, t));
+                        }
+                    } else {
+                        remote[dg.owner_of(dg.global_of(t))].push((pi as u32, dg.global_of(t)));
+                    }
+                }
+            }
+            for part in comm.alltoallv(remote) {
+                for (pi, gid) in part {
+                    let pi = pi as usize;
+                    let l = dg.local_of(gid).expect("owned");
+                    let (a, b) = (pairs[pi].a, pairs[pi].b);
+                    let bl = st.block_of_local(l);
+                    if (bl == a || bl == b) && visited.entry(pi).or_default().insert(l) {
+                        next.push((pi, l));
+                    }
+                }
+            }
+            frontier = next;
+        }
+
+        // --- Superstep 3: ship the band shards to the homes. ---
+        let mut band_parts: Vec<Vec<(u32, RegionNode)>> = vec![Vec::new(); ranks];
+        for (pi, members) in &visited {
+            let pair = &pairs[*pi];
+            for &l in members {
+                let record = RegionNode {
+                    gid: dg.global_of(l),
+                    weight: dg.local().node_weight(l),
+                    block: st.block_of_local(l),
+                    edges: dg
+                        .local()
+                        .edges_of(l)
+                        .filter(|&(t, _)| {
+                            let bt = st.block_of_local(t);
+                            bt == pair.a || bt == pair.b
+                        })
+                        .map(|(t, w)| RegionEdge {
+                            to: dg.global_of(t),
+                            weight: w,
+                            to_block: st.block_of_local(t),
+                            to_weight: dg.local().node_weight(t),
+                        })
+                        .collect(),
+                };
+                band_parts[pair.home].push((*pi as u32, record));
+            }
+        }
+        let band_msgs = comm.alltoallv(band_parts);
+        let mut region_of: HashMap<usize, Vec<RegionNode>> = HashMap::new();
+        for part in band_msgs {
+            for (pi, record) in part {
+                region_of.entry(pi as usize).or_default().push(record);
+            }
+        }
+
+        // --- Superstep 4: homes refine their pairs (parallel across ranks). --
+        let mut my_reports: Vec<PairReport> = Vec::new();
+        for (pi, pair) in pairs.iter().enumerate() {
+            if !pair.active || pair.home != me {
+                continue;
+            }
+            let seeds = seeds_of.remove(&pi).unwrap_or_default();
+            if seeds.is_empty() {
+                my_reports.push(PairReport {
+                    pair: pi,
+                    searched: false,
+                    done: true,
+                    gain: 0,
+                    moves: Vec::new(),
+                });
+                continue;
+            }
+            let records = region_of.remove(&pi).unwrap_or_default();
+            let mut region = GatheredRegion::build(st.k(), &records);
+            let fm_config = FmConfig {
+                queue_selection: config.queue_selection,
+                patience_alpha: config.patience_alpha,
+                l_max,
+                seed: pair_search_seed(
+                    config.seed,
+                    global_iter,
+                    color_idx,
+                    local_iter,
+                    pair.a,
+                    pair.b,
+                ),
+            };
+            let result = refine_gathered_band(
+                &mut region,
+                pair.a,
+                pair.b,
+                &seeds,
+                config.bfs_depth,
+                pair.w_a,
+                pair.w_b,
+                &fm_config,
+                &mut scratch,
+            );
+            let done = result.moves.is_empty() || result.gain == 0;
+            // O(1) weight lookups for the surviving moves (every moved node
+            // is a band node, so its record exists).
+            let weight_of: HashMap<NodeId, NodeWeight> =
+                records.iter().map(|r| (r.gid, r.weight)).collect();
+            let moves: Vec<MoveRec> = result
+                .moves
+                .iter()
+                .map(|&(gid, to)| MoveRec {
+                    gid,
+                    from: if to == pair.a { pair.b } else { pair.a },
+                    to,
+                    weight: *weight_of
+                        .get(&gid)
+                        .expect("moved node outside the gathered band"),
+                })
+                .collect();
+            my_reports.push(PairReport {
+                pair: pi,
+                searched: true,
+                done,
+                gain: result.gain,
+                moves,
+            });
+        }
+
+        // --- Superstep 5: allgather reports, update replicated state. ---
+        let all_reports = comm.allgather(my_reports);
+        let mut merged: Vec<PairReport> = all_reports.into_iter().flatten().collect();
+        merged.sort_unstable_by_key(|r| r.pair);
+        for report in merged {
+            let pair = &mut pairs[report.pair];
+            if report.searched {
+                pair.searches += 1;
+            }
+            pair.gain += report.gain;
+            for &rec in &report.moves {
+                // Live view update (the distributed shared-mirror write);
+                // candidate extension mirrors IndexSeeder::observe_moves.
+                st.observe_move(dg, rec.gid, rec.to);
+                if rec.to == pair.a {
+                    pair.w_a += rec.weight;
+                    pair.w_b -= rec.weight;
+                } else {
+                    pair.w_b += rec.weight;
+                    pair.w_a -= rec.weight;
+                }
+                extend_candidates(dg, &mut pair.candidates, rec.gid);
+            }
+            pair.moves.extend(report.moves);
+            if report.done {
+                pair.active = false;
+            }
+        }
+    }
+
+    // --- Class commit: replay every pair's moves through the state. ---
+    let mut class_gain = 0i64;
+    for pair in &pairs {
+        stats.pair_searches += pair.searches;
+        stats.nodes_moved += pair.moves.len();
+        class_gain += pair.gain;
+        for &rec in &pair.moves {
+            st.apply_committed(dg, rec);
+        }
+    }
+    class_gain
+}
+
+/// True if owned local `l` is on the `(a, b)` pair boundary in the live view.
+fn is_pair_boundary(dg: &DistGraph, st: &DistState, l: NodeId, a: BlockId, b: BlockId) -> bool {
+    let bl = st.block_of_local(l);
+    let other = if bl == a {
+        b
+    } else if bl == b {
+        a
+    } else {
+        return false;
+    };
+    dg.local()
+        .neighbors(l)
+        .iter()
+        .any(|&t| st.block_of_local(t) == other)
+}
+
+/// Adds the moved node and its neighbours (the rank-owned ones) to the
+/// candidate list, keeping it sorted and deduplicated — the rank-local shard
+/// of `IndexSeeder::observe_moves`.
+fn extend_candidates(dg: &DistGraph, candidates: &mut Vec<NodeId>, moved_gid: NodeId) {
+    let Some(l) = dg.local_of(moved_gid) else {
+        return; // node not on this rank: none of its neighbours are owned here
+    };
+    let mut extra: Vec<NodeId> = Vec::new();
+    if dg.is_owned_local(l) {
+        extra.push(l);
+    }
+    for &t in dg.local().neighbors(l) {
+        if dg.is_owned_local(t) {
+            extra.push(t);
+        }
+    }
+    extra.sort_unstable();
+    extra.dedup();
+    let mut merged = Vec::with_capacity(candidates.len() + extra.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < candidates.len() || j < extra.len() {
+        let next = match (candidates.get(i), extra.get(j)) {
+            (Some(&c), Some(&e)) if c < e => {
+                i += 1;
+                c
+            }
+            (Some(&c), Some(&e)) if c > e => {
+                j += 1;
+                e
+            }
+            (Some(&c), Some(_)) => {
+                i += 1;
+                j += 1;
+                c
+            }
+            (Some(&c), None) => {
+                i += 1;
+                c
+            }
+            (None, Some(&e)) => {
+                j += 1;
+                e
+            }
+            (None, None) => break,
+        };
+        merged.push(next);
+    }
+    *candidates = merged;
+}
+
+/// Candidate tuple of the distributed rebalancer; ordered by
+/// `(cut delta, resulting target weight, global node id, target block)` —
+/// the same unique-minimum key as the shared `rebalance_state`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct RebalanceCand {
+    delta: i64,
+    target_weight: NodeWeight,
+    gid: NodeId,
+    to: BlockId,
+    /// Not part of the ordering key in the shared code, but constant (`from`
+    /// is always the overloaded block) — carried for the replicated apply.
+    weight: NodeWeight,
+}
+
+/// Distributed greedy rebalancing: moves nodes out of overloaded blocks until
+/// every block obeys `l_max` or no move helps. Picks, per move, exactly the
+/// candidate `rebalance_state` would (each rank scores its owned boundary
+/// nodes with the shared scoring, an allreduce-min selects the global
+/// minimum tuple). Returns the number of nodes moved.
+pub fn dist_rebalance<C: Comm>(
+    comm: &mut C,
+    dg: &DistGraph,
+    st: &mut DistState,
+    l_max: NodeWeight,
+) -> usize {
+    let k = st.k();
+    let ln = dg.num_owned();
+    let mut moved = 0usize;
+    let cap = dg.num_global_nodes().saturating_mul(2).max(8);
+    for _ in 0..cap {
+        let Some(over_block) = (0..k).find(|&b| st.weights().weight(b) > l_max) else {
+            break;
+        };
+        let assignment = LocalAssignment::new(st.view(), k);
+        let mut mine: Option<RebalanceCand> = None;
+        for &l in st.index().boundary_nodes_unordered() {
+            if (l as usize) >= ln || st.block_of_local(l) != over_block {
+                continue;
+            }
+            if let Some((delta, tw, to)) =
+                best_move_of(dg.local(), &assignment, st.weights(), over_block, l_max, l)
+            {
+                let cand = RebalanceCand {
+                    delta,
+                    target_weight: tw,
+                    gid: dg.global_of(l),
+                    to,
+                    weight: dg.local().node_weight(l),
+                };
+                if mine.map(|m| cand < m).unwrap_or(true) {
+                    mine = Some(cand);
+                }
+            }
+        }
+        let mut best = allreduce_min_opt(comm, mine, |c| (c.delta, c.target_weight, c.gid, c.to));
+        if best.is_none() {
+            // Fallback: interior node of the overloaded block into the
+            // globally lightest block (replicated weights → same target on
+            // every rank).
+            if let Some(lightest) = fallback_target(k, st.weights(), over_block) {
+                let mut mine: Option<RebalanceCand> = None;
+                for l in 0..ln as NodeId {
+                    if st.block_of_local(l) != over_block {
+                        continue;
+                    }
+                    if let Some((delta, tw, to)) = fallback_move_of(
+                        dg.local(),
+                        &assignment,
+                        st.weights(),
+                        over_block,
+                        lightest,
+                        l_max,
+                        l,
+                    ) {
+                        let cand = RebalanceCand {
+                            delta,
+                            target_weight: tw,
+                            gid: dg.global_of(l),
+                            to,
+                            weight: dg.local().node_weight(l),
+                        };
+                        if mine.map(|m| cand < m).unwrap_or(true) {
+                            mine = Some(cand);
+                        }
+                    }
+                }
+                best = allreduce_min_opt(comm, mine, |c| (c.delta, c.target_weight, c.gid, c.to));
+            }
+        }
+        let Some(cand) = best else { break };
+        let rec = MoveRec {
+            gid: cand.gid,
+            from: over_block,
+            to: cand.to,
+            weight: cand.weight,
+        };
+        st.observe_move(dg, rec.gid, rec.to);
+        st.apply_committed(dg, rec);
+        moved += 1;
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::LocalCluster;
+    use kappa_gen::grid::grid2d;
+    use kappa_graph::{BlockWeights, Partition, PartitionState};
+    use kappa_refine::rebalance_state;
+
+    fn shard(dg: &DistGraph, partition: &Partition, g: &kappa_graph::CsrGraph) -> DistState {
+        let view: Vec<BlockId> = (0..dg.local().num_nodes() as NodeId)
+            .map(|l| partition.block_of(dg.global_of(l)))
+            .collect();
+        let weights = BlockWeights::compute(g, partition);
+        DistState::build(dg, view, partition.k(), weights)
+    }
+
+    #[test]
+    fn dist_rebalance_matches_the_shared_rebalancer() {
+        let g = grid2d(12, 12);
+        for (k, stripe) in [(2u32, 9usize), (4, 10)] {
+            let assignment: Vec<BlockId> = (0..144)
+                .map(|i| {
+                    if i % 12 < stripe {
+                        0
+                    } else {
+                        (i % k as usize) as u32
+                    }
+                })
+                .collect();
+            let partition = Partition::from_assignment(k, assignment);
+            let l_max = Partition::l_max(&g, k, 0.03);
+            let mut reference = PartitionState::build(&g, partition.clone());
+            let moved_ref = rebalance_state(&g, &mut reference, l_max);
+            for ranks in [1usize, 2, 3] {
+                let views = LocalCluster::new(ranks).run(|comm| {
+                    let dg = DistGraph::from_global(&g, ranks, comm.rank());
+                    let mut st = shard(&dg, &partition, &g);
+                    let moved = dist_rebalance(comm, &dg, &mut st, l_max);
+                    st.verify_exact(comm, &dg).unwrap();
+                    let owned: Vec<BlockId> = st.view()[..dg.num_owned()].to_vec();
+                    (moved, owned)
+                });
+                let mut global: Vec<BlockId> = Vec::new();
+                for (moved, owned) in views {
+                    assert_eq!(moved, moved_ref, "ranks {ranks} move count");
+                    global.extend(owned);
+                }
+                assert_eq!(
+                    global,
+                    reference.partition().assignment(),
+                    "ranks {ranks} assignment"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Each rank's shard of the partition state.
+//!
+//! [`DistState`] is the distributed sibling of
+//! [`kappa_graph::PartitionState`]: the same four pieces of derived state,
+//! sharded by the owner-computes rule —
+//!
+//! * the **live local assignment** (`view`): block of every owned and ghost
+//!   node. Updated immediately whenever a move is broadcast, so band seeding
+//!   and BFS always see the cluster-wide current assignment (the distributed
+//!   analogue of the shared scheduler's `SharedAssignment` atomic mirror);
+//! * a **boundary-index shard**: a [`BoundaryIndex`] over the local
+//!   (owned + ghost) graph. Ghost rows carry only their owned-side edges, so
+//!   ghost *membership* in the index is partial — but that is never read;
+//!   the index is authoritative exactly for owned nodes, whose rows are
+//!   complete. During a refinement colour class the index lags at
+//!   class-start state (like `PartitionState` in the shared scheduler) and
+//!   is caught up by replaying the committed moves;
+//! * **replicated block weights** (`k` entries, identical on every rank);
+//! * an exact **partial edge cut**: every global cut edge is counted by
+//!   exactly one rank — the owner of its smaller endpoint — so
+//!   `allreduce_sum` of the partials is the exact global cut at any commit
+//!   point.
+//!
+//! The per-rank count of full `O(n_local + m_local)` boundary-index builds is
+//! tracked just like in the shared pipeline: exactly one per rank per run
+//! (the coarsest level's); every finer level seeds its shard from the image
+//! of the coarse boundary.
+
+use kappa_graph::{BlockId, BlockWeights, BoundaryIndex, EdgeWeight, NodeId, NodeWeight};
+
+use crate::comm::Comm;
+use crate::graph::{DistGraph, LocalAssignment};
+
+/// One committed node move, as broadcast to every rank. Carries everything a
+/// rank needs to update replicated state without holding the node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveRec {
+    /// Global id of the moved node.
+    pub gid: NodeId,
+    /// Block the node came from.
+    pub from: BlockId,
+    /// Block the node moved to.
+    pub to: BlockId,
+    /// Node weight `c(v)`.
+    pub weight: NodeWeight,
+}
+
+/// A rank's shard of the distributed partition state.
+#[derive(Clone, Debug)]
+pub struct DistState {
+    k: BlockId,
+    /// Live blocks of owned + ghost nodes (the cluster-wide current view).
+    view: Vec<BlockId>,
+    /// Boundary index over the local graph; lags at class-start during a
+    /// refinement colour class, caught up by [`apply_committed`](Self::apply_committed).
+    index: BoundaryIndex,
+    /// Replicated per-block weights (identical on every rank).
+    weights: BlockWeights,
+    /// This rank's share of the edge cut (edges whose smaller endpoint is
+    /// owned here).
+    cut_partial: EdgeWeight,
+    /// Full boundary-index builds this shard has performed (1 per run).
+    full_builds: usize,
+}
+
+impl DistState {
+    /// Builds the shard from a complete local view and the replicated block
+    /// weights. This performs the rank's **one** full boundary-index build —
+    /// only the coarsest level calls it; finer levels arrive via the seeded
+    /// projection in the pipeline.
+    pub fn build(dg: &DistGraph, view: Vec<BlockId>, k: BlockId, weights: BlockWeights) -> Self {
+        assert_eq!(view.len(), dg.local().num_nodes());
+        let index = BoundaryIndex::build(dg.local(), &LocalAssignment::new(&view, k));
+        let cut_partial = compute_cut_partial(dg, &view);
+        DistState {
+            k,
+            view,
+            index,
+            weights,
+            cut_partial,
+            full_builds: 1,
+        }
+    }
+
+    /// Builds the shard with a **seeded** index: only local nodes for which
+    /// `is_candidate` holds are edge-scanned (the projection's "coarse image
+    /// is boundary" rule). Does not count as a full build.
+    pub fn build_seeded<F: FnMut(NodeId) -> bool>(
+        dg: &DistGraph,
+        view: Vec<BlockId>,
+        k: BlockId,
+        weights: BlockWeights,
+        is_candidate: F,
+        inherited_full_builds: usize,
+    ) -> Self {
+        assert_eq!(view.len(), dg.local().num_nodes());
+        let index =
+            BoundaryIndex::build_seeded(dg.local(), &LocalAssignment::new(&view, k), is_candidate);
+        let cut_partial = compute_cut_partial(dg, &view);
+        DistState {
+            k,
+            view,
+            index,
+            weights,
+            cut_partial,
+            full_builds: inherited_full_builds,
+        }
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn k(&self) -> BlockId {
+        self.k
+    }
+
+    /// The live local assignment (owned + ghost).
+    #[inline]
+    pub fn view(&self) -> &[BlockId] {
+        &self.view
+    }
+
+    /// Live block of local node `l`.
+    #[inline]
+    pub fn block_of_local(&self, l: NodeId) -> BlockId {
+        self.view[l as usize]
+    }
+
+    /// The boundary-index shard (class-start state during a colour class).
+    #[inline]
+    pub fn index(&self) -> &BoundaryIndex {
+        &self.index
+    }
+
+    /// Replicated block weights.
+    #[inline]
+    pub fn weights(&self) -> &BlockWeights {
+        &self.weights
+    }
+
+    /// This rank's cut share; `allreduce_sum` over ranks is the exact cut.
+    #[inline]
+    pub fn cut_partial(&self) -> EdgeWeight {
+        self.cut_partial
+    }
+
+    /// The exact global edge cut (one allreduce).
+    pub fn edge_cut<C: Comm>(&self, comm: &mut C) -> EdgeWeight {
+        comm.allreduce_sum(self.cut_partial)
+    }
+
+    /// Full boundary-index builds performed by this shard (and the coarse
+    /// shards it was projected from).
+    #[inline]
+    pub fn full_builds(&self) -> usize {
+        self.full_builds
+    }
+
+    /// True if every replicated block weight obeys `l_max`.
+    pub fn is_balanced(&self, l_max: NodeWeight) -> bool {
+        self.weights.as_slice().iter().all(|&w| w <= l_max)
+    }
+
+    /// Records a broadcast move in the live view only (no index / weight /
+    /// cut update) — the mid-class path: every rank calls this for every
+    /// move the moment it is announced, so seeds and bands always read the
+    /// current assignment, while the index stays at class-start.
+    pub fn observe_move(&mut self, dg: &DistGraph, gid: NodeId, to: BlockId) {
+        if let Some(l) = dg.local_of(gid) {
+            self.view[l as usize] = to;
+        }
+    }
+
+    /// Applies a committed move to the derived state: boundary-index shard
+    /// (if the node is local), replicated weights, and the partial cut. The
+    /// view is set as well (idempotent when `observe_move` already ran).
+    ///
+    /// Every rank must apply every committed move **in the same global
+    /// order**; the index's own (lagging) block map supplies the pre-move
+    /// assignment, which keeps the replay exact on each shard.
+    pub fn apply_committed(&mut self, dg: &DistGraph, rec: MoveRec) {
+        self.weights.apply_move(rec.from, rec.to, rec.weight);
+        let Some(l) = dg.local_of(rec.gid) else {
+            return;
+        };
+        self.view[l as usize] = rec.to;
+        debug_assert_eq!(
+            self.index.block_of(l),
+            rec.from,
+            "committed move of node {} out of the wrong block",
+            rec.gid
+        );
+        // Partial-cut delta over the local row, using the lagging index
+        // blocks (= pre-move state in replay order). Edge (l, t) is counted
+        // here iff the smaller global endpoint is owned here.
+        let (lo, hi) = dg.owned_range();
+        let g_l = dg.global_of(l);
+        for (t, w) in dg.local().edges_of(l) {
+            let g_t = dg.global_of(t);
+            let min_gid = g_l.min(g_t);
+            if min_gid < lo || min_gid >= hi {
+                continue;
+            }
+            let bt = self.index.block_of(t);
+            let was_cut = bt != rec.from;
+            let is_cut = bt != rec.to;
+            match (was_cut, is_cut) {
+                (false, true) => self.cut_partial += w,
+                (true, false) => self.cut_partial -= w,
+                _ => {}
+            }
+        }
+        self.index.apply_move(dg.local(), l, rec.to);
+    }
+
+    /// This rank's share of the quotient-graph cut weights, boundary-priced:
+    /// scans only owned boundary nodes from the index shard, counting each
+    /// cut edge at its smaller global endpoint. Allgathering and summing the
+    /// shares yields exactly the map `QuotientGraph::build` derives from the
+    /// full graph.
+    pub fn quotient_partial(&self, dg: &DistGraph) -> Vec<(BlockId, BlockId, EdgeWeight)> {
+        let mut cut: std::collections::HashMap<(BlockId, BlockId), EdgeWeight> =
+            std::collections::HashMap::new();
+        for &l in self.index.boundary_nodes_unordered() {
+            if !dg.is_owned_local(l) {
+                continue;
+            }
+            let g_l = dg.global_of(l);
+            let b_l = self.view[l as usize];
+            for (t, w) in dg.local().edges_of(l) {
+                let g_t = dg.global_of(t);
+                if g_t > g_l {
+                    let b_t = self.view[t as usize];
+                    if b_t != b_l {
+                        *cut.entry((b_l.min(b_t), b_l.max(b_t))).or_insert(0) += w;
+                    }
+                }
+            }
+        }
+        let mut shares: Vec<(BlockId, BlockId, EdgeWeight)> =
+            cut.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        shares.sort_unstable();
+        shares
+    }
+
+    /// Test oracle: checks the shard against fresh recomputation — index vs
+    /// a full local rebuild, partial cut vs a rescan, and (collectively)
+    /// replicated weights and global cut vs the allgathered assignment.
+    pub fn verify_exact<C: Comm>(&self, comm: &mut C, dg: &DistGraph) -> Result<(), String> {
+        let fresh = BoundaryIndex::build(dg.local(), &LocalAssignment::new(&self.view, self.k));
+        if !fresh.equivalent(&self.index) {
+            return Err(format!("rank {}: boundary-index shard diverged", dg.rank()));
+        }
+        let cut = compute_cut_partial(dg, &self.view);
+        if cut != self.cut_partial {
+            return Err(format!(
+                "rank {}: partial cut diverged: cached {}, recomputed {cut}",
+                dg.rank(),
+                self.cut_partial
+            ));
+        }
+        // Replicated weights: recompute from owned nodes and allreduce.
+        let mut local = vec![0u64; self.k as usize];
+        for l in 0..dg.num_owned() as NodeId {
+            local[self.view[l as usize] as usize] += dg.local().node_weight(l);
+        }
+        let global = comm.allreduce(local, |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        });
+        if global != self.weights.as_slice() {
+            return Err(format!(
+                "rank {}: replicated weights diverged: {:?} vs {:?}",
+                dg.rank(),
+                self.weights.as_slice(),
+                global
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// This rank's cut share from scratch: edges whose smaller global endpoint is
+/// owned here, with endpoints in different blocks.
+fn compute_cut_partial(dg: &DistGraph, view: &[BlockId]) -> EdgeWeight {
+    let mut cut = 0;
+    for l in 0..dg.num_owned() as NodeId {
+        let g_l = dg.global_of(l);
+        let b_l = view[l as usize];
+        for (t, w) in dg.local().edges_of(l) {
+            let g_t = dg.global_of(t);
+            // Count at the owner of the smaller endpoint: for owned l this
+            // means g_l < g_t; edges with a smaller ghost endpoint are
+            // counted at that ghost's owner (which sees the edge from its
+            // owned side).
+            if g_t > g_l && view[t as usize] != b_l {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::LocalCluster;
+    use kappa_gen::grid::grid2d;
+    use kappa_gen::rgg::random_geometric_graph;
+    use kappa_graph::Partition;
+
+    fn shard_state(dg: &DistGraph, partition: &Partition) -> DistState {
+        let view: Vec<BlockId> = (0..dg.local().num_nodes() as NodeId)
+            .map(|l| partition.block_of(dg.global_of(l)))
+            .collect();
+        let mut w = vec![0u64; partition.k() as usize];
+        for &b in partition.assignment() {
+            w[b as usize] += 1; // unit weights in these tests
+        }
+        DistState::build(dg, view, partition.k(), BlockWeights::from_weights(w))
+    }
+
+    #[test]
+    fn partial_cuts_sum_to_the_exact_global_cut() {
+        let g = random_geometric_graph(600, 5);
+        let partition =
+            Partition::from_assignment(4, (0..600).map(|i| ((i * 7) % 4) as u32).collect());
+        let expected = partition.edge_cut(&g);
+        for ranks in [1usize, 2, 4] {
+            let cuts = LocalCluster::new(ranks).run(|comm| {
+                let dg = DistGraph::from_global(&g, ranks, comm.rank());
+                let st = shard_state(&dg, &partition);
+                st.edge_cut(comm)
+            });
+            for cut in cuts {
+                assert_eq!(cut, expected, "ranks {ranks}");
+            }
+        }
+    }
+
+    #[test]
+    fn committed_moves_keep_every_shard_exact() {
+        let g = grid2d(12, 12);
+        let partition =
+            Partition::from_assignment(3, (0..144).map(|i| ((i / 4) % 3) as u32).collect());
+        let moves: Vec<(NodeId, BlockId)> = vec![(5, 2), (50, 0), (100, 1), (7, 1), (5, 0)];
+        let ranks = 3;
+        LocalCluster::new(ranks).run(|comm| {
+            let dg = DistGraph::from_global(&g, ranks, comm.rank());
+            let mut st = shard_state(&dg, &partition);
+            let mut reference = partition.clone();
+            for &(v, to) in &moves {
+                let rec = MoveRec {
+                    gid: v,
+                    from: reference.block_of(v),
+                    to,
+                    weight: 1,
+                };
+                st.observe_move(&dg, v, to);
+                st.apply_committed(&dg, rec);
+                reference.assign(v, to);
+                st.verify_exact(comm, &dg).unwrap();
+                assert_eq!(st.edge_cut(comm), reference.edge_cut(&g));
+            }
+        });
+    }
+
+    #[test]
+    fn quotient_partials_merge_to_the_full_scan_quotient() {
+        let g = random_geometric_graph(400, 9);
+        let partition =
+            Partition::from_assignment(5, (0..400).map(|i| ((i * 3) % 5) as u32).collect());
+        let reference = kappa_graph::QuotientGraph::build(&g, &partition);
+        let ranks = 4;
+        let merged = LocalCluster::new(ranks).run(|comm| {
+            let dg = DistGraph::from_global(&g, ranks, comm.rank());
+            let st = shard_state(&dg, &partition);
+            let shares = comm.allgather(st.quotient_partial(&dg));
+            let mut map = std::collections::HashMap::new();
+            for (a, b, w) in shares.into_iter().flatten() {
+                *map.entry((a, b)).or_insert(0) += w;
+            }
+            kappa_graph::QuotientGraph::from_cut_weights(partition.k(), map)
+        });
+        for q in merged {
+            assert_eq!(q.edges(), reference.edges());
+        }
+    }
+}

@@ -23,6 +23,21 @@
 //! per-pair deltas. The full-scan functions in [`crate::boundary`] are kept
 //! as the ground truth the index is checked against (unit tests here,
 //! property and parity tests at the workspace level).
+//!
+//! ## Storage layout
+//!
+//! The neighbour-count lists live in one flat arena shared by all nodes:
+//! node `v`'s counts occupy the slot range `seg[v] .. seg[v] + len[v]` inside
+//! a single `Vec<(BlockId, u32)>`, where the segment *capacity*
+//! `seg[v+1] − seg[v]` equals `deg(v)` (a node can never be adjacent to more
+//! blocks than it has neighbours, so the segment never overflows).
+//! Earlier revisions used `Vec<Vec<(BlockId, u32)>>` — one heap allocation
+//! per node, which made every [`build`](BoundaryIndex::build) /
+//! [`build_seeded`](BoundaryIndex::build_seeded) (and therefore every
+//! [`PartitionState::project`](crate::PartitionState::project)) allocate `n`
+//! little vectors per hierarchy level. The arena replaces those with exactly
+//! two allocations (`seg`/arena) of the same total size as the adjacency
+//! array.
 
 use crate::csr::CsrGraph;
 use crate::partition::BlockAssignment;
@@ -44,15 +59,22 @@ use crate::types::{BlockId, NodeId, INVALID_NODE};
 /// assert_eq!(index.boundary_nodes_sorted(), vec![2, 3]);
 /// assert_eq!(index.pair_boundary_sorted(0, 1), vec![2, 3]);
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct BoundaryIndex {
     /// Number of blocks.
     k: BlockId,
     /// The index's own node → block map (kept in sync via `apply_move`).
     block: Vec<BlockId>,
-    /// Per node: `(block, count)` pairs for every block with at least one
-    /// neighbour of the node, sorted by block id. At most `deg(v)` entries.
-    counts: Vec<Vec<(BlockId, u32)>>,
+    /// Arena segment starts, `n + 1` entries: node `v`'s count slots are
+    /// `seg[v]..seg[v + 1]` (capacity `deg(v)`), of which the first `len[v]`
+    /// are live.
+    seg: Vec<usize>,
+    /// Live entries per node segment.
+    len: Vec<u32>,
+    /// Flat arena of `(block, count)` pairs: for every node, the blocks with
+    /// at least one neighbour of the node, sorted by block id within the
+    /// node's segment. Dead slots are zeroed.
+    counts: Vec<(BlockId, u32)>,
     /// Per node: number of neighbours in a block other than the node's own.
     foreign: Vec<u32>,
     /// Membership bitmap of the boundary set.
@@ -62,6 +84,25 @@ pub struct BoundaryIndex {
     /// The boundary set in unspecified order (swap-remove on leave).
     list: Vec<NodeId>,
 }
+
+/// Structural equality mirrors what the old derived implementation compared
+/// on the nested-`Vec` layout: assignment, **live** neighbour counts per
+/// node, foreign degrees, and the boundary membership list including its
+/// internal order. Dead arena slots are ignored.
+impl PartialEq for BoundaryIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.block == other.block
+            && self.foreign == other.foreign
+            && self.in_boundary == other.in_boundary
+            && self.pos == other.pos
+            && self.list == other.list
+            && self.block.len() == other.block.len()
+            && (0..self.block.len() as NodeId).all(|v| self.node_counts(v) == other.node_counts(v))
+    }
+}
+
+impl Eq for BoundaryIndex {}
 
 impl BoundaryIndex {
     /// Builds the index from scratch in `O(n + m log maxdeg)`: every node is
@@ -92,10 +133,14 @@ impl BoundaryIndex {
         F: FnMut(NodeId) -> bool,
     {
         let n = graph.num_nodes();
+        let seg = graph.xadj().to_vec();
+        let slots = *seg.last().unwrap_or(&0);
         let mut index = BoundaryIndex {
             k: partition.k(),
             block: (0..n as NodeId).map(|v| partition.block_of(v)).collect(),
-            counts: Vec::with_capacity(n),
+            seg,
+            len: vec![0; n],
+            counts: vec![(0, 0); slots],
             foreign: vec![0; n],
             in_boundary: vec![false; n],
             pos: vec![INVALID_NODE; n],
@@ -103,6 +148,7 @@ impl BoundaryIndex {
         };
         let mut scratch: Vec<BlockId> = Vec::new();
         for v in graph.nodes() {
+            let start = index.seg[v as usize];
             if !is_candidate(v) {
                 // Interior by precondition: every neighbour shares v's block.
                 debug_assert!(
@@ -114,35 +160,43 @@ impl BoundaryIndex {
                 );
                 let deg = graph.degree(v) as u32;
                 if deg > 0 {
-                    index.counts.push(vec![(index.block[v as usize], deg)]);
-                } else {
-                    index.counts.push(Vec::new());
+                    index.counts[start] = (index.block[v as usize], deg);
+                    index.len[v as usize] = 1;
                 }
                 continue;
             }
             scratch.clear();
             scratch.extend(graph.neighbors(v).iter().map(|&u| index.block[u as usize]));
             scratch.sort_unstable();
-            let mut counts: Vec<(BlockId, u32)> = Vec::new();
+            let mut entries = 0usize;
             for &b in scratch.iter() {
-                match counts.last_mut() {
-                    Some((last, c)) if *last == b => *c += 1,
-                    _ => counts.push((b, 1)),
+                if entries > 0 && index.counts[start + entries - 1].0 == b {
+                    index.counts[start + entries - 1].1 += 1;
+                } else {
+                    index.counts[start + entries] = (b, 1);
+                    entries += 1;
                 }
             }
+            index.len[v as usize] = entries as u32;
             let own = index.block[v as usize];
-            let own_count = counts
+            let own_count = index.counts[start..start + entries]
                 .iter()
                 .find(|&&(b, _)| b == own)
                 .map(|&(_, c)| c)
                 .unwrap_or(0);
             index.foreign[v as usize] = graph.degree(v) as u32 - own_count;
-            index.counts.push(counts);
             if index.foreign[v as usize] > 0 {
                 index.enter_boundary(v);
             }
         }
         index
+    }
+
+    /// The live `(block, count)` entries of node `v`, sorted by block id.
+    #[inline]
+    fn node_counts(&self, v: NodeId) -> &[(BlockId, u32)] {
+        let start = self.seg[v as usize];
+        &self.counts[start..start + self.len[v as usize] as usize]
     }
 
     /// Semantic equality: same assignment, neighbour counts, foreign degrees
@@ -154,9 +208,10 @@ impl BoundaryIndex {
     pub fn equivalent(&self, other: &Self) -> bool {
         self.k == other.k
             && self.block == other.block
-            && self.counts == other.counts
             && self.foreign == other.foreign
             && self.in_boundary == other.in_boundary
+            && self.block.len() == other.block.len()
+            && (0..self.block.len() as NodeId).all(|v| self.node_counts(v) == other.node_counts(v))
             && self.boundary_nodes_sorted() == other.boundary_nodes_sorted()
     }
 
@@ -175,7 +230,7 @@ impl BoundaryIndex {
     /// Number of neighbours of `v` currently in block `b`.
     #[inline]
     pub fn count(&self, v: NodeId, b: BlockId) -> u32 {
-        let counts = &self.counts[v as usize];
+        let counts = self.node_counts(v);
         match counts.binary_search_by_key(&b, |&(block, _)| block) {
             Ok(i) => counts[i].1,
             Err(_) => 0,
@@ -256,22 +311,37 @@ impl BoundaryIndex {
         self.update_membership(v);
     }
 
-    /// Adds `delta` to `count(v, b)`, inserting or removing the run entry.
+    /// Adds `delta` to `count(v, b)`, inserting or removing the run entry by
+    /// shifting within `v`'s fixed-capacity arena segment. The segment cannot
+    /// overflow: a node is adjacent to at most `deg(v)` distinct blocks.
     fn adjust_count(&mut self, v: NodeId, b: BlockId, delta: i32) {
-        let counts = &mut self.counts[v as usize];
-        match counts.binary_search_by_key(&b, |&(block, _)| block) {
+        let start = self.seg[v as usize];
+        let live = self.len[v as usize] as usize;
+        match self.counts[start..start + live].binary_search_by_key(&b, |&(block, _)| block) {
             Ok(i) => {
-                let c = counts[i].1 as i64 + delta as i64;
+                let c = self.counts[start + i].1 as i64 + delta as i64;
                 debug_assert!(c >= 0, "negative neighbour count for node {v}");
                 if c == 0 {
-                    counts.remove(i);
+                    // Shift the tail left over the removed entry; zero the
+                    // vacated slot so dead slots stay in a canonical state.
+                    self.counts
+                        .copy_within(start + i + 1..start + live, start + i);
+                    self.counts[start + live - 1] = (0, 0);
+                    self.len[v as usize] -= 1;
                 } else {
-                    counts[i].1 = c as u32;
+                    self.counts[start + i].1 = c as u32;
                 }
             }
             Err(i) => {
                 debug_assert!(delta > 0, "decrement of absent count for node {v}");
-                counts.insert(i, (b, delta as u32));
+                debug_assert!(
+                    start + live < self.seg[v as usize + 1],
+                    "count segment of node {v} overflowed"
+                );
+                self.counts
+                    .copy_within(start + i..start + live, start + i + 1);
+                self.counts[start + i] = (b, delta as u32);
+                self.len[v as usize] += 1;
             }
         }
     }

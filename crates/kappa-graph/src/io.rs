@@ -310,22 +310,138 @@ pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
     Ok(builder.build())
 }
 
-/// Serialises a graph to METIS text format (node and edge weights always written).
+/// Which optional fields a METIS file carries — the writer-side mirror of the
+/// `fmt` flag string (`1xx` vertex sizes, `x1x` vertex weights, `xx1` edge
+/// weights).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetisFormat {
+    /// Write a vertex-size prefix per line (`1xx`). This partitioner does not
+    /// model communication volume, so a unit size `1` is written; the reader
+    /// parses and ignores sizes, making the field round-trip-neutral.
+    pub vertex_sizes: bool,
+    /// Write the node weight per line (`x1x`).
+    pub vertex_weights: bool,
+    /// Write every neighbour's edge weight (`xx1`).
+    pub edge_weights: bool,
+}
+
+impl MetisFormat {
+    /// All eight flag combinations, in ascending `fmt`-code order.
+    pub fn all() -> [MetisFormat; 8] {
+        let f = |s, w, e| MetisFormat {
+            vertex_sizes: s,
+            vertex_weights: w,
+            edge_weights: e,
+        };
+        [
+            f(false, false, false),
+            f(false, false, true),
+            f(false, true, false),
+            f(false, true, true),
+            f(true, false, false),
+            f(true, false, true),
+            f(true, true, false),
+            f(true, true, true),
+        ]
+    }
+
+    /// The smallest format that loses nothing of `graph`: vertex weights are
+    /// written iff some node weight differs from 1, edge weights iff some
+    /// edge weight differs from 1 (absent fields default to 1 on read).
+    pub fn minimal_for(graph: &CsrGraph) -> MetisFormat {
+        let vertex_weights = graph.vwgt().iter().any(|&w| w != 1)
+            // An isolated vertex needs some token on its line (see
+            // `lossless_for`); the weight prefix is the cheapest.
+            || graph.nodes().any(|v| graph.degree(v) == 0);
+        MetisFormat {
+            vertex_sizes: false,
+            vertex_weights,
+            edge_weights: graph.adjwgt().iter().any(|&w| w != 1),
+        }
+    }
+
+    /// True when a write → read round trip reproduces `graph` exactly: every
+    /// field the format omits must be trivial (all-ones) in the graph, and —
+    /// because [`parse_metis`] skips blank lines, so an isolated vertex needs
+    /// at least one per-line token to keep its line non-empty — a format with
+    /// no vertex prefix additionally requires every node to have an edge.
+    pub fn lossless_for(&self, graph: &CsrGraph) -> bool {
+        (self.vertex_weights || graph.vwgt().iter().all(|&w| w == 1))
+            && (self.edge_weights || graph.adjwgt().iter().all(|&w| w == 1))
+            && (self.vertex_sizes
+                || self.vertex_weights
+                || graph.nodes().all(|v| graph.degree(v) > 0))
+    }
+
+    /// The `fmt` field as written to the header, `None` when all flags are
+    /// off (an absent field and `000` read identically).
+    pub fn code(&self) -> Option<&'static str> {
+        match (self.vertex_sizes, self.vertex_weights, self.edge_weights) {
+            (false, false, false) => None,
+            (false, false, true) => Some("001"),
+            (false, true, false) => Some("010"),
+            (false, true, true) => Some("011"),
+            (true, false, false) => Some("100"),
+            (true, false, true) => Some("101"),
+            (true, true, false) => Some("110"),
+            (true, true, true) => Some("111"),
+        }
+    }
+}
+
+/// Serialises a graph to METIS text format with node and edge weights (fmt
+/// `011`), the historical default. Use [`to_metis_string_fmt`] to pick the
+/// fields explicitly.
 pub fn to_metis_string(graph: &CsrGraph) -> String {
+    to_metis_string_fmt(
+        graph,
+        MetisFormat {
+            vertex_sizes: false,
+            vertex_weights: true,
+            edge_weights: true,
+        },
+    )
+}
+
+/// Serialises a graph to METIS text format with exactly the fields `fmt`
+/// selects — the inverse of [`parse_metis`] for every fmt code.
+///
+/// The output follows the symmetric convention (every undirected edge listed
+/// from both endpoints, `2m` half-edges). Omitted weights default to 1 on
+/// read, so the round trip is exact iff
+/// [`fmt.lossless_for(graph)`](MetisFormat::lossless_for).
+pub fn to_metis_string_fmt(graph: &CsrGraph, fmt: MetisFormat) -> String {
+    use std::fmt::Write as _;
     let mut out = String::new();
-    out.push_str(&format!(
-        "{} {} 011\n",
-        graph.num_nodes(),
-        graph.num_edges()
-    ));
+    out.push_str(&format!("{} {}", graph.num_nodes(), graph.num_edges()));
+    if let Some(code) = fmt.code() {
+        out.push(' ');
+        out.push_str(code);
+    }
+    out.push('\n');
     for v in graph.nodes() {
+        let mut first = true;
+        let mut sep = |line: &mut String| {
+            if !first {
+                line.push(' ');
+            }
+            first = false;
+        };
         let mut line = String::new();
-        line.push_str(&graph.node_weight(v).to_string());
+        if fmt.vertex_sizes {
+            sep(&mut line);
+            line.push('1');
+        }
+        if fmt.vertex_weights {
+            sep(&mut line);
+            let _ = write!(line, "{}", graph.node_weight(v));
+        }
         for (u, w) in graph.edges_of(v) {
-            line.push(' ');
-            line.push_str(&(u + 1).to_string());
-            line.push(' ');
-            line.push_str(&w.to_string());
+            sep(&mut line);
+            let _ = write!(line, "{}", u + 1);
+            if fmt.edge_weights {
+                let _ = write!(line, " {w}");
+            }
         }
         line.push('\n');
         out.push_str(&line);
@@ -412,6 +528,81 @@ mod tests {
         assert_eq!(g.num_edges(), 4);
         assert_eq!(g.edge_weight_between(0, 3), Some(1));
         assert_eq!(g.edge_weight_between(2, 3), Some(1));
+    }
+
+    #[test]
+    fn writer_covers_every_fmt_code() {
+        // A weighted graph: only formats carrying both weight kinds are
+        // lossless; the others round-trip the structure with defaulted
+        // weights.
+        let mut b = GraphBuilder::with_node_weights(vec![2, 1, 3]);
+        b.add_edge(0, 1, 5);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        for fmt in MetisFormat::all() {
+            let text = to_metis_string_fmt(&g, fmt);
+            let head: Vec<&str> = text.lines().next().unwrap().split_whitespace().collect();
+            match fmt.code() {
+                None => assert_eq!(head.len(), 2),
+                Some(code) => assert_eq!(head[2], code),
+            }
+            let g2 = parse_metis(&text).unwrap_or_else(|e| panic!("fmt {fmt:?}: {e}"));
+            assert_eq!(g2.num_nodes(), 3);
+            assert_eq!(g2.num_edges(), 2);
+            if fmt.lossless_for(&g) {
+                assert_eq!(g, g2, "fmt {fmt:?} should be lossless");
+            }
+            if fmt.vertex_weights {
+                assert_eq!(g2.vwgt(), g.vwgt());
+            }
+            if fmt.edge_weights {
+                assert_eq!(g2.edge_weight_between(0, 1), Some(5));
+            }
+        }
+        assert!(MetisFormat {
+            vertex_sizes: false,
+            vertex_weights: true,
+            edge_weights: true
+        }
+        .lossless_for(&g));
+        assert_eq!(MetisFormat::minimal_for(&g).code(), Some("011"));
+    }
+
+    #[test]
+    fn minimal_format_drops_trivial_fields() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        let g = b.build();
+        let fmt = MetisFormat::minimal_for(&g);
+        assert_eq!(fmt.code(), None);
+        assert!(fmt.lossless_for(&g));
+        assert_eq!(parse_metis(&to_metis_string_fmt(&g, fmt)).unwrap(), g);
+    }
+
+    #[test]
+    fn isolated_vertices_force_a_vertex_prefix() {
+        let g = GraphBuilder::new(2).build(); // two isolated nodes
+        let bare = MetisFormat::default();
+        assert!(!bare.lossless_for(&g));
+        let fmt = MetisFormat::minimal_for(&g);
+        assert!(fmt.vertex_weights);
+        assert_eq!(parse_metis(&to_metis_string_fmt(&g, fmt)).unwrap(), g);
+    }
+
+    #[test]
+    fn vertex_sizes_are_round_trip_neutral() {
+        let mut b = GraphBuilder::with_node_weights(vec![4, 7]);
+        b.add_edge(0, 1, 3);
+        let g = b.build();
+        let fmt = MetisFormat {
+            vertex_sizes: true,
+            vertex_weights: true,
+            edge_weights: true,
+        };
+        let text = to_metis_string_fmt(&g, fmt);
+        assert!(text.starts_with("2 1 111\n"));
+        assert_eq!(parse_metis(&text).unwrap(), g);
     }
 
     #[test]

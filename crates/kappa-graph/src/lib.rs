@@ -54,7 +54,10 @@ pub use boundary::{
 pub use boundary_index::BoundaryIndex;
 pub use builder::{graph_from_edges, GraphBuilder};
 pub use csr::CsrGraph;
-pub use io::{parse_metis, read_metis, to_metis_string, write_metis, MetisError};
+pub use io::{
+    parse_metis, read_metis, to_metis_string, to_metis_string_fmt, write_metis, MetisError,
+    MetisFormat,
+};
 pub use partition::{BlockAssignment, BlockAssignmentMut, BlockWeights, Partition};
 pub use partition_state::PartitionState;
 pub use quotient::QuotientGraph;

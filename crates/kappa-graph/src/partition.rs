@@ -65,6 +65,13 @@ impl BlockWeights {
         BlockWeights { weights }
     }
 
+    /// Wraps an explicit per-block weight vector (entry `b` = weight of block
+    /// `b`). Used by the distributed pipeline, which maintains the replicated
+    /// weight vector itself and still wants the usual accessors.
+    pub fn from_weights(weights: Vec<NodeWeight>) -> Self {
+        BlockWeights { weights }
+    }
+
     /// Weight of block `b`.
     #[inline]
     pub fn weight(&self, b: BlockId) -> NodeWeight {

@@ -24,6 +24,7 @@
 use crate::boundary_index::BoundaryIndex;
 use crate::csr::CsrGraph;
 use crate::partition::{BlockWeights, Partition};
+use crate::quotient::QuotientGraph;
 use crate::types::{BlockId, EdgeWeight, NodeId, NodeWeight};
 
 /// A partition plus its incrementally maintained derived state: block
@@ -192,6 +193,33 @@ impl PartitionState {
         self.partition
     }
 
+    /// The quotient graph of the current partition, derived from the boundary
+    /// index in `O(Σ_{v ∈ boundary} deg(v))` — no `O(n + m)` full-graph scan.
+    ///
+    /// Every cut edge has **both** endpoints on the boundary, so scanning the
+    /// edges of boundary nodes and counting each cut edge at its smaller
+    /// endpoint visits every cut edge exactly once. Bit-identical to
+    /// [`QuotientGraph::build`] (proptested in `tests/parity.rs`): the per-pair
+    /// sums are order-independent and both constructors sort the edge list.
+    pub fn quotient(&self, graph: &CsrGraph) -> QuotientGraph {
+        let mut cut_weights: std::collections::HashMap<(BlockId, BlockId), EdgeWeight> =
+            std::collections::HashMap::new();
+        for &v in self.boundary.boundary_nodes_unordered() {
+            let bv = self.partition.block_of(v);
+            for (u, w) in graph.edges_of(v) {
+                // Count each cut edge once, at its smaller endpoint (the
+                // larger endpoint is also boundary, so no edge is missed).
+                if u > v {
+                    let bu = self.partition.block_of(u);
+                    if bu != bv {
+                        *cut_weights.entry((bv.min(bu), bv.max(bu))).or_insert(0) += w;
+                    }
+                }
+            }
+        }
+        QuotientGraph::from_cut_weights(self.k(), cut_weights)
+    }
+
     /// Checks every piece of derived state against a fresh recomputation —
     /// the ground truth the incremental maintenance is tested against.
     pub fn verify_exact(&self, graph: &CsrGraph) -> Result<(), String> {
@@ -299,6 +327,26 @@ mod tests {
         }
         assert!(state.is_balanced(Partition::l_max(&g, 2, 0.03)));
         state.verify_exact(&g).unwrap();
+    }
+
+    #[test]
+    fn boundary_derived_quotient_matches_the_full_scan() {
+        use crate::quotient::QuotientGraph;
+        let g = grid4();
+        let p = Partition::from_assignment(
+            4,
+            (0..16)
+                .map(|i| ((i % 4) / 2 + (i / 8) * 2) as u32)
+                .collect(),
+        );
+        let mut state = PartitionState::build(&g, p);
+        for (v, to) in [(0u32, 1u32), (5, 2), (10, 3), (10, 0), (3, 2)] {
+            state.apply_move(&g, v, to);
+            let reference = QuotientGraph::build(&g, state.partition());
+            let derived = state.quotient(&g);
+            assert_eq!(derived.edges(), reference.edges());
+            assert_eq!(derived.num_blocks(), reference.num_blocks());
+        }
     }
 
     #[test]

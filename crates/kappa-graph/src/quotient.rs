@@ -24,9 +24,15 @@ pub struct QuotientGraph {
 }
 
 impl QuotientGraph {
-    /// Builds the quotient graph of `partition` on `graph`.
+    /// Builds the quotient graph of `partition` on `graph` with one full
+    /// `O(n + m)` scan of every edge.
+    ///
+    /// This is the parity *reference*: pipelines that hold a
+    /// [`PartitionState`](crate::PartitionState) derive the identical quotient
+    /// from the boundary index via
+    /// [`PartitionState::quotient`](crate::PartitionState::quotient) in
+    /// `O(Σ_{v ∈ boundary} deg(v))` instead.
     pub fn build(graph: &CsrGraph, partition: &Partition) -> Self {
-        let k = partition.k();
         let mut cut_weights: HashMap<(BlockId, BlockId), EdgeWeight> = HashMap::new();
         for (u, v, w) in graph.undirected_edges() {
             let (bu, bv) = (partition.block_of(u), partition.block_of(v));
@@ -35,6 +41,19 @@ impl QuotientGraph {
                 *cut_weights.entry(key).or_insert(0) += w;
             }
         }
+        Self::from_cut_weights(partition.k(), cut_weights)
+    }
+
+    /// Assembles a quotient graph from aggregated per-pair cut weights
+    /// (`(a, b) → Σ ω`, keys normalised `a < b`). Shared by the full-scan
+    /// [`build`](Self::build), the boundary-priced
+    /// [`PartitionState::quotient`](crate::PartitionState::quotient) and the
+    /// distributed pipeline (which allgathers per-rank partial weights), so
+    /// all three produce bit-identical edge lists from equal weight maps.
+    pub fn from_cut_weights(
+        k: BlockId,
+        cut_weights: HashMap<(BlockId, BlockId), EdgeWeight>,
+    ) -> Self {
         let mut edges: Vec<(BlockId, BlockId, EdgeWeight)> = cut_weights
             .into_iter()
             .map(|((a, b), w)| (a, b, w))
@@ -42,6 +61,7 @@ impl QuotientGraph {
         edges.sort_unstable();
         let mut adj = vec![Vec::new(); k as usize];
         for &(a, b, w) in &edges {
+            debug_assert!(a < b && b < k, "malformed quotient edge ({a}, {b})");
             adj[a as usize].push((b, w));
             adj[b as usize].push((a, w));
         }

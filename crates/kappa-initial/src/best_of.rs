@@ -57,15 +57,21 @@ pub fn best_of_repeats(graph: &CsrGraph, config: &InitialPartitionConfig) -> Par
     candidates
         .into_iter()
         .min_by(|a, b| {
-            rank(graph, a, config.epsilon)
-                .partial_cmp(&rank(graph, b, config.epsilon))
+            quality_key(graph, a, config.epsilon)
+                .partial_cmp(&quality_key(graph, b, config.epsilon))
                 .unwrap()
         })
         .expect("at least one repeat")
 }
 
-/// Lexicographic quality key: (infeasible?, cut, imbalance). Lower is better.
-fn rank(graph: &CsrGraph, p: &Partition, epsilon: f64) -> (u8, f64, f64) {
+/// The lexicographic quality key the best-of selection minimises:
+/// `(infeasible?, cut, imbalance)` — lower is better.
+///
+/// Public so that other best-of protocols (the distributed pipeline's
+/// redundant initial partitioning allreduces this key across ranks) rank
+/// candidates with exactly the same ordering and cannot drift from
+/// [`best_of_repeats`].
+pub fn quality_key(graph: &CsrGraph, p: &Partition, epsilon: f64) -> (u8, f64, f64) {
     let feasible = p.is_balanced(graph, epsilon);
     (
         if feasible { 0 } else { 1 },

@@ -21,7 +21,7 @@ pub mod best_of;
 pub mod graph_growing;
 pub mod recursive_bisection;
 
-pub use best_of::{best_of_repeats, InitialPartitionConfig};
+pub use best_of::{best_of_repeats, quality_key, InitialPartitionConfig};
 pub use graph_growing::greedy_graph_growing;
 pub use recursive_bisection::recursive_bisection;
 

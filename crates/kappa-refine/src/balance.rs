@@ -19,7 +19,9 @@
 //! reference; both pick the minimum of the same candidate tuple set, so they
 //! are bit-identical (proven in `tests/parity.rs`).
 
-use kappa_graph::{BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition, PartitionState};
+use kappa_graph::{
+    BlockAssignment, BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition, PartitionState,
+};
 
 /// Candidate move: `(cut delta, resulting target weight, node, target block)`.
 /// The tuple ordering makes "cheapest cut increase, then lightest target,
@@ -27,23 +29,27 @@ use kappa_graph::{BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition
 type Candidate = (i64, NodeWeight, NodeId, BlockId);
 
 /// Scores every feasible move of boundary node `v` out of `over_block` and
-/// folds the best into `best`. Shared verbatim by the full-scan reference and
-/// the index-driven production path so their choices cannot drift.
-fn consider_moves_of(
+/// returns the best as `(cut delta, resulting target weight, target block)`,
+/// or `None` when no adjacent block can take `v`.
+///
+/// Shared verbatim by the full-scan reference, the index-driven production
+/// path and the distributed rebalancer (kappa-dist, which allreduce-mins the
+/// per-rank winners), so the three cannot drift: all pick the minimum of the
+/// same candidate tuples.
+pub fn best_move_of<A: BlockAssignment>(
     graph: &CsrGraph,
-    partition: &Partition,
+    assignment: &A,
     weights: &BlockWeights,
     over_block: BlockId,
     l_max: NodeWeight,
     v: NodeId,
-    best: &mut Option<Candidate>,
-) {
+) -> Option<(i64, NodeWeight, BlockId)> {
     let vw = graph.node_weight(v);
     // Gather connectivity to each neighbouring block.
     let mut to_own = 0i64;
     let mut per_block: Vec<(BlockId, i64)> = Vec::new();
     for (u, w) in graph.edges_of(v) {
-        let bu = partition.block_of(u);
+        let bu = assignment.block_of(u);
         if bu == over_block {
             to_own += w as i64;
         } else if let Some(entry) = per_block.iter_mut().find(|(b, _)| *b == bu) {
@@ -52,15 +58,55 @@ fn consider_moves_of(
             per_block.push((bu, w as i64));
         }
     }
+    let mut best: Option<(i64, NodeWeight, BlockId)> = None;
     for &(to, conn) in &per_block {
         if weights.weight(to) + vw > l_max {
             continue; // would just shift the overload
         }
         let delta = to_own - conn; // cut increase (negative = improvement)
-        let candidate = (delta, weights.weight(to) + vw, v, to);
+        let candidate = (delta, weights.weight(to) + vw, to);
         if best.map(|b| candidate < b).unwrap_or(true) {
-            *best = Some(candidate);
+            best = Some(candidate);
         }
+    }
+    best
+}
+
+/// Scores the fallback move of node `v` (which must be in `over_block`) into
+/// the globally `lightest` block — used when no boundary move is feasible.
+/// Returns `(cut delta, resulting target weight, target block)`.
+pub fn fallback_move_of<A: BlockAssignment>(
+    graph: &CsrGraph,
+    assignment: &A,
+    weights: &BlockWeights,
+    over_block: BlockId,
+    lightest: BlockId,
+    l_max: NodeWeight,
+    v: NodeId,
+) -> Option<(i64, NodeWeight, BlockId)> {
+    let vw = graph.node_weight(v);
+    if weights.weight(lightest) + vw > l_max {
+        return None;
+    }
+    let to_own: i64 = graph
+        .edges_of(v)
+        .filter(|&(u, _)| assignment.block_of(u) == over_block)
+        .map(|(_, w)| w as i64)
+        .sum();
+    Some((to_own, weights.weight(lightest) + vw, lightest))
+}
+
+/// The block every fallback move targets: the globally lightest one (smallest
+/// id on ties — `min_by_key` keeps the first minimum). `None` when it is the
+/// overloaded block itself, i.e. no fallback exists.
+pub fn fallback_target(k: BlockId, weights: &BlockWeights, over_block: BlockId) -> Option<BlockId> {
+    let lightest = (0..k).min_by_key(|&b| weights.weight(b))?;
+    (lightest != over_block).then_some(lightest)
+}
+
+fn fold_candidate(best: &mut Option<Candidate>, candidate: Candidate) {
+    if best.map(|b| candidate < b).unwrap_or(true) {
+        *best = Some(candidate);
     }
 }
 
@@ -74,27 +120,16 @@ fn fallback_candidate(
     over_block: BlockId,
     l_max: NodeWeight,
 ) -> Option<Candidate> {
-    let k = partition.k();
-    let lightest = (0..k).min_by_key(|&b| weights.weight(b))?;
-    if lightest == over_block {
-        return None;
-    }
+    let lightest = fallback_target(partition.k(), weights, over_block)?;
     let mut best: Option<Candidate> = None;
     for v in graph.nodes() {
         if partition.block_of(v) != over_block {
             continue;
         }
-        let vw = graph.node_weight(v);
-        if weights.weight(lightest) + vw <= l_max {
-            let to_own: i64 = graph
-                .edges_of(v)
-                .filter(|&(u, _)| partition.block_of(u) == over_block)
-                .map(|(_, w)| w as i64)
-                .sum();
-            let candidate = (to_own, weights.weight(lightest) + vw, v, lightest);
-            if best.map(|b| candidate < b).unwrap_or(true) {
-                best = Some(candidate);
-            }
+        if let Some((delta, tw, to)) =
+            fallback_move_of(graph, partition, weights, over_block, lightest, l_max, v)
+        {
+            fold_candidate(&mut best, (delta, tw, v, to));
         }
     }
     best
@@ -127,7 +162,11 @@ pub fn rebalance(graph: &CsrGraph, partition: &mut Partition, l_max: NodeWeight)
             if partition.block_of(v) != over_block {
                 continue;
             }
-            consider_moves_of(graph, partition, &weights, over_block, l_max, v, &mut best);
+            if let Some((delta, tw, to)) =
+                best_move_of(graph, partition, &weights, over_block, l_max, v)
+            {
+                fold_candidate(&mut best, (delta, tw, v, to));
+            }
         }
         if best.is_none() {
             best = fallback_candidate(graph, partition, &weights, over_block, l_max);
@@ -161,15 +200,16 @@ pub fn rebalance_state(graph: &CsrGraph, state: &mut PartitionState, l_max: Node
             if state.partition().block_of(v) != over_block {
                 continue;
             }
-            consider_moves_of(
+            if let Some((delta, tw, to)) = best_move_of(
                 graph,
                 state.partition(),
                 state.weights(),
                 over_block,
                 l_max,
                 v,
-                &mut best,
-            );
+            ) {
+                fold_candidate(&mut best, (delta, tw, v, to));
+            }
         }
         if best.is_none() {
             best = fallback_candidate(graph, state.partition(), state.weights(), over_block, l_max);

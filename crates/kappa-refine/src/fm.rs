@@ -44,6 +44,26 @@ pub fn patience_bound(alpha: f64, band_count_a: usize, band_count_b: usize) -> u
     ((alpha * band_count_a.min(band_count_b) as f64).ceil() as usize).max(8)
 }
 
+/// The FM seed of one pair search, derived from the refinement base seed and
+/// the search coordinates `(global iteration, colour index, local iteration,
+/// block pair)`.
+///
+/// Factored out so the shared-memory scheduler and the distributed pairwise
+/// scheduler (kappa-dist) seed identical searches for identical coordinates —
+/// the keystone of the `--ranks 1` cut parity.
+pub fn pair_search_seed(
+    base: u64,
+    global_iter: usize,
+    color_idx: usize,
+    local_iter: usize,
+    a: BlockId,
+    b: BlockId,
+) -> u64 {
+    base.wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add((global_iter * 1000 + color_idx * 100 + local_iter) as u64)
+        .wrapping_add((a as u64) << 32 | b as u64)
+}
+
 /// Tuning knobs of a single 2-way FM search.
 #[derive(Clone, Copy, Debug)]
 pub struct FmConfig {

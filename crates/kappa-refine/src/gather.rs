@@ -1,0 +1,337 @@
+//! Gathered-band refinement: run one pair's banded FM search on a *gathered*
+//! copy of the band region instead of the full graph.
+//!
+//! This is the paper's "exchange only the band" step (§5.2, Figure 2) turned
+//! into an entry point the distributed scheduler can call: each rank extracts
+//! its shard of the depth-`d` BFS region around the pair boundary as
+//! [`RegionNode`] records, ships them to the pair's home rank, and the home
+//! rank rebuilds a self-contained subgraph, re-runs the band BFS on it (to
+//! recover the *exact* traversal order of the shared-memory scheduler) and
+//! performs the pooled 2-way FM search. Surviving moves come back keyed by
+//! **global** node id, ready to broadcast.
+//!
+//! ## Why the result is bit-identical to searching the full graph
+//!
+//! * The region contains the whole band (every node within `depth` hops of
+//!   the pair boundary inside blocks `a ∪ b`) plus the *frozen ring* — every
+//!   `a ∪ b` neighbour of a band node. Ring nodes are exactly what FM reads
+//!   but never moves, so gains, queue initialisation and gain updates see the
+//!   same numbers as on the full graph.
+//! * Region node ids are assigned in ascending global-id order, a monotone
+//!   renumbering: every id comparison (adjacency order, priority-queue
+//!   tie-breaks) resolves the same way as on the full graph.
+//! * The band BFS is re-run from the same seeds on the region, whose
+//!   restriction to `a ∪ b` within `depth` hops equals the full graph's, so
+//!   the band's traversal order — and with it the whole FM trajectory — is
+//!   identical. `gathered_region_matches_direct_search` below proves it.
+
+use kappa_graph::{
+    band_around_boundary_in, BlockId, CsrGraph, EdgeWeight, GraphBuilder, NodeId, NodeWeight,
+    Partition,
+};
+
+use crate::fm::{two_way_fm_in, FmConfig, FmResult};
+use crate::scratch::FmScratch;
+
+/// One edge of a gathered band node, carrying everything the home rank needs
+/// to materialise the target even when the target's owner sent nothing (ring
+/// nodes are synthesised from these records).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RegionEdge {
+    /// Global id of the target node (in block `a` or `b`).
+    pub to: NodeId,
+    /// Edge weight.
+    pub weight: EdgeWeight,
+    /// Current block of the target.
+    pub to_block: BlockId,
+    /// Node weight of the target.
+    pub to_weight: NodeWeight,
+}
+
+/// One *band* node of a gathered region, as shipped by its owning rank:
+/// global id, node weight, current block, and all incident edges whose target
+/// is in block `a` or `b` (edges into other blocks never influence a 2-way
+/// search).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RegionNode {
+    /// Global node id.
+    pub gid: NodeId,
+    /// Node weight `c(v)`.
+    pub weight: NodeWeight,
+    /// Current block (must be `a` or `b`).
+    pub block: BlockId,
+    /// Incident edges with targets in `a ∪ b`.
+    pub edges: Vec<RegionEdge>,
+}
+
+/// A gathered band region: a self-contained subgraph of band + ring nodes
+/// with a global-id back-mapping, ready for [`refine_gathered_band`].
+#[derive(Debug)]
+pub struct GatheredRegion {
+    graph: CsrGraph,
+    partition: Partition,
+    /// Ascending global ids; index = region-local node id.
+    gids: Vec<NodeId>,
+    /// Region-local ids of the band (movable) nodes.
+    band_membership: Vec<bool>,
+}
+
+impl GatheredRegion {
+    /// Assembles the region from the band-node records of all ranks.
+    ///
+    /// `nodes` must cover the entire band (each band node exactly once, any
+    /// order); ring nodes are synthesised from edge targets that carry no own
+    /// record. Edges present in two band records (both endpoints in the band)
+    /// are deduplicated; ring edges appear in exactly one record by
+    /// construction.
+    pub fn build(k: BlockId, nodes: &[RegionNode]) -> Self {
+        // Collect the full node set: band gids plus ring targets.
+        let mut band_gids: Vec<NodeId> = nodes.iter().map(|n| n.gid).collect();
+        band_gids.sort_unstable();
+        debug_assert!(
+            band_gids.windows(2).all(|w| w[0] != w[1]),
+            "duplicate band node record"
+        );
+        let mut gids: Vec<NodeId> = band_gids.clone();
+        for node in nodes {
+            for e in &node.edges {
+                gids.push(e.to);
+            }
+        }
+        gids.sort_unstable();
+        gids.dedup();
+        let local_of = |gid: NodeId| -> NodeId {
+            gids.binary_search(&gid).expect("gathered node missing") as NodeId
+        };
+        let in_band = |gid: NodeId| band_gids.binary_search(&gid).is_ok();
+
+        let n = gids.len();
+        let mut weights = vec![0u64; n];
+        let mut blocks = vec![0u32; n];
+        let mut band_membership = vec![false; n];
+        for node in nodes {
+            let l = local_of(node.gid) as usize;
+            weights[l] = node.weight;
+            blocks[l] = node.block;
+            band_membership[l] = true;
+            for e in &node.edges {
+                let lt = local_of(e.to) as usize;
+                weights[lt] = e.to_weight;
+                blocks[lt] = e.to_block;
+            }
+        }
+
+        let mut builder = GraphBuilder::with_node_weights(weights);
+        for node in nodes {
+            let lu = local_of(node.gid);
+            for e in &node.edges {
+                // Band–band edges arrive from both endpoint records: add each
+                // once, from the smaller gid. Ring edges arrive once (ring
+                // nodes send no record) and are always added.
+                if in_band(e.to) && e.to < node.gid {
+                    continue;
+                }
+                builder.add_edge(lu, local_of(e.to), e.weight);
+            }
+        }
+        let graph = builder.build();
+        let partition = Partition::from_assignment(k, blocks);
+        GatheredRegion {
+            graph,
+            partition,
+            gids,
+            band_membership,
+        }
+    }
+
+    /// The region subgraph (band + frozen ring).
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Number of region nodes (band + ring).
+    pub fn num_nodes(&self) -> usize {
+        self.gids.len()
+    }
+
+    /// Number of band (movable) nodes.
+    pub fn band_len(&self) -> usize {
+        self.band_membership.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Runs one banded 2-way FM search on a gathered region and returns the
+/// surviving moves keyed by **global** node id, plus the achieved gain.
+///
+/// `seeds` is the pair boundary in ascending global-id order (exactly what
+/// `BandSeeder::seeds` produces); `depth` the band BFS depth; `w_a` / `w_b`
+/// the *full* current block weights. The search is bit-identical to running
+/// `band_around_boundary_in` + `two_way_fm_in` on the un-gathered graph with
+/// the same parameters.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_gathered_band(
+    region: &mut GatheredRegion,
+    a: BlockId,
+    b: BlockId,
+    seeds: &[NodeId],
+    depth: usize,
+    w_a: NodeWeight,
+    w_b: NodeWeight,
+    fm_config: &FmConfig,
+    scratch: &mut FmScratch,
+) -> FmResult {
+    let local_seeds: Vec<NodeId> = seeds
+        .iter()
+        .map(|&gid| region.gids.binary_search(&gid).expect("seed not gathered") as NodeId)
+        .collect();
+    let band = band_around_boundary_in(
+        &region.graph,
+        &region.partition,
+        &local_seeds,
+        (a, b),
+        depth,
+        scratch.bfs_dist(),
+    );
+    debug_assert!(
+        band.iter().all(|&v| region.band_membership[v as usize]),
+        "band BFS escaped the gathered band set"
+    );
+    let mut result = two_way_fm_in(
+        &region.graph,
+        &mut region.partition,
+        a,
+        b,
+        &band,
+        w_a,
+        w_b,
+        fm_config,
+        scratch,
+    );
+    for (v, _) in result.moves.iter_mut() {
+        *v = region.gids[*v as usize];
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_gen::grid::grid2d;
+    use kappa_gen::rgg::random_geometric_graph;
+    use kappa_graph::{pair_boundary_nodes, BlockWeights};
+    use kappa_initial::greedy_graph_growing;
+
+    /// Extracts the depth-`d` region records for pair `(a, b)` straight from a
+    /// full graph — the single-process stand-in for what each rank ships.
+    fn extract_region(
+        graph: &CsrGraph,
+        partition: &Partition,
+        a: BlockId,
+        b: BlockId,
+        depth: usize,
+    ) -> Vec<RegionNode> {
+        let seeds = pair_boundary_nodes(graph, partition, a, b);
+        let mut dist = Vec::new();
+        let band = band_around_boundary_in(graph, partition, &seeds, (a, b), depth, &mut dist);
+        band.iter()
+            .map(|&v| RegionNode {
+                gid: v,
+                weight: graph.node_weight(v),
+                block: partition.block_of(v),
+                edges: graph
+                    .edges_of(v)
+                    .filter(|&(u, _)| {
+                        let bu = partition.block_of(u);
+                        bu == a || bu == b
+                    })
+                    .map(|(u, w)| RegionEdge {
+                        to: u,
+                        weight: w,
+                        to_block: partition.block_of(u),
+                        to_weight: graph.node_weight(u),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// The gathered-region search must reproduce the direct full-graph search
+    /// bit for bit: same moves (same order), same gain.
+    #[test]
+    fn gathered_region_matches_direct_search() {
+        for (graph, k) in [(grid2d(20, 20), 4u32), (random_geometric_graph(3000, 7), 6)] {
+            let partition = greedy_graph_growing(&graph, k, 0.03, 3);
+            let weights = BlockWeights::compute(&graph, &partition);
+            let l_max = Partition::l_max(&graph, k, 0.03);
+            for (&a, &b) in [(0u32, 1u32), (1, 2), (0, 3)].iter().map(|(a, b)| (a, b)) {
+                for depth in [1usize, 3, 8] {
+                    let seeds = pair_boundary_nodes(&graph, &partition, a, b);
+                    if seeds.is_empty() {
+                        continue;
+                    }
+                    let fm_config = FmConfig {
+                        l_max,
+                        patience_alpha: 0.2,
+                        seed: 0x5EED ^ ((a as u64) << 8 | b as u64),
+                        ..Default::default()
+                    };
+                    // Direct search on the full graph.
+                    let mut direct_partition = partition.clone();
+                    let mut dist = Vec::new();
+                    let band = band_around_boundary_in(
+                        &graph,
+                        &partition,
+                        &seeds,
+                        (a, b),
+                        depth,
+                        &mut dist,
+                    );
+                    let mut scratch = FmScratch::new();
+                    let direct = two_way_fm_in(
+                        &graph,
+                        &mut direct_partition,
+                        a,
+                        b,
+                        &band,
+                        weights.weight(a),
+                        weights.weight(b),
+                        &fm_config,
+                        &mut scratch,
+                    );
+                    // Gathered search on the extracted region.
+                    let records = extract_region(&graph, &partition, a, b, depth);
+                    let mut region = GatheredRegion::build(k, &records);
+                    assert_eq!(region.band_len(), band.len());
+                    let mut scratch2 = FmScratch::new();
+                    let gathered = refine_gathered_band(
+                        &mut region,
+                        a,
+                        b,
+                        &seeds,
+                        depth,
+                        weights.weight(a),
+                        weights.weight(b),
+                        &fm_config,
+                        &mut scratch2,
+                    );
+                    assert_eq!(gathered.moves, direct.moves, "pair ({a},{b}) depth {depth}");
+                    assert_eq!(gathered.gain, direct.gain);
+                    assert_eq!(gathered.attempted_moves, direct.attempted_moves);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn region_synthesises_ring_nodes() {
+        let graph = grid2d(8, 8);
+        let assignment = (0..64).map(|i| ((i % 8) / 4) as u32).collect();
+        let partition = Partition::from_assignment(2, assignment);
+        let records = extract_region(&graph, &partition, 0, 1, 1);
+        let region = GatheredRegion::build(2, &records);
+        // Depth-1 band = 4 columns; the ring adds the two columns beyond.
+        assert_eq!(region.band_len(), 32);
+        assert_eq!(region.num_nodes(), 48);
+        assert!(region.graph().validate().is_ok());
+    }
+}

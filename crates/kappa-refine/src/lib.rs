@@ -61,16 +61,18 @@ pub mod coloring;
 pub mod delta;
 pub mod fm;
 pub mod gain;
+pub mod gather;
 pub mod queue_select;
 pub mod scheduler;
 pub mod scratch;
 
-pub use balance::{rebalance, rebalance_state};
+pub use balance::{best_move_of, fallback_move_of, fallback_target, rebalance, rebalance_state};
 pub use band::{pair_band, BandSeeder, FullScanSeeder, IndexSeeder};
 pub use coloring::{color_quotient_edges, EdgeColoring};
 pub use delta::{DeltaPairView, SharedAssignment};
-pub use fm::{patience_bound, two_way_fm, two_way_fm_in, FmConfig, FmResult};
+pub use fm::{pair_search_seed, patience_bound, two_way_fm, two_way_fm_in, FmConfig, FmResult};
 pub use gain::pair_gain;
+pub use gather::{refine_gathered_band, GatheredRegion, RegionEdge, RegionNode};
 pub use queue_select::QueueSelection;
 pub use scheduler::{
     refine_partition, refine_partition_in_place, refine_partition_reference, RefinementConfig,

@@ -96,6 +96,12 @@ pub struct RefinementStats {
     pub pair_searches: usize,
     /// Number of nodes moved (after rollbacks).
     pub nodes_moved: usize,
+    /// Number of full `O(n + m)` quotient-graph scans performed. The
+    /// production scheduler derives every quotient from the boundary index
+    /// (`PartitionState::quotient`), so this stays 0; only the full-scan
+    /// reference ([`refine_partition_reference`]) pays one per global
+    /// iteration.
+    pub quotient_full_scans: usize,
 }
 
 /// The delta a single pair search hands back to the scheduler: the surviving
@@ -150,11 +156,14 @@ fn search_pair<P: BlockAssignmentMut, S: BandSeeder<P>>(
             queue_selection: config.queue_selection,
             patience_alpha: config.patience_alpha,
             l_max,
-            seed: config
-                .seed
-                .wrapping_mul(0x9E3779B97F4A7C15)
-                .wrapping_add((global_iter * 1000 + color_idx * 100 + local_iter) as u64)
-                .wrapping_add((a as u64) << 32 | b as u64),
+            seed: crate::fm::pair_search_seed(
+                config.seed,
+                global_iter,
+                color_idx,
+                local_iter,
+                a,
+                b,
+            ),
         };
         let result = two_way_fm_in(graph, target, a, b, &band, w_a, w_b, &fm_config, scratch);
         searches += 1;
@@ -253,7 +262,11 @@ pub fn refine_partition(
 
     let mut no_change_streak = 0usize;
     for global_iter in 0..config.max_global_iterations {
-        let quotient = QuotientGraph::build(graph, state.partition());
+        // Boundary-priced quotient: derived from the state's boundary index
+        // in O(Σ_{v ∈ boundary} deg v), bit-identical to the full-scan
+        // `QuotientGraph::build` the reference scheduler still performs —
+        // this was the last O(n + m) pass per global iteration.
+        let quotient = state.quotient(graph);
         if quotient.num_edges() == 0 {
             break;
         }
@@ -381,6 +394,7 @@ pub fn refine_partition_reference(
     let mut no_change_streak = 0usize;
     for global_iter in 0..config.max_global_iterations {
         let quotient = QuotientGraph::build(graph, partition);
+        stats.quotient_full_scans += 1;
         if quotient.num_edges() == 0 {
             break;
         }

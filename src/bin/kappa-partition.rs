@@ -15,6 +15,7 @@
 //!   --epsilon <E>         imbalance tolerance           [default: 0.03]
 //!   --seed <S>            random seed                   [default: 0]
 //!   --threads <T>         worker threads (0 = all)      [default: 0]
+//!   --ranks <R>           distributed pipeline over R ranks
 //!   --output <FILE>       partition output path         [default: <GRAPH>.part.<K>]
 //!   --generate <FAMILY>   ignore <GRAPH> and generate an instance instead:
 //!                         rgg | delaunay | grid | road | rmat
@@ -33,6 +34,7 @@ struct CliArgs {
     epsilon: f64,
     seed: u64,
     threads: usize,
+    ranks: Option<usize>,
     output: Option<PathBuf>,
     generate: Option<String>,
     nodes: usize,
@@ -47,6 +49,7 @@ fn parse_args() -> Result<CliArgs, String> {
         epsilon: 0.03,
         seed: 0,
         threads: 0,
+        ranks: None,
         output: None,
         generate: None,
         nodes: 100_000,
@@ -80,6 +83,15 @@ fn parse_args() -> Result<CliArgs, String> {
                 cli.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--ranks" => {
+                let ranks: usize = value("--ranks")?
+                    .parse()
+                    .map_err(|e| format!("bad --ranks: {e}"))?;
+                if ranks < 1 {
+                    return Err("--ranks must be >= 1".to_string());
+                }
+                cli.ranks = Some(ranks);
             }
             "--output" => cli.output = Some(PathBuf::from(value("--output")?)),
             "--generate" => cli.generate = Some(value("--generate")?),
@@ -145,9 +157,14 @@ OPTIONS:
   --k <K>               number of blocks (required, >= 1)
   --preset <P>          minimal | fast | strong            [default: fast]
   --epsilon <E>         imbalance tolerance, e.g. 0.03 = 3% [default: 0.03]
-  --seed <S>            random seed (fixed seed + fixed --threads
-                        => identical output)               [default: 0]
+  --seed <S>            random seed (fixed seed + fixed --threads or
+                        --ranks => identical output)       [default: 0]
   --threads <T>         worker threads (0 = all cores)     [default: 0]
+  --ranks <R>           run the distributed-memory pipeline over R
+                        message-passing ranks (in-process cluster with
+                        ghosted graph shards; --ranks 1 is cut-identical
+                        to the shared-memory pipeline at --threads 1;
+                        supersedes --threads, which is then ignored)
   --output <FILE>       partition output path   [default: <GRAPH>.part.<K>]
   --generate <FAMILY>   ignore <GRAPH> and generate an instance instead:
                         rgg | delaunay | grid | road | rmat
@@ -172,7 +189,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
                 eprintln!(
                     "usage: kappa-partition <GRAPH.metis> --k <K> [--preset minimal|fast|strong] \
-                     [--epsilon 0.03] [--seed 0] [--threads 0] [--output FILE] \
+                     [--epsilon 0.03] [--seed 0] [--threads 0] [--ranks R] [--output FILE] \
                      [--generate rgg|delaunay|grid|road|rmat --nodes N]\n\
                      run kappa-partition --help for the full flag reference"
                 );
@@ -198,15 +215,40 @@ fn main() -> ExitCode {
         .with_epsilon(cli.epsilon)
         .with_seed(cli.seed)
         .with_threads(cli.threads);
-    let result = KappaPartitioner::new(config).partition(&graph);
-    eprintln!(
-        "{}: cut = {}, balance = {:.3}, feasible = {}, time = {:.3} s",
-        cli.preset.name(),
-        result.metrics.edge_cut,
-        result.metrics.balance,
-        result.metrics.feasible,
-        result.metrics.runtime_secs()
-    );
+    let partition = if let Some(ranks) = cli.ranks {
+        if cli.threads != 0 {
+            eprintln!(
+                "note: --threads {} is ignored with --ranks {ranks} — the distributed \
+                 pipeline's parallelism is one thread per rank",
+                cli.threads
+            );
+        }
+        let start = std::time::Instant::now();
+        let result = partition_distributed(&graph, &DistConfig::new(config, ranks));
+        let metrics =
+            PartitionMetrics::measure(&graph, &result.partition, cli.epsilon, start.elapsed());
+        eprintln!(
+            "{} x{} ranks: cut = {}, balance = {:.3}, feasible = {}, time = {:.3} s",
+            cli.preset.name(),
+            ranks,
+            metrics.edge_cut,
+            metrics.balance,
+            metrics.feasible,
+            metrics.runtime_secs()
+        );
+        result.partition
+    } else {
+        let result = KappaPartitioner::new(config).partition(&graph);
+        eprintln!(
+            "{}: cut = {}, balance = {:.3}, feasible = {}, time = {:.3} s",
+            cli.preset.name(),
+            result.metrics.edge_cut,
+            result.metrics.balance,
+            result.metrics.feasible,
+            result.metrics.runtime_secs()
+        );
+        result.partition
+    };
 
     let output = cli.output.clone().unwrap_or_else(|| {
         let base = cli
@@ -216,8 +258,7 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| name.clone());
         PathBuf::from(format!("{base}.part.{}", cli.k))
     });
-    let lines: Vec<String> = result
-        .partition
+    let lines: Vec<String> = partition
         .assignment()
         .iter()
         .map(|b| b.to_string())

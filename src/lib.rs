@@ -15,6 +15,9 @@
 //!   refinement scheduler (`kappa-refine`);
 //! * [`core`] — the [`KappaPartitioner`](crate::core::KappaPartitioner) and its
 //!   Minimal / Fast / Strong configurations (`kappa-core`);
+//! * [`dist`] — the rank-based distributed-memory runtime: message-passing
+//!   [`Comm`](crate::dist::Comm) clusters, ghosted [`DistGraph`](crate::dist::DistGraph)s and the
+//!   distributed pipeline behind `kappa-partition --ranks` (`kappa-dist`);
 //! * [`baselines`] — Metis-/parMetis-/Scotch-like comparison partitioners
 //!   (`kappa-baselines`).
 //!
@@ -40,6 +43,7 @@
 pub use kappa_baselines as baselines;
 pub use kappa_coarsen as coarsen;
 pub use kappa_core as core;
+pub use kappa_dist as dist;
 pub use kappa_gen as gen;
 pub use kappa_graph as graph;
 pub use kappa_initial as initial;
@@ -50,6 +54,7 @@ pub use kappa_refine as refine;
 pub mod prelude {
     pub use kappa_baselines::{BaselineKind, BaselinePartitioner};
     pub use kappa_core::{ConfigPreset, KappaConfig, KappaPartitioner, PartitionMetrics};
+    pub use kappa_dist::{partition_distributed, DistConfig};
     pub use kappa_graph::{CsrGraph, GraphBuilder, Partition};
     pub use kappa_matching::{EdgeRating, MatchingAlgorithm};
     pub use kappa_refine::QueueSelection;

@@ -1,0 +1,164 @@
+//! Acceptance suite of the distributed pipeline (`kappa-dist`):
+//!
+//! 1. **Rank-1 parity** — `partition_distributed` with one rank is
+//!    cut-bit-identical (in fact assignment-bit-identical) to the
+//!    shared-memory `KappaPartitioner` at one thread, across instance
+//!    families, presets and seeds. Every distributed kernel degenerates to
+//!    its shared counterpart, so any divergence is a bug.
+//! 2. **Determinism per (seed, ranks)** — repeated runs produce identical
+//!    assignments for every rank count.
+//! 3. **Quality envelope** — multi-rank runs are feasible (balance ≤ 1 + ε)
+//!    and land within 5 % mean cut of the rank-1 run over the
+//!    rgg/grid/delaunay suite (geometric mean, the paper's aggregation).
+//! 4. **Invariants** — exactly one full boundary-index build per rank, and
+//!    zero full `O(n + m)` quotient scans in the production refinement.
+
+use kappa::core::geometric_mean;
+use kappa::gen::{delaunay_like_graph, grid2d, random_geometric_graph};
+use kappa::graph::CsrGraph;
+use kappa::prelude::*;
+
+fn parity_instances() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("rgg-2000", random_geometric_graph(2000, 5)),
+        ("grid-40x40", grid2d(40, 40)),
+        ("delaunay-1500", delaunay_like_graph(1500, 7)),
+    ]
+}
+
+fn dist_run(graph: &CsrGraph, config: KappaConfig, ranks: usize) -> kappa::dist::DistRunResult {
+    partition_distributed(graph, &DistConfig::new(config, ranks))
+}
+
+#[test]
+fn ranks_1_is_bit_identical_to_the_shared_memory_pipeline() {
+    for (name, graph) in parity_instances() {
+        for (preset, k, seed) in [
+            (ConfigPreset::Fast, 4u32, 1u64),
+            (ConfigPreset::Fast, 8, 3),
+            (ConfigPreset::Minimal, 8, 5),
+            (ConfigPreset::Strong, 4, 7),
+        ] {
+            let config = KappaConfig::preset(preset, k)
+                .with_seed(seed)
+                .with_threads(1);
+            let shared = KappaPartitioner::new(config).partition(&graph);
+            let dist = dist_run(&graph, config, 1);
+            assert_eq!(
+                dist.partition.assignment(),
+                shared.partition.assignment(),
+                "{name} {preset:?} k={k} seed={seed}: assignment diverged"
+            );
+            assert_eq!(
+                dist.edge_cut, shared.metrics.edge_cut,
+                "{name} {preset:?} k={k} seed={seed}: cut diverged"
+            );
+            assert_eq!(dist.hierarchy_levels, shared.hierarchy_levels);
+            assert_eq!(dist.coarsest_nodes, shared.coarsest_nodes);
+        }
+    }
+}
+
+#[test]
+fn every_rank_count_is_deterministic_per_seed() {
+    let graph = random_geometric_graph(3000, 11);
+    for ranks in [1usize, 2, 4, 8] {
+        let config = KappaConfig::fast(8).with_seed(13);
+        let a = dist_run(&graph, config, ranks);
+        let b = dist_run(&graph, config, ranks);
+        assert_eq!(
+            a.partition.assignment(),
+            b.partition.assignment(),
+            "ranks {ranks} not deterministic"
+        );
+        assert_eq!(a.edge_cut, b.edge_cut);
+    }
+}
+
+#[test]
+fn multi_rank_runs_are_feasible_and_within_the_quality_envelope() {
+    let instances = vec![
+        ("rgg-4000", random_geometric_graph(4000, 3)),
+        ("grid-60x60", grid2d(60, 60)),
+        ("delaunay-3000", delaunay_like_graph(3000, 9)),
+    ];
+    for k in [4u32, 8] {
+        let mut ratios: Vec<f64> = Vec::new();
+        for (name, graph) in &instances {
+            let config = KappaConfig::fast(k).with_seed(2);
+            let base = dist_run(graph, config, 1);
+            let base_cut = base.edge_cut.max(1) as f64;
+            for ranks in [2usize, 4, 8] {
+                let dist = dist_run(graph, config, ranks);
+                assert!(
+                    dist.partition.validate(graph).is_ok(),
+                    "{name} ranks {ranks}: invalid partition"
+                );
+                assert!(
+                    dist.partition.is_balanced(graph, 0.03),
+                    "{name} ranks {ranks}: balance {}",
+                    dist.partition.balance(graph)
+                );
+                assert_eq!(
+                    dist.edge_cut,
+                    dist.partition.edge_cut(graph),
+                    "{name} ranks {ranks}: tracked cut diverged from recomputation"
+                );
+                ratios.push(dist.edge_cut as f64 / base_cut);
+            }
+        }
+        let mean = geometric_mean(&ratios);
+        assert!(
+            mean <= 1.05,
+            "k={k}: mean multi-rank cut ratio {mean:.4} exceeds the 5 % envelope \
+             (ratios: {ratios:?})"
+        );
+    }
+}
+
+#[test]
+fn exactly_one_full_boundary_index_build_per_rank() {
+    let graph = random_geometric_graph(4000, 5);
+    for ranks in [1usize, 2, 4, 8] {
+        let result = dist_run(&graph, KappaConfig::fast(8).with_seed(3), ranks);
+        assert!(result.hierarchy_levels > 1, "ranks {ranks} did not coarsen");
+        assert_eq!(
+            result.boundary_full_builds_per_rank,
+            vec![1; ranks],
+            "ranks {ranks}"
+        );
+    }
+    // Degenerate runs build nothing.
+    let r = dist_run(&graph, KappaConfig::fast(1), 4);
+    assert_eq!(r.boundary_full_builds_per_rank, vec![0; 4]);
+}
+
+#[test]
+fn production_refinement_performs_zero_full_quotient_scans() {
+    let graph = random_geometric_graph(3000, 7);
+    // Shared pipeline: the boundary-derived quotient replaced the last full
+    // O(n + m) scan per global iteration.
+    let shared = KappaPartitioner::new(KappaConfig::fast(8).with_seed(1)).partition(&graph);
+    assert!(shared.refinement.global_iterations > 0);
+    assert_eq!(shared.quotient_full_scans, 0);
+    // Distributed pipeline: quotients are merged from boundary-priced
+    // per-rank shares — the same invariant holds per rank.
+    for ranks in [1usize, 4] {
+        let dist = dist_run(&graph, KappaConfig::fast(8).with_seed(1), ranks);
+        assert!(dist.refinement.global_iterations > 0);
+        assert_eq!(dist.refinement.quotient_full_scans, 0, "ranks {ranks}");
+    }
+}
+
+#[test]
+fn degenerate_inputs_are_handled_like_the_shared_pipeline() {
+    // k = 1, tiny graphs, more ranks than nodes.
+    let tiny = grid2d(3, 3);
+    let r = dist_run(&tiny, KappaConfig::fast(1), 4);
+    assert_eq!(r.edge_cut, 0);
+    let r = dist_run(&tiny, KappaConfig::fast(4).with_seed(2), 8);
+    assert!(r.partition.validate(&tiny).is_ok());
+    let empty = CsrGraph::empty();
+    let r = dist_run(&empty, KappaConfig::fast(4), 2);
+    assert_eq!(r.partition.num_nodes(), 0);
+}

@@ -115,6 +115,39 @@ proptest! {
         }
     }
 
+    // Satellite of the dist PR: the boundary-derived quotient (the production
+    // path of `refine_partition` since this PR) must be bit-identical to the
+    // retained full-scan `QuotientGraph::build` after ANY sequence of moves —
+    // edge list, adjacency and total cut alike.
+    #[test]
+    fn boundary_derived_quotient_is_bit_identical_to_the_full_scan(
+        graph in arbitrary_graph(140),
+        k in 2u32..7,
+        seed in any::<u64>(),
+    ) {
+        let mut state_struct = PartitionState::build(&graph, random_partition(&graph, k, seed));
+        let n = graph.num_nodes() as u64;
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for step in 0..30 {
+            let v = (next() % n) as u32;
+            let to = (next() % k as u64) as u32;
+            state_struct.apply_move(&graph, v, to);
+            let derived = state_struct.quotient(&graph);
+            let reference = kappa::graph::QuotientGraph::build(&graph, state_struct.partition());
+            prop_assert_eq!(derived.edges(), reference.edges(), "edges diverged at step {}", step);
+            prop_assert_eq!(derived.total_cut(), state_struct.edge_cut(), "cut at step {}", step);
+            for b in 0..k {
+                prop_assert_eq!(derived.neighbors(b), reference.neighbors(b));
+            }
+        }
+    }
+
     // Satellite of the boundary-index PR: after ANY sequence of moves, the
     // incrementally maintained index must agree with a fresh full-graph scan,
     // both on the global boundary and on every pair boundary.

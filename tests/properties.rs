@@ -158,4 +158,36 @@ proptest! {
         let back = kappa::graph::parse_metis(&text).unwrap();
         prop_assert_eq!(graph, back);
     }
+
+    // Satellite of the dist PR: the METIS writer covers every fmt code and
+    // write → read is the identity for every format that can represent the
+    // graph; formats that drop a weight kind still round-trip the structure
+    // with that weight defaulted to 1.
+    #[test]
+    fn metis_writer_roundtrips_every_fmt_code(graph in arbitrary_graph(80)) {
+        use kappa::graph::{parse_metis, to_metis_string_fmt, MetisFormat};
+        for fmt in MetisFormat::all() {
+            let text = to_metis_string_fmt(&graph, fmt);
+            let back = parse_metis(&text).unwrap_or_else(|e| panic!("fmt {fmt:?}: {e}"));
+            prop_assert_eq!(back.num_nodes(), graph.num_nodes());
+            prop_assert_eq!(back.num_edges(), graph.num_edges());
+            prop_assert_eq!(back.xadj(), graph.xadj(), "structure diverged under {:?}", fmt);
+            prop_assert_eq!(back.adjncy(), graph.adjncy());
+            if fmt.vertex_weights {
+                prop_assert_eq!(back.vwgt(), graph.vwgt());
+            }
+            if fmt.edge_weights {
+                prop_assert_eq!(back.adjwgt(), graph.adjwgt());
+            }
+            if fmt.lossless_for(&graph) {
+                prop_assert_eq!(&back, &graph, "lossless fmt {:?} was lossy", fmt);
+            }
+        }
+        // The minimal format is always lossless for the graph it was derived
+        // from (the ring backbone guarantees no isolated vertices).
+        let minimal = MetisFormat::minimal_for(&graph);
+        prop_assert!(minimal.lossless_for(&graph));
+        let back = parse_metis(&to_metis_string_fmt(&graph, minimal)).unwrap();
+        prop_assert_eq!(back, graph);
+    }
 }
