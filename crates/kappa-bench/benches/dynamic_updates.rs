@@ -1,0 +1,133 @@
+//! Criterion benches for the dynamic-graph repartitioning service: streaming
+//! update latency, placement-query throughput, and the headline comparison —
+//! localized re-refinement after a single-edge update vs. re-running the
+//! full multilevel pipeline from scratch. Gated through
+//! `scripts/bench_compare` in the CI `serve` job.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kappa_core::{DynamicConfig, DynamicSession, KappaConfig, KappaPartitioner};
+use kappa_gen::{delaunay_like_graph, grid2d, random_geometric_graph};
+use kappa_graph::CsrGraph;
+
+const K: u32 = 8;
+const SEED: u64 = 7;
+
+/// The 2^15 suite of EXPERIMENTS.md: one instance per family.
+fn suite() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("rgg15", random_geometric_graph(1 << 15, 5)),
+        ("grid181", grid2d(181, 181)),
+        ("delaunay15", delaunay_like_graph(1 << 15, 7)),
+    ]
+}
+
+fn bootstrapped(graph: &CsrGraph, auto_refine: bool) -> DynamicSession {
+    let kappa = KappaConfig::fast(K).with_seed(SEED).with_threads(1);
+    let config = DynamicConfig::matching(&kappa).with_auto_refine(auto_refine);
+    DynamicSession::bootstrap(graph.clone(), &kappa, config)
+}
+
+/// Latency of one streaming edge mutation pair (insert + delete, so the
+/// graph returns to its start state every iteration): the pure cost of the
+/// overlay update plus the exact state hooks, no repair.
+fn bench_update_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_update_latency");
+    for (name, graph) in suite() {
+        let mut session = bootstrapped(&graph, false);
+        let n = graph.num_nodes() as u32;
+        let mut i = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
+            b.iter(|| {
+                // A rotating non-adjacent chord: (i, i + n/2 + 1) mod n.
+                let u = i % n;
+                let v = (i + n / 2 + 1) % n;
+                i = i.wrapping_add(7);
+                if session.insert_edge(u, v, 1).is_ok() {
+                    session.delete_edge(u, v).unwrap();
+                }
+                session.edge_cut()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Throughput of the placement query (1024 queries per iteration against a
+/// session that has absorbed a few thousand mutations, so the overlay is
+/// non-trivial).
+fn bench_query_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_query_throughput_1024");
+    for (name, graph) in suite() {
+        let mut session = bootstrapped(&graph, false);
+        let n = graph.num_nodes() as u32;
+        for j in 0..2000u32 {
+            let _ = session.insert_edge(j % n, (j * 31 + 17) % n, 1);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
+            b.iter(|| {
+                let mut owned = 0u64;
+                for q in 0..1024u32 {
+                    if session.query(q.wrapping_mul(2654435761) % n).is_some() {
+                        owned += 1;
+                    }
+                }
+                black_box(owned)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The headline number: wall clock of a localized re-refinement (compact +
+/// banded FM around the touched region) absorbing a single-edge update…
+fn bench_localized_repair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_single_edge_repair");
+    group.sample_size(10);
+    for (name, graph) in suite() {
+        let mut session = bootstrapped(&graph, false);
+        let n = graph.num_nodes() as u32;
+        let mut i = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &n, |b, &n| {
+            b.iter(|| {
+                let u = i % n;
+                let v = (i + n / 3 + 1) % n;
+                i = i.wrapping_add(13);
+                let inserted = session.insert_edge(u, v, 2).is_ok();
+                let stats = session.refine_now();
+                if inserted {
+                    session.delete_edge(u, v).unwrap();
+                }
+                black_box(stats.nodes_moved)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// …against re-running the whole multilevel pipeline from scratch on the
+/// same instance (what a static partitioner would have to do per update).
+fn bench_from_scratch_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamic_from_scratch_pipeline");
+    group.sample_size(10);
+    let kappa = KappaConfig::fast(K).with_seed(SEED).with_threads(1);
+    for (name, graph) in suite() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &graph, |b, graph| {
+            b.iter(|| {
+                KappaPartitioner::new(kappa)
+                    .partition(graph)
+                    .metrics
+                    .edge_cut
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_update_latency,
+    bench_query_throughput,
+    bench_localized_repair,
+    bench_from_scratch_pipeline
+);
+criterion_main!(benches);

@@ -5,7 +5,10 @@
 //! ([`kappa_initial`]) and parallel pairwise refinement ([`kappa_refine`]) —
 //! plus the named configurations of Table 2 (*Minimal*, *Fast*, *Strong*), the
 //! geometric pre-partitioning used to give the parallel matcher locality
-//! (§3.3), and quality metrics.
+//! (§3.3), and quality metrics. The [`dynamic`] module turns a partition
+//! into a long-lived [`DynamicSession`] over a mutating graph: streaming
+//! inserts/deletes with exact state maintenance and drift-triggered
+//! localized re-refinement.
 //!
 //! ## Quick start
 //!
@@ -25,11 +28,13 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod dynamic;
 pub mod metrics;
 pub mod partitioner;
 pub mod prepartition;
 
 pub use config::{ConfigPreset, KappaConfig};
+pub use dynamic::{DynamicConfig, DynamicSession, DynamicStats};
 pub use metrics::{geometric_mean, PartitionMetrics};
 pub use partitioner::{KappaPartitioner, PartitionResult, PhaseTimings};
 pub use prepartition::{coordinate_prepartition, index_prepartition};

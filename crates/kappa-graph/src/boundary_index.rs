@@ -27,19 +27,33 @@
 //! ## Storage layout
 //!
 //! The neighbour-count lists live in one flat arena shared by all nodes:
-//! node `v`'s counts occupy the slot range `seg[v] .. seg[v] + len[v]` inside
-//! a single `Vec<(BlockId, u32)>`, where the segment *capacity*
-//! `seg[v+1] − seg[v]` equals `deg(v)` (a node can never be adjacent to more
-//! blocks than it has neighbours, so the segment never overflows).
-//! Earlier revisions used `Vec<Vec<(BlockId, u32)>>` — one heap allocation
-//! per node, which made every [`build`](BoundaryIndex::build) /
+//! node `v`'s counts occupy the slot range `start[v] .. start[v] + len[v]`
+//! inside a single `Vec<(BlockId, u32)>`, with per-node capacity `cap[v]`.
+//! A build sizes every segment to `deg(v)` (a node can never be adjacent to
+//! more blocks than it has neighbours, so a frozen graph's segments never
+//! overflow). Earlier revisions used `Vec<Vec<(BlockId, u32)>>` — one heap
+//! allocation per node, which made every [`build`](BoundaryIndex::build) /
 //! [`build_seeded`](BoundaryIndex::build_seeded) (and therefore every
 //! [`PartitionState::project`](crate::PartitionState::project)) allocate `n`
-//! little vectors per hierarchy level. The arena replaces those with exactly
-//! two allocations (`seg`/arena) of the same total size as the adjacency
+//! little vectors per hierarchy level. The arena replaces those with a
+//! constant number of allocations of the same total size as the adjacency
 //! array.
+//!
+//! ## Streaming mutations
+//!
+//! A [`DynamicGraph`](crate::dynamic::DynamicGraph) mutation stream can push
+//! a node past its built capacity (edge inserts raise the degree). The index
+//! absorbs this with [`edge_inserted`](BoundaryIndex::edge_inserted) /
+//! [`edge_deleted`](BoundaryIndex::edge_deleted) /
+//! [`node_inserted`](BoundaryIndex::node_inserted) /
+//! [`node_deleted`](BoundaryIndex::node_deleted): an insert that would
+//! overflow a segment relocates it to the end of the arena with doubled
+//! capacity (amortised `O(1)` per insert), leaving the old slots zeroed and
+//! dead. Equality ([`PartialEq`], [`equivalent`](BoundaryIndex::equivalent))
+//! compares live segments only, so a relocated layout and a fresh build
+//! still compare equal when their contents agree.
 
-use crate::csr::CsrGraph;
+use crate::csr::{Adjacency, CsrGraph};
 use crate::partition::BlockAssignment;
 use crate::types::{BlockId, NodeId, INVALID_NODE};
 
@@ -65,10 +79,12 @@ pub struct BoundaryIndex {
     k: BlockId,
     /// The index's own node → block map (kept in sync via `apply_move`).
     block: Vec<BlockId>,
-    /// Arena segment starts, `n + 1` entries: node `v`'s count slots are
-    /// `seg[v]..seg[v + 1]` (capacity `deg(v)`), of which the first `len[v]`
-    /// are live.
-    seg: Vec<usize>,
+    /// Arena segment start per node: node `v`'s count slots are
+    /// `start[v]..start[v] + cap[v]`, of which the first `len[v]` are live.
+    start: Vec<usize>,
+    /// Segment capacity per node (`deg(v)` after a build; doubled on
+    /// overflow under streaming edge inserts).
+    cap: Vec<u32>,
     /// Live entries per node segment.
     len: Vec<u32>,
     /// Flat arena of `(block, count)` pairs: for every node, the blocks with
@@ -133,12 +149,13 @@ impl BoundaryIndex {
         F: FnMut(NodeId) -> bool,
     {
         let n = graph.num_nodes();
-        let seg = graph.xadj().to_vec();
-        let slots = *seg.last().unwrap_or(&0);
+        let xadj = graph.xadj();
+        let slots = *xadj.last().unwrap_or(&0);
         let mut index = BoundaryIndex {
             k: partition.k(),
             block: (0..n as NodeId).map(|v| partition.block_of(v)).collect(),
-            seg,
+            start: xadj[..n].to_vec(),
+            cap: (0..n).map(|v| (xadj[v + 1] - xadj[v]) as u32).collect(),
             len: vec![0; n],
             counts: vec![(0, 0); slots],
             foreign: vec![0; n],
@@ -148,7 +165,7 @@ impl BoundaryIndex {
         };
         let mut scratch: Vec<BlockId> = Vec::new();
         for v in graph.nodes() {
-            let start = index.seg[v as usize];
+            let start = index.start[v as usize];
             if !is_candidate(v) {
                 // Interior by precondition: every neighbour shares v's block.
                 debug_assert!(
@@ -195,7 +212,7 @@ impl BoundaryIndex {
     /// The live `(block, count)` entries of node `v`, sorted by block id.
     #[inline]
     fn node_counts(&self, v: NodeId) -> &[(BlockId, u32)] {
-        let start = self.seg[v as usize];
+        let start = self.start[v as usize];
         &self.counts[start..start + self.len[v as usize] as usize]
     }
 
@@ -285,7 +302,11 @@ impl BoundaryIndex {
     /// Moves `v` to block `to`, updating the neighbour counts, foreign-degree
     /// counters and boundary membership of `v` and all its neighbours in
     /// `O(deg(v) · log maxdeg)`. A no-op when `v` is already in `to`.
-    pub fn apply_move(&mut self, graph: &CsrGraph, v: NodeId, to: BlockId) {
+    ///
+    /// Generic over [`Adjacency`] so the same code path serves the frozen
+    /// [`CsrGraph`] and a mid-stream
+    /// [`DynamicGraph`](crate::dynamic::DynamicGraph).
+    pub fn apply_move<G: Adjacency>(&mut self, graph: &G, v: NodeId, to: BlockId) {
         let from = self.block[v as usize];
         if from == to {
             return;
@@ -293,7 +314,7 @@ impl BoundaryIndex {
         debug_assert!(to < self.k, "move of node {v} to out-of-range block {to}");
         self.block[v as usize] = to;
 
-        for &u in graph.neighbors(v) {
+        graph.for_each_edge(v, |u, _w| {
             // Neighbour `u` sees one neighbour (`v`) switch `from` → `to`.
             self.adjust_count(u, from, -1);
             self.adjust_count(u, to, 1);
@@ -304,18 +325,83 @@ impl BoundaryIndex {
                 self.foreign[u as usize] -= 1;
             }
             self.update_membership(u);
-        }
+        });
 
         // `v`'s neighbour counts are unchanged, but its own block moved.
-        self.foreign[v as usize] = graph.degree(v) as u32 - self.count(v, to);
+        self.foreign[v as usize] = graph.degree_of(v) as u32 - self.count(v, to);
         self.update_membership(v);
     }
 
+    /// Absorbs the insertion of a new edge `{v, u}` in
+    /// `O(log maxdeg)` amortised: each endpoint gains one neighbour in the
+    /// other's block. The edge weight is irrelevant to boundary structure.
+    pub fn edge_inserted(&mut self, v: NodeId, u: NodeId) {
+        debug_assert_ne!(v, u, "self-loops cannot be inserted");
+        let bu = self.block[u as usize];
+        let bv = self.block[v as usize];
+        self.endpoint_delta(v, bu, 1);
+        self.endpoint_delta(u, bv, 1);
+    }
+
+    /// Absorbs the deletion of an existing edge `{v, u}` — the exact inverse
+    /// of [`edge_inserted`](Self::edge_inserted).
+    pub fn edge_deleted(&mut self, v: NodeId, u: NodeId) {
+        let bu = self.block[u as usize];
+        let bv = self.block[v as usize];
+        self.endpoint_delta(v, bu, -1);
+        self.endpoint_delta(u, bv, -1);
+    }
+
+    /// Endpoint `v` gained (`delta = 1`) or lost (`delta = -1`) one
+    /// neighbour in block `nb`.
+    fn endpoint_delta(&mut self, v: NodeId, nb: BlockId, delta: i32) {
+        self.adjust_count(v, nb, delta);
+        if nb != self.block[v as usize] {
+            let f = self.foreign[v as usize] as i64 + delta as i64;
+            debug_assert!(f >= 0, "negative foreign degree for node {v}");
+            self.foreign[v as usize] = f as u32;
+        }
+        self.update_membership(v);
+    }
+
+    /// Appends a fresh isolated node assigned to block `b`, with a
+    /// zero-capacity count segment (the first incident
+    /// [`edge_inserted`](Self::edge_inserted) grows it). Its id is the
+    /// previous node count.
+    pub fn node_inserted(&mut self, b: BlockId) {
+        debug_assert!(b < self.k, "insert into out-of-range block {b}");
+        self.block.push(b);
+        self.start.push(self.counts.len());
+        self.cap.push(0);
+        self.len.push(0);
+        self.foreign.push(0);
+        self.in_boundary.push(false);
+        self.pos.push(INVALID_NODE);
+    }
+
+    /// Marks node `v` deleted. Ids stay stable — the node remains in every
+    /// array as an isolated interior node, exactly what a fresh build on the
+    /// compacted graph produces for it — so the only work is checking the
+    /// precondition that all incident edges were deleted first.
+    pub fn node_deleted(&mut self, v: NodeId) {
+        debug_assert_eq!(self.len[v as usize], 0, "node {v} still has incident edges");
+        debug_assert_eq!(
+            self.foreign[v as usize], 0,
+            "node {v} still foreign-adjacent"
+        );
+        debug_assert!(
+            !self.in_boundary[v as usize],
+            "deleted node {v} on boundary"
+        );
+    }
+
     /// Adds `delta` to `count(v, b)`, inserting or removing the run entry by
-    /// shifting within `v`'s fixed-capacity arena segment. The segment cannot
-    /// overflow: a node is adjacent to at most `deg(v)` distinct blocks.
+    /// shifting within `v`'s arena segment. On a frozen graph the segment
+    /// cannot overflow (a node is adjacent to at most `deg(v)` distinct
+    /// blocks); streaming edge inserts can raise the degree past the built
+    /// capacity, in which case the segment is relocated with room to spare.
     fn adjust_count(&mut self, v: NodeId, b: BlockId, delta: i32) {
-        let start = self.seg[v as usize];
+        let mut start = self.start[v as usize];
         let live = self.len[v as usize] as usize;
         match self.counts[start..start + live].binary_search_by_key(&b, |&(block, _)| block) {
             Ok(i) => {
@@ -334,16 +420,36 @@ impl BoundaryIndex {
             }
             Err(i) => {
                 debug_assert!(delta > 0, "decrement of absent count for node {v}");
-                debug_assert!(
-                    start + live < self.seg[v as usize + 1],
-                    "count segment of node {v} overflowed"
-                );
+                if live == self.cap[v as usize] as usize {
+                    start = self.grow_segment(v);
+                }
                 self.counts
                     .copy_within(start + i..start + live, start + i + 1);
                 self.counts[start + i] = (b, delta as u32);
                 self.len[v as usize] += 1;
             }
         }
+    }
+
+    /// Relocates node `v`'s segment to the end of the arena with doubled
+    /// capacity (minimum 2) and returns the new start. The abandoned slots
+    /// are zeroed; the arena never shrinks, but growth is amortised `O(1)`
+    /// per streaming insert and a [`compact`](crate::dynamic::DynamicGraph::
+    /// compact)-then-rebuild restores the tight layout.
+    fn grow_segment(&mut self, v: NodeId) -> usize {
+        let vi = v as usize;
+        let old_start = self.start[vi];
+        let live = self.len[vi] as usize;
+        let new_cap = (self.cap[vi] as usize * 2).max(2);
+        let new_start = self.counts.len();
+        self.counts.resize(new_start + new_cap, (0, 0));
+        for i in 0..live {
+            self.counts[new_start + i] = self.counts[old_start + i];
+            self.counts[old_start + i] = (0, 0);
+        }
+        self.start[vi] = new_start;
+        self.cap[vi] = new_cap as u32;
+        new_start
     }
 
     fn update_membership(&mut self, v: NodeId) {
@@ -470,6 +576,59 @@ mod tests {
         assert_eq!(index.count(0, 2), 0);
         assert_eq!(index.count(0, 1), 2);
         assert_eq!(index.count(1, 0), 1);
+    }
+
+    #[test]
+    fn streaming_edge_hooks_match_a_fresh_build() {
+        // Path 0-1-2-3 split 2 | 2; insert a chord, delete a path edge, then
+        // append a node and wire it in. After every hook the maintained index
+        // must be equivalent to a from-scratch build on the mutated graph.
+        let p = Partition::from_assignment(2, vec![0, 0, 1, 1]);
+        let g0 = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let mut index = BoundaryIndex::build(&g0, &p);
+
+        index.edge_inserted(0, 3);
+        let g1 = graph_from_edges(4, vec![(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 3, 1)]);
+        assert!(index.equivalent(&BoundaryIndex::build(&g1, &p)));
+
+        index.edge_deleted(1, 2);
+        let g2 = graph_from_edges(4, vec![(0, 1, 1), (2, 3, 1), (0, 3, 1)]);
+        assert!(index.equivalent(&BoundaryIndex::build(&g2, &p)));
+
+        index.node_inserted(1);
+        index.edge_inserted(4, 0);
+        let g3 = graph_from_edges(5, vec![(0, 1, 1), (2, 3, 1), (0, 3, 1), (0, 4, 1)]);
+        let p3 = Partition::from_assignment(2, vec![0, 0, 1, 1, 1]);
+        assert!(index.equivalent(&BoundaryIndex::build(&g3, &p3)));
+    }
+
+    #[test]
+    fn segments_grow_past_built_capacity_and_shrink_back() {
+        // Node 0 is built with degree 1 (capacity 1); streaming inserts give
+        // it neighbours in four more distinct blocks, forcing repeated
+        // segment relocation, then deletes walk it back down.
+        let g0 = graph_from_edges(6, vec![(0, 1, 1)]);
+        let p = Partition::from_assignment(6, (0..6).collect());
+        let mut index = BoundaryIndex::build(&g0, &p);
+        let mut edges = vec![(0u32, 1u32, 1u64)];
+        for u in 2..6u32 {
+            index.edge_inserted(0, u);
+            edges.push((0, u, 1));
+            let g = graph_from_edges(6, edges.clone());
+            assert!(
+                index.equivalent(&BoundaryIndex::build(&g, &p)),
+                "insert {u}"
+            );
+        }
+        for u in (2..6u32).rev() {
+            index.edge_deleted(0, u);
+            edges.pop();
+            let g = graph_from_edges(6, edges.clone());
+            assert!(
+                index.equivalent(&BoundaryIndex::build(&g, &p)),
+                "delete {u}"
+            );
+        }
     }
 
     #[test]

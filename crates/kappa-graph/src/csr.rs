@@ -8,6 +8,46 @@
 
 use crate::types::{EdgeWeight, NodeId, NodeWeight};
 
+/// Read access to the incidence structure of a weighted undirected graph.
+///
+/// [`CsrGraph`] is the canonical (frozen) implementor; the streaming
+/// [`DynamicGraph`](crate::dynamic::DynamicGraph) implements it over its
+/// base-CSR-plus-overlay view. Incremental maintenance code that only needs
+/// "the current neighbours of one node" —
+/// [`BoundaryIndex::apply_move`](crate::BoundaryIndex::apply_move) and
+/// [`PartitionState::apply_move`](crate::PartitionState::apply_move) — is
+/// generic over this trait, so a node move stays exact whether the graph is
+/// frozen or mid-mutation-stream.
+pub trait Adjacency {
+    /// Degree of node `v` (number of incident undirected edges).
+    fn degree_of(&self, v: NodeId) -> usize;
+
+    /// Node weight `c(v)`.
+    fn node_weight_of(&self, v: NodeId) -> NodeWeight;
+
+    /// Calls `f(u, w)` once for every edge `{v, u}` of weight `w`.
+    fn for_each_edge<F: FnMut(NodeId, EdgeWeight)>(&self, v: NodeId, f: F);
+}
+
+impl Adjacency for CsrGraph {
+    #[inline]
+    fn degree_of(&self, v: NodeId) -> usize {
+        self.degree(v)
+    }
+
+    #[inline]
+    fn node_weight_of(&self, v: NodeId) -> NodeWeight {
+        self.node_weight(v)
+    }
+
+    #[inline]
+    fn for_each_edge<F: FnMut(NodeId, EdgeWeight)>(&self, v: NodeId, mut f: F) {
+        for (u, w) in self.edges_of(v) {
+            f(u, w);
+        }
+    }
+}
+
 /// A weighted undirected graph in CSR form, optionally carrying 2-D coordinates
 /// (used by the geometric pre-partitioning of §3.3).
 #[derive(Clone, Debug, Default, PartialEq)]

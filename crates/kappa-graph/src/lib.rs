@@ -6,7 +6,9 @@
 //! induced subgraphs with back-mappings, boundary/band utilities, an
 //! incrementally maintained [`BoundaryIndex`], the persistent
 //! [`PartitionState`] (assignment + weights + boundary index + cached cut
-//! behind one exact `apply_move`) and METIS-style text I/O.
+//! behind one exact `apply_move`), the streaming [`DynamicGraph`] overlay
+//! (vertex/edge insert-delete with stable ids, compacting back to CSR on
+//! demand) and METIS-style text I/O.
 //!
 //! The design follows Section 2 of Holtgrewe, Sanders and Schulz,
 //! *Engineering a Scalable High Quality Graph Partitioner* (2010): graphs are
@@ -41,6 +43,7 @@ pub mod boundary;
 pub mod boundary_index;
 pub mod builder;
 pub mod csr;
+pub mod dynamic;
 pub mod io;
 pub mod partition;
 pub mod partition_state;
@@ -53,7 +56,8 @@ pub use boundary::{
 };
 pub use boundary_index::BoundaryIndex;
 pub use builder::{graph_from_edges, GraphBuilder};
-pub use csr::CsrGraph;
+pub use csr::{Adjacency, CsrGraph};
+pub use dynamic::DynamicGraph;
 pub use io::{
     parse_metis, read_metis, to_metis_string, to_metis_string_fmt, write_metis, MetisError,
     MetisFormat,

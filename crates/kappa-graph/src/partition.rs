@@ -99,6 +99,16 @@ impl BlockWeights {
         self.weights[from as usize] -= node_weight;
         self.weights[to as usize] += node_weight;
     }
+
+    /// Adds weight to block `b` (streaming node insert / node reweight).
+    pub fn add(&mut self, b: BlockId, node_weight: NodeWeight) {
+        self.weights[b as usize] += node_weight;
+    }
+
+    /// Removes weight from block `b` (streaming node delete).
+    pub fn sub(&mut self, b: BlockId, node_weight: NodeWeight) {
+        self.weights[b as usize] -= node_weight;
+    }
 }
 
 /// An assignment of every node to a block `0..k`.
@@ -167,6 +177,16 @@ impl Partition {
     #[inline]
     pub fn assignment(&self) -> &[BlockId] {
         &self.assignment
+    }
+
+    /// Appends a new node assigned to block `b`; its id is the previous node
+    /// count. Streaming node inserts extend the assignment this way so node
+    /// ids stay aligned with a growing
+    /// [`DynamicGraph`](crate::dynamic::DynamicGraph).
+    #[inline]
+    pub fn push(&mut self, b: BlockId) {
+        debug_assert!(b < self.k || b == INVALID_BLOCK);
+        self.assignment.push(b);
     }
 
     /// True if every node has been assigned a valid block.

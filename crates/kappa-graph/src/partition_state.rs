@@ -22,7 +22,7 @@
 //! counts them so tests can prove it.
 
 use crate::boundary_index::BoundaryIndex;
-use crate::csr::CsrGraph;
+use crate::csr::{Adjacency, CsrGraph};
 use crate::partition::{BlockWeights, Partition};
 use crate::quotient::QuotientGraph;
 use crate::types::{BlockId, EdgeWeight, NodeId, NodeWeight};
@@ -164,7 +164,12 @@ impl PartitionState {
     /// Moves `v` to block `to`, updating the assignment, block weights,
     /// boundary index and cached cut in `O(deg(v) · log maxdeg)`. Returns
     /// `false` (and does nothing) when `v` is already in `to`.
-    pub fn apply_move(&mut self, graph: &CsrGraph, v: NodeId, to: BlockId) -> bool {
+    ///
+    /// Generic over [`Adjacency`]: the frozen pipeline passes the level's
+    /// [`CsrGraph`], the dynamic path passes a mid-stream
+    /// [`DynamicGraph`](crate::dynamic::DynamicGraph) — the maintenance is
+    /// identical because only `v`'s current incidence list matters.
+    pub fn apply_move<G: Adjacency>(&mut self, graph: &G, v: NodeId, to: BlockId) -> bool {
         let from = self.partition.block_of(v);
         if from == to {
             return false;
@@ -173,19 +178,76 @@ impl PartitionState {
         // delta: edges into `from` become cut, edges into `to` stop being cut.
         let mut conn_from: EdgeWeight = 0;
         let mut conn_to: EdgeWeight = 0;
-        for (u, w) in graph.edges_of(v) {
+        graph.for_each_edge(v, |u, w| {
             let b = self.partition.block_of(u);
             if b == from {
                 conn_from += w;
             } else if b == to {
                 conn_to += w;
             }
-        }
+        });
         self.cut = self.cut + conn_from - conn_to;
-        self.weights.apply_move(from, to, graph.node_weight(v));
+        self.weights.apply_move(from, to, graph.node_weight_of(v));
         self.partition.assign(v, to);
         self.boundary.apply_move(graph, v, to);
         true
+    }
+
+    /// Absorbs the insertion of edge `{v, u}` with weight `w`: the cached cut
+    /// grows by `w` when the endpoints are in different blocks, and the
+    /// boundary index absorbs the new incidence. Call *after* the graph
+    /// mutation (ordering is irrelevant — no adjacency scan is needed, the
+    /// update is purely endpoint-local).
+    pub fn apply_edge_insert(&mut self, v: NodeId, u: NodeId, w: EdgeWeight) {
+        if self.partition.block_of(v) != self.partition.block_of(u) {
+            self.cut += w;
+        }
+        self.boundary.edge_inserted(v, u);
+    }
+
+    /// Absorbs the deletion of edge `{v, u}` whose weight was `w` — the exact
+    /// inverse of [`apply_edge_insert`](Self::apply_edge_insert).
+    pub fn apply_edge_delete(&mut self, v: NodeId, u: NodeId, w: EdgeWeight) {
+        if self.partition.block_of(v) != self.partition.block_of(u) {
+            self.cut -= w;
+        }
+        self.boundary.edge_deleted(v, u);
+    }
+
+    /// Absorbs a reweight of edge `{v, u}` from `old_w` to `new_w`. Only the
+    /// cached cut can change; boundary structure and weights are untouched.
+    pub fn apply_edge_reweight(
+        &mut self,
+        v: NodeId,
+        u: NodeId,
+        old_w: EdgeWeight,
+        new_w: EdgeWeight,
+    ) {
+        if self.partition.block_of(v) != self.partition.block_of(u) {
+            self.cut = self.cut - old_w + new_w;
+        }
+    }
+
+    /// Absorbs the insertion of a new isolated node of weight `weight` into
+    /// block `b`; its id is the previous node count (the caller's
+    /// [`DynamicGraph`](crate::dynamic::DynamicGraph) assigns the same id).
+    pub fn apply_node_insert(&mut self, b: BlockId, weight: NodeWeight) {
+        self.partition.push(b);
+        self.weights.add(b, weight);
+        self.boundary.node_inserted(b);
+    }
+
+    /// Absorbs the deletion of node `v`, whose incident edges must already be
+    /// deleted (each via [`apply_edge_delete`](Self::apply_edge_delete)).
+    ///
+    /// Ids stay stable: `v` remains in the assignment with its last block —
+    /// exactly what [`compact`](crate::dynamic::DynamicGraph::compact)
+    /// produces for it (an isolated node of weight 0) — so a fresh
+    /// rebuild on the compacted graph matches field for field.
+    pub fn apply_node_delete(&mut self, v: NodeId, weight: NodeWeight) {
+        let b = self.partition.block_of(v);
+        self.weights.sub(b, weight);
+        self.boundary.node_deleted(v);
     }
 
     /// Consumes the state, returning the partition.
@@ -347,6 +409,42 @@ mod tests {
             assert_eq!(derived.edges(), reference.edges());
             assert_eq!(derived.num_blocks(), reference.num_blocks());
         }
+    }
+
+    #[test]
+    fn streaming_hooks_match_rebuild_on_the_compacted_graph() {
+        use crate::dynamic::DynamicGraph;
+        let mut g = DynamicGraph::new(grid4());
+        let p = Partition::from_assignment(2, (0..16).map(|i| (i / 8) as u32).collect());
+        let mut state = PartitionState::build(&g.compact(), p);
+
+        g.insert_edge(0, 15, 4).unwrap();
+        state.apply_edge_insert(0, 15, 4);
+        let w = g.delete_edge(5, 6).unwrap();
+        state.apply_edge_delete(5, 6, w);
+        let old = g.update_edge(7, 11, 9).unwrap();
+        state.apply_edge_reweight(7, 11, old, 9);
+        let v = g.insert_node(2);
+        state.apply_node_insert(1, 2);
+        g.insert_edge(v, 0, 1).unwrap();
+        state.apply_edge_insert(v, 0, 1);
+        // A node move through the dynamic (overlaid) adjacency.
+        state.apply_move(&g, 4, 1);
+
+        // Kill node 3: incident edges first, then the node.
+        for (u, uw) in g.edges_of_collected(3) {
+            g.delete_edge(3, u).unwrap();
+            state.apply_edge_delete(3, u, uw);
+        }
+        let wt = g.delete_node(3).unwrap();
+        state.apply_node_delete(3, wt);
+
+        let compacted = g.compact();
+        state.verify_exact(&compacted).unwrap();
+        let rebuilt = PartitionState::build(&compacted, state.partition().clone());
+        assert_eq!(rebuilt.edge_cut(), state.edge_cut());
+        assert_eq!(rebuilt.weights(), state.weights());
+        assert!(rebuilt.boundary().equivalent(state.boundary()));
     }
 
     #[test]

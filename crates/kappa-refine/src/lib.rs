@@ -27,6 +27,11 @@
 //!   partition per pair — exact because write sets are block-disjoint and
 //!   cross-pair reads are membership tests — returning only their surviving
 //!   moves as per-pair deltas;
+//! * a **localized re-refinement** entry point ([`local`]): the dynamic-graph
+//!   service re-runs the same banded FM only on block pairs around a touched
+//!   region (mutated edges, inserted nodes), routing every move through the
+//!   [`PartitionState`](kappa_graph::PartitionState) so streaming exactness
+//!   is preserved — no full pipeline re-run per drift repair;
 //! * a **k-way greedy balancer** ([`balance`]) that repairs residual balance
 //!   violations, needed because the initial partition of the coarsest graph
 //!   may be infeasible at node-weight granularity — routed through the
@@ -62,6 +67,7 @@ pub mod delta;
 pub mod fm;
 pub mod gain;
 pub mod gather;
+pub mod local;
 pub mod queue_select;
 pub mod scheduler;
 pub mod scratch;
@@ -73,6 +79,7 @@ pub use delta::{DeltaPairView, SharedAssignment};
 pub use fm::{pair_search_seed, patience_bound, two_way_fm, two_way_fm_in, FmConfig, FmResult};
 pub use gain::pair_gain;
 pub use gather::{refine_gathered_band, GatheredRegion, RegionEdge, RegionNode};
+pub use local::{refine_local, LocalRefineConfig, LocalRefineStats};
 pub use queue_select::QueueSelection;
 pub use scheduler::{
     refine_partition, refine_partition_in_place, refine_partition_reference, RefinementConfig,

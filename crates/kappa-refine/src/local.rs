@@ -1,0 +1,426 @@
+//! Localized re-refinement around a touched region.
+//!
+//! The dynamic-graph service absorbs a stream of mutations into a
+//! [`PartitionState`] via its exact `O(deg)` hooks; what drifts is not the
+//! state's *consistency* but its *quality* — every insert that lands across
+//! the cut raises it. Re-running the whole multilevel pipeline per drift
+//! repair would forfeit everything the incremental maintenance bought, and
+//! §5.2's own band restriction points at the alternative: cut quality is
+//! decided on the boundary, and a mutation can only degrade the boundary
+//! *near the mutation*.
+//!
+//! [`refine_local`] therefore re-runs the pooled 2-way FM of the static
+//! pipeline, but scoped: only block pairs adjacent to the touched region are
+//! searched, and each search's band is grown (bounded BFS, as always) from
+//! the pair boundary **within the region** rather than the global pair
+//! boundary. Moves are routed through [`PartitionState::apply_move`], so the
+//! state stays exact — the streaming test suite interleaves `refine_local`
+//! calls with mutations and still demands field-for-field equality with a
+//! from-scratch rebuild.
+//!
+//! FM itself runs against a `LocalView` (private): the state's partition plus a
+//! hash-map overlay of in-flight moves, so a search on a 50-node band does
+//! not clone an `n`-node assignment (the sequential analogue of the
+//! scheduler's [`DeltaPairView`](crate::delta::DeltaPairView)).
+
+use std::collections::HashMap;
+
+use kappa_graph::{
+    band_around_boundary_in, BlockAssignment, BlockAssignmentMut, BlockId, CsrGraph, NodeId,
+    Partition, PartitionState,
+};
+
+use crate::balance::rebalance_state;
+use crate::fm::{pair_search_seed, two_way_fm_in, FmConfig};
+use crate::queue_select::QueueSelection;
+use crate::scratch::FmScratch;
+
+/// Configuration of a localized re-refinement pass. The defaults mirror the
+/// `fast` preset of the static pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalRefineConfig {
+    /// Imbalance tolerance ε; `L_max` is derived from it per call.
+    pub epsilon: f64,
+    /// BFS depth of the band grown around the touched region's pair boundary.
+    pub bfs_depth: usize,
+    /// FM repetitions per block pair and round.
+    pub local_iterations: usize,
+    /// Maximum rounds over the affected pairs (the global-iteration
+    /// analogue; the pass stops early on a gain-free round).
+    pub max_rounds: usize,
+    /// Queue selection strategy for the FM searches.
+    pub queue_selection: QueueSelection,
+    /// FM patience α.
+    pub patience_alpha: f64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for LocalRefineConfig {
+    fn default() -> Self {
+        LocalRefineConfig {
+            epsilon: 0.03,
+            bfs_depth: 5,
+            local_iterations: 3,
+            max_rounds: 3,
+            queue_selection: QueueSelection::TopGain,
+            patience_alpha: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics returned by [`refine_local`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalRefineStats {
+    /// Total cut improvement (rebalancing moves included, like the
+    /// scheduler's accounting).
+    pub total_gain: i64,
+    /// Block pairs examined across all rounds.
+    pub pairs_considered: usize,
+    /// FM searches executed.
+    pub pair_searches: usize,
+    /// Nodes moved (after rollbacks; rebalancing moves included).
+    pub nodes_moved: usize,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// The state's partition plus an overlay of in-flight FM moves — cheap to
+/// create per pair search, regardless of `n`.
+struct LocalView<'a> {
+    base: &'a Partition,
+    overlay: HashMap<NodeId, BlockId>,
+}
+
+impl BlockAssignment for LocalView<'_> {
+    #[inline]
+    fn k(&self) -> BlockId {
+        self.base.k()
+    }
+
+    #[inline]
+    fn block_of(&self, v: NodeId) -> BlockId {
+        match self.overlay.get(&v) {
+            Some(&b) => b,
+            None => self.base.block_of(v),
+        }
+    }
+}
+
+impl BlockAssignmentMut for LocalView<'_> {
+    #[inline]
+    fn assign(&mut self, v: NodeId, b: BlockId) {
+        self.overlay.insert(v, b);
+    }
+}
+
+/// Sorted, deduplicated closed neighbourhood of `touched` (the nodes plus
+/// every neighbour) — the candidate pool seeds and pairs are drawn from.
+fn region_closure(graph: &CsrGraph, touched: &[NodeId]) -> Vec<NodeId> {
+    let n = graph.num_nodes() as NodeId;
+    let mut region: Vec<NodeId> = Vec::with_capacity(touched.len() * 4);
+    for &v in touched {
+        if v >= n {
+            continue;
+        }
+        region.push(v);
+        region.extend_from_slice(graph.neighbors(v));
+    }
+    region.sort_unstable();
+    region.dedup();
+    region
+}
+
+/// The block pairs with at least one cut edge inside the region, ascending.
+fn affected_pairs(
+    graph: &CsrGraph,
+    state: &PartitionState,
+    region: &[NodeId],
+) -> Vec<(BlockId, BlockId)> {
+    let mut pairs: Vec<(BlockId, BlockId)> = Vec::new();
+    for &v in region {
+        let bv = state.block_of(v);
+        for &u in graph.neighbors(v) {
+            let bu = state.block_of(u);
+            if bu != bv {
+                pairs.push((bv.min(bu), bv.max(bu)));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// Re-refines the partition held by `state` only around `touched` (typically
+/// the endpoints of recently mutated edges and recently inserted nodes).
+/// Moves are routed through the state, which is returned exact; the caller's
+/// graph must be the **compacted** CSR the state currently describes.
+///
+/// Cost is `O(rounds · Σ_pairs band-BFS + FM)` — independent of `n` and `m`
+/// except through the band sizes — plus one `O(k)` balance check and, only
+/// when the state arrives infeasible, a global rebalance.
+///
+/// ```
+/// use kappa_gen::grid::grid2d;
+/// use kappa_graph::{Partition, PartitionState};
+/// use kappa_refine::{refine_local, LocalRefineConfig};
+///
+/// let graph = grid2d(8, 8);
+/// // A ragged split: column 3 of row 0 left in the wrong block.
+/// let mut assignment: Vec<u32> = (0..64).map(|i| if i % 8 < 4 { 0 } else { 1 }).collect();
+/// assignment[3] = 1;
+/// let mut state = PartitionState::build(&graph, Partition::from_assignment(2, assignment));
+/// let before = state.edge_cut();
+/// let stats = refine_local(&graph, &mut state, &[3], &LocalRefineConfig::default());
+/// assert!(state.edge_cut() < before);
+/// assert_eq!(stats.total_gain, before as i64 - state.edge_cut() as i64);
+/// assert!(state.verify_exact(&graph).is_ok());
+/// ```
+pub fn refine_local(
+    graph: &CsrGraph,
+    state: &mut PartitionState,
+    touched: &[NodeId],
+    config: &LocalRefineConfig,
+) -> LocalRefineStats {
+    let mut stats = LocalRefineStats::default();
+    let k = state.k();
+    if k < 2 || graph.num_nodes() == 0 || touched.is_empty() {
+        return stats;
+    }
+    let l_max = Partition::l_max(graph, k, config.epsilon);
+    let cut_before = state.edge_cut() as i64;
+
+    // Mutations (node inserts, deletes, reweights) can leave the state
+    // infeasible; FM needs a feasible starting point.
+    if !state.is_balanced(l_max) {
+        stats.nodes_moved += rebalance_state(graph, state, l_max);
+    }
+
+    let mut region = region_closure(graph, touched);
+    let mut scratch = FmScratch::new();
+
+    for round in 0..config.max_rounds {
+        let pairs = affected_pairs(graph, state, &region);
+        if pairs.is_empty() {
+            break;
+        }
+        let mut round_gain = 0i64;
+        let mut round_moves: Vec<NodeId> = Vec::new();
+
+        for (pair_idx, &(a, b)) in pairs.iter().enumerate() {
+            stats.pairs_considered += 1;
+            let mut view = LocalView {
+                base: state.partition(),
+                overlay: HashMap::new(),
+            };
+            let mut w_a = state.weights().weight(a);
+            let mut w_b = state.weights().weight(b);
+            let mut pair_moves: Vec<(NodeId, BlockId)> = Vec::new();
+            // Seed candidates: the region, extended by this pair's own moves.
+            let mut candidates = region.clone();
+
+            for local_iter in 0..config.local_iterations {
+                let seeds: Vec<NodeId> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|&v| is_pair_boundary(graph, &view, v, a, b))
+                    .collect();
+                if seeds.is_empty() {
+                    break;
+                }
+                let band = band_around_boundary_in(
+                    graph,
+                    &view,
+                    &seeds,
+                    (a, b),
+                    config.bfs_depth,
+                    scratch.bfs_dist(),
+                );
+                let fm_config = FmConfig {
+                    queue_selection: config.queue_selection,
+                    patience_alpha: config.patience_alpha,
+                    l_max,
+                    seed: pair_search_seed(config.seed, round, pair_idx, local_iter, a, b),
+                };
+                let result = two_way_fm_in(
+                    graph,
+                    &mut view,
+                    a,
+                    b,
+                    &band,
+                    w_a,
+                    w_b,
+                    &fm_config,
+                    &mut scratch,
+                );
+                stats.pair_searches += 1;
+                if result.moves.is_empty() {
+                    break;
+                }
+                for &(v, to) in &result.moves {
+                    let vw = graph.node_weight(v);
+                    if to == a {
+                        w_a += vw;
+                        w_b -= vw;
+                    } else {
+                        w_b += vw;
+                        w_a -= vw;
+                    }
+                    candidates.push(v);
+                    candidates.extend_from_slice(graph.neighbors(v));
+                }
+                candidates.sort_unstable();
+                candidates.dedup();
+                round_gain += result.gain;
+                pair_moves.extend(result.moves);
+                if result.gain == 0 {
+                    break;
+                }
+            }
+
+            // Commit the pair's surviving moves through the state so the next
+            // pair (and the caller) sees exact derived state.
+            stats.nodes_moved += pair_moves.len();
+            for (v, to) in pair_moves {
+                state.apply_move(graph, v, to);
+                round_moves.push(v);
+            }
+        }
+
+        stats.rounds += 1;
+        if round_gain <= 0 {
+            break;
+        }
+        // Moves shift the boundary: widen the region so the next round sees
+        // the pairs the moves may have created.
+        region.extend_from_slice(&round_moves);
+        for &v in &round_moves {
+            // `round_moves` aliases `region` growth, but only pre-extension
+            // entries are neighbours-expanded here, which is all we need.
+            region.extend_from_slice(graph.neighbors(v));
+        }
+        region.sort_unstable();
+        region.dedup();
+    }
+
+    debug_assert_eq!(
+        state.edge_cut(),
+        state.partition().edge_cut(graph),
+        "cut cache diverged during localized refinement"
+    );
+    stats.total_gain = cut_before - state.edge_cut() as i64;
+    stats
+}
+
+/// True if `v` lies on the `(a, b)` pair boundary in the live `view`.
+fn is_pair_boundary<P: BlockAssignment>(
+    graph: &CsrGraph,
+    view: &P,
+    v: NodeId,
+    a: BlockId,
+    b: BlockId,
+) -> bool {
+    let bv = view.block_of(v);
+    let other = if bv == a {
+        b
+    } else if bv == b {
+        a
+    } else {
+        return false;
+    };
+    graph
+        .neighbors(v)
+        .iter()
+        .any(|&u| view.block_of(u) == other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_gen::grid::grid2d;
+    use kappa_graph::DynamicGraph;
+
+    fn striped_state(side: usize, k: u32) -> (CsrGraph, PartitionState) {
+        let g = grid2d(side, side);
+        let assignment = (0..side * side)
+            .map(|i| ((i % side) * k as usize / side) as u32)
+            .collect();
+        let state = PartitionState::build(&g, Partition::from_assignment(k, assignment));
+        (g, state)
+    }
+
+    #[test]
+    fn repairs_a_ragged_cut_and_stays_exact() {
+        let (g, mut state) = striped_state(16, 2);
+        // Poke three mutually non-adjacent boundary nodes across the cut —
+        // each has strictly positive gain to move back, so the repair does
+        // not depend on FM tie-breaking through a zero-gain plateau.
+        for v in [7u32, 39, 71] {
+            state.apply_move(&g, v, 1 - state.block_of(v));
+        }
+        let before = state.edge_cut();
+        let stats = refine_local(&g, &mut state, &[7, 39, 71], &LocalRefineConfig::default());
+        assert!(state.edge_cut() < before, "no improvement");
+        assert_eq!(stats.total_gain, before as i64 - state.edge_cut() as i64);
+        assert!(stats.pair_searches > 0);
+        state.verify_exact(&g).unwrap();
+    }
+
+    #[test]
+    fn untouched_regions_are_left_alone() {
+        let (g, mut state) = striped_state(12, 2);
+        let before = state.partition().assignment().to_vec();
+        // A touched node whose 2-hop neighbourhood (region closure plus the
+        // pair scan) stays inside block 0: no pair is affected, nothing
+        // moves. Node 26 is (row 2, col 2); the cut is at col 5|6.
+        let stats = refine_local(&g, &mut state, &[26], &LocalRefineConfig::default());
+        assert_eq!(stats.pairs_considered, 0);
+        assert_eq!(stats.nodes_moved, 0);
+        assert_eq!(state.partition().assignment(), &before[..]);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_no_ops() {
+        let (g, mut state) = striped_state(6, 2);
+        let stats = refine_local(&g, &mut state, &[], &LocalRefineConfig::default());
+        assert_eq!(stats.rounds, 0);
+        // k = 1: nothing to refine.
+        let g1 = grid2d(4, 4);
+        let mut s1 = PartitionState::build(&g1, Partition::trivial(1, 16));
+        let stats = refine_local(&g1, &mut s1, &[0], &LocalRefineConfig::default());
+        assert_eq!(stats.pair_searches, 0);
+        // Out-of-range touched ids are ignored, not a panic.
+        let stats = refine_local(&g, &mut state, &[9999], &LocalRefineConfig::default());
+        assert_eq!(stats.pairs_considered, 0);
+    }
+
+    #[test]
+    fn streaming_mutations_then_local_refine_stay_exact() {
+        let (g, mut state) = striped_state(10, 2);
+        let mut dyn_g = DynamicGraph::new(g);
+        // Wire a handful of cross-cut chords in, absorbing each into the
+        // state, then repair the drift locally on the compacted graph.
+        let mut touched = Vec::new();
+        for (u, v) in [(4u32, 5u32), (24, 27), (44, 47), (64, 65)] {
+            if dyn_g.edge_weight(u, v).is_none() {
+                dyn_g.insert_edge(u, v, 3).unwrap();
+                state.apply_edge_insert(u, v, 3);
+                touched.push(u);
+                touched.push(v);
+            }
+        }
+        let compacted = dyn_g.compact();
+        state.verify_exact(&compacted).unwrap();
+        let before = state.edge_cut();
+        refine_local(
+            &compacted,
+            &mut state,
+            &touched,
+            &LocalRefineConfig::default(),
+        );
+        assert!(state.edge_cut() <= before);
+        state.verify_exact(&compacted).unwrap();
+    }
+}

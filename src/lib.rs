@@ -13,8 +13,10 @@
 //! * [`initial`] — initial partitioning of the coarsest graph (`kappa-initial`);
 //! * [`refine`] — 2-way FM, quotient-graph colouring and the pairwise parallel
 //!   refinement scheduler (`kappa-refine`);
-//! * [`core`] — the [`KappaPartitioner`](crate::core::KappaPartitioner) and its
-//!   Minimal / Fast / Strong configurations (`kappa-core`);
+//! * [`core`] — the [`KappaPartitioner`](crate::core::KappaPartitioner), its
+//!   Minimal / Fast / Strong configurations, and the dynamic-graph
+//!   [`DynamicSession`](crate::core::DynamicSession) behind `kappa-serve`
+//!   (`kappa-core`);
 //! * [`dist`] — the rank-based distributed-memory runtime: message-passing
 //!   [`Comm`](crate::dist::Comm) clusters, ghosted [`DistGraph`](crate::dist::DistGraph)s and the
 //!   distributed pipeline behind `kappa-partition --ranks` (`kappa-dist`);
@@ -53,9 +55,12 @@ pub use kappa_refine as refine;
 /// The most commonly used types, for `use kappa::prelude::*`.
 pub mod prelude {
     pub use kappa_baselines::{BaselineKind, BaselinePartitioner};
-    pub use kappa_core::{ConfigPreset, KappaConfig, KappaPartitioner, PartitionMetrics};
+    pub use kappa_core::{
+        ConfigPreset, DynamicConfig, DynamicSession, KappaConfig, KappaPartitioner,
+        PartitionMetrics,
+    };
     pub use kappa_dist::{partition_distributed, DistConfig};
-    pub use kappa_graph::{CsrGraph, GraphBuilder, Partition};
+    pub use kappa_graph::{CsrGraph, DynamicGraph, GraphBuilder, Partition};
     pub use kappa_matching::{EdgeRating, MatchingAlgorithm};
     pub use kappa_refine::QueueSelection;
 }

@@ -1,0 +1,111 @@
+//! Helpers shared by the integration suites (parity, dist, dynamic, stress):
+//! the seeded xorshift generator, the random-graph proptest strategy, the
+//! standard rgg/grid/delaunay instance trio, and the state-exactness and
+//! feasibility assertions that used to be duplicated per suite.
+
+#![allow(dead_code)] // each suite uses the subset it needs
+
+use kappa::gen::{delaunay_like_graph, grid2d, random_geometric_graph};
+use kappa::graph::{BlockWeights, BoundaryIndex, GraphBuilder, PartitionState};
+use kappa::prelude::*;
+use proptest::prelude::*;
+
+/// The deterministic xorshift64 stream used everywhere a test needs cheap
+/// reproducible randomness (`seed` is forced odd so the stream never
+/// collapses to zero).
+pub fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+/// Strategy: a random connected-ish weighted graph with up to `max_n` nodes
+/// (ring backbone plus random chords, weighted 1..=9).
+pub fn arbitrary_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
+    (2usize..max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut builder = GraphBuilder::new(n);
+        let mut next = xorshift(seed);
+        for i in 0..n {
+            builder.add_edge(i as u32, ((i + 1) % n) as u32, 1 + next() % 9);
+        }
+        for _ in 0..n {
+            let u = (next() % n as u64) as u32;
+            let v = (next() % n as u64) as u32;
+            if u != v {
+                builder.add_edge(u, v, 1 + next() % 9);
+            }
+        }
+        builder.build()
+    })
+}
+
+/// The standard small instance trio (one per family of the paper's suite)
+/// used by the dist parity tests and the dynamic exactness suite.
+pub fn suite_instances() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("rgg-2000", random_geometric_graph(2000, 5)),
+        ("grid-40x40", grid2d(40, 40)),
+        ("delaunay-1500", delaunay_like_graph(1500, 7)),
+    ]
+}
+
+/// Asserts that an incrementally maintained [`PartitionState`] is
+/// field-for-field identical to a from-scratch rebuild on `graph`: fresh
+/// `BoundaryIndex::build`, recomputed block weights, and a full edge-cut
+/// rescan — plus the state's own `verify_exact` cross-check.
+pub fn assert_state_matches_rebuild(context: &str, graph: &CsrGraph, state: &PartitionState) {
+    let partition = state.partition();
+    // `equivalent` is the documented comparison between a *maintained* index
+    // and a fresh build: identical assignment, per-node neighbour counts,
+    // foreign degrees and boundary set; only the internal order of the
+    // membership list (swap-remove history vs. ascending scan) may differ,
+    // and no consumer observes it.
+    let fresh_index = BoundaryIndex::build(graph, partition);
+    assert!(
+        fresh_index.equivalent(state.boundary()),
+        "{context}: maintained boundary index differs from a fresh build"
+    );
+    let fresh_weights = BlockWeights::compute(graph, partition);
+    assert_eq!(
+        state.weights().as_slice(),
+        fresh_weights.as_slice(),
+        "{context}: maintained block weights differ from a recomputation"
+    );
+    assert_eq!(
+        state.edge_cut(),
+        partition.edge_cut(graph),
+        "{context}: cached cut differs from a full rescan"
+    );
+    if let Err(e) = state.verify_exact(graph) {
+        panic!("{context}: verify_exact failed: {e}");
+    }
+}
+
+/// Asserts that `partition` is a valid, ε-feasible partition of `graph`
+/// whose claimed cut matches a recomputation.
+pub fn assert_feasible(
+    context: &str,
+    graph: &CsrGraph,
+    partition: &Partition,
+    epsilon: f64,
+    claimed_cut: u64,
+) {
+    assert!(
+        partition.validate(graph).is_ok(),
+        "{context}: invalid partition"
+    );
+    assert!(
+        partition.is_balanced(graph, epsilon),
+        "{context}: balance {} exceeds 1 + {epsilon}",
+        partition.balance(graph)
+    );
+    assert_eq!(
+        claimed_cut,
+        partition.edge_cut(graph),
+        "{context}: tracked cut diverged from recomputation"
+    );
+}

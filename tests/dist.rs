@@ -18,13 +18,8 @@ use kappa::gen::{delaunay_like_graph, grid2d, random_geometric_graph};
 use kappa::graph::CsrGraph;
 use kappa::prelude::*;
 
-fn parity_instances() -> Vec<(&'static str, CsrGraph)> {
-    vec![
-        ("rgg-2000", random_geometric_graph(2000, 5)),
-        ("grid-40x40", grid2d(40, 40)),
-        ("delaunay-1500", delaunay_like_graph(1500, 7)),
-    ]
-}
+mod common;
+use common::{assert_feasible, suite_instances};
 
 fn dist_run(graph: &CsrGraph, config: KappaConfig, ranks: usize) -> kappa::dist::DistRunResult {
     partition_distributed(graph, &DistConfig::new(config, ranks))
@@ -32,7 +27,7 @@ fn dist_run(graph: &CsrGraph, config: KappaConfig, ranks: usize) -> kappa::dist:
 
 #[test]
 fn ranks_1_is_bit_identical_to_the_shared_memory_pipeline() {
-    for (name, graph) in parity_instances() {
+    for (name, graph) in suite_instances() {
         for (preset, k, seed) in [
             (ConfigPreset::Fast, 4u32, 1u64),
             (ConfigPreset::Fast, 8, 3),
@@ -90,19 +85,12 @@ fn multi_rank_runs_are_feasible_and_within_the_quality_envelope() {
             let base_cut = base.edge_cut.max(1) as f64;
             for ranks in [2usize, 4, 8] {
                 let dist = dist_run(graph, config, ranks);
-                assert!(
-                    dist.partition.validate(graph).is_ok(),
-                    "{name} ranks {ranks}: invalid partition"
-                );
-                assert!(
-                    dist.partition.is_balanced(graph, 0.03),
-                    "{name} ranks {ranks}: balance {}",
-                    dist.partition.balance(graph)
-                );
-                assert_eq!(
+                assert_feasible(
+                    &format!("{name} ranks {ranks}"),
+                    graph,
+                    &dist.partition,
+                    0.03,
                     dist.edge_cut,
-                    dist.partition.edge_cut(graph),
-                    "{name} ranks {ranks}: tracked cut diverged from recomputation"
                 );
                 ratios.push(dist.edge_cut as f64 / base_cut);
             }

@@ -18,7 +18,7 @@ use kappa::coarsen::{
     contract_matching, contract_matching_reference, CoarseningConfig, MultilevelHierarchy,
 };
 use kappa::graph::boundary::{band_around_boundary, boundary_nodes, pair_boundary_nodes};
-use kappa::graph::{BoundaryIndex, GraphBuilder, PartitionState};
+use kappa::graph::{BoundaryIndex, PartitionState};
 use kappa::initial::random_partition;
 use kappa::matching::{compute_matching, EdgeRating, MatchingAlgorithm};
 use kappa::prelude::*;
@@ -28,33 +28,10 @@ use kappa::refine::{BandSeeder, FullScanSeeder, IndexSeeder};
 use proptest::prelude::*;
 use rayon::ThreadPoolBuilder;
 
-const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+mod common;
+use common::{arbitrary_graph, xorshift};
 
-/// Strategy: a random connected-ish weighted graph with up to `max_n` nodes
-/// (ring backbone plus random chords, weighted 1..=9).
-fn arbitrary_graph(max_n: usize) -> impl Strategy<Value = CsrGraph> {
-    (2usize..max_n, any::<u64>()).prop_map(|(n, seed)| {
-        let mut builder = GraphBuilder::new(n);
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        for i in 0..n {
-            builder.add_edge(i as u32, ((i + 1) % n) as u32, 1 + next() % 9);
-        }
-        for _ in 0..n {
-            let u = (next() % n as u64) as u32;
-            let v = (next() % n as u64) as u32;
-            if u != v {
-                builder.add_edge(u, v, 1 + next() % 9);
-            }
-        }
-        builder.build()
-    })
-}
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -127,13 +104,7 @@ proptest! {
     ) {
         let mut state_struct = PartitionState::build(&graph, random_partition(&graph, k, seed));
         let n = graph.num_nodes() as u64;
-        let mut s = seed | 1;
-        let mut next = move || {
-            s ^= s << 13;
-            s ^= s >> 7;
-            s ^= s << 17;
-            s
-        };
+        let mut next = xorshift(seed);
         for step in 0..30 {
             let v = (next() % n) as u32;
             let to = (next() % k as u64) as u32;
@@ -160,13 +131,7 @@ proptest! {
         let mut partition = random_partition(&graph, k, seed);
         let mut index = BoundaryIndex::build(&graph, &partition);
         let n = graph.num_nodes() as u64;
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+        let mut next = xorshift(seed);
         for step in 0..40 {
             let v = (next() % n) as u32;
             let to = (next() % k as u64) as u32;
@@ -214,13 +179,7 @@ proptest! {
         // worker's local iterations, diverging from the index by exactly the
         // observed moves.
         let mut view = partition.clone();
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
+        let mut next = xorshift(seed);
         for round in 0..6 {
             let expected = BandSeeder::<Partition>::seeds(&mut full_scan, &view);
             let got = BandSeeder::<Partition>::seeds(&mut with_index, &view);
