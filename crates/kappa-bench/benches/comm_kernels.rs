@@ -1,0 +1,98 @@
+//! Criterion benches comparing the two `Comm` backends on the raw
+//! communication kernels the pipeline leans on: point-to-point ping-pong
+//! latency, allgather, and all-to-all-v — `LocalCluster` (in-process
+//! channels, no serialisation) against `TcpCluster` (loopback sockets, wire
+//! codec). Gated through `scripts/bench_compare` in the CI `tcp` job on its
+//! own cached baseline.
+//!
+//! The TCP numbers include mesh establishment amortised away by `iter`ating
+//! *inside* one cluster run where possible — what the benches time is the
+//! steady-state kernel, not the handshake.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kappa_dist::{Comm, LocalCluster, TcpCluster};
+
+/// One ping-pong round trip of a `len`-element `Vec<u64>` between ranks 0
+/// and 1, repeated `rounds` times inside a single cluster session.
+fn ping_pong<C: Comm>(comm: &mut C, rounds: u64, len: usize) -> u64 {
+    let payload: Vec<u64> = (0..len as u64).collect();
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        match comm.rank() {
+            0 => {
+                comm.send(1, "ping", payload.clone()).unwrap();
+                acc += comm.recv::<Vec<u64>>(1, "pong").unwrap().len() as u64;
+            }
+            1 => {
+                let v = comm.recv::<Vec<u64>>(0, "ping").unwrap();
+                acc += v.len() as u64;
+                comm.send(0, "pong", v).unwrap();
+            }
+            _ => {}
+        }
+    }
+    acc
+}
+
+fn allgather_rounds<C: Comm>(comm: &mut C, rounds: u64, len: usize) -> u64 {
+    let mine: Vec<u64> = (0..len as u64).map(|i| i + comm.rank() as u64).collect();
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        acc += comm.allgather(mine.clone()).unwrap().len() as u64;
+    }
+    acc
+}
+
+fn alltoallv_rounds<C: Comm>(comm: &mut C, rounds: u64, len: usize) -> u64 {
+    let mut acc = 0u64;
+    for _ in 0..rounds {
+        let parts: Vec<Vec<u64>> = (0..comm.num_ranks())
+            .map(|dst| vec![dst as u64; len])
+            .collect();
+        acc += comm.alltoallv(parts).unwrap().len() as u64;
+    }
+    acc
+}
+
+fn bench_p2p_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_p2p_ping_pong_64B");
+    // 8 u64s ≈ a small control message; 32 round trips per measurement keep
+    // the TCP mesh setup cost out of the per-round-trip figure.
+    const ROUNDS: u64 = 32;
+    group.bench_function(BenchmarkId::new("local", 2), |b| {
+        b.iter(|| LocalCluster::new(2).run(|comm| ping_pong(comm, ROUNDS, 8)))
+    });
+    group.bench_function(BenchmarkId::new("tcp", 2), |b| {
+        b.iter(|| TcpCluster::new(2).run(|comm| ping_pong(comm, ROUNDS, 8)))
+    });
+    group.finish();
+}
+
+fn bench_allgather(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_allgather_1k_u64");
+    for ranks in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("local", ranks), &ranks, |b, &ranks| {
+            b.iter(|| LocalCluster::new(ranks).run(|comm| allgather_rounds(comm, 8, 1024)))
+        });
+        group.bench_with_input(BenchmarkId::new("tcp", ranks), &ranks, |b, &ranks| {
+            b.iter(|| TcpCluster::new(ranks).run(|comm| allgather_rounds(comm, 8, 1024)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alltoallv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_alltoallv_1k_u64");
+    for ranks in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("local", ranks), &ranks, |b, &ranks| {
+            b.iter(|| LocalCluster::new(ranks).run(|comm| alltoallv_rounds(comm, 8, 1024)))
+        });
+        group.bench_with_input(BenchmarkId::new("tcp", ranks), &ranks, |b, &ranks| {
+            b.iter(|| TcpCluster::new(ranks).run(|comm| alltoallv_rounds(comm, 8, 1024)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p_latency, bench_allgather, bench_alltoallv);
+criterion_main!(benches);

@@ -23,7 +23,7 @@ fn bench_comm_primitives(c: &mut Criterion) {
                     LocalCluster::new(ranks).run(|comm| {
                         let parts: Vec<Vec<u64>> =
                             (0..ranks).map(|dst| vec![dst as u64; 1024]).collect();
-                        comm.alltoallv(parts).len()
+                        comm.alltoallv(parts).unwrap().len()
                     })
                 });
             },
@@ -48,7 +48,7 @@ fn bench_ghost_exchange(c: &mut Criterion) {
                     // one refinement superstep.
                     let mut acc = 0u64;
                     for round in 0..10u64 {
-                        let mirrors = dg.exchange_ghosts(comm, |l| l as u64 + round);
+                        let mirrors = dg.exchange_ghosts(comm, |l| l as u64 + round).unwrap();
                         acc += mirrors.len() as u64;
                     }
                     acc
@@ -76,6 +76,7 @@ fn bench_distributed_matching(c: &mut Criterion) {
                         EdgeRating::ExpansionStar2,
                         7,
                     )
+                    .unwrap()
                     .matched_pairs
                 })
             });
@@ -98,7 +99,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     });
     for ranks in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("ranks", ranks), &ranks, |b, &ranks| {
-            b.iter(|| partition_distributed(&graph, &DistConfig::new(config, ranks)).edge_cut);
+            b.iter(|| {
+                partition_distributed(&graph, &DistConfig::new(config, ranks))
+                    .unwrap()
+                    .edge_cut
+            });
         });
     }
     group.finish();

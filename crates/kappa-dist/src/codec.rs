@@ -1,0 +1,535 @@
+//! The wire codec: how typed messages become bytes and back.
+//!
+//! Two layers:
+//!
+//! * [`Wire`] — per-type binary encoding (little-endian fixed-width scalars,
+//!   length-prefixed sequences). Every payload a [`Comm`](crate::Comm) backend
+//!   carries implements it; the in-process [`LocalCluster`](crate::LocalCluster)
+//!   never actually serialises (it moves the value through a channel), but the
+//!   shared bound guarantees that any program running over threads also runs
+//!   over sockets.
+//! * **Frames** — the typed envelope the TCP transport writes to a stream:
+//!   magic, source rank, per-channel sequence number, tag, payload length,
+//!   payload, and an FNV-1a checksum over everything behind the magic. A
+//!   corrupted or truncated frame decodes to a [`CodecError`], never to a
+//!   wrong message and never to a panic ([`read_frame`] / [`decode_frame`]).
+//!
+//! The connection handshake (magic + [`PROTOCOL_VERSION`] + rank + cluster
+//! size) lives in [`crate::tcp`]; version bumps go through the constant here
+//! so both sides reject a mismatch before any frame is exchanged.
+
+use std::fmt;
+
+/// Version of the wire protocol (frames + handshake). Bump on any change to
+/// the frame layout or the [`Wire`] encodings of the pipeline's message types.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Frame magic, little-endian `b"KPF1"` on the wire.
+pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"KPF1");
+
+/// Sanity cap on the tag length of a frame (tags are short static strings).
+const MAX_TAG_LEN: usize = 256;
+
+/// Sanity cap on a single frame's payload (1 GiB) — a corrupted length field
+/// must not turn into an absurd allocation.
+const MAX_PAYLOAD_LEN: usize = 1 << 30;
+
+/// A decode failure: truncated input, corrupted frame, or a payload that does
+/// not parse as the expected type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Byte-slice reader used by [`Wire::decode`]. Reads never panic; running out
+/// of input is a [`CodecError`].
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError(format!(
+                "truncated input: need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], CodecError> {
+        Ok(self.take(N)?.try_into().expect("sized take"))
+    }
+}
+
+/// Binary encoding of one message type. Encoding is infallible; decoding
+/// reports truncation / corruption as [`CodecError`].
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes one value, consuming exactly the bytes [`encode`](Self::encode)
+    /// produced.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes `self` into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes a value from `buf`, requiring every byte to be consumed (a
+    /// wrong-type payload that happens to parse but leaves trailing bytes is
+    /// rejected).
+    fn from_bytes(buf: &[u8]) -> Result<Self, CodecError> {
+        let mut r = WireReader::new(buf);
+        let value = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CodecError(format!(
+                "{} trailing bytes after decoding — payload/type mismatch",
+                r.remaining()
+            )));
+        }
+        Ok(value)
+    }
+}
+
+macro_rules! impl_wire_scalar {
+    ($($ty:ty),+) => {$(
+        impl Wire for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+                Ok(<$ty>::from_le_bytes(r.array()?))
+            }
+        }
+    )+};
+}
+
+impl_wire_scalar!(u8, u16, u32, u64, i64);
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| CodecError(format!("usize overflow: {v}")))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError(format!("invalid bool byte {other:#04x}"))),
+        }
+    }
+}
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.to_bits().encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Wire for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let len = usize::decode(r)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| CodecError(format!("invalid utf-8: {e}")))
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(CodecError(format!("invalid Option discriminant {other}"))),
+        }
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let len = usize::decode(r)?;
+        // A corrupted length must not drive a huge allocation: each element
+        // costs at least one byte, so `remaining` bounds any honest length.
+        if len > r.remaining() {
+            return Err(CodecError(format!(
+                "sequence length {len} exceeds {} remaining bytes",
+                r.remaining()
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! impl_wire_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $( self.$idx.encode(buf); )+
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+                Ok(($( $name::decode(r)?, )+))
+            }
+        }
+    };
+}
+
+impl_wire_tuple!(A: 0);
+impl_wire_tuple!(A: 0, B: 1);
+impl_wire_tuple!(A: 0, B: 1, C: 2);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_wire_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// Implements [`Wire`] for a struct with named fields by encoding the fields
+/// in declaration order. Usable for private structs inside their own module.
+#[macro_export]
+macro_rules! impl_wire_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::codec::Wire for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $( $crate::codec::Wire::encode(&self.$field, buf); )+
+            }
+            fn decode(
+                r: &mut $crate::codec::WireReader<'_>,
+            ) -> Result<Self, $crate::codec::CodecError> {
+                Ok(Self { $( $field: $crate::codec::Wire::decode(r)? ),+ })
+            }
+        }
+    };
+}
+
+// Wire encodings for the shared-crate types the distributed pipeline sends.
+// (`Wire` is local to kappa-dist, so coherence allows these impls here.)
+
+impl_wire_struct!(kappa_refine::RegionEdge {
+    to,
+    weight,
+    to_block,
+    to_weight
+});
+impl_wire_struct!(kappa_refine::RegionNode {
+    gid,
+    weight,
+    block,
+    edges
+});
+
+impl Wire for kappa_graph::Partition {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.k().encode(buf);
+        self.assignment().to_vec().encode(buf);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, CodecError> {
+        let k = u32::decode(r)?;
+        let assignment: Vec<u32> = Vec::decode(r)?;
+        Ok(kappa_graph::Partition::from_assignment(k, assignment))
+    }
+}
+
+/// One decoded transport frame: the typed envelope of a single message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Sending rank.
+    pub src: u32,
+    /// Sequence number on the (src → dst) channel, starting at 0.
+    pub seq: u64,
+    /// Message tag.
+    pub tag: String,
+    /// Encoded payload (decoded lazily, after tag matching).
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a over `bytes` — cheap, dependency-free corruption detection. Not
+/// cryptographic; it guards against truncation and bit rot, not adversaries.
+fn checksum(parts: &[&[u8]]) -> u32 {
+    let mut hash: u32 = 0x811c9dc5;
+    for part in parts {
+        for &b in *part {
+            hash ^= b as u32;
+            hash = hash.wrapping_mul(0x01000193);
+        }
+    }
+    hash
+}
+
+/// Encodes a frame: `magic | src | seq | tag_len | payload_len | tag |
+/// payload | checksum`, checksum covering everything behind the magic.
+pub fn encode_frame(src: u32, seq: u64, tag: &str, payload: &[u8]) -> Vec<u8> {
+    assert!(tag.len() <= MAX_TAG_LEN, "tag too long: {tag:?}");
+    assert!(payload.len() <= MAX_PAYLOAD_LEN, "payload too large");
+    let mut head = Vec::with_capacity(22 + tag.len());
+    src.encode(&mut head);
+    seq.encode(&mut head);
+    (tag.len() as u16).encode(&mut head);
+    (payload.len() as u32).encode(&mut head);
+    head.extend_from_slice(tag.as_bytes());
+    let sum = checksum(&[&head, payload]);
+    let mut out = Vec::with_capacity(4 + head.len() + payload.len() + 4);
+    FRAME_MAGIC.encode(&mut out);
+    out.extend_from_slice(&head);
+    out.extend_from_slice(payload);
+    sum.encode(&mut out);
+    out
+}
+
+/// Decodes one frame from the front of `buf`, returning it and the number of
+/// bytes consumed. Truncated or corrupted input is a [`CodecError`].
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), CodecError> {
+    let mut r = WireReader::new(buf);
+    let magic = u32::decode(&mut r).map_err(|_| CodecError("truncated frame header".into()))?;
+    if magic != FRAME_MAGIC {
+        return Err(CodecError(format!(
+            "bad frame magic {magic:#010x} (expected {FRAME_MAGIC:#010x})"
+        )));
+    }
+    let head_start = 4;
+    let src = u32::decode(&mut r)?;
+    let seq = u64::decode(&mut r)?;
+    let tag_len = u16::decode(&mut r)? as usize;
+    let payload_len = u32::decode(&mut r)? as usize;
+    if tag_len > MAX_TAG_LEN {
+        return Err(CodecError(format!("tag length {tag_len} exceeds cap")));
+    }
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(CodecError(format!(
+            "payload length {payload_len} exceeds cap"
+        )));
+    }
+    let tag_bytes = r.take(tag_len)?;
+    let tag = std::str::from_utf8(tag_bytes)
+        .map_err(|e| CodecError(format!("invalid utf-8 tag: {e}")))?
+        .to_string();
+    let payload = r.take(payload_len)?.to_vec();
+    let claimed = u32::decode(&mut r)?;
+    let body_end = buf.len() - r.remaining() - 4;
+    let sum = checksum(&[&buf[head_start..body_end]]);
+    if claimed != sum {
+        return Err(CodecError(format!(
+            "frame checksum mismatch: stored {claimed:#010x}, computed {sum:#010x} \
+             (src {src}, seq {seq}, tag {tag:?})"
+        )));
+    }
+    let consumed = buf.len() - r.remaining();
+    Ok((
+        Frame {
+            src,
+            seq,
+            tag,
+            payload,
+        },
+        consumed,
+    ))
+}
+
+/// Reads one frame from a stream. `Ok(None)` means clean EOF at a frame
+/// boundary (graceful shutdown); EOF mid-frame is a [`CodecError`].
+pub fn read_frame<R: std::io::Read>(reader: &mut R) -> Result<Option<Frame>, CodecError> {
+    // Fixed header: magic(4) src(4) seq(8) tag_len(2) payload_len(4).
+    let mut fixed = [0u8; 22];
+    let mut filled = 0;
+    while filled < fixed.len() {
+        match reader.read(&mut fixed[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(CodecError("EOF mid frame header".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(CodecError(format!("read error: {e}"))),
+        }
+    }
+    let mut r = WireReader::new(&fixed);
+    let magic = u32::decode(&mut r).expect("sized");
+    if magic != FRAME_MAGIC {
+        return Err(CodecError(format!(
+            "bad frame magic {magic:#010x} (expected {FRAME_MAGIC:#010x})"
+        )));
+    }
+    let _src = u32::decode(&mut r).expect("sized");
+    let _seq = u64::decode(&mut r).expect("sized");
+    let tag_len = u16::decode(&mut r).expect("sized") as usize;
+    let payload_len = u32::decode(&mut r).expect("sized") as usize;
+    if tag_len > MAX_TAG_LEN {
+        return Err(CodecError(format!("tag length {tag_len} exceeds cap")));
+    }
+    if payload_len > MAX_PAYLOAD_LEN {
+        return Err(CodecError(format!(
+            "payload length {payload_len} exceeds cap"
+        )));
+    }
+    let rest_len = tag_len + payload_len + 4;
+    let mut rest = vec![0u8; rest_len];
+    std::io::Read::read_exact(reader, &mut rest)
+        .map_err(|e| CodecError(format!("EOF mid frame body: {e}")))?;
+    let mut whole = Vec::with_capacity(fixed.len() + rest_len);
+    whole.extend_from_slice(&fixed);
+    whole.extend_from_slice(&rest);
+    let (frame, consumed) = decode_frame(&whole)?;
+    debug_assert_eq!(consumed, whole.len());
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn scalars_and_containers_round_trip() {
+        round_trip(0u8);
+        round_trip(0xBEEFu16);
+        round_trip(0xDEADBEEFu32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(std::f64::consts::PI);
+        round_trip(());
+        round_trip("héllo wörld".to_string());
+        round_trip(Option::<u64>::None);
+        round_trip(Some((3u32, 4.5f64)));
+        round_trip(vec![vec![1u32, 2], vec![], vec![3]]);
+        round_trip((1u8, 2.5f64, "k".to_string(), vec![7u64]));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert!(u32::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_values_are_rejected() {
+        let bytes = (vec![1u64, 2, 3]).to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Vec::<u64>::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_sequence_length_does_not_allocate() {
+        // Claimed length of 2^40 elements with a 4-byte body.
+        let mut bytes = Vec::new();
+        (1u64 << 40).encode(&mut bytes);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(Vec::<u8>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let payload = vec![1u8, 2, 3, 250];
+        let bytes = encode_frame(3, 77, "alltoallv", &payload);
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame.src, 3);
+        assert_eq!(frame.seq, 77);
+        assert_eq!(frame.tag, "alltoallv");
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn every_truncation_of_a_frame_is_rejected() {
+        let bytes = encode_frame(1, 5, "tag", b"payload");
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err(), "prefix {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let bytes = encode_frame(2, 9, "band", &(0..64u8).collect::<Vec<_>>());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            match decode_frame(&bad) {
+                Err(_) => {}
+                Ok((frame, _)) => panic!("flip at byte {i} decoded as {frame:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_frame_handles_streams_and_clean_eof() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(0, 0, "a", b"first"));
+        stream.extend_from_slice(&encode_frame(0, 1, "b", b"second"));
+        let mut r: &[u8] = &stream;
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().payload, b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap().payload, b"second");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // EOF mid-frame is an error, not a silent None.
+        let mut cut: &[u8] = &stream[..30];
+        assert!(read_frame(&mut cut).is_err());
+    }
+}

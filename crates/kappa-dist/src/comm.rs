@@ -8,39 +8,144 @@
 //! (gather-to-rank-0 in ascending rank order, then broadcast), so a backend
 //! only supplies the two point-to-point primitives.
 //!
-//! [`LocalCluster`] is the in-process backend: one `std::thread` per rank,
-//! one FIFO channel per ordered rank pair. It is the stand-in for MPI this
-//! offline build ships with; a real network backend implements the same two
-//! methods. Determinism holds by construction — every `recv` names its
-//! source, there is no wildcard receive, so the message order a rank observes
-//! is independent of thread scheduling.
+//! Two backends implement the trait:
 //!
-//! ## Failing loudly
+//! * [`LocalCluster`] — in-process, one `std::thread` per rank, one FIFO
+//!   channel per ordered rank pair, payloads moved as `Box<dyn Any>` with no
+//!   serialisation on the hot path;
+//! * [`TcpCluster`](crate::tcp::TcpCluster) — real sockets, one OS process
+//!   (or thread) per rank, payloads framed by the [`codec`](crate::codec)
+//!   wire format.
+//!
+//! Determinism holds by construction — every `recv` names its source, there
+//! is no wildcard receive, so the message order a rank observes is
+//! independent of thread scheduling and of the transport.
+//!
+//! ## Message semantics
+//!
+//! Each ordered rank pair is a *stream*: messages carry per-(src, dst)
+//! sequence numbers, the receiver's `SeqInbox` discards duplicates and
+//! reassembles sequence order before any payload is touched, and `recv`
+//! matches by tag MPI-style (a non-matching message stays queued for a later
+//! `recv`). Under the seeded [`FaultPlan`] this makes
+//! duplicate / delay / reorder faults *recoverable* — a faulted run finishes
+//! bit-identical to a clean one — while a genuine loss surfaces as a
+//! diagnosed error.
+//!
+//! ## Failing loudly, recoverably
 //!
 //! A lost message in an SPMD program classically turns into a silent
-//! deadlock. [`LocalComm::recv`] therefore bounds every wait with a timeout
-//! (configurable via [`LocalClusterConfig::recv_timeout`]) and panics with
-//! the blocked rank, the expected source and the expected tag. Tag or type
-//! mismatches panic immediately. [`LocalClusterConfig::drop_message`] injects
-//! a dropped message on purpose so tests can prove the runtime surfaces the
-//! failure instead of hanging (see `dropped_message_fails_loudly_not_silently`).
+//! deadlock. Every `recv` therefore bounds its wait with a timeout and
+//! returns a [`CommError`] naming the blocked rank, the expected peer and
+//! the expected tag; payload-type mismatches and codec failures are reported
+//! the same way. The whole [`Comm`] surface returns [`CommResult`], and the
+//! distributed pipeline propagates it to the caller instead of killing the
+//! process (see `tests/comm_conformance.rs`).
 
 use std::any::Any;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// A typed point-to-point message in flight.
-struct Envelope {
-    tag: &'static str,
-    payload: Box<dyn Any + Send>,
+use crate::codec::Wire;
+use crate::fault::{Emission, FaultInjector, FaultPlan};
+
+/// What went wrong inside a communication primitive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommErrorKind {
+    /// No matching message arrived within the receive timeout — the message
+    /// was lost or the cluster's collective schedule deadlocked.
+    Timeout {
+        /// How long the rank waited before giving up.
+        waited: Duration,
+    },
+    /// The peer's endpoint is gone (rank exited or connection closed).
+    Disconnected,
+    /// A message matched source and tag but carried the wrong payload type.
+    TypeMismatch,
+    /// The wire bytes could not be decoded (truncated, corrupted, or the
+    /// wrong schema for the expected type).
+    Codec(String),
+    /// Version/identity negotiation with a peer failed.
+    Handshake(String),
+    /// An underlying socket operation failed.
+    Io(String),
 }
+
+/// A diagnosed communication failure: which rank was stuck, on which peer,
+/// waiting for (or sending) which tag, and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommError {
+    /// The rank reporting the failure.
+    pub rank: usize,
+    /// The peer it was talking to.
+    pub peer: usize,
+    /// The message tag in flight.
+    pub tag: String,
+    /// The failure class.
+    pub kind: CommErrorKind,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            CommErrorKind::Timeout { waited } => write!(
+                f,
+                "rank {} timed out after {:?} waiting for {:?} from rank {} — \
+                 message lost or cluster deadlocked",
+                self.rank, waited, self.tag, self.peer
+            ),
+            CommErrorKind::Disconnected => write!(
+                f,
+                "rank {} lost rank {} while exchanging {:?} — peer exited",
+                self.rank, self.peer, self.tag
+            ),
+            CommErrorKind::TypeMismatch => write!(
+                f,
+                "rank {} received {:?} from rank {} with an unexpected payload type",
+                self.rank, self.tag, self.peer
+            ),
+            CommErrorKind::Codec(detail) => write!(
+                f,
+                "rank {} could not decode {:?} from rank {}: {detail}",
+                self.rank, self.tag, self.peer
+            ),
+            CommErrorKind::Handshake(detail) => write!(
+                f,
+                "rank {} failed the handshake with rank {}: {detail}",
+                self.rank, self.peer
+            ),
+            CommErrorKind::Io(detail) => write!(
+                f,
+                "rank {} i/o error with rank {} on {:?}: {detail}",
+                self.rank, self.peer, self.tag
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Result alias for every communication primitive.
+pub type CommResult<T> = Result<T, CommError>;
+
+/// Anything that can travel between ranks: wire-encodable, sendable, owned.
+///
+/// Blanket-implemented — defining [`Wire`] for a payload type is all a call
+/// site needs. The in-process backend never actually serialises (payloads
+/// move as `Box<dyn Any>`), but requiring `Wire` everywhere keeps every
+/// message type transport-portable by construction.
+pub trait Message: Wire + Send + 'static {}
+
+impl<T: Wire + Send + 'static> Message for T {}
 
 /// The communication interface of one rank.
 ///
 /// All collectives have default implementations over [`send`](Comm::send) /
 /// [`recv`](Comm::recv) with a deterministic schedule; the whole cluster must
 /// call each collective collectively (SPMD style), in the same order on every
-/// rank.
+/// rank. Every operation returns [`CommResult`]; callers propagate errors to
+/// the pipeline boundary instead of panicking.
 pub trait Comm {
     /// This rank's id, `0..num_ranks()`.
     fn rank(&self) -> usize;
@@ -48,28 +153,30 @@ pub trait Comm {
     /// Total number of ranks in the cluster.
     fn num_ranks(&self) -> usize;
 
-    /// Sends `value` to rank `to` under `tag`. Never blocks.
-    fn send<T: Send + 'static>(&mut self, to: usize, tag: &'static str, value: T);
+    /// Sends `value` to rank `to` under `tag`. Never blocks on the receiver.
+    fn send<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()>;
 
-    /// Receives the next message from rank `from`, which must carry `tag` and
-    /// type `T`. Blocks until it arrives; panics (never deadlocks) when it
-    /// does not.
-    fn recv<T: Send + 'static>(&mut self, from: usize, tag: &'static str) -> T;
+    /// Receives the next message from rank `from` carrying `tag` and type
+    /// `T`. Messages from `from` with other tags stay queued. Blocks until
+    /// it arrives; returns a diagnosed [`CommError`] (never deadlocks) when
+    /// it does not.
+    fn recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<T>;
 
     /// Synchronises all ranks.
-    fn barrier(&mut self) {
-        self.gather(0, "barrier", ());
-        self.broadcast::<()>(0, Some(()));
+    fn barrier(&mut self) -> CommResult<()> {
+        self.gather(0, "barrier", ())?;
+        self.broadcast::<()>(0, Some(()))?;
+        Ok(())
     }
 
-    /// Gathers one value per rank at `root` (in rank order). Returns `None`
-    /// on non-root ranks.
-    fn gather<T: Send + 'static>(
+    /// Gathers one value per rank at `root` (in rank order). Returns
+    /// `Ok(None)` on non-root ranks.
+    fn gather<T: Message>(
         &mut self,
         root: usize,
         tag: &'static str,
         value: T,
-    ) -> Option<Vec<T>> {
+    ) -> CommResult<Option<Vec<T>>> {
         if self.rank() == root {
             let mut all: Vec<T> = Vec::with_capacity(self.num_ranks());
             let mut own = Some(value);
@@ -77,41 +184,41 @@ pub trait Comm {
                 if src == root {
                     all.push(own.take().expect("own value consumed twice"));
                 } else {
-                    all.push(self.recv(src, tag));
+                    all.push(self.recv(src, tag)?);
                 }
             }
-            Some(all)
+            Ok(Some(all))
         } else {
-            self.send(root, tag, value);
-            None
+            self.send(root, tag, value)?;
+            Ok(None)
         }
     }
 
     /// Broadcasts `value` (meaningful at `root` only) to every rank.
-    fn broadcast<T: Clone + Send + 'static>(&mut self, root: usize, value: Option<T>) -> T {
+    fn broadcast<T: Message + Clone>(&mut self, root: usize, value: Option<T>) -> CommResult<T> {
         if self.rank() == root {
             let value = value.expect("broadcast root must supply a value");
             for dst in 0..self.num_ranks() {
                 if dst != root {
-                    self.send(dst, "bcast", value.clone());
+                    self.send(dst, "bcast", value.clone())?;
                 }
             }
-            value
+            Ok(value)
         } else {
             self.recv(root, "bcast")
         }
     }
 
     /// Gathers one value per rank on **every** rank (in rank order).
-    fn allgather<T: Clone + Send + 'static>(&mut self, value: T) -> Vec<T> {
-        let gathered = self.gather(0, "allgather", value);
+    fn allgather<T: Message + Clone>(&mut self, value: T) -> CommResult<Vec<T>> {
+        let gathered = self.gather(0, "allgather", value)?;
         self.broadcast(0, gathered)
     }
 
     /// Personalised all-to-all: `parts[r]` goes to rank `r`; the result holds
     /// one part per source rank (the own part is moved through untouched).
     /// Zero-length parts are legal and arrive as empty vectors.
-    fn alltoallv<T: Send + 'static>(&mut self, mut parts: Vec<Vec<T>>) -> Vec<Vec<T>> {
+    fn alltoallv<T: Message>(&mut self, mut parts: Vec<Vec<T>>) -> CommResult<Vec<Vec<T>>> {
         let (me, ranks) = (self.rank(), self.num_ranks());
         assert_eq!(parts.len(), ranks, "alltoallv needs one part per rank");
         // Post every send first (sends never block), then receive in rank
@@ -119,39 +226,39 @@ pub trait Comm {
         let mut own = Some(std::mem::take(&mut parts[me]));
         for (dst, part) in parts.into_iter().enumerate() {
             if dst != me {
-                self.send(dst, "alltoallv", part);
+                self.send(dst, "alltoallv", part)?;
             }
         }
-        (0..ranks)
-            .map(|src| {
-                if src == me {
-                    own.take().expect("own part consumed twice")
-                } else {
-                    self.recv(src, "alltoallv")
-                }
-            })
-            .collect()
+        let mut out = Vec::with_capacity(ranks);
+        for src in 0..ranks {
+            if src == me {
+                out.push(own.take().expect("own part consumed twice"));
+            } else {
+                out.push(self.recv(src, "alltoallv")?);
+            }
+        }
+        Ok(out)
     }
 
     /// Allreduce by `op`, folded in ascending rank order (deterministic even
     /// for non-commutative `op`).
-    fn allreduce<T, F>(&mut self, value: T, op: F) -> T
+    fn allreduce<T, F>(&mut self, value: T, op: F) -> CommResult<T>
     where
-        T: Clone + Send + 'static,
+        T: Message + Clone,
         F: Fn(T, T) -> T,
     {
-        let mut all = self.allgather(value).into_iter();
+        let mut all = self.allgather(value)?.into_iter();
         let first = all.next().expect("at least one rank");
-        all.fold(first, op)
+        Ok(all.fold(first, op))
     }
 
     /// Allreduce-sum of a `u64`.
-    fn allreduce_sum(&mut self, value: u64) -> u64 {
+    fn allreduce_sum(&mut self, value: u64) -> CommResult<u64> {
         self.allreduce(value, |a, b| a + b)
     }
 
     /// Allreduce-max of a `u64`.
-    fn allreduce_max(&mut self, value: u64) -> u64 {
+    fn allreduce_max(&mut self, value: u64) -> CommResult<u64> {
         self.allreduce(value, std::cmp::max)
     }
 }
@@ -160,10 +267,14 @@ pub trait Comm {
 /// best local candidate (or `None`); all ranks learn the global minimum, with
 /// ties resolved towards the lower rank (the fold keeps the earlier value on
 /// equal keys — matching the sequential "first minimum wins" convention).
-pub fn allreduce_min_opt<C, T, Key, K>(comm: &mut C, value: Option<T>, key: Key) -> Option<T>
+pub fn allreduce_min_opt<C, T, Key, K>(
+    comm: &mut C,
+    value: Option<T>,
+    key: Key,
+) -> CommResult<Option<T>>
 where
     C: Comm + ?Sized,
-    T: Clone + Send + 'static,
+    T: Message + Clone,
     Key: Fn(&T) -> K,
     K: Ord,
 {
@@ -180,40 +291,91 @@ where
     })
 }
 
+/// Per-peer receive buffer: reassembles the sequence-numbered stream from one
+/// peer, discarding duplicates, then serves tag-matched receives in stream
+/// order.
+///
+/// `accept` is fed raw arrivals in any order; `take` pops the earliest
+/// in-sequence message satisfying a predicate (tag match), leaving
+/// non-matching messages queued. Early arrivals (sequence gaps) wait in a
+/// side map bounded by the transport's reorder window.
+pub(crate) struct SeqInbox<M> {
+    next_seq: u64,
+    early: BTreeMap<u64, M>,
+    ready: VecDeque<M>,
+}
+
+impl<M> SeqInbox<M> {
+    pub(crate) fn new() -> Self {
+        SeqInbox {
+            next_seq: 0,
+            early: BTreeMap::new(),
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// Accepts one arrival with its sequence number. Duplicates (already
+    /// delivered, or already waiting in the gap buffer) are discarded before
+    /// their payload is ever inspected.
+    pub(crate) fn accept(&mut self, seq: u64, msg: M) {
+        if seq < self.next_seq {
+            return; // duplicate of an already-delivered message
+        }
+        if seq == self.next_seq {
+            self.ready.push_back(msg);
+            self.next_seq += 1;
+            while let Some(next) = self.early.remove(&self.next_seq) {
+                self.ready.push_back(next);
+                self.next_seq += 1;
+            }
+        } else {
+            // Gap: park it. `or_insert` keeps the first copy, so a duplicate
+            // of an early arrival is discarded too.
+            self.early.entry(seq).or_insert(msg);
+        }
+    }
+
+    /// Removes and returns the earliest ready message matching `pred`.
+    pub(crate) fn take(&mut self, pred: impl Fn(&M) -> bool) -> Option<M> {
+        let idx = self.ready.iter().position(pred)?;
+        self.ready.remove(idx)
+    }
+}
+
+/// Payload of an injected duplicate twin: deliberately a type no receiver
+/// ever asks for, so a decoy escaping sequence-number dedup surfaces as a
+/// `TypeMismatch` instead of silently satisfying a `()` receive.
+struct DecoyPayload;
+
+/// A typed point-to-point message in flight inside a [`LocalCluster`].
+struct Envelope {
+    seq: u64,
+    tag: &'static str,
+    payload: Box<dyn Any + Send>,
+}
+
 /// Configuration of a [`LocalCluster`].
 #[derive(Clone, Copy, Debug)]
 pub struct LocalClusterConfig {
-    /// How long a `recv` waits before declaring the message lost. The panic
-    /// message names the blocked rank, the source and the tag.
+    /// How long a `recv` waits before declaring the message lost. The
+    /// resulting [`CommError`] names the blocked rank, the peer and the tag.
     pub recv_timeout: Duration,
-    /// Fault injection: silently drop the `nth` (0-based) message sent from
-    /// rank `from` to rank `to`. Used by tests to prove the runtime fails
-    /// loudly instead of deadlocking.
-    pub drop_message: Option<DropSpec>,
-}
-
-/// Which message to drop (fault injection).
-#[derive(Clone, Copy, Debug)]
-pub struct DropSpec {
-    /// Sending rank.
-    pub from: usize,
-    /// Receiving rank.
-    pub to: usize,
-    /// 0-based index among the messages `from` sends to `to`.
-    pub nth: u64,
+    /// Seeded fault injection applied in every rank's send path.
+    pub fault: FaultPlan,
 }
 
 impl Default for LocalClusterConfig {
     fn default() -> Self {
         LocalClusterConfig {
             recv_timeout: Duration::from_secs(60),
-            drop_message: None,
+            fault: FaultPlan::default(),
         }
     }
 }
 
 /// The in-process cluster backend: one thread per rank, one FIFO channel per
-/// ordered rank pair.
+/// ordered rank pair. Payloads move as `Box<dyn Any>` — no serialisation on
+/// the local hot path.
 pub struct LocalCluster {
     ranks: usize,
     config: LocalClusterConfig,
@@ -237,7 +399,8 @@ impl LocalCluster {
     }
 
     /// Runs `f` on every rank (one thread per rank) and returns the per-rank
-    /// results in rank order. Panics in any rank propagate.
+    /// results in rank order. Communication failures are values (`f` usually
+    /// returns a [`CommResult`]); genuine panics in any rank propagate.
     pub fn run<R, F>(&self, f: F) -> Vec<R>
     where
         R: Send,
@@ -265,7 +428,9 @@ impl LocalCluster {
                 ranks,
                 txs: tx_row.into_iter().map(|t| t.expect("wired")).collect(),
                 rxs: rx_row.into_iter().map(|r| r.expect("wired")).collect(),
-                sent_counts: vec![0; ranks],
+                send_seqs: vec![0; ranks],
+                inboxes: (0..ranks).map(|_| SeqInbox::new()).collect(),
+                injector: FaultInjector::new(self.config.fault, rank, ranks),
                 config: self.config,
             });
         }
@@ -292,8 +457,21 @@ pub struct LocalComm {
     ranks: usize,
     txs: Vec<Sender<Envelope>>,
     rxs: Vec<Receiver<Envelope>>,
-    sent_counts: Vec<u64>,
+    send_seqs: Vec<u64>,
+    inboxes: Vec<SeqInbox<Envelope>>,
+    injector: FaultInjector<Envelope>,
     config: LocalClusterConfig,
+}
+
+impl LocalComm {
+    fn error(&self, peer: usize, tag: &str, kind: CommErrorKind) -> CommError {
+        CommError {
+            rank: self.rank,
+            peer,
+            tag: tag.to_string(),
+            kind,
+        }
+    }
 }
 
 impl Comm for LocalComm {
@@ -305,54 +483,88 @@ impl Comm for LocalComm {
         self.ranks
     }
 
-    fn send<T: Send + 'static>(&mut self, to: usize, tag: &'static str, value: T) {
-        let nth = self.sent_counts[to];
-        self.sent_counts[to] += 1;
-        if let Some(spec) = self.config.drop_message {
-            if spec.from == self.rank && spec.to == to && spec.nth == nth {
-                return; // injected fault: the message vanishes
-            }
-        }
+    fn send<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
+        let seq = self.send_seqs[to];
+        self.send_seqs[to] += 1;
+        let env = Envelope {
+            seq,
+            tag,
+            payload: Box::new(value),
+        };
         // A send can only fail when the receiver already exited — which, in a
-        // lock-step SPMD program, means that rank panicked; surface it.
-        self.txs[to]
-            .send(Envelope {
-                tag,
-                payload: Box::new(value),
-            })
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {} cannot send {tag:?} to rank {to}: receiver is gone",
-                    self.rank
-                )
-            });
+        // lock-step SPMD program, means that rank failed first; surface it.
+        let tx = &self.txs[to];
+        let mut receiver_gone = false;
+        self.injector.dispatch(
+            to,
+            env,
+            // The duplicate twin reuses the original's seq with a decoy
+            // payload (`Box<dyn Any>` is not Clone); the receiver's dedup
+            // discards it by seq before the payload is ever touched. The
+            // marker type can never downcast to a real payload, so a decoy
+            // that somehow survived dedup fails loudly instead of
+            // impersonating a `()` message.
+            |orig| Envelope {
+                seq: orig.seq,
+                tag: orig.tag,
+                payload: Box::new(DecoyPayload),
+            },
+            // Only the primary envelope bouncing is an error: a receiver
+            // that exits right after consuming the real message may
+            // legitimately reject a trailing twin or a late-released
+            // reorder envelope.
+            |env, emission| {
+                if tx.send(env).is_err() && emission == Emission::Primary {
+                    receiver_gone = true;
+                }
+            },
+        );
+        if receiver_gone {
+            Err(self.error(to, tag, CommErrorKind::Disconnected))
+        } else {
+            Ok(())
+        }
     }
 
-    fn recv<T: Send + 'static>(&mut self, from: usize, tag: &'static str) -> T {
-        let envelope = match self.rxs[from].recv_timeout(self.config.recv_timeout) {
-            Ok(env) => env,
-            Err(RecvTimeoutError::Timeout) => panic!(
-                "rank {} timed out after {:?} waiting for {tag:?} from rank {from} — \
-                 message lost or cluster deadlocked",
-                self.rank, self.config.recv_timeout
-            ),
-            Err(RecvTimeoutError::Disconnected) => panic!(
-                "rank {} waiting for {tag:?} from rank {from}, but that rank is gone",
-                self.rank
-            ),
-        };
-        assert_eq!(
-            envelope.tag, tag,
-            "rank {} expected {tag:?} from rank {from} but received {:?} — \
-             collective schedule out of step",
-            self.rank, envelope.tag
-        );
-        *envelope.payload.downcast::<T>().unwrap_or_else(|_| {
-            panic!(
-                "rank {} received {tag:?} from rank {from} with an unexpected payload type",
-                self.rank
-            )
-        })
+    fn recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<T> {
+        let deadline = Instant::now() + self.config.recv_timeout;
+        loop {
+            if let Some(env) = self.inboxes[from].take(|e| e.tag == tag) {
+                return env
+                    .payload
+                    .downcast::<T>()
+                    .map(|b| *b)
+                    .map_err(|_| self.error(from, tag, CommErrorKind::TypeMismatch));
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(self.error(
+                    from,
+                    tag,
+                    CommErrorKind::Timeout {
+                        waited: self.config.recv_timeout,
+                    },
+                ));
+            }
+            match self.rxs[from].recv_timeout(remaining) {
+                Ok(env) => {
+                    let seq = env.seq;
+                    self.inboxes[from].accept(seq, env);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(self.error(
+                        from,
+                        tag,
+                        CommErrorKind::Timeout {
+                            waited: self.config.recv_timeout,
+                        },
+                    ));
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.error(from, tag, CommErrorKind::Disconnected));
+                }
+            }
+        }
     }
 }
 
@@ -365,7 +577,7 @@ mod tests {
             ranks,
             LocalClusterConfig {
                 recv_timeout: Duration::from_secs(10),
-                drop_message: None,
+                fault: FaultPlan::default(),
             },
         )
     }
@@ -374,11 +586,11 @@ mod tests {
     fn point_to_point_round_trip() {
         let results = cluster(2).run(|comm| {
             if comm.rank() == 0 {
-                comm.send(1, "ping", 41u64);
-                comm.recv::<u64>(1, "pong")
+                comm.send(1, "ping", 41u64).unwrap();
+                comm.recv::<u64>(1, "pong").unwrap()
             } else {
-                let x = comm.recv::<u64>(0, "ping");
-                comm.send(0, "pong", x + 1);
+                let x = comm.recv::<u64>(0, "ping").unwrap();
+                comm.send(0, "pong", x + 1).unwrap();
                 x
             }
         });
@@ -389,10 +601,10 @@ mod tests {
     fn self_sends_are_ordinary_messages() {
         let results = cluster(3).run(|comm| {
             let me = comm.rank();
-            comm.send(me, "self", me as u64 * 10);
-            comm.send(me, "self", me as u64 * 10 + 1);
-            let a = comm.recv::<u64>(me, "self");
-            let b = comm.recv::<u64>(me, "self");
+            comm.send(me, "self", me as u64 * 10).unwrap();
+            comm.send(me, "self", me as u64 * 10 + 1).unwrap();
+            let a = comm.recv::<u64>(me, "self").unwrap();
+            let b = comm.recv::<u64>(me, "self").unwrap();
             (a, b) // FIFO per channel, self included
         });
         assert_eq!(results, vec![(0, 1), (10, 11), (20, 21)]);
@@ -403,10 +615,12 @@ mod tests {
         let ranks = 4;
         let results = cluster(ranks).run(|comm| {
             let me = comm.rank() as u64;
-            let sum = comm.allreduce_sum(me + 1);
-            let max = comm.allreduce_max(me * 7);
-            let all = comm.allgather(me);
-            let bc = comm.broadcast(2, (comm.rank() == 2).then_some("hello"));
+            let sum = comm.allreduce_sum(me + 1).unwrap();
+            let max = comm.allreduce_max(me * 7).unwrap();
+            let all = comm.allgather(me).unwrap();
+            let bc = comm
+                .broadcast(2, (comm.rank() == 2).then(|| String::from("hello")))
+                .unwrap();
             (sum, max, all, bc)
         });
         for (sum, max, all, bc) in results {
@@ -426,7 +640,7 @@ mod tests {
             // segments everywhere, rank 1 singletons, and so on; every
             // (src, dst) pair exercises a distinct length, including zero.
             let parts: Vec<Vec<usize>> = (0..ranks).map(|dst| vec![me * 10 + dst; me]).collect();
-            comm.alltoallv(parts)
+            comm.alltoallv(parts).unwrap()
         });
         for (dst, received) in results.into_iter().enumerate() {
             for (src, part) in received.into_iter().enumerate() {
@@ -447,7 +661,7 @@ mod tests {
                 std::thread::sleep(Duration::from_millis(50));
             }
             counter.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             assert_eq!(counter.load(Ordering::SeqCst), ranks);
         });
     }
@@ -458,74 +672,173 @@ mod tests {
             // Ranks 1 and 3 tie on the key; rank 1 must win. Rank 2
             // contributes nothing.
             let mine = match comm.rank() {
-                0 => Some((5u64, "rank0")),
-                1 => Some((3, "rank1")),
+                0 => Some((5u64, String::from("rank0"))),
+                1 => Some((3, String::from("rank1"))),
                 2 => None,
-                _ => Some((3, "rank3")),
+                _ => Some((3, String::from("rank3"))),
             };
-            allreduce_min_opt(comm, mine, |&(key, _)| key)
+            allreduce_min_opt(comm, mine, |&(key, _)| key).unwrap()
         });
         for r in results {
-            assert_eq!(r, Some((3, "rank1")));
+            assert_eq!(r, Some((3, String::from("rank1"))));
         }
     }
 
     #[test]
     fn single_rank_cluster_runs_all_collectives_trivially() {
         let results = cluster(1).run(|comm| {
-            comm.barrier();
-            let s = comm.allreduce_sum(7);
-            let parts = comm.alltoallv(vec![vec![1u8, 2, 3]]);
-            let all = comm.allgather("x");
+            comm.barrier().unwrap();
+            let s = comm.allreduce_sum(7).unwrap();
+            let parts = comm.alltoallv(vec![vec![1u8, 2, 3]]).unwrap();
+            let all = comm.allgather(9u32).unwrap();
             (s, parts, all)
         });
-        assert_eq!(results[0], (7, vec![vec![1, 2, 3]], vec!["x"]));
+        assert_eq!(results[0], (7, vec![vec![1, 2, 3]], vec![9]));
     }
 
     #[test]
-    fn mismatched_tag_panics_instead_of_misdelivering() {
-        let result = std::panic::catch_unwind(|| {
-            cluster(2).run(|comm| {
-                if comm.rank() == 0 {
-                    comm.send(1, "alpha", 1u32);
-                } else {
-                    comm.recv::<u32>(0, "beta");
-                }
-            });
+    fn mismatched_tag_times_out_instead_of_misdelivering() {
+        // The "alpha" message stays queued (MPI tag matching); the "beta"
+        // receive must time out with a diagnosed error, not deliver it.
+        let cluster = LocalCluster::with_config(
+            2,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_millis(200),
+                fault: FaultPlan::default(),
+            },
+        );
+        let results = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, "alpha", 1u32)
+            } else {
+                comm.recv::<u32>(0, "beta").map(|_| ())
+            }
         });
-        assert!(result.is_err());
+        assert_eq!(results[0], Ok(()));
+        let err = results[1].clone().unwrap_err();
+        assert_eq!((err.rank, err.peer, err.tag.as_str()), (1, 0, "beta"));
+        // Timeout if rank 0 is still alive, Disconnected once it exited —
+        // either way a diagnosed error, never a misdelivered "alpha".
+        assert!(matches!(
+            err.kind,
+            CommErrorKind::Timeout { .. } | CommErrorKind::Disconnected
+        ));
+    }
+
+    #[test]
+    fn wrong_payload_type_is_a_type_mismatch_error() {
+        let results = cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, "x", 1u32)
+            } else {
+                comm.recv::<u64>(0, "x").map(|_| ())
+            }
+        });
+        let err = results[1].clone().unwrap_err();
+        assert_eq!(err.kind, CommErrorKind::TypeMismatch);
     }
 
     #[test]
     fn dropped_message_fails_loudly_not_silently() {
         // Drop the first message from rank 0 to rank 1: rank 1's recv must
-        // panic with a diagnostic after the timeout instead of deadlocking
+        // return a diagnosed error after the timeout instead of deadlocking
         // forever.
         let cluster = LocalCluster::with_config(
             2,
             LocalClusterConfig {
                 recv_timeout: Duration::from_millis(200),
-                drop_message: Some(DropSpec {
-                    from: 0,
-                    to: 1,
-                    nth: 0,
-                }),
+                fault: FaultPlan::drop_nth(0, 1, 0),
             },
         );
         let started = std::time::Instant::now();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cluster.run(|comm| {
-                if comm.rank() == 0 {
-                    comm.send(1, "payload", 99u64);
-                } else {
-                    comm.recv::<u64>(0, "payload");
-                }
-            });
-        }));
-        assert!(result.is_err(), "lost message must not pass silently");
+        let results = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, "payload", 99u64).map(|_| 0)
+            } else {
+                comm.recv::<u64>(0, "payload")
+            }
+        });
+        let err = results[1].clone().unwrap_err();
+        assert_eq!((err.rank, err.peer, err.tag.as_str()), (1, 0, "payload"));
+        // The sender may exit before the timeout fires, upgrading the
+        // diagnosis from Timeout to Disconnected; both name the lost message.
+        assert!(matches!(
+            err.kind,
+            CommErrorKind::Timeout { .. } | CommErrorKind::Disconnected
+        ));
         assert!(
             started.elapsed() < Duration::from_secs(5),
             "failure must surface promptly, not hang"
         );
+    }
+
+    #[test]
+    fn duplicated_messages_are_delivered_exactly_once() {
+        let cluster = LocalCluster::with_config(
+            2,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(10),
+                fault: FaultPlan {
+                    duplicate: 1.0,
+                    ..FaultPlan::default()
+                },
+            },
+        );
+        let results = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                for v in 0..20u64 {
+                    comm.send(1, "dup", v).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..20)
+                    .map(|_| comm.recv::<u64>(0, "dup").unwrap())
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn reordered_messages_are_reassembled_in_sequence() {
+        // A mixed plan interleaves held and delivered messages, producing
+        // genuine adjacent swaps on the wire; the seq buffer reassembles the
+        // stream. The receiver only claims a prefix — the final message may
+        // legitimately end the run still held.
+        let cluster = LocalCluster::with_config(
+            2,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(10),
+                fault: FaultPlan::seeded(5, 0.0, 0.0, 0.0, 0.5),
+            },
+        );
+        let results = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                for v in 0..40u64 {
+                    comm.send(1, "seq", v).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..30)
+                    .map(|_| comm.recv::<u64>(0, "seq").unwrap())
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], (0..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn seq_inbox_reassembles_and_dedups() {
+        let mut inbox: SeqInbox<u64> = SeqInbox::new();
+        // Arrivals: 1 early, 0, duplicate of 0, 3 early, duplicate of 3, 2.
+        inbox.accept(1, 10);
+        assert!(inbox.take(|_| true).is_none(), "gap must block delivery");
+        inbox.accept(0, 0);
+        inbox.accept(0, 999); // duplicate — discarded by seq
+        inbox.accept(3, 30);
+        inbox.accept(3, 999); // duplicate of an early arrival — discarded
+        inbox.accept(2, 20);
+        let drained: Vec<u64> = std::iter::from_fn(|| inbox.take(|_| true)).collect();
+        assert_eq!(drained, vec![0, 10, 20, 30]);
     }
 }

@@ -20,7 +20,7 @@
 
 use kappa_graph::{EdgeWeight, NodeId, NodeWeight, INVALID_NODE};
 
-use crate::comm::Comm;
+use crate::comm::{Comm, CommResult};
 use crate::graph::DistGraph;
 use crate::matching::DistMatching;
 
@@ -38,7 +38,7 @@ pub fn distributed_contraction<C: Comm>(
     comm: &mut C,
     dg: &DistGraph,
     matching: &DistMatching,
-) -> DistContraction {
+) -> CommResult<DistContraction> {
     let ln = dg.num_owned();
     let (lo, _) = dg.owned_range();
     let ranks = comm.num_ranks();
@@ -50,7 +50,7 @@ pub fn distributed_contraction<C: Comm>(
         p == INVALID_NODE || lo + l < p
     };
     let my_anchors: Vec<NodeId> = (0..ln as NodeId).filter(|&l| is_anchor(l)).collect();
-    let counts = comm.allgather(my_anchors.len() as NodeId);
+    let counts = comm.allgather(my_anchors.len() as NodeId)?;
     let mut coarse_starts: Vec<NodeId> = Vec::with_capacity(ranks + 1);
     coarse_starts.push(0);
     for c in &counts {
@@ -77,7 +77,7 @@ pub fn distributed_contraction<C: Comm>(
     // Round 1: mirror what is known; owned nodes anchored remotely read
     // their id off the (ghost) anchor — the partner is a neighbour, hence a
     // ghost here.
-    let ghost_coarse_round1 = dg.exchange_ghosts(comm, |l| coarse_of_owned[l as usize]);
+    let ghost_coarse_round1 = dg.exchange_ghosts(comm, |l| coarse_of_owned[l as usize])?;
     for l in 0..ln as NodeId {
         if coarse_of_owned[l as usize] == INVALID_NODE {
             let p = matching.partner_owned[l as usize];
@@ -90,7 +90,7 @@ pub fn distributed_contraction<C: Comm>(
         }
     }
     // Round 2: now every owned id is final; mirror again for the ghosts.
-    let ghost_coarse = dg.exchange_ghosts(comm, |l| coarse_of_owned[l as usize]);
+    let ghost_coarse = dg.exchange_ghosts(comm, |l| coarse_of_owned[l as usize])?;
     let coarse_of_local = |l: NodeId| -> NodeId {
         if dg.is_owned_local(l) {
             coarse_of_owned[l as usize]
@@ -119,7 +119,7 @@ pub fn distributed_contraction<C: Comm>(
             .collect();
         outgoing[dg.owner_of(p)].push((p, mapped, dg.local().node_weight(l)));
     }
-    let shipped = comm.alltoallv(outgoing);
+    let shipped = comm.alltoallv(outgoing)?;
     // Index shipped rows by anchor gid.
     let mut shipped_rows: std::collections::HashMap<
         NodeId,
@@ -182,11 +182,11 @@ pub fn distributed_contraction<C: Comm>(
         rows.push((merged, weight));
     }
 
-    let coarse = DistGraph::assemble_with(comm, comm.rank(), ranks, coarse_starts, rows);
-    DistContraction {
+    let coarse = DistGraph::assemble_with(comm, comm.rank(), ranks, coarse_starts, rows)?;
+    Ok(DistContraction {
         coarse,
         coarse_of_owned,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -214,8 +214,9 @@ mod tests {
                 MatchingAlgorithm::Gpa,
                 EdgeRating::ExpansionStar2,
                 seed,
-            );
-            let c = distributed_contraction(comm, &dg, &m);
+            )
+            .unwrap();
+            let c = distributed_contraction(comm, &dg, &m).unwrap();
             let coarse_rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)> = (0
                 ..c.coarse.num_owned() as NodeId)
                 .map(|l| {

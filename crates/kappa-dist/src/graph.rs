@@ -20,7 +20,7 @@
 
 use kappa_graph::{BlockAssignment, BlockId, CsrGraph, EdgeWeight, NodeId, NodeWeight};
 
-use crate::comm::Comm;
+use crate::comm::{Comm, CommResult, Message};
 
 /// One rank's shard of a distributed graph.
 #[derive(Clone, Debug)]
@@ -88,8 +88,9 @@ impl DistGraph {
             })
             .collect();
         Self::assemble(rank, ranks, range_starts, rows, |gids| {
-            gids.iter().map(|&g| graph.node_weight(g)).collect()
+            Ok(gids.iter().map(|&g| graph.node_weight(g)).collect())
         })
+        .expect("local assembly does not communicate")
     }
 
     /// Assembles a shard from owned rows whose targets are **global** ids.
@@ -101,8 +102,8 @@ impl DistGraph {
         ranks: usize,
         range_starts: Vec<NodeId>,
         rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)>,
-        ghost_weights: impl FnOnce(&[NodeId]) -> Vec<NodeWeight>,
-    ) -> DistGraph {
+        ghost_weights: impl FnOnce(&[NodeId]) -> CommResult<Vec<NodeWeight>>,
+    ) -> CommResult<DistGraph> {
         let lo = range_starts[rank];
         let hi = range_starts[rank + 1];
         let ln = (hi - lo) as usize;
@@ -170,7 +171,7 @@ impl DistGraph {
             }
             xadj.push(adjncy.len());
         }
-        vwgt.extend(ghost_weights(&ghost_global));
+        vwgt.extend(ghost_weights(&ghost_global)?);
         assert_eq!(vwgt.len(), n_local, "ghost weight count mismatch");
 
         // Contiguous ghost grouping per owner.
@@ -181,7 +182,7 @@ impl DistGraph {
             ghost_of_rank.push(end);
         }
 
-        DistGraph {
+        Ok(DistGraph {
             rank,
             ranks,
             range_starts,
@@ -190,7 +191,7 @@ impl DistGraph {
             ghost_global,
             send_lists: send_marks,
             ghost_of_rank,
-        }
+        })
     }
 
     /// [`Self::assemble`] when ghost node weights must be pulled from their
@@ -201,7 +202,7 @@ impl DistGraph {
         ranks: usize,
         range_starts: Vec<NodeId>,
         rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)>,
-    ) -> DistGraph {
+    ) -> CommResult<DistGraph> {
         let owned_weights: Vec<NodeWeight> = rows.iter().map(|&(_, w)| w).collect();
         let lo = range_starts[rank];
         Self::assemble(rank, ranks, range_starts.clone(), rows, |ghosts| {
@@ -211,7 +212,7 @@ impl DistGraph {
             for &g in ghosts {
                 requests[owner_in(&range_starts, g)].push(g);
             }
-            let incoming = comm.alltoallv(requests);
+            let incoming = comm.alltoallv(requests)?;
             let responses: Vec<Vec<NodeWeight>> = incoming
                 .into_iter()
                 .map(|req| {
@@ -220,7 +221,7 @@ impl DistGraph {
                         .collect()
                 })
                 .collect();
-            comm.alltoallv(responses).into_iter().flatten().collect()
+            Ok(comm.alltoallv(responses)?.into_iter().flatten().collect())
         })
     }
 
@@ -311,9 +312,9 @@ impl DistGraph {
     /// `owned` for the owned nodes other ranks mirror, and receives its own
     /// ghosts' values (returned ghost-indexed, parallel to
     /// [`ghosts`](Self::ghosts)). One `alltoallv`.
-    pub fn exchange_ghosts<T, C, F>(&self, comm: &mut C, mut owned: F) -> Vec<T>
+    pub fn exchange_ghosts<T, C, F>(&self, comm: &mut C, mut owned: F) -> CommResult<Vec<T>>
     where
-        T: Send + 'static,
+        T: Message,
         C: Comm,
         F: FnMut(NodeId) -> T,
     {
@@ -322,7 +323,7 @@ impl DistGraph {
             .iter()
             .map(|list| list.iter().map(|&l| owned(l)).collect())
             .collect();
-        let received = comm.alltoallv(parts);
+        let received = comm.alltoallv(parts)?;
         let mut out: Vec<T> = Vec::with_capacity(self.ghost_global.len());
         for (r, part) in received.into_iter().enumerate() {
             debug_assert_eq!(
@@ -332,7 +333,7 @@ impl DistGraph {
             );
             out.extend(part);
         }
-        out
+        Ok(out)
     }
 
     /// The owned local ids whose values rank `r` mirrors (ascending).
@@ -343,9 +344,9 @@ impl DistGraph {
     /// Pull arbitrary per-node values for a set of **global** ids from their
     /// owners (two `alltoallv` rounds). `respond` maps an owned local id to
     /// the value. Returns the values parallel to `gids`.
-    pub fn pull<T, C, F>(&self, comm: &mut C, gids: &[NodeId], mut respond: F) -> Vec<T>
+    pub fn pull<T, C, F>(&self, comm: &mut C, gids: &[NodeId], mut respond: F) -> CommResult<Vec<T>>
     where
-        T: Send + 'static,
+        T: Message,
         C: Comm,
         F: FnMut(NodeId) -> T,
     {
@@ -358,21 +359,22 @@ impl DistGraph {
             requests[owner].push(gid);
             slots[owner].push(i);
         }
-        let incoming = comm.alltoallv(requests);
+        let incoming = comm.alltoallv(requests)?;
         let responses: Vec<Vec<T>> = incoming
             .into_iter()
             .map(|req| req.into_iter().map(|gid| respond(gid - lo)).collect())
             .collect();
-        let answers = comm.alltoallv(responses);
+        let answers = comm.alltoallv(responses)?;
         let mut out: Vec<Option<T>> = (0..gids.len()).map(|_| None).collect();
         for (r, part) in answers.into_iter().enumerate() {
             for (slot, value) in slots[r].iter().zip(part) {
                 out[*slot] = Some(value);
             }
         }
-        out.into_iter()
+        Ok(out
+            .into_iter()
             .map(|v| v.expect("pull response missing"))
-            .collect()
+            .collect())
     }
 }
 
@@ -465,7 +467,7 @@ mod tests {
             let dg = DistGraph::from_global(&g, ranks, comm.rank());
             // Exchange "global id times 3" and check every ghost mirror.
             let (lo, _) = dg.owned_range();
-            let mirrors = dg.exchange_ghosts(comm, |l| (lo + l) as u64 * 3);
+            let mirrors = dg.exchange_ghosts(comm, |l| (lo + l) as u64 * 3).unwrap();
             (dg.ghosts().to_vec(), mirrors)
         });
         for (ghosts, mirrors) in values {
@@ -485,7 +487,7 @@ mod tests {
             let (lo, _) = dg.owned_range();
             // Every rank pulls the weights of three fixed global nodes.
             let gids = [0u32, 40, 80];
-            let got = dg.pull(comm, &gids, |l| g.node_weight(lo + l));
+            let got = dg.pull(comm, &gids, |l| g.node_weight(lo + l)).unwrap();
             assert_eq!(got, vec![1, 1, 1]);
         });
     }
@@ -497,7 +499,7 @@ mod tests {
         LocalCluster::new(ranks).run(|comm| {
             let dg = DistGraph::from_global(&g, ranks, comm.rank());
             assert!(dg.num_owned() <= 1);
-            let mirrors = dg.exchange_ghosts(comm, |l| l as u64);
+            let mirrors = dg.exchange_ghosts(comm, |l| l as u64).unwrap();
             assert_eq!(mirrors.len(), dg.num_ghosts());
         });
     }

@@ -37,18 +37,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod comm;
 pub mod contract;
+pub mod fault;
 pub mod graph;
 pub mod matching;
 pub mod pipeline;
 pub mod refine;
 pub mod state;
+pub mod tcp;
 
-pub use comm::{Comm, DropSpec, LocalCluster, LocalClusterConfig, LocalComm};
+pub use codec::{Wire, PROTOCOL_VERSION};
+pub use comm::{
+    allreduce_min_opt, Comm, CommError, CommErrorKind, CommResult, LocalCluster,
+    LocalClusterConfig, LocalComm, Message,
+};
 pub use contract::distributed_contraction;
+pub use fault::{DropSpec, FaultAction, FaultPlan};
 pub use graph::{DistGraph, LocalAssignment};
 pub use matching::{distributed_matching, DistMatching};
-pub use pipeline::{partition_distributed, DistConfig, DistRunResult};
+pub use pipeline::{
+    partition_distributed, partition_distributed_with, partition_with_comm, DistConfig,
+    DistRunResult,
+};
 pub use refine::{dist_rebalance, dist_refine};
 pub use state::DistState;
+pub use tcp::{rendezvous_serve, TcpCluster, TcpClusterConfig, TcpComm};

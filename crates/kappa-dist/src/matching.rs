@@ -22,7 +22,7 @@
 use kappa_graph::{CsrGraph, EdgeWeight, NodeId, NodeWeight, INVALID_NODE};
 use kappa_matching::{compute_matching, rate_edge, EdgeRating, MatchingAlgorithm};
 
-use crate::comm::Comm;
+use crate::comm::{Comm, CommResult};
 use crate::graph::DistGraph;
 
 /// A distributed matching: partner *global* ids under the owner-computes
@@ -54,6 +54,8 @@ impl DistMatching {
 struct GhostMatchState {
     matched: bool,
 }
+
+crate::impl_wire_struct!(GhostMatchState { matched });
 
 /// One gap edge as seen from this rank: an owned endpoint and a ghost
 /// endpoint with the rating both sides compute identically.
@@ -90,7 +92,7 @@ pub fn distributed_matching<C: Comm>(
     algorithm: MatchingAlgorithm,
     rating: EdgeRating,
     seed: u64,
-) -> DistMatching {
+) -> CommResult<DistMatching> {
     let ln = dg.num_owned();
     let (lo, _) = dg.owned_range();
 
@@ -113,14 +115,14 @@ pub fn distributed_matching<C: Comm>(
     // edges (both endpoints unmatched after the interior phase).
     let mut ghost_state: Vec<GhostMatchState> = dg.exchange_ghosts(comm, |l| GhostMatchState {
         matched: partner_owned[l as usize] != INVALID_NODE,
-    });
+    })?;
 
     // All cut edges incident to an owned node, rated exactly as both owners
     // rate them (ratings depend on edge weight, node weights and — for
     // innerOuter — full weighted degrees; owned rows are complete and ghost
     // weighted degrees are pulled below when needed).
     let ghost_wdeg: Vec<EdgeWeight> = if rating == EdgeRating::InnerOuter {
-        dg.exchange_ghosts(comm, |l| dg.local().weighted_degree(l))
+        dg.exchange_ghosts(comm, |l| dg.local().weighted_degree(l))?
     } else {
         Vec::new()
     };
@@ -188,7 +190,7 @@ pub fn distributed_matching<C: Comm>(
         for part in &mut proposals {
             part.sort_unstable();
         }
-        let incoming = comm.alltoallv(proposals);
+        let incoming = comm.alltoallv(proposals)?;
         let mut matched_now = 0u64;
         for part in incoming {
             for (u_gid, t_gid) in part {
@@ -209,27 +211,27 @@ pub fn distributed_matching<C: Comm>(
         // matched gap pair is counted twice — once per endpoint owner.)
         ghost_state = dg.exchange_ghosts(comm, |l| GhostMatchState {
             matched: partner_owned[l as usize] != INVALID_NODE,
-        });
-        if comm.allreduce_sum(matched_now) == 0 {
+        })?;
+        if comm.allreduce_sum(matched_now)? == 0 {
             break;
         }
     }
 
     // Mirror partners onto ghosts and count pairs (at the smaller endpoint's
     // owner, so each pair counts once).
-    let partner_ghost = dg.exchange_ghosts(comm, |l| partner_owned[l as usize]);
+    let partner_ghost = dg.exchange_ghosts(comm, |l| partner_owned[l as usize])?;
     let local_pairs = partner_owned
         .iter()
         .enumerate()
         .filter(|&(l, &p)| p != INVALID_NODE && lo + (l as NodeId) < p)
         .count() as u64;
-    let matched_pairs = comm.allreduce_sum(local_pairs) as usize;
+    let matched_pairs = comm.allreduce_sum(local_pairs)? as usize;
 
-    DistMatching {
+    Ok(DistMatching {
         partner_owned,
         partner_ghost,
         matched_pairs,
-    }
+    })
 }
 
 /// The interior subgraph: owned nodes with the edges whose both endpoints are
@@ -285,7 +287,8 @@ mod tests {
                 MatchingAlgorithm::Gpa,
                 EdgeRating::ExpansionStar2,
                 seed,
-            );
+            )
+            .unwrap();
             (m.partner_owned.clone(), m.matched_pairs)
         });
         let mut partners = Vec::new();

@@ -29,7 +29,7 @@ use kappa_graph::{BlockId, BlockWeights, CsrGraph, EdgeWeight, NodeId, NodeWeigh
 use kappa_initial::{best_of_repeats, quality_key, InitialAlgorithm, InitialPartitionConfig};
 use kappa_refine::{RefinementConfig, RefinementStats};
 
-use crate::comm::{Comm, LocalCluster};
+use crate::comm::{Comm, CommError, CommErrorKind, CommResult, LocalCluster, LocalClusterConfig};
 use crate::contract::distributed_contraction;
 use crate::graph::DistGraph;
 use crate::matching::distributed_matching;
@@ -73,20 +73,33 @@ pub struct DistRunResult {
 }
 
 /// Partitions `graph` into `config.base.k` blocks over `config.ranks` ranks
-/// of an in-process [`LocalCluster`].
-pub fn partition_distributed(graph: &CsrGraph, config: &DistConfig) -> DistRunResult {
+/// of an in-process [`LocalCluster`]. A communication failure on any rank
+/// (lost message, peer exit) surfaces as a diagnosed [`CommError`] naming
+/// the stuck rank, peer and tag — never a hang.
+pub fn partition_distributed(graph: &CsrGraph, config: &DistConfig) -> CommResult<DistRunResult> {
+    partition_distributed_with(graph, config, LocalClusterConfig::default())
+}
+
+/// [`partition_distributed`] with explicit cluster configuration (receive
+/// timeout, fault injection) — the entry point the fault-injection suite
+/// drives.
+pub fn partition_distributed_with(
+    graph: &CsrGraph,
+    config: &DistConfig,
+    cluster_config: LocalClusterConfig,
+) -> CommResult<DistRunResult> {
     let k = config.base.k.max(1);
     let n = graph.num_nodes();
     if n == 0 || k == 1 {
         let partition = Partition::trivial(k, n);
-        return DistRunResult {
+        return Ok(DistRunResult {
             edge_cut: partition.edge_cut(graph),
             partition,
             hierarchy_levels: 1,
             coarsest_nodes: n,
             refinement: RefinementStats::default(),
             boundary_full_builds_per_rank: vec![0; config.ranks],
-        };
+        });
     }
     // Locality-preserving layout (§3.3): with several ranks and available
     // coordinates, re-order the nodes by recursive coordinate bisection so
@@ -100,26 +113,110 @@ pub fn partition_distributed(graph: &CsrGraph, config: &DistConfig) -> DistRunRe
         None => (graph, crate::graph::even_ranges(n, config.ranks)),
     };
 
-    let cluster = LocalCluster::new(config.ranks);
-    let mut rank_results = cluster.run(|comm| rank_main(comm, work_graph, &range_starts, config));
+    let cluster = LocalCluster::with_config(config.ranks, cluster_config);
+    let outcomes = cluster.run(|comm| rank_main(comm, work_graph, &range_starts, config));
+    let mut rank_results = Vec::with_capacity(outcomes.len());
+    let mut errors = Vec::new();
+    for outcome in outcomes {
+        match outcome {
+            Ok(r) => rank_results.push(r),
+            Err(e) => errors.push(e),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(pick_diagnostic(errors));
+    }
     let full_builds: Vec<usize> = rank_results.iter().map(|r| r.full_builds).collect();
     let mut first = rank_results.swap_remove(0);
-    if let Some((_, _, new_of_old)) = &layout {
-        let permuted = first.partition.assignment();
-        let assignment: Vec<BlockId> = new_of_old
-            .iter()
-            .map(|&new| permuted[new as usize])
-            .collect();
-        first.partition = Partition::from_assignment(k, assignment);
-    }
-    DistRunResult {
+    first.partition = unpermute(k, first.partition, &layout);
+    Ok(DistRunResult {
         partition: first.partition,
         edge_cut: first.edge_cut,
         hierarchy_levels: first.hierarchy_levels,
         coarsest_nodes: first.coarsest_nodes,
         refinement: first.refinement,
         boundary_full_builds_per_rank: full_builds,
+    })
+}
+
+/// Runs one rank of the distributed pipeline over an arbitrary [`Comm`]
+/// backend — the entry point of the `--transport tcp` workers, where every
+/// rank is a separate OS process holding its own copy of the input graph.
+///
+/// Each rank computes the (deterministic) spatial layout redundantly, so no
+/// out-of-band coordination beyond `comm` is needed; the assembled
+/// [`DistRunResult`] is returned on rank 0 (`Ok(None)` elsewhere) and is
+/// bit-identical to [`partition_distributed`] for the same `(graph, config)`.
+pub fn partition_with_comm<C: Comm>(
+    comm: &mut C,
+    graph: &CsrGraph,
+    config: &DistConfig,
+) -> CommResult<Option<DistRunResult>> {
+    let ranks = comm.num_ranks();
+    assert_eq!(ranks, config.ranks, "cluster size != configured ranks");
+    let k = config.base.k.max(1);
+    let n = graph.num_nodes();
+    if n == 0 || k == 1 {
+        return Ok((comm.rank() == 0).then(|| {
+            let partition = Partition::trivial(k, n);
+            DistRunResult {
+                edge_cut: partition.edge_cut(graph),
+                partition,
+                hierarchy_levels: 1,
+                coarsest_nodes: n,
+                refinement: RefinementStats::default(),
+                boundary_full_builds_per_rank: vec![0; ranks],
+            }
+        }));
     }
+    let layout = spatial_layout(graph, ranks);
+    let (work_graph, range_starts): (&CsrGraph, Vec<NodeId>) = match &layout {
+        Some((permuted, ranges, _)) => (permuted, ranges.clone()),
+        None => (graph, crate::graph::even_ranges(n, ranks)),
+    };
+    let result = rank_main(comm, work_graph, &range_starts, config)?;
+    let full_builds = comm.allgather(result.full_builds)?;
+    if comm.rank() != 0 {
+        return Ok(None);
+    }
+    Ok(Some(DistRunResult {
+        partition: unpermute(k, result.partition, &layout),
+        edge_cut: result.edge_cut,
+        hierarchy_levels: result.hierarchy_levels,
+        coarsest_nodes: result.coarsest_nodes,
+        refinement: result.refinement,
+        boundary_full_builds_per_rank: full_builds,
+    }))
+}
+
+/// Maps a partition over the spatially permuted graph back to the original
+/// node ids (identity when no layout was applied).
+fn unpermute(
+    k: BlockId,
+    partition: Partition,
+    layout: &Option<(CsrGraph, Vec<NodeId>, Vec<NodeId>)>,
+) -> Partition {
+    match layout {
+        Some((_, _, new_of_old)) => {
+            let permuted = partition.assignment();
+            let assignment: Vec<BlockId> = new_of_old
+                .iter()
+                .map(|&new| permuted[new as usize])
+                .collect();
+            Partition::from_assignment(k, assignment)
+        }
+        None => partition,
+    }
+}
+
+/// The most diagnostic error of a failed run: a timeout pinpoints the stuck
+/// rank and tag, while the disconnects it cascades into merely echo it.
+fn pick_diagnostic(errors: Vec<CommError>) -> CommError {
+    errors
+        .iter()
+        .find(|e| matches!(e.kind, CommErrorKind::Timeout { .. }))
+        .cloned()
+        .unwrap_or_else(|| errors.into_iter().next().expect("at least one error"))
 }
 
 /// The locality-preserving node layout: `None` for one rank (identity — this
@@ -210,7 +307,7 @@ fn rank_main<C: Comm>(
     graph: &CsrGraph,
     range_starts: &[NodeId],
     config: &DistConfig,
-) -> RankResult {
+) -> CommResult<RankResult> {
     let base = &config.base;
     let k = base.k.max(1);
     let n = graph.num_nodes();
@@ -228,12 +325,13 @@ fn rank_main<C: Comm>(
             .seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add(level_idx);
-        let matching = distributed_matching(comm, &current, base.matching, base.rating, level_seed);
+        let matching =
+            distributed_matching(comm, &current, base.matching, base.rating, level_seed)?;
         let shrink = matching.matched_pairs as f64 / n_cur.max(1) as f64;
         if matching.matched_pairs == 0 || shrink < 0.02 {
             break;
         }
-        let contraction = distributed_contraction(comm, &current, &matching);
+        let contraction = distributed_contraction(comm, &current, &matching)?;
         levels.push(DistLevel {
             graph: current,
             coarse_of_owned: contraction.coarse_of_owned,
@@ -244,7 +342,7 @@ fn rank_main<C: Comm>(
     let hierarchy_levels = levels.len() + 1;
 
     // --- Phase 2: redundant initial partitioning of the coarsest graph. ---
-    let coarsest_full = allgather_graph(comm, &current);
+    let coarsest_full = allgather_graph(comm, &current)?;
     let repeats = base.initial_repeats.max(1);
     let initial_config = InitialPartitionConfig {
         k,
@@ -262,14 +360,14 @@ fn rank_main<C: Comm>(
     // The same quality key best_of_repeats minimises internally, so the
     // cross-rank selection cannot drift from the per-rank one.
     let my_key = quality_key(&coarsest_full, &mine, base.epsilon);
-    let keys = comm.allgather(my_key);
+    let keys = comm.allgather(my_key)?;
     let winner_rank = keys
         .iter()
         .enumerate()
         .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("no NaN in keys"))
         .map(|(r, _)| r)
         .expect("at least one rank");
-    let winner = comm.broadcast(winner_rank, (comm.rank() == winner_rank).then_some(mine));
+    let winner = comm.broadcast(winner_rank, (comm.rank() == winner_rank).then_some(mine))?;
 
     // --- Phase 3: uncoarsening with pairwise distributed refinement. ---
     let refinement_config = RefinementConfig {
@@ -291,7 +389,7 @@ fn rank_main<C: Comm>(
         .collect();
     let weights = BlockWeights::compute(&coarsest_full, &winner);
     let mut st = DistState::build(&coarsest, view, k, weights);
-    let l_max = level_l_max(comm, &coarsest, k, base.epsilon);
+    let l_max = level_l_max(comm, &coarsest, k, base.epsilon)?;
     dist_refine(
         comm,
         &coarsest,
@@ -299,7 +397,7 @@ fn rank_main<C: Comm>(
         &refinement_config,
         l_max,
         &mut stats,
-    );
+    )?;
 
     for i in (0..levels.len()).rev() {
         let coarse_dg: &DistGraph = if i + 1 < levels.len() {
@@ -313,8 +411,8 @@ fn rank_main<C: Comm>(
             coarse_dg,
             &st,
             &levels[i].coarse_of_owned,
-        );
-        let l_max = level_l_max(comm, &levels[i].graph, k, base.epsilon);
+        )?;
+        let l_max = level_l_max(comm, &levels[i].graph, k, base.epsilon)?;
         dist_refine(
             comm,
             &levels[i].graph,
@@ -322,29 +420,33 @@ fn rank_main<C: Comm>(
             &refinement_config,
             l_max,
             &mut stats,
-        );
+        )?;
     }
 
     // --- Gather the global assignment (replicated) and the exact cut. ---
     let finest = levels.first().map(|l| &l.graph).unwrap_or(&coarsest);
     let owned_blocks: Vec<BlockId> = st.view()[..finest.num_owned()].to_vec();
-    let assignment: Vec<BlockId> = comm.allgather(owned_blocks).into_iter().flatten().collect();
+    let assignment: Vec<BlockId> = comm
+        .allgather(owned_blocks)?
+        .into_iter()
+        .flatten()
+        .collect();
     let partition = Partition::from_assignment(k, assignment);
-    let edge_cut = st.edge_cut(comm);
+    let edge_cut = st.edge_cut(comm)?;
 
-    RankResult {
+    Ok(RankResult {
         partition,
         edge_cut,
         hierarchy_levels,
         coarsest_nodes,
         refinement: stats,
         full_builds: st.full_builds(),
-    }
+    })
 }
 
 /// Allgathers the (small) coarsest graph so every rank can partition it
 /// redundantly.
-fn allgather_graph<C: Comm>(comm: &mut C, dg: &DistGraph) -> CsrGraph {
+fn allgather_graph<C: Comm>(comm: &mut C, dg: &DistGraph) -> CommResult<CsrGraph> {
     let rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)> = (0..dg.num_owned() as NodeId)
         .map(|l| {
             (
@@ -356,7 +458,7 @@ fn allgather_graph<C: Comm>(comm: &mut C, dg: &DistGraph) -> CsrGraph {
             )
         })
         .collect();
-    let all = comm.allgather(rows);
+    let all = comm.allgather(rows)?;
     let mut xadj = vec![0usize];
     let mut adjncy = Vec::new();
     let mut adjwgt = Vec::new();
@@ -369,17 +471,22 @@ fn allgather_graph<C: Comm>(comm: &mut C, dg: &DistGraph) -> CsrGraph {
         xadj.push(adjncy.len());
         vwgt.push(w);
     }
-    CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt, None)
+    Ok(CsrGraph::from_parts(xadj, adjncy, adjwgt, vwgt, None))
 }
 
 /// The balance bound `L_max` of one level, from allreduced totals — exactly
 /// `Partition::l_max` evaluated on the (virtual) global graph.
-fn level_l_max<C: Comm>(comm: &mut C, dg: &DistGraph, k: BlockId, epsilon: f64) -> NodeWeight {
+fn level_l_max<C: Comm>(
+    comm: &mut C,
+    dg: &DistGraph,
+    k: BlockId,
+    epsilon: f64,
+) -> CommResult<NodeWeight> {
     let owned = &dg.local().vwgt()[..dg.num_owned()];
-    let total = comm.allreduce_sum(owned.iter().sum());
-    let max = comm.allreduce_max(owned.iter().copied().max().unwrap_or(0));
+    let total = comm.allreduce_sum(owned.iter().sum())?;
+    let max = comm.allreduce_max(owned.iter().copied().max().unwrap_or(0))?;
     let avg = total as f64 / k as f64;
-    ((1.0 + epsilon) * avg).ceil() as NodeWeight + max
+    Ok(((1.0 + epsilon) * avg).ceil() as NodeWeight + max)
 }
 
 /// Projects the coarse state one level down: pulls the block and boundary
@@ -394,7 +501,7 @@ fn project_state<C: Comm>(
     coarse: &DistGraph,
     st: &DistState,
     coarse_of_owned: &[NodeId],
-) -> DistState {
+) -> CommResult<DistState> {
     debug_assert_eq!(coarse_of_owned.len(), fine.num_owned());
     // Deduplicated coarse images of the owned fine nodes.
     let mut images: Vec<NodeId> = coarse_of_owned.to_vec();
@@ -402,7 +509,7 @@ fn project_state<C: Comm>(
     images.dedup();
     let info: Vec<(BlockId, bool)> = coarse.pull(comm, &images, |l| {
         (st.block_of_local(l), st.index().is_boundary(l))
-    });
+    })?;
     let lookup = |cid: NodeId| -> (BlockId, bool) {
         info[images.binary_search(&cid).expect("image present")]
     };
@@ -418,18 +525,18 @@ fn project_state<C: Comm>(
     }
     // Ghost mirrors of block + candidate flag come from the fine owners
     // (which just computed them for their owned nodes).
-    let ghost_info = fine.exchange_ghosts(comm, |l| (view[l as usize], candidate[l as usize]));
+    let ghost_info = fine.exchange_ghosts(comm, |l| (view[l as usize], candidate[l as usize]))?;
     for (g, (block, cand)) in ghost_info.into_iter().enumerate() {
         view[ln + g] = block;
         candidate[ln + g] = cand;
     }
 
-    DistState::build_seeded(
+    Ok(DistState::build_seeded(
         fine,
         view,
         st.k(),
         BlockWeights::from_weights(st.weights().as_slice().to_vec()),
         |l| candidate[l as usize],
         st.full_builds(),
-    )
+    ))
 }

@@ -41,7 +41,7 @@ use kappa_refine::{
     RegionEdge, RegionNode,
 };
 
-use crate::comm::{allreduce_min_opt, Comm};
+use crate::comm::{allreduce_min_opt, Comm, CommResult};
 use crate::graph::{DistGraph, LocalAssignment};
 use crate::state::{DistState, MoveRec};
 
@@ -54,6 +54,14 @@ struct PairReport {
     gain: i64,
     moves: Vec<MoveRec>,
 }
+
+crate::impl_wire_struct!(PairReport {
+    pair,
+    searched,
+    done,
+    gain,
+    moves,
+});
 
 /// Cluster-wide bookkeeping of one pair within a colour class; every rank
 /// tracks the replicated parts so no extra broadcasts are needed.
@@ -86,21 +94,21 @@ pub fn dist_refine<C: Comm>(
     config: &RefinementConfig,
     l_max: NodeWeight,
     stats: &mut RefinementStats,
-) {
+) -> CommResult<()> {
     let k = st.k();
     if k < 2 || dg.num_global_nodes() == 0 {
-        return;
+        return Ok(());
     }
-    let cut_before = st.edge_cut(comm) as i64;
+    let cut_before = st.edge_cut(comm)? as i64;
 
     if !st.is_balanced(l_max) {
-        stats.nodes_moved += dist_rebalance(comm, dg, st, l_max);
+        stats.nodes_moved += dist_rebalance(comm, dg, st, l_max)?;
     }
 
     let mut no_change_streak = 0usize;
     for global_iter in 0..config.max_global_iterations {
         // Replicated quotient from the allgathered boundary-priced shares.
-        let shares = comm.allgather(st.quotient_partial(dg));
+        let shares = comm.allgather(st.quotient_partial(dg))?;
         let mut merged: HashMap<(BlockId, BlockId), EdgeWeight> = HashMap::new();
         for (a, b, w) in shares.into_iter().flatten() {
             *merged.entry((a, b)).or_insert(0) += w;
@@ -124,7 +132,7 @@ pub fn dist_refine<C: Comm>(
                 config,
                 l_max,
                 stats,
-            );
+            )?;
         }
 
         stats.global_iterations += 1;
@@ -139,9 +147,10 @@ pub fn dist_refine<C: Comm>(
     }
 
     if !st.is_balanced(l_max) {
-        stats.nodes_moved += dist_rebalance(comm, dg, st, l_max);
+        stats.nodes_moved += dist_rebalance(comm, dg, st, l_max)?;
     }
-    stats.total_gain += cut_before - st.edge_cut(comm) as i64;
+    stats.total_gain += cut_before - st.edge_cut(comm)? as i64;
+    Ok(())
 }
 
 /// Runs all pairs of one colour class to completion (their local iterations)
@@ -157,7 +166,7 @@ fn refine_class<C: Comm>(
     config: &RefinementConfig,
     l_max: NodeWeight,
     stats: &mut RefinementStats,
-) -> i64 {
+) -> CommResult<i64> {
     let me = comm.rank();
     let ranks = comm.num_ranks();
     let ln = dg.num_owned();
@@ -207,7 +216,7 @@ fn refine_class<C: Comm>(
                 }
             }
         }
-        let seed_msgs = comm.alltoallv(seed_parts);
+        let seed_msgs = comm.alltoallv(seed_parts)?;
         // Home: per pair, seeds in ascending global order (rank segments are
         // ascending and ownership ranges are ordered, so concatenation in
         // rank order is globally ascending).
@@ -248,7 +257,7 @@ fn refine_class<C: Comm>(
                     }
                 }
             }
-            for part in comm.alltoallv(remote) {
+            for part in comm.alltoallv(remote)? {
                 for (pi, gid) in part {
                     let pi = pi as usize;
                     let l = dg.local_of(gid).expect("owned");
@@ -289,7 +298,7 @@ fn refine_class<C: Comm>(
                 band_parts[pair.home].push((*pi as u32, record));
             }
         }
-        let band_msgs = comm.alltoallv(band_parts);
+        let band_msgs = comm.alltoallv(band_parts)?;
         let mut region_of: HashMap<usize, Vec<RegionNode>> = HashMap::new();
         for part in band_msgs {
             for (pi, record) in part {
@@ -367,7 +376,7 @@ fn refine_class<C: Comm>(
         }
 
         // --- Superstep 5: allgather reports, update replicated state. ---
-        let all_reports = comm.allgather(my_reports);
+        let all_reports = comm.allgather(my_reports)?;
         let mut merged: Vec<PairReport> = all_reports.into_iter().flatten().collect();
         merged.sort_unstable_by_key(|r| r.pair);
         for report in merged {
@@ -406,7 +415,7 @@ fn refine_class<C: Comm>(
             st.apply_committed(dg, rec);
         }
     }
-    class_gain
+    Ok(class_gain)
 }
 
 /// True if owned local `l` is on the `(a, b)` pair boundary in the live view.
@@ -489,6 +498,14 @@ struct RebalanceCand {
     weight: NodeWeight,
 }
 
+crate::impl_wire_struct!(RebalanceCand {
+    delta,
+    target_weight,
+    gid,
+    to,
+    weight,
+});
+
 /// Distributed greedy rebalancing: moves nodes out of overloaded blocks until
 /// every block obeys `l_max` or no move helps. Picks, per move, exactly the
 /// candidate `rebalance_state` would (each rank scores its owned boundary
@@ -499,7 +516,7 @@ pub fn dist_rebalance<C: Comm>(
     dg: &DistGraph,
     st: &mut DistState,
     l_max: NodeWeight,
-) -> usize {
+) -> CommResult<usize> {
     let k = st.k();
     let ln = dg.num_owned();
     let mut moved = 0usize;
@@ -529,7 +546,7 @@ pub fn dist_rebalance<C: Comm>(
                 }
             }
         }
-        let mut best = allreduce_min_opt(comm, mine, |c| (c.delta, c.target_weight, c.gid, c.to));
+        let mut best = allreduce_min_opt(comm, mine, |c| (c.delta, c.target_weight, c.gid, c.to))?;
         if best.is_none() {
             // Fallback: interior node of the overloaded block into the
             // globally lightest block (replicated weights → same target on
@@ -561,7 +578,7 @@ pub fn dist_rebalance<C: Comm>(
                         }
                     }
                 }
-                best = allreduce_min_opt(comm, mine, |c| (c.delta, c.target_weight, c.gid, c.to));
+                best = allreduce_min_opt(comm, mine, |c| (c.delta, c.target_weight, c.gid, c.to))?;
             }
         }
         let Some(cand) = best else { break };
@@ -575,7 +592,7 @@ pub fn dist_rebalance<C: Comm>(
         st.apply_committed(dg, rec);
         moved += 1;
     }
-    moved
+    Ok(moved)
 }
 
 #[cfg(test)]
@@ -615,7 +632,7 @@ mod tests {
                 let views = LocalCluster::new(ranks).run(|comm| {
                     let dg = DistGraph::from_global(&g, ranks, comm.rank());
                     let mut st = shard(&dg, &partition, &g);
-                    let moved = dist_rebalance(comm, &dg, &mut st, l_max);
+                    let moved = dist_rebalance(comm, &dg, &mut st, l_max).unwrap();
                     st.verify_exact(comm, &dg).unwrap();
                     let owned: Vec<BlockId> = st.view()[..dg.num_owned()].to_vec();
                     (moved, owned)

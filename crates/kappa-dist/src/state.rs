@@ -28,7 +28,7 @@
 
 use kappa_graph::{BlockId, BlockWeights, BoundaryIndex, EdgeWeight, NodeId, NodeWeight};
 
-use crate::comm::Comm;
+use crate::comm::{Comm, CommResult};
 use crate::graph::{DistGraph, LocalAssignment};
 
 /// One committed node move, as broadcast to every rank. Carries everything a
@@ -44,6 +44,13 @@ pub struct MoveRec {
     /// Node weight `c(v)`.
     pub weight: NodeWeight,
 }
+
+crate::impl_wire_struct!(MoveRec {
+    gid,
+    from,
+    to,
+    weight
+});
 
 /// A rank's shard of the distributed partition state.
 #[derive(Clone, Debug)]
@@ -144,7 +151,7 @@ impl DistState {
     }
 
     /// The exact global edge cut (one allreduce).
-    pub fn edge_cut<C: Comm>(&self, comm: &mut C) -> EdgeWeight {
+    pub fn edge_cut<C: Comm>(&self, comm: &mut C) -> CommResult<EdgeWeight> {
         comm.allreduce_sum(self.cut_partial)
     }
 
@@ -263,12 +270,14 @@ impl DistState {
         for l in 0..dg.num_owned() as NodeId {
             local[self.view[l as usize] as usize] += dg.local().node_weight(l);
         }
-        let global = comm.allreduce(local, |mut a, b| {
-            for (x, y) in a.iter_mut().zip(b) {
-                *x += y;
-            }
-            a
-        });
+        let global = comm
+            .allreduce(local, |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            })
+            .map_err(|e| e.to_string())?;
         if global != self.weights.as_slice() {
             return Err(format!(
                 "rank {}: replicated weights diverged: {:?} vs {:?}",
@@ -331,7 +340,7 @@ mod tests {
             let cuts = LocalCluster::new(ranks).run(|comm| {
                 let dg = DistGraph::from_global(&g, ranks, comm.rank());
                 let st = shard_state(&dg, &partition);
-                st.edge_cut(comm)
+                st.edge_cut(comm).unwrap()
             });
             for cut in cuts {
                 assert_eq!(cut, expected, "ranks {ranks}");
@@ -361,7 +370,7 @@ mod tests {
                 st.apply_committed(&dg, rec);
                 reference.assign(v, to);
                 st.verify_exact(comm, &dg).unwrap();
-                assert_eq!(st.edge_cut(comm), reference.edge_cut(&g));
+                assert_eq!(st.edge_cut(comm).unwrap(), reference.edge_cut(&g));
             }
         });
     }
@@ -376,7 +385,7 @@ mod tests {
         let merged = LocalCluster::new(ranks).run(|comm| {
             let dg = DistGraph::from_global(&g, ranks, comm.rank());
             let st = shard_state(&dg, &partition);
-            let shares = comm.allgather(st.quotient_partial(&dg));
+            let shares = comm.allgather(st.quotient_partial(&dg)).unwrap();
             let mut map = std::collections::HashMap::new();
             for (a, b, w) in shares.into_iter().flatten() {
                 *map.entry((a, b)).or_insert(0) += w;

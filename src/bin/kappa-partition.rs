@@ -27,6 +27,15 @@ use std::process::ExitCode;
 
 use kappa::prelude::*;
 
+/// Which cluster backend `--ranks` runs over.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Transport {
+    /// In-process cluster: one thread per rank, channels in between.
+    Local,
+    /// Localhost TCP cluster: one OS process per rank, sockets in between.
+    Tcp,
+}
+
 struct CliArgs {
     graph_path: Option<PathBuf>,
     k: u32,
@@ -35,9 +44,14 @@ struct CliArgs {
     seed: u64,
     threads: usize,
     ranks: Option<usize>,
+    transport: Transport,
     output: Option<PathBuf>,
     generate: Option<String>,
     nodes: usize,
+    /// Internal: this process is TCP worker rank R of a launched cluster.
+    worker_rank: Option<usize>,
+    /// Internal: rendezvous address of the launching parent.
+    rendezvous: Option<String>,
 }
 
 fn parse_args() -> Result<CliArgs, String> {
@@ -50,9 +64,12 @@ fn parse_args() -> Result<CliArgs, String> {
         seed: 0,
         threads: 0,
         ranks: None,
+        transport: Transport::Local,
         output: None,
         generate: None,
         nodes: 100_000,
+        worker_rank: None,
+        rendezvous: None,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -93,6 +110,22 @@ fn parse_args() -> Result<CliArgs, String> {
                 }
                 cli.ranks = Some(ranks);
             }
+            "--transport" => {
+                cli.transport = match value("--transport")?.as_str() {
+                    "local" => Transport::Local,
+                    "tcp" => Transport::Tcp,
+                    other => return Err(format!("unknown transport {other:?}")),
+                }
+            }
+            // Internal flags of the TCP launcher (one process per rank).
+            "--_tcp-worker" => {
+                cli.worker_rank = Some(
+                    value("--_tcp-worker")?
+                        .parse()
+                        .map_err(|e| format!("bad --_tcp-worker: {e}"))?,
+                )
+            }
+            "--_tcp-rendezvous" => cli.rendezvous = Some(value("--_tcp-rendezvous")?),
             "--output" => cli.output = Some(PathBuf::from(value("--output")?)),
             "--generate" => cli.generate = Some(value("--generate")?),
             "--nodes" => {
@@ -112,6 +145,12 @@ fn parse_args() -> Result<CliArgs, String> {
     }
     if cli.graph_path.is_none() && cli.generate.is_none() {
         return Err("either a METIS graph file or --generate <family> is required".to_string());
+    }
+    if cli.transport == Transport::Tcp && cli.ranks.is_none() {
+        return Err("--transport tcp requires --ranks".to_string());
+    }
+    if cli.worker_rank.is_some() != cli.rendezvous.is_some() {
+        return Err("--_tcp-worker and --_tcp-rendezvous go together".to_string());
     }
     Ok(cli)
 }
@@ -161,10 +200,14 @@ OPTIONS:
                         --ranks => identical output)       [default: 0]
   --threads <T>         worker threads (0 = all cores)     [default: 0]
   --ranks <R>           run the distributed-memory pipeline over R
-                        message-passing ranks (in-process cluster with
-                        ghosted graph shards; --ranks 1 is cut-identical
+                        message-passing ranks (--ranks 1 is cut-identical
                         to the shared-memory pipeline at --threads 1;
                         supersedes --threads, which is then ignored)
+  --transport <T>       cluster backend for --ranks        [default: local]
+                        local: in-process, one thread per rank
+                        tcp:   one OS process per rank over localhost
+                               sockets (same result bit for bit — the
+                               pipeline is transport-independent per seed)
   --output <FILE>       partition output path   [default: <GRAPH>.part.<K>]
   --generate <FAMILY>   ignore <GRAPH> and generate an instance instead:
                         rgg | delaunay | grid | road | rmat
@@ -215,6 +258,19 @@ fn main() -> ExitCode {
         .with_epsilon(cli.epsilon)
         .with_seed(cli.seed)
         .with_threads(cli.threads);
+
+    // TCP worker mode: this process is one rank of a launched cluster.
+    if let (Some(rank), Some(rendezvous)) = (cli.worker_rank, &cli.rendezvous) {
+        let ranks = cli.ranks.expect("worker implies --ranks");
+        return run_tcp_worker(&cli, &graph, config, ranks, rank, rendezvous);
+    }
+    // TCP parent mode: launch one worker process per rank, serve the
+    // rendezvous, and let rank 0 write the partition.
+    if cli.transport == Transport::Tcp {
+        let ranks = cli.ranks.expect("checked in parse_args");
+        return launch_tcp_cluster(&cli, ranks);
+    }
+
     let partition = if let Some(ranks) = cli.ranks {
         if cli.threads != 0 {
             eprintln!(
@@ -224,7 +280,13 @@ fn main() -> ExitCode {
             );
         }
         let start = std::time::Instant::now();
-        let result = partition_distributed(&graph, &DistConfig::new(config, ranks));
+        let result = match partition_distributed(&graph, &DistConfig::new(config, ranks)) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("error: distributed run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         let metrics =
             PartitionMetrics::measure(&graph, &result.partition, cli.epsilon, start.elapsed());
         eprintln!(
@@ -250,12 +312,17 @@ fn main() -> ExitCode {
         result.partition
     };
 
+    write_partition(&cli, &name, &partition)
+}
+
+/// Writes one block id per line to the configured (or default) output path.
+fn write_partition(cli: &CliArgs, name: &str, partition: &kappa::graph::Partition) -> ExitCode {
     let output = cli.output.clone().unwrap_or_else(|| {
         let base = cli
             .graph_path
             .as_ref()
             .map(|p| p.display().to_string())
-            .unwrap_or_else(|| name.clone());
+            .unwrap_or_else(|| name.to_string());
         PathBuf::from(format!("{base}.part.{}", cli.k))
     });
     let lines: Vec<String> = partition
@@ -269,4 +336,135 @@ fn main() -> ExitCode {
     }
     eprintln!("wrote partition to {}", output.display());
     ExitCode::SUCCESS
+}
+
+/// One rank of a `--transport tcp` cluster: joins the mesh through the
+/// parent's rendezvous, runs the SPMD pipeline, and (on rank 0) writes the
+/// partition and the run metrics. A communication failure exits non-zero
+/// with the diagnosed error on stderr.
+fn run_tcp_worker(
+    cli: &CliArgs,
+    graph: &CsrGraph,
+    config: KappaConfig,
+    ranks: usize,
+    rank: usize,
+    rendezvous: &str,
+) -> ExitCode {
+    use kappa::dist::{partition_with_comm, TcpClusterConfig, TcpComm};
+    let start = std::time::Instant::now();
+    let mut comm =
+        match TcpComm::connect_worker(rendezvous, rank, ranks, TcpClusterConfig::default()) {
+            Ok(comm) => comm,
+            Err(e) => {
+                eprintln!("error: rank {rank} could not join the cluster: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    match partition_with_comm(&mut comm, graph, &DistConfig::new(config, ranks)) {
+        Ok(None) => ExitCode::SUCCESS,
+        Ok(Some(result)) => {
+            let metrics =
+                PartitionMetrics::measure(graph, &result.partition, cli.epsilon, start.elapsed());
+            eprintln!(
+                "{} x{} ranks over tcp: cut = {}, balance = {:.3}, feasible = {}, time = {:.3} s",
+                cli.preset.name(),
+                ranks,
+                metrics.edge_cut,
+                metrics.balance,
+                metrics.feasible,
+                metrics.runtime_secs()
+            );
+            let name = cli
+                .generate
+                .as_ref()
+                .map(|family| format!("{family}-{}", cli.nodes))
+                .unwrap_or_default();
+            write_partition(cli, &name, &result.partition)
+        }
+        Err(e) => {
+            eprintln!("error: rank {rank} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--transport tcp` launcher: spawns one worker process per rank (the
+/// same binary, same arguments, plus the internal worker flags), serves the
+/// rendezvous that wires their mesh, and propagates the workers' exit status.
+fn launch_tcp_cluster(cli: &CliArgs, ranks: usize) -> ExitCode {
+    if cli.threads != 0 {
+        eprintln!(
+            "note: --threads {} is ignored with --ranks {ranks} — the distributed \
+             pipeline's parallelism is one process per rank",
+            cli.threads
+        );
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("error: cannot locate own executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let listener = match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("error: cannot bind rendezvous listener: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rendezvous = match listener.local_addr() {
+        Ok(addr) => addr.to_string(),
+        Err(e) => {
+            eprintln!("error: rendezvous address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let mut children = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let child = std::process::Command::new(&exe)
+            .args(&forwarded)
+            .arg("--_tcp-worker")
+            .arg(rank.to_string())
+            .arg("--_tcp-rendezvous")
+            .arg(&rendezvous)
+            .spawn();
+        match child {
+            Ok(child) => children.push(child),
+            Err(e) => {
+                eprintln!("error: cannot spawn worker rank {rank}: {e}");
+                for mut earlier in children {
+                    let _ = earlier.kill();
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Err(e) = kappa::dist::tcp::rendezvous_serve(&listener, ranks) {
+        eprintln!("error: rendezvous failed: {e}");
+        for mut child in children {
+            let _ = child.kill();
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut all_ok = true;
+    for (rank, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("error: worker rank {rank} exited with {status}");
+                all_ok = false;
+            }
+            Err(e) => {
+                eprintln!("error: waiting for worker rank {rank}: {e}");
+                all_ok = false;
+            }
+        }
+    }
+    if all_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

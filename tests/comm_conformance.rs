@@ -1,0 +1,515 @@
+//! Backend-generic conformance and fault-injection suite for the `Comm`
+//! abstraction (`kappa-dist`).
+//!
+//! Every conformance scenario is written once against the trait and executed
+//! against **both** backends — the in-process `LocalCluster` and the
+//! socket-backed `TcpCluster` — so the transports cannot drift apart in
+//! semantics: point-to-point FIFO per (peer, tag), barrier, broadcast,
+//! gather/allgather rank order, all-to-all-v with zero-length segments,
+//! allreduce determinism, self-sends.
+//!
+//! The fault-injection half pins the failure contract of the whole
+//! distributed pipeline under a seeded `FaultPlan`:
+//!
+//! * **recoverable faults** (duplicate, delay) — the run completes
+//!   bit-identical to a clean run;
+//! * **lossy faults** (drop, reorder past the end of a stream) — the run
+//!   either still completes bit-identical (the fault missed every live
+//!   channel) or fails with a diagnosed `CommError` naming a stuck rank, a
+//!   peer and a tag. It never hangs and never returns a wrong partition.
+//!
+//! Plus the wire-codec properties (round-trips, truncation and corruption
+//! rejection) and the local/tcp end-to-end parity required for
+//! `--transport tcp`.
+
+use std::time::Duration;
+
+use kappa::dist::codec::{decode_frame, encode_frame, Wire};
+use kappa::dist::{
+    partition_distributed, partition_distributed_with, partition_with_comm, Comm, CommErrorKind,
+    DistConfig, FaultPlan, LocalCluster, LocalClusterConfig, TcpCluster, TcpClusterConfig,
+};
+use kappa::gen::{delaunay_like_graph, grid2d, random_geometric_graph};
+use kappa::prelude::*;
+use proptest::prelude::*;
+
+fn local_cluster(ranks: usize) -> LocalCluster {
+    LocalCluster::with_config(
+        ranks,
+        LocalClusterConfig {
+            recv_timeout: Duration::from_secs(20),
+            fault: FaultPlan::default(),
+        },
+    )
+}
+
+fn tcp_cluster(ranks: usize) -> TcpCluster {
+    TcpCluster::with_config(
+        ranks,
+        TcpClusterConfig {
+            recv_timeout: Duration::from_secs(20),
+            connect_timeout: Duration::from_secs(20),
+            fault: FaultPlan::default(),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Conformance scenarios, written once against the Comm trait.
+// ---------------------------------------------------------------------------
+
+/// Messages from one peer stay FIFO within a tag, and tags do not steal each
+/// other's messages (MPI-style matching).
+fn p2p_fifo_per_peer_and_tag<C: Comm>(comm: &mut C) {
+    if comm.rank() == 0 {
+        for v in 0..8u64 {
+            comm.send(1, "even", v * 2).unwrap();
+            comm.send(1, "odd", v * 2 + 1).unwrap();
+        }
+    } else if comm.rank() == 1 {
+        // Claim all odd-tagged messages first: the interleaved even-tagged
+        // ones must stay queued, then arrive in send order.
+        let odds: Vec<u64> = (0..8)
+            .map(|_| comm.recv::<u64>(0, "odd").unwrap())
+            .collect();
+        let evens: Vec<u64> = (0..8)
+            .map(|_| comm.recv::<u64>(0, "even").unwrap())
+            .collect();
+        assert_eq!(odds, vec![1, 3, 5, 7, 9, 11, 13, 15]);
+        assert_eq!(evens, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+}
+
+/// A rank can send to itself; self-messages obey the same FIFO stream rules.
+fn self_sends_are_ordinary<C: Comm>(comm: &mut C) {
+    let me = comm.rank();
+    comm.send(me, "self", me as u64).unwrap();
+    comm.send(me, "self", me as u64 + 100).unwrap();
+    assert_eq!(comm.recv::<u64>(me, "self").unwrap(), me as u64);
+    assert_eq!(comm.recv::<u64>(me, "self").unwrap(), me as u64 + 100);
+}
+
+/// No rank observes fewer than `ranks` pre-barrier increments after the
+/// barrier, even with deliberately skewed arrival times.
+fn barrier_synchronises<C: Comm>(comm: &mut C, counter: &std::sync::atomic::AtomicUsize) {
+    use std::sync::atomic::Ordering;
+    std::thread::sleep(Duration::from_millis(10 * comm.rank() as u64));
+    counter.fetch_add(1, Ordering::SeqCst);
+    comm.barrier().unwrap();
+    assert_eq!(counter.load(Ordering::SeqCst), comm.num_ranks());
+}
+
+/// Broadcast delivers the root's value everywhere, for every root.
+fn broadcast_from_every_root<C: Comm>(comm: &mut C) {
+    for root in 0..comm.num_ranks() {
+        let value = format!("payload-{root}");
+        let got = comm
+            .broadcast(root, (comm.rank() == root).then(|| value.clone()))
+            .unwrap();
+        assert_eq!(got, value);
+    }
+}
+
+/// Gather collects in ascending rank order at the root (and only there);
+/// allgather replicates that exact order everywhere.
+fn gather_and_allgather_preserve_rank_order<C: Comm>(comm: &mut C) {
+    let me = comm.rank() as u64;
+    let gathered = comm.gather(2, "g", me * me).unwrap();
+    if comm.rank() == 2 {
+        let expected: Vec<u64> = (0..comm.num_ranks() as u64).map(|r| r * r).collect();
+        assert_eq!(gathered.unwrap(), expected);
+    } else {
+        assert!(gathered.is_none());
+    }
+    let all = comm.allgather((me, format!("rank-{me}"))).unwrap();
+    let expected: Vec<(u64, String)> = (0..comm.num_ranks() as u64)
+        .map(|r| (r, format!("rank-{r}")))
+        .collect();
+    assert_eq!(all, expected);
+}
+
+/// All-to-all-v routes every (src, dst) segment, zero-length ones included.
+fn alltoallv_routes_zero_length_segments<C: Comm>(comm: &mut C) {
+    let (me, ranks) = (comm.rank(), comm.num_ranks());
+    // Rank r sends a segment of length r to every destination: rank 0 sends
+    // only empty segments, so every length from 0 up is exercised.
+    let parts: Vec<Vec<u64>> = (0..ranks)
+        .map(|dst| vec![(me * 10 + dst) as u64; me])
+        .collect();
+    let received = comm.alltoallv(parts).unwrap();
+    assert_eq!(received.len(), ranks);
+    for (src, part) in received.into_iter().enumerate() {
+        assert_eq!(part, vec![(src * 10 + me) as u64; src], "{src} -> {me}");
+    }
+}
+
+/// Allreduce folds in ascending rank order — deterministic even for a
+/// non-commutative operator — and agrees on every rank.
+fn allreduce_is_deterministic<C: Comm>(comm: &mut C) {
+    let me = comm.rank() as u64;
+    let sum = comm.allreduce_sum(me + 1).unwrap();
+    assert_eq!(
+        sum,
+        (comm.num_ranks() as u64) * (comm.num_ranks() as u64 + 1) / 2
+    );
+    // Non-commutative fold: string concatenation must come out in rank order.
+    let cat = comm
+        .allreduce(format!("{me}"), |a, b| format!("{a}{b}"))
+        .unwrap();
+    let expected: String = (0..comm.num_ranks()).map(|r| r.to_string()).collect();
+    assert_eq!(cat, expected);
+}
+
+/// Expands one `#[test]` per backend for each scenario, so a semantic drift
+/// between the transports fails with the scenario's name attached.
+macro_rules! conformance {
+    ($($scenario:ident @ $ranks:expr),+ $(,)?) => {$(
+        mod $scenario {
+            use super::*;
+            #[test]
+            fn local() {
+                local_cluster($ranks).run(|comm| $scenario(comm));
+            }
+            #[test]
+            fn tcp() {
+                tcp_cluster($ranks).run(|comm| $scenario(comm));
+            }
+        }
+    )+};
+}
+
+conformance!(
+    p2p_fifo_per_peer_and_tag @ 2,
+    self_sends_are_ordinary @ 3,
+    broadcast_from_every_root @ 4,
+    gather_and_allgather_preserve_rank_order @ 4,
+    alltoallv_routes_zero_length_segments @ 4,
+    allreduce_is_deterministic @ 4,
+);
+
+mod barrier_synchronises {
+    use super::*;
+    #[test]
+    fn local() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        local_cluster(4).run(|comm| barrier_synchronises(comm, &counter));
+    }
+    #[test]
+    fn tcp() {
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        tcp_cluster(4).run(|comm| barrier_synchronises(comm, &counter));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection against the full distributed pipeline.
+// ---------------------------------------------------------------------------
+
+fn fault_workload() -> (CsrGraph, DistConfig) {
+    let graph = random_geometric_graph(800, 5);
+    let config = DistConfig::new(KappaConfig::fast(4).with_seed(9), 4);
+    (graph, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Duplicates and delays are fully recoverable: the sequence-numbered
+    /// streams dedup and reassemble them, and the faulted run is
+    /// bit-identical to the clean one.
+    #[test]
+    fn recoverable_faults_leave_the_result_bit_identical(seed in any::<u64>()) {
+        let (graph, config) = fault_workload();
+        let clean = partition_distributed(&graph, &config).unwrap();
+        let faulted = partition_distributed_with(
+            &graph,
+            &config,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(20),
+                fault: FaultPlan::seeded(seed, 0.0, 0.05, 0.002, 0.0),
+            },
+        )
+        .unwrap();
+        prop_assert_eq!(faulted.partition.assignment(), clean.partition.assignment());
+        prop_assert_eq!(faulted.edge_cut, clean.edge_cut);
+    }
+
+    /// Lossy plans (drops, plus reorders whose held message can fall off the
+    /// end of a stream) either miss every live channel — bit-identical result
+    /// — or surface as a diagnosed CommError. Never a hang, never a silently
+    /// wrong partition.
+    #[test]
+    fn lossy_faults_are_bit_identical_or_diagnosed(seed in any::<u64>()) {
+        let (graph, config) = fault_workload();
+        let clean = partition_distributed(&graph, &config).unwrap();
+        let started = std::time::Instant::now();
+        let outcome = partition_distributed_with(
+            &graph,
+            &config,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(2),
+                fault: FaultPlan::seeded(seed, 0.0005, 0.01, 0.0, 0.003),
+            },
+        );
+        prop_assert!(
+            started.elapsed() < Duration::from_secs(60),
+            "faulted run must never hang"
+        );
+        match outcome {
+            Ok(result) => {
+                prop_assert_eq!(
+                    result.partition.assignment(),
+                    clean.partition.assignment(),
+                    "a run that completes under faults must be bit-identical"
+                );
+                prop_assert_eq!(result.edge_cut, clean.edge_cut);
+            }
+            Err(err) => {
+                prop_assert!(err.rank < config.ranks);
+                prop_assert!(err.peer < config.ranks);
+                prop_assert!(!err.tag.is_empty(), "error must name the tag in flight");
+                prop_assert!(matches!(
+                    err.kind,
+                    CommErrorKind::Timeout { .. } | CommErrorKind::Disconnected
+                ));
+            }
+        }
+    }
+}
+
+/// The regression shape from the issue: one targeted dropped message in an
+/// R = 4 run produces a clean, prompt error naming the stuck rank, the peer
+/// and the tag — not a deadlock, not a wrong partition.
+#[test]
+fn dropped_message_at_four_ranks_is_diagnosed_with_rank_and_tag() {
+    let graph = random_geometric_graph(1500, 3);
+    let config = DistConfig::new(KappaConfig::fast(8).with_seed(1), 4);
+    let started = std::time::Instant::now();
+    let err = partition_distributed_with(
+        &graph,
+        &config,
+        LocalClusterConfig {
+            recv_timeout: Duration::from_secs(2),
+            // The very first frame rank 1 sends to rank 2 vanishes.
+            fault: FaultPlan::drop_nth(1, 2, 0),
+        },
+    )
+    .unwrap_err();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the failure must surface promptly"
+    );
+    // The diagnosis is the timeout of a stuck receiver, not the disconnect
+    // cascade it triggers. Usually that is rank 2 waiting on rank 1 (the
+    // dropped channel), but one drop stalls several ranks near-simultaneously
+    // (rank 2 mid-collective, its peers at their next receive from rank 2),
+    // and on a loaded single-core box any of those concurrent timers can
+    // expire first — so pin the contract, not the scheduling: a Timeout
+    // naming some stuck (rank, peer) pair and the tag in flight.
+    assert!(
+        matches!(err.kind, CommErrorKind::Timeout { .. }),
+        "expected a timeout diagnosis, got {:?}",
+        err.kind
+    );
+    assert!(err.rank < config.ranks, "stuck rank out of range: {err}");
+    assert!(err.peer < config.ranks, "peer out of range: {err}");
+    assert_ne!(
+        err.rank, err.peer,
+        "a rank cannot be stuck on itself: {err}"
+    );
+    assert!(!err.tag.is_empty(), "error must name the tag");
+    // The rendered message carries the full story for the CLI user.
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains(&format!("rank {}", err.rank)),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains(&format!("rank {}", err.peer)),
+        "{rendered}"
+    );
+    assert!(rendered.contains(&err.tag), "{rendered}");
+}
+
+/// The same drop through the TCP backend: real sockets, same contract.
+#[test]
+fn dropped_frame_over_tcp_is_diagnosed_not_hung() {
+    let cluster = TcpCluster::with_config(
+        2,
+        TcpClusterConfig {
+            recv_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(20),
+            fault: FaultPlan::drop_nth(0, 1, 2),
+        },
+    );
+    let started = std::time::Instant::now();
+    let results = cluster.run(|comm| -> kappa::dist::CommResult<u64> {
+        if comm.rank() == 0 {
+            for v in 0..10u64 {
+                comm.send(1, "stream", v)?;
+            }
+            Ok(0)
+        } else {
+            let mut acc = 0;
+            for _ in 0..10 {
+                acc += comm.recv::<u64>(0, "stream")?;
+            }
+            Ok(acc)
+        }
+    });
+    assert!(started.elapsed() < Duration::from_secs(30), "must not hang");
+    let err = results[1].clone().unwrap_err();
+    assert_eq!((err.rank, err.peer, err.tag.as_str()), (1, 0, "stream"));
+    assert!(matches!(
+        err.kind,
+        CommErrorKind::Timeout { .. } | CommErrorKind::Disconnected
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// Wire-codec properties over the pipeline's message shapes.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Round-trips of the concrete payload shapes the pipeline sends:
+    /// adjacency rows, quality keys, move records, partitions, band regions.
+    #[test]
+    fn pipeline_message_shapes_round_trip(seed in any::<u64>(), n in 0usize..40) {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        // Adjacency rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)>.
+        let rows: Vec<(Vec<(u32, u64)>, u64)> = (0..n)
+            .map(|_| {
+                let deg = (next() % 6) as usize;
+                ((0..deg).map(|_| (next() as u32, next() % 1000)).collect(), next() % 100)
+            })
+            .collect();
+        let bytes = rows.to_bytes();
+        prop_assert_eq!(&<Vec<(Vec<(u32, u64)>, u64)>>::from_bytes(&bytes).unwrap(), &rows);
+
+        // Quality keys: (infeasible, cut, balance).
+        let key = ((next() % 2) as u8, next() as f64 / 7.0, 1.0 + (next() % 100) as f64 / 1000.0);
+        prop_assert_eq!(<(u8, f64, f64)>::from_bytes(&key.to_bytes()).unwrap(), key);
+
+        // Partitions (k, assignment).
+        let k = 1 + (next() % 8) as u32;
+        let assignment: Vec<u32> = (0..n).map(|_| next() as u32 % k).collect();
+        let p = Partition::from_assignment(k, assignment);
+        let decoded = Partition::from_bytes(&p.to_bytes()).unwrap();
+        prop_assert_eq!(decoded.k(), p.k());
+        prop_assert_eq!(decoded.assignment(), p.assignment());
+
+        // Band regions: RegionNode with nested RegionEdges.
+        let nodes: Vec<kappa::refine::RegionNode> = (0..n.min(12))
+            .map(|_| kappa::refine::RegionNode {
+                gid: next() as u32,
+                weight: next() % 50,
+                block: next() as u32 % k,
+                edges: (0..(next() % 4) as usize)
+                    .map(|_| kappa::refine::RegionEdge {
+                        to: next() as u32,
+                        weight: 1 + next() % 9,
+                        to_block: next() as u32 % k,
+                        to_weight: next() % 50,
+                    })
+                    .collect(),
+            })
+            .collect();
+        prop_assert_eq!(
+            &Vec::<kappa::refine::RegionNode>::from_bytes(&nodes.to_bytes()).unwrap(),
+            &nodes
+        );
+    }
+
+    /// Every truncation of an encoded frame is rejected, and so is every
+    /// single-byte corruption — a damaged frame can never decode into a
+    /// different valid message.
+    #[test]
+    fn truncated_and_corrupted_frames_are_rejected(seed in any::<u64>(), len in 0usize..64) {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let payload: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+        let bytes = encode_frame(next() as u32 % 64, next() % 1_000, "alltoallv", &payload);
+        let (frame, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(&frame.payload, &payload);
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_frame(&bytes[..cut]).is_err(), "prefix {} decoded", cut);
+        }
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (next() % 8);
+            prop_assert!(decode_frame(&bad).is_err(), "corruption at byte {} decoded", i);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport parity: the pipeline is bit-identical across backends.
+// ---------------------------------------------------------------------------
+
+/// `--transport tcp` must reproduce the local cluster bit for bit: every
+/// decision in the pipeline is seed-driven over deterministic collective
+/// schedules, so the transport cannot leak into the result.
+#[test]
+fn tcp_transport_is_bit_identical_to_local_for_every_rank_count() {
+    let instances: Vec<(&str, CsrGraph)> = vec![
+        ("rgg-2000", random_geometric_graph(2000, 7)),
+        ("grid-45x45", grid2d(45, 45)),
+        ("delaunay-1500", delaunay_like_graph(1500, 4)),
+    ];
+    for (name, graph) in &instances {
+        for ranks in [1usize, 2, 4, 8] {
+            let config = DistConfig::new(KappaConfig::fast(8).with_seed(5), ranks);
+            let local = partition_distributed(graph, &config).unwrap();
+            let mut tcp_results =
+                tcp_cluster(ranks).run(|comm| partition_with_comm(comm, graph, &config).unwrap());
+            let tcp = tcp_results
+                .remove(0)
+                .expect("rank 0 returns the assembled result");
+            for other in tcp_results {
+                assert!(other.is_none(), "only rank 0 assembles a result");
+            }
+            assert_eq!(
+                tcp.partition.assignment(),
+                local.partition.assignment(),
+                "{name} ranks={ranks}: tcp assignment diverged from local"
+            );
+            assert_eq!(tcp.edge_cut, local.edge_cut, "{name} ranks={ranks}");
+            assert_eq!(tcp.hierarchy_levels, local.hierarchy_levels);
+            assert_eq!(tcp.coarsest_nodes, local.coarsest_nodes);
+            assert_eq!(
+                tcp.boundary_full_builds_per_rank,
+                local.boundary_full_builds_per_rank
+            );
+        }
+    }
+}
+
+/// `partition_with_comm` over a LocalCluster matches `partition_distributed`
+/// too — the redundant per-rank layout computation changes nothing.
+#[test]
+fn partition_with_comm_matches_the_driver_entry_point_locally() {
+    let graph = random_geometric_graph(2000, 2);
+    for ranks in [1usize, 4] {
+        let config = DistConfig::new(KappaConfig::fast(4).with_seed(11), ranks);
+        let driver = partition_distributed(&graph, &config).unwrap();
+        let mut results =
+            local_cluster(ranks).run(|comm| partition_with_comm(comm, &graph, &config).unwrap());
+        let spmd = results.remove(0).expect("rank 0 assembles");
+        assert_eq!(spmd.partition.assignment(), driver.partition.assignment());
+        assert_eq!(spmd.edge_cut, driver.edge_cut);
+    }
+}

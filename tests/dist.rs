@@ -23,6 +23,7 @@ use common::{assert_feasible, suite_instances};
 
 fn dist_run(graph: &CsrGraph, config: KappaConfig, ranks: usize) -> kappa::dist::DistRunResult {
     partition_distributed(graph, &DistConfig::new(config, ranks))
+        .expect("fault-free run must not fail")
 }
 
 #[test]
