@@ -18,6 +18,8 @@
 //! `::warning::` workflow command so it surfaces on the PR checks page;
 //! `--fail-on-regression` turns regressions into a non-zero exit code.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

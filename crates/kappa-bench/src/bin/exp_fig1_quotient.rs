@@ -9,6 +9,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_fig1_quotient -- [--k 8] [--side 24]`
 
+#![forbid(unsafe_code)]
+
 use kappa_bench::Args;
 use kappa_core::{KappaConfig, KappaPartitioner};
 use kappa_gen::grid2d;

@@ -11,6 +11,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_fig2_band -- [--n 20000] [--k 8]`
 
+#![forbid(unsafe_code)]
+
 use kappa_bench::{fmt_f, Args, Table};
 use kappa_core::{KappaConfig, KappaPartitioner};
 use kappa_gen::random_geometric_graph;

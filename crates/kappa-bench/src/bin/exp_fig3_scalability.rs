@@ -15,6 +15,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_fig3_scalability -- [--scale 0.05] [--k 64] [--threads-list 1,2,4,8] [--reps 1]`
 
+#![forbid(unsafe_code)]
+
 use kappa_baselines::BaselineKind;
 use kappa_bench::{fmt_f, run_tool, Args, Table, Tool};
 use kappa_core::ConfigPreset;

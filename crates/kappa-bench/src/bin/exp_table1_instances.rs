@@ -7,6 +7,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_table1_instances -- [--scale 0.1] [--seed 42] [--json]`
 
+#![forbid(unsafe_code)]
+
 use kappa_bench::{Args, Table};
 use kappa_gen::{large_suite, small_suite};
 

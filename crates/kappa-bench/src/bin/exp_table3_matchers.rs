@@ -8,6 +8,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_table3_matchers -- [--scale 0.1] [--k 2,8,32] [--reps 3]`
 
+#![forbid(unsafe_code)]
+
 use kappa_bench::{fmt_f, run_kappa, Args, Table};
 use kappa_core::metrics::geometric_mean;
 use kappa_core::KappaConfig;

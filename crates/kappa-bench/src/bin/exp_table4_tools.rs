@@ -8,6 +8,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_table4_tools -- [--scale 0.05] [--k 64] [--reps 2]`
 
+#![forbid(unsafe_code)]
+
 use kappa_bench::{fmt_f, run_tool, Args, Table, Tool};
 use kappa_core::metrics::geometric_mean;
 use kappa_gen::large_suite;

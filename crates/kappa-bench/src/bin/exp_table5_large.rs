@@ -10,6 +10,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_table5_large -- [--scale 0.05] [--k 64] [--reps 2]`
 
+#![forbid(unsafe_code)]
+
 use kappa_bench::{fmt_f, run_tool, Args, Table, Tool};
 use kappa_gen::{
     delaunay_like_graph, random_geometric_graph, road_network_like, Instance, InstanceFamily,

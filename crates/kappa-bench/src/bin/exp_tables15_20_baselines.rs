@@ -7,6 +7,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_tables15_20_baselines -- [--tool kmetis-like] [--scale 0.05] [--k 16,32,64] [--reps 2]`
 
+#![forbid(unsafe_code)]
+
 use kappa_baselines::BaselineKind;
 use kappa_bench::{fmt_f, run_baseline, Args, Table};
 use kappa_gen::large_suite;

@@ -15,6 +15,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_tables21_23_walshaw -- [--scale 0.05] [--k 2,8,32] [--eps 0.01,0.03,0.05] [--tries 3]`
 
+#![forbid(unsafe_code)]
+
 use kappa_baselines::BaselineKind;
 use kappa_bench::{fmt_f, Args, Table};
 use kappa_core::{KappaConfig, KappaPartitioner};

@@ -8,6 +8,8 @@
 //!
 //! Usage: `cargo run --release -p kappa-bench --bin exp_tables6_14_kappa -- [--config fast] [--scale 0.05] [--k 16,32,64] [--reps 2]`
 
+#![forbid(unsafe_code)]
+
 use kappa_bench::{fmt_f, run_kappa, Args, Table};
 use kappa_core::{ConfigPreset, KappaConfig};
 use kappa_gen::large_suite;

@@ -93,6 +93,7 @@ impl KappaPartitioner {
 
     fn partition_inner(&self, graph: &CsrGraph) -> PartitionResult {
         let config = &self.config;
+        // kappa-lint: allow(wall-clock) -- phase timing for PartitionMetrics; never feeds the partition.
         let start = Instant::now();
         let k = config.k.max(1);
         let n = graph.num_nodes();
@@ -114,6 +115,7 @@ impl KappaPartitioner {
         }
 
         // --- Phase 1: contraction (parallel matching + contraction). ---
+        // kappa-lint: allow(wall-clock) -- phase timing for PhaseTimings; never feeds the partition.
         let coarsen_start = Instant::now();
         let num_parts = if config.num_threads > 0 {
             config.num_threads
@@ -153,6 +155,7 @@ impl KappaPartitioner {
         let coarsening_time = coarsen_start.elapsed();
 
         // --- Phase 2: initial partitioning of the coarsest graph. ---
+        // kappa-lint: allow(wall-clock) -- phase timing for PhaseTimings; never feeds the partition.
         let initial_start = Instant::now();
         let coarsest = hierarchy.coarsest();
         let initial_config = InitialPartitionConfig {
@@ -166,6 +169,7 @@ impl KappaPartitioner {
         let initial_time = initial_start.elapsed();
 
         // --- Phase 3: uncoarsening with pairwise parallel refinement. ---
+        // kappa-lint: allow(wall-clock) -- phase timing for PhaseTimings; never feeds the partition.
         let refine_start = Instant::now();
         let refinement_config = RefinementConfig {
             epsilon: config.epsilon,

@@ -70,6 +70,11 @@ pub enum CommErrorKind {
     Handshake(String),
     /// An underlying socket operation failed.
     Io(String),
+    /// The collective/exchange protocol itself was violated — a root called
+    /// without its value, a part count that does not match the cluster size,
+    /// a handshake that failed to terminate. The peers are fine; the call
+    /// was wrong, and the caller gets a diagnosis instead of a dead rank.
+    Protocol(String),
 }
 
 /// A diagnosed communication failure: which rank was stuck, on which peer,
@@ -120,6 +125,11 @@ impl std::fmt::Display for CommError {
                 "rank {} i/o error with rank {} on {:?}: {detail}",
                 self.rank, self.peer, self.tag
             ),
+            CommErrorKind::Protocol(detail) => write!(
+                f,
+                "rank {} protocol violation in {:?}: {detail}",
+                self.rank, self.tag
+            ),
         }
     }
 }
@@ -138,6 +148,21 @@ pub type CommResult<T> = Result<T, CommError>;
 pub trait Message: Wire + Send + 'static {}
 
 impl<T: Wire + Send + 'static> Message for T {}
+
+/// Collective tags live in the reserved `::` namespace — user tags never
+/// start with `::`, so a user exchange named "bcast" or "barrier" can never
+/// collide with (and misdeliver against) the collectives' own traffic. The
+/// transport's send-path assertion and the `tag-reserved` lint rule enforce
+/// the two sides of this split.
+pub(crate) const BARRIER_TAG: &str = "::barrier";
+pub(crate) const BCAST_TAG: &str = "::bcast";
+pub(crate) const ALLGATHER_TAG: &str = "::allgather";
+pub(crate) const ALLTOALLV_TAG: &str = "::alltoallv";
+
+/// Every reserved tag a [`Comm`] default implementation puts on the wire.
+/// The TCP transport's send-path check allows exactly these plus its own
+/// control frames; anything else starting with `::` is rejected.
+pub(crate) const COLLECTIVE_TAGS: &[&str] = &[BARRIER_TAG, BCAST_TAG, ALLGATHER_TAG, ALLTOALLV_TAG];
 
 /// The communication interface of one rank.
 ///
@@ -164,7 +189,7 @@ pub trait Comm {
 
     /// Synchronises all ranks.
     fn barrier(&mut self) -> CommResult<()> {
-        self.gather(0, "barrier", ())?;
+        self.gather(0, BARRIER_TAG, ())?;
         self.broadcast::<()>(0, Some(()))?;
         Ok(())
     }
@@ -182,6 +207,7 @@ pub trait Comm {
             let mut own = Some(value);
             for src in 0..self.num_ranks() {
                 if src == root {
+                    // kappa-lint: allow(dist-no-panic) -- the loop visits src == root exactly once, so the Option is always full here
                     all.push(own.take().expect("own value consumed twice"));
                 } else {
                     all.push(self.recv(src, tag)?);
@@ -194,24 +220,36 @@ pub trait Comm {
         }
     }
 
-    /// Broadcasts `value` (meaningful at `root` only) to every rank.
+    /// Broadcasts `value` (meaningful at `root` only) to every rank. A root
+    /// that supplies no value is a protocol violation, diagnosed as an error
+    /// — the non-root ranks would otherwise wait on a broadcast that never
+    /// happens.
     fn broadcast<T: Message + Clone>(&mut self, root: usize, value: Option<T>) -> CommResult<T> {
         if self.rank() == root {
-            let value = value.expect("broadcast root must supply a value");
+            let Some(value) = value else {
+                return Err(CommError {
+                    rank: self.rank(),
+                    peer: root,
+                    tag: BCAST_TAG.to_string(),
+                    kind: CommErrorKind::Protocol(
+                        "broadcast root called without a value".to_string(),
+                    ),
+                });
+            };
             for dst in 0..self.num_ranks() {
                 if dst != root {
-                    self.send(dst, "bcast", value.clone())?;
+                    self.send(dst, BCAST_TAG, value.clone())?;
                 }
             }
             Ok(value)
         } else {
-            self.recv(root, "bcast")
+            self.recv(root, BCAST_TAG)
         }
     }
 
     /// Gathers one value per rank on **every** rank (in rank order).
     fn allgather<T: Message + Clone>(&mut self, value: T) -> CommResult<Vec<T>> {
-        let gathered = self.gather(0, "allgather", value)?;
+        let gathered = self.gather(0, ALLGATHER_TAG, value)?;
         self.broadcast(0, gathered)
     }
 
@@ -220,21 +258,32 @@ pub trait Comm {
     /// Zero-length parts are legal and arrive as empty vectors.
     fn alltoallv<T: Message>(&mut self, mut parts: Vec<Vec<T>>) -> CommResult<Vec<Vec<T>>> {
         let (me, ranks) = (self.rank(), self.num_ranks());
-        assert_eq!(parts.len(), ranks, "alltoallv needs one part per rank");
+        if parts.len() != ranks {
+            return Err(CommError {
+                rank: me,
+                peer: me,
+                tag: ALLTOALLV_TAG.to_string(),
+                kind: CommErrorKind::Protocol(format!(
+                    "alltoallv needs one part per rank: got {} parts for {ranks} ranks",
+                    parts.len()
+                )),
+            });
+        }
         // Post every send first (sends never block), then receive in rank
         // order — a deterministic, deadlock-free schedule.
         let mut own = Some(std::mem::take(&mut parts[me]));
         for (dst, part) in parts.into_iter().enumerate() {
             if dst != me {
-                self.send(dst, "alltoallv", part)?;
+                self.send(dst, ALLTOALLV_TAG, part)?;
             }
         }
         let mut out = Vec::with_capacity(ranks);
         for src in 0..ranks {
             if src == me {
+                // kappa-lint: allow(dist-no-panic) -- the loop visits src == me exactly once, so the Option is always full here
                 out.push(own.take().expect("own part consumed twice"));
             } else {
-                out.push(self.recv(src, "alltoallv")?);
+                out.push(self.recv(src, ALLTOALLV_TAG)?);
             }
         }
         Ok(out)
@@ -248,6 +297,7 @@ pub trait Comm {
         F: Fn(T, T) -> T,
     {
         let mut all = self.allgather(value)?.into_iter();
+        // kappa-lint: allow(dist-no-panic) -- allgather returns exactly num_ranks() elements and a cluster has at least one rank
         let first = all.next().expect("at least one rank");
         Ok(all.fold(first, op))
     }
@@ -389,6 +439,7 @@ impl LocalCluster {
 
     /// A cluster with explicit timeout / fault-injection configuration.
     pub fn with_config(ranks: usize, config: LocalClusterConfig) -> Self {
+        // kappa-lint: allow(dist-no-panic) -- construction-time misconfiguration on the launching process, before any rank exists; aborting here is the diagnosis
         assert!(ranks >= 1, "a cluster needs at least one rank");
         LocalCluster { ranks, config }
     }
@@ -426,7 +477,9 @@ impl LocalCluster {
             comms.push(LocalComm {
                 rank,
                 ranks,
+                // kappa-lint: allow(dist-no-panic) -- the wiring loop above fills every (src, dst) slot before any endpoint is built
                 txs: tx_row.into_iter().map(|t| t.expect("wired")).collect(),
+                // kappa-lint: allow(dist-no-panic) -- same wiring invariant as the sender row
                 rxs: rx_row.into_iter().map(|r| r.expect("wired")).collect(),
                 send_seqs: vec![0; ranks],
                 inboxes: (0..ranks).map(|_| SeqInbox::new()).collect(),
@@ -527,6 +580,7 @@ impl Comm for LocalComm {
     }
 
     fn recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<T> {
+        // kappa-lint: allow(wall-clock) -- timeout bookkeeping only; the clock decides when to give up, never what a result contains
         let deadline = Instant::now() + self.config.recv_timeout;
         loop {
             if let Some(env) = self.inboxes[from].take(|e| e.tag == tag) {
@@ -536,6 +590,7 @@ impl Comm for LocalComm {
                     .map(|b| *b)
                     .map_err(|_| self.error(from, tag, CommErrorKind::TypeMismatch));
             }
+            // kappa-lint: allow(wall-clock) -- remaining-timeout arithmetic, same as above
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(self.error(
@@ -709,8 +764,10 @@ mod tests {
         );
         let results = cluster.run(|comm| {
             if comm.rank() == 0 {
+                // kappa-lint: allow(tag-pairing) -- the mismatch is the point: this test proves "alpha" stays queued rather than satisfying the "beta" receive
                 comm.send(1, "alpha", 1u32)
             } else {
+                // kappa-lint: allow(tag-pairing) -- deliberately unmatched receive; must time out with a diagnosis (see above)
                 comm.recv::<u32>(0, "beta").map(|_| ())
             }
         });

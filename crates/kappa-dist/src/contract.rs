@@ -20,9 +20,21 @@
 
 use kappa_graph::{EdgeWeight, NodeId, NodeWeight, INVALID_NODE};
 
-use crate::comm::{Comm, CommResult};
+use crate::comm::{Comm, CommError, CommErrorKind, CommResult};
 use crate::graph::DistGraph;
 use crate::matching::DistMatching;
+
+/// A cross-rank invariant of the contraction protocol failed — the data
+/// another rank shipped (or failed to ship) is inconsistent with the local
+/// matching. Diagnosed, not panicked: the caller learns which rank saw what.
+fn proto_err<C: Comm>(comm: &C, detail: String) -> CommError {
+    CommError {
+        rank: comm.rank(),
+        peer: comm.rank(),
+        tag: "contract".to_string(),
+        kind: CommErrorKind::Protocol(detail),
+    }
+}
 
 /// Result of one distributed contraction step.
 #[derive(Clone, Debug)]
@@ -52,9 +64,11 @@ pub fn distributed_contraction<C: Comm>(
     let my_anchors: Vec<NodeId> = (0..ln as NodeId).filter(|&l| is_anchor(l)).collect();
     let counts = comm.allgather(my_anchors.len() as NodeId)?;
     let mut coarse_starts: Vec<NodeId> = Vec::with_capacity(ranks + 1);
-    coarse_starts.push(0);
+    let mut acc: NodeId = 0;
+    coarse_starts.push(acc);
     for c in &counts {
-        coarse_starts.push(coarse_starts.last().unwrap() + c);
+        acc += c;
+        coarse_starts.push(acc);
     }
     let my_offset = coarse_starts[comm.rank()];
 
@@ -82,10 +96,20 @@ pub fn distributed_contraction<C: Comm>(
         if coarse_of_owned[l as usize] == INVALID_NODE {
             let p = matching.partner_owned[l as usize];
             debug_assert!(p != INVALID_NODE && p < lo + l);
-            let pl = dg.local_of(p).expect("matched partner must be local");
+            let pl = dg.local_of(p).ok_or_else(|| {
+                proto_err(
+                    comm,
+                    format!("matched partner {p} of node {} is not local", lo + l),
+                )
+            })?;
             debug_assert!(!dg.is_owned_local(pl));
             let cid = ghost_coarse_round1[pl as usize - ln];
-            assert_ne!(cid, INVALID_NODE, "anchor id missing for cross pair");
+            if cid == INVALID_NODE {
+                return Err(proto_err(
+                    comm,
+                    format!("anchor id missing for cross pair ({}, {p})", lo + l),
+                ));
+            }
             coarse_of_owned[l as usize] = cid;
         }
     }
@@ -148,7 +172,12 @@ pub fn distributed_contraction<C: Comm>(
         let mut weight = dg.local().node_weight(l);
         let p = matching.partner_owned[l as usize];
         if p != INVALID_NODE {
-            let pl = dg.local_of(p).expect("partner is local");
+            let pl = dg.local_of(p).ok_or_else(|| {
+                proto_err(
+                    comm,
+                    format!("matched partner {p} of anchor {} is not local", lo + l),
+                )
+            })?;
             if dg.is_owned_local(pl) {
                 for (t, w) in dg.local().edges_of(pl) {
                     let ct = coarse_of_local(t);
@@ -158,9 +187,17 @@ pub fn distributed_contraction<C: Comm>(
                 }
                 weight += dg.local().node_weight(pl);
             } else {
-                let (row, pw) = shipped_rows
-                    .remove(&(lo + l))
-                    .expect("missing shipped row for cross pair");
+                let (row, pw) = shipped_rows.remove(&(lo + l)).ok_or_else(|| {
+                    proto_err(
+                        comm,
+                        format!(
+                            "rank {} never received the shipped adjacency row for \
+                             anchor {} (partner {p})",
+                            comm.rank(),
+                            lo + l
+                        ),
+                    )
+                })?;
                 for (ct, w) in row {
                     if ct != cid {
                         scratch.push((ct, w));

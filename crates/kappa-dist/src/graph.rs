@@ -20,7 +20,7 @@
 
 use kappa_graph::{BlockAssignment, BlockId, CsrGraph, EdgeWeight, NodeId, NodeWeight};
 
-use crate::comm::{Comm, CommResult, Message};
+use crate::comm::{Comm, CommError, CommErrorKind, CommResult, Message};
 
 /// One rank's shard of a distributed graph.
 #[derive(Clone, Debug)]
@@ -57,6 +57,7 @@ pub fn even_ranges(n: usize, ranks: usize) -> Vec<NodeId> {
 /// The rank owning `gid` under `range_starts`. Ranges may be empty (more
 /// ranks than nodes); the owner is always a non-empty range containing `gid`.
 pub fn owner_in(range_starts: &[NodeId], gid: NodeId) -> usize {
+    // kappa-lint: allow(dist-no-panic) -- inside debug_assert!, compiled out in release; ranges always hold ranks + 1 >= 2 boundaries
     debug_assert!(gid < *range_starts.last().expect("ranges"));
     range_starts.partition_point(|&s| s <= gid) - 1
 }
@@ -90,6 +91,7 @@ impl DistGraph {
         Self::assemble(rank, ranks, range_starts, rows, |gids| {
             Ok(gids.iter().map(|&g| graph.node_weight(g)).collect())
         })
+        // kappa-lint: allow(dist-no-panic) -- the ghost-weight closure above always returns Ok and assemble's row count is ln by construction, so no error path exists
         .expect("local assembly does not communicate")
     }
 
@@ -107,7 +109,17 @@ impl DistGraph {
         let lo = range_starts[rank];
         let hi = range_starts[rank + 1];
         let ln = (hi - lo) as usize;
-        assert_eq!(rows.len(), ln, "one row per owned node");
+        if rows.len() != ln {
+            return Err(CommError {
+                rank,
+                peer: rank,
+                tag: "assemble".to_string(),
+                kind: CommErrorKind::Protocol(format!(
+                    "assemble needs one row per owned node: got {} rows for {ln} nodes",
+                    rows.len()
+                )),
+            });
+        }
         let owner_of = |gid: NodeId| -> usize { owner_in(&range_starts, gid) };
 
         // Ghost set: remote targets, ascending, deduplicated.
@@ -119,6 +131,7 @@ impl DistGraph {
         ghost_global.sort_unstable();
         ghost_global.dedup();
         let ghost_of = |gid: NodeId| -> NodeId {
+            // kappa-lint: allow(dist-no-panic) -- ghost_global was built above from exactly the remote targets this closure is called on
             ln as NodeId + ghost_global.binary_search(&gid).expect("ghost") as NodeId
         };
 
@@ -172,7 +185,17 @@ impl DistGraph {
             xadj.push(adjncy.len());
         }
         vwgt.extend(ghost_weights(&ghost_global)?);
-        assert_eq!(vwgt.len(), n_local, "ghost weight count mismatch");
+        if vwgt.len() != n_local {
+            return Err(CommError {
+                rank,
+                peer: rank,
+                tag: "assemble".to_string(),
+                kind: CommErrorKind::Protocol(format!(
+                    "ghost weight count mismatch: {} weights for {n_local} local nodes",
+                    vwgt.len()
+                )),
+            });
+        }
 
         // Contiguous ghost grouping per owner.
         let mut ghost_of_rank = Vec::with_capacity(ranks + 1);
@@ -237,6 +260,7 @@ impl DistGraph {
 
     /// Total number of global nodes.
     pub fn num_global_nodes(&self) -> usize {
+        // kappa-lint: allow(dist-no-panic) -- range_starts always holds ranks + 1 >= 2 boundaries by construction
         *self.range_starts.last().expect("ranges") as usize
     }
 
@@ -371,10 +395,22 @@ impl DistGraph {
                 out[*slot] = Some(value);
             }
         }
-        Ok(out
-            .into_iter()
-            .map(|v| v.expect("pull response missing"))
-            .collect())
+        // A short response part leaves a slot unfilled — a peer answered
+        // fewer values than asked. Diagnose it instead of killing the rank.
+        out.into_iter()
+            .enumerate()
+            .map(|(i, v)| {
+                v.ok_or_else(|| CommError {
+                    rank: self.rank,
+                    peer: self.owner_of(gids[i]),
+                    tag: "pull".to_string(),
+                    kind: CommErrorKind::Protocol(format!(
+                        "pull response missing for global node {}",
+                        gids[i]
+                    )),
+                })
+            })
+            .collect()
     }
 }
 

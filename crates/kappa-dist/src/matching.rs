@@ -22,7 +22,7 @@
 use kappa_graph::{CsrGraph, EdgeWeight, NodeId, NodeWeight, INVALID_NODE};
 use kappa_matching::{compute_matching, rate_edge, EdgeRating, MatchingAlgorithm};
 
-use crate::comm::{Comm, CommResult};
+use crate::comm::{Comm, CommError, CommErrorKind, CommResult};
 use crate::graph::DistGraph;
 
 /// A distributed matching: partner *global* ids under the owner-computes
@@ -164,15 +164,29 @@ pub fn distributed_matching<C: Comm>(
     let mut rounds = 0usize;
     loop {
         rounds += 1;
-        assert!(
-            rounds <= dg.num_global_nodes() + 2,
-            "gap handshake failed to terminate"
-        );
+        // Every round either matches at least one pair somewhere (so at most
+        // n/2 productive rounds exist) or is the final no-progress round. A
+        // longer run means a rank disagrees about the gap state — a protocol
+        // failure to diagnose, not a panic.
+        if rounds > dg.num_global_nodes() + 2 {
+            return Err(CommError {
+                rank: comm.rank(),
+                peer: comm.rank(),
+                tag: "gap-handshake".to_string(),
+                kind: CommErrorKind::Protocol(format!(
+                    "gap handshake failed to terminate after {rounds} rounds"
+                )),
+            });
+        }
         gap.retain(|e| {
             partner_owned[e.u_local as usize] == INVALID_NODE && !ghost_state[e.ghost_idx].matched
         });
-        // Best remaining gap edge per owned endpoint.
-        let mut best: std::collections::HashMap<NodeId, GapEdge> = std::collections::HashMap::new();
+        // Best remaining gap edge per owned endpoint. A BTreeMap keyed by the
+        // local id: iteration below must follow a deterministic order (std's
+        // HashMap order varies per process, which would break cross-transport
+        // bit-identity if any downstream step were order-sensitive).
+        let mut best: std::collections::BTreeMap<NodeId, GapEdge> =
+            std::collections::BTreeMap::new();
         for e in &gap {
             match best.get(&e.u_local) {
                 Some(b) if !e.better_than(b) => {}

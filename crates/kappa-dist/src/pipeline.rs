@@ -50,6 +50,7 @@ pub struct DistConfig {
 impl DistConfig {
     /// A distributed configuration from a shared one.
     pub fn new(base: KappaConfig, ranks: usize) -> Self {
+        // kappa-lint: allow(dist-no-panic) -- constructor precondition, fires at configuration time before any rank or socket exists.
         assert!(ranks >= 1, "at least one rank");
         DistConfig { base, ranks }
     }
@@ -153,7 +154,17 @@ pub fn partition_with_comm<C: Comm>(
     config: &DistConfig,
 ) -> CommResult<Option<DistRunResult>> {
     let ranks = comm.num_ranks();
-    assert_eq!(ranks, config.ranks, "cluster size != configured ranks");
+    if ranks != config.ranks {
+        return Err(CommError {
+            rank: comm.rank(),
+            peer: comm.rank(),
+            tag: "pipeline".to_string(),
+            kind: CommErrorKind::Protocol(format!(
+                "cluster has {ranks} ranks but the config expects {}",
+                config.ranks
+            )),
+        });
+    }
     let k = config.base.k.max(1);
     let n = graph.num_nodes();
     if n == 0 || k == 1 {
@@ -216,6 +227,7 @@ fn pick_diagnostic(errors: Vec<CommError>) -> CommError {
         .iter()
         .find(|e| matches!(e.kind, CommErrorKind::Timeout { .. }))
         .cloned()
+        // kappa-lint: allow(dist-no-panic) -- called only from the error path of a failed run, where at least one rank contributed an error.
         .unwrap_or_else(|| errors.into_iter().next().expect("at least one error"))
 }
 
@@ -238,9 +250,11 @@ fn spatial_layout(graph: &CsrGraph, ranks: usize) -> Option<(CsrGraph, Vec<NodeI
         counts[p] += 1;
     }
     let mut range_starts: Vec<NodeId> = Vec::with_capacity(ranks + 1);
-    range_starts.push(0);
+    let mut acc: NodeId = 0;
+    range_starts.push(acc);
     for c in &counts {
-        range_starts.push(range_starts.last().unwrap() + *c as NodeId);
+        acc += *c as NodeId;
+        range_starts.push(acc);
     }
     let mut next = range_starts.clone();
     let mut new_of_old: Vec<NodeId> = vec![0; n];
@@ -364,8 +378,16 @@ fn rank_main<C: Comm>(
     let winner_rank = keys
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("no NaN in keys"))
+        // total_cmp gives a total order even for NaN keys, so a degenerate
+        // balance value cannot abort the selection (and every rank still
+        // agrees on the winner).
+        .min_by(|(_, a), (_, b)| {
+            a.0.cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(a.2.total_cmp(&b.2))
+        })
         .map(|(r, _)| r)
+        // kappa-lint: allow(dist-no-panic) -- allgather returns exactly one element per rank and clusters have at least one rank.
         .expect("at least one rank");
     let winner = comm.broadcast(winner_rank, (comm.rank() == winner_rank).then_some(mine))?;
 
@@ -511,6 +533,7 @@ fn project_state<C: Comm>(
         (st.block_of_local(l), st.index().is_boundary(l))
     })?;
     let lookup = |cid: NodeId| -> (BlockId, bool) {
+        // kappa-lint: allow(dist-no-panic) -- `images` is exactly the deduplicated set of `coarse_of_owned`, and lookup is only called with members of `coarse_of_owned`.
         info[images.binary_search(&cid).expect("image present")]
     };
 

@@ -41,7 +41,7 @@ use kappa_refine::{
     RegionEdge, RegionNode,
 };
 
-use crate::comm::{allreduce_min_opt, Comm, CommResult};
+use crate::comm::{allreduce_min_opt, Comm, CommError, CommErrorKind, CommResult};
 use crate::graph::{DistGraph, LocalAssignment};
 use crate::state::{DistState, MoveRec};
 
@@ -109,11 +109,11 @@ pub fn dist_refine<C: Comm>(
     for global_iter in 0..config.max_global_iterations {
         // Replicated quotient from the allgathered boundary-priced shares.
         let shares = comm.allgather(st.quotient_partial(dg))?;
-        let mut merged: HashMap<(BlockId, BlockId), EdgeWeight> = HashMap::new();
+        let mut cut_shares: HashMap<(BlockId, BlockId), EdgeWeight> = HashMap::new();
         for (a, b, w) in shares.into_iter().flatten() {
-            *merged.entry((a, b)).or_insert(0) += w;
+            *cut_shares.entry((a, b)).or_insert(0) += w;
         }
-        let quotient = QuotientGraph::from_cut_weights(k, merged);
+        let quotient = QuotientGraph::from_cut_weights(k, cut_shares);
         if quotient.num_edges() == 0 {
             break;
         }
@@ -219,21 +219,23 @@ fn refine_class<C: Comm>(
         let seed_msgs = comm.alltoallv(seed_parts)?;
         // Home: per pair, seeds in ascending global order (rank segments are
         // ascending and ownership ranges are ordered, so concatenation in
-        // rank order is globally ascending).
-        let mut seeds_of: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        // rank order is globally ascending). `pi` is a dense index into
+        // `pairs`, so plain Vecs — not hash maps — carry the per-pair state
+        // through the supersteps in deterministic order.
+        let mut seeds_of: Vec<Vec<NodeId>> = vec![Vec::new(); pairs.len()];
         for part in seed_msgs {
             for (pi, gid) in part {
-                seeds_of.entry(pi as usize).or_default().push(gid);
+                seeds_of[pi as usize].push(gid);
             }
         }
 
         // --- Superstep 2: level-synchronised distributed band BFS. ---
         // visited[pi] = this rank's owned band members (as locals).
-        let mut visited: HashMap<usize, HashSet<NodeId>> = HashMap::new();
+        let mut visited: Vec<HashSet<NodeId>> = vec![HashSet::new(); pairs.len()];
         let mut frontier: Vec<(usize, NodeId)> = Vec::new(); // (pair, owned local)
         for (pi, seeds) in my_seeds.iter().enumerate() {
             for &l in seeds {
-                if visited.entry(pi).or_default().insert(l) {
+                if visited[pi].insert(l) {
                     frontier.push((pi, l));
                 }
             }
@@ -249,7 +251,7 @@ fn refine_class<C: Comm>(
                         continue;
                     }
                     if dg.is_owned_local(t) {
-                        if visited.entry(pi).or_default().insert(t) {
+                        if visited[pi].insert(t) {
                             next.push((pi, t));
                         }
                     } else {
@@ -260,10 +262,17 @@ fn refine_class<C: Comm>(
             for part in comm.alltoallv(remote)? {
                 for (pi, gid) in part {
                     let pi = pi as usize;
-                    let l = dg.local_of(gid).expect("owned");
+                    let l = dg.local_of(gid).ok_or_else(|| CommError {
+                        rank: me,
+                        peer: dg.owner_of(gid),
+                        tag: "band-bfs".to_string(),
+                        kind: CommErrorKind::Protocol(format!(
+                            "band BFS expansion for global node {gid} landed on a non-owner"
+                        )),
+                    })?;
                     let (a, b) = (pairs[pi].a, pairs[pi].b);
                     let bl = st.block_of_local(l);
-                    if (bl == a || bl == b) && visited.entry(pi).or_default().insert(l) {
+                    if (bl == a || bl == b) && visited[pi].insert(l) {
                         next.push((pi, l));
                     }
                 }
@@ -273,9 +282,13 @@ fn refine_class<C: Comm>(
 
         // --- Superstep 3: ship the band shards to the homes. ---
         let mut band_parts: Vec<Vec<(u32, RegionNode)>> = vec![Vec::new(); ranks];
-        for (pi, members) in &visited {
-            let pair = &pairs[*pi];
-            for &l in members {
+        for (pi, members) in visited.iter().enumerate() {
+            let pair = &pairs[pi];
+            // Ship band members in ascending local order so the wire payload
+            // is identical run to run regardless of set insertion history.
+            let mut members: Vec<NodeId> = members.iter().copied().collect();
+            members.sort_unstable();
+            for l in members {
                 let record = RegionNode {
                     gid: dg.global_of(l),
                     weight: dg.local().node_weight(l),
@@ -295,14 +308,14 @@ fn refine_class<C: Comm>(
                         })
                         .collect(),
                 };
-                band_parts[pair.home].push((*pi as u32, record));
+                band_parts[pair.home].push((pi as u32, record));
             }
         }
         let band_msgs = comm.alltoallv(band_parts)?;
-        let mut region_of: HashMap<usize, Vec<RegionNode>> = HashMap::new();
+        let mut region_of: Vec<Vec<RegionNode>> = vec![Vec::new(); pairs.len()];
         for part in band_msgs {
             for (pi, record) in part {
-                region_of.entry(pi as usize).or_default().push(record);
+                region_of[pi as usize].push(record);
             }
         }
 
@@ -312,7 +325,7 @@ fn refine_class<C: Comm>(
             if !pair.active || pair.home != me {
                 continue;
             }
-            let seeds = seeds_of.remove(&pi).unwrap_or_default();
+            let seeds = std::mem::take(&mut seeds_of[pi]);
             if seeds.is_empty() {
                 my_reports.push(PairReport {
                     pair: pi,
@@ -323,7 +336,7 @@ fn refine_class<C: Comm>(
                 });
                 continue;
             }
-            let records = region_of.remove(&pi).unwrap_or_default();
+            let records = std::mem::take(&mut region_of[pi]);
             let mut region = GatheredRegion::build(st.k(), &records);
             let fm_config = FmConfig {
                 queue_selection: config.queue_selection,
@@ -361,9 +374,8 @@ fn refine_class<C: Comm>(
                     gid,
                     from: if to == pair.a { pair.b } else { pair.a },
                     to,
-                    weight: *weight_of
-                        .get(&gid)
-                        .expect("moved node outside the gathered band"),
+                    // kappa-lint: allow(dist-no-panic) -- FM only ever moves band nodes, and every band node has a record; a miss is a local logic bug, not a peer failure.
+                    weight: *weight_of.get(&gid).expect("moved node is a band node"),
                 })
                 .collect();
             my_reports.push(PairReport {

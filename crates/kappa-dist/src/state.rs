@@ -76,7 +76,7 @@ impl DistState {
     /// only the coarsest level calls it; finer levels arrive via the seeded
     /// projection in the pipeline.
     pub fn build(dg: &DistGraph, view: Vec<BlockId>, k: BlockId, weights: BlockWeights) -> Self {
-        assert_eq!(view.len(), dg.local().num_nodes());
+        debug_assert_eq!(view.len(), dg.local().num_nodes());
         let index = BoundaryIndex::build(dg.local(), &LocalAssignment::new(&view, k));
         let cut_partial = compute_cut_partial(dg, &view);
         DistState {
@@ -100,7 +100,7 @@ impl DistState {
         is_candidate: F,
         inherited_full_builds: usize,
     ) -> Self {
-        assert_eq!(view.len(), dg.local().num_nodes());
+        debug_assert_eq!(view.len(), dg.local().num_nodes());
         let index =
             BoundaryIndex::build_seeded(dg.local(), &LocalAssignment::new(&view, k), is_candidate);
         let cut_partial = compute_cut_partial(dg, &view);
@@ -244,6 +244,7 @@ impl DistState {
             }
         }
         let mut shares: Vec<(BlockId, BlockId, EdgeWeight)> =
+            // kappa-lint: allow(hash-iter) -- drained into a Vec that is sorted immediately below, erasing the hash order.
             cut.into_iter().map(|((a, b), w)| (a, b, w)).collect();
         shares.sort_unstable();
         shares

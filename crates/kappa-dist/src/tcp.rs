@@ -44,7 +44,7 @@ use std::time::{Duration, Instant};
 use crate::codec::{
     encode_frame, read_frame, CodecError, Frame, Wire, FRAME_MAGIC, PROTOCOL_VERSION,
 };
-use crate::comm::{Comm, CommError, CommErrorKind, CommResult, Message, SeqInbox};
+use crate::comm::{Comm, CommError, CommErrorKind, CommResult, Message, SeqInbox, COLLECTIVE_TAGS};
 use crate::fault::{Emission, FaultInjector, FaultPlan};
 
 /// Control tag announcing a graceful shutdown; intercepted by the reader
@@ -92,6 +92,7 @@ impl TcpCluster {
 
     /// A cluster with explicit timeout / fault-injection configuration.
     pub fn with_config(ranks: usize, config: TcpClusterConfig) -> Self {
+        // kappa-lint: allow(dist-no-panic) -- construction-time misconfiguration on the launching process, before any rank exists; aborting here is the diagnosis
         assert!(ranks >= 1, "a cluster needs at least one rank");
         TcpCluster { ranks, config }
     }
@@ -113,10 +114,12 @@ impl TcpCluster {
         F: Fn(&mut TcpComm) -> R + Sync,
     {
         let listeners: Vec<TcpListener> = (0..self.ranks)
+            // kappa-lint: allow(dist-no-panic) -- in-process test-harness setup on the launching thread; a loopback bind failure is an environment bug, not a runtime fault (see the doc comment)
             .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback listener"))
             .collect();
         let addrs: Vec<SocketAddr> = listeners
             .iter()
+            // kappa-lint: allow(dist-no-panic) -- same harness-setup path as the bind above
             .map(|l| l.local_addr().expect("listener address"))
             .collect();
         let config = self.config;
@@ -129,6 +132,7 @@ impl TcpCluster {
                 .map(|(rank, listener)| {
                     scope.spawn(move || {
                         let mut comm = TcpComm::establish(rank, addrs, listener, config)
+                            // kappa-lint: allow(dist-no-panic) -- harness boundary by contract: establishment failures inside TcpCluster::run are harness bugs and abort the test run (see the doc comment); the multi-process path gets them as CommResult
                             .unwrap_or_else(|e| panic!("rank {rank}: mesh establishment: {e}"));
                         f(&mut comm)
                     })
@@ -177,14 +181,20 @@ impl TcpComm {
         config: TcpClusterConfig,
     ) -> CommResult<TcpComm> {
         let ranks = addrs.len();
-        assert!(rank < ranks, "rank out of range");
-        let deadline = Instant::now() + config.connect_timeout;
         let err = |peer: usize, kind: CommErrorKind| CommError {
             rank,
             peer,
             tag: "::handshake".to_string(),
             kind,
         };
+        if rank >= ranks {
+            return Err(err(
+                rank,
+                CommErrorKind::Protocol(format!("rank {rank} out of range for {ranks} ranks")),
+            ));
+        }
+        // kappa-lint: allow(wall-clock) -- mesh-establishment deadline only; the clock bounds how long we dial and accept, never what a result contains
+        let deadline = Instant::now() + config.connect_timeout;
         let mut streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
         // Dial upwards: the lower rank of each pair is the connector.
         for peer in rank + 1..ranks {
@@ -259,6 +269,7 @@ impl TcpComm {
             .local_addr()
             .map_err(|e| err(CommErrorKind::Io(e.to_string())))?
             .port();
+        // kappa-lint: allow(wall-clock) -- rendezvous-connect deadline only, same as in establish
         let deadline = Instant::now() + config.connect_timeout;
         let stream = connect_with_retry(addr, deadline)
             .map_err(|e| err(CommErrorKind::Io(e.to_string())))?;
@@ -311,7 +322,16 @@ impl TcpComm {
             frame_rx.push(rx);
             match slot {
                 None => {
-                    assert_eq!(peer, rank, "missing connection to rank {peer}");
+                    if peer != rank {
+                        return Err(CommError {
+                            rank,
+                            peer,
+                            tag: "::handshake".to_string(),
+                            kind: CommErrorKind::Protocol(format!(
+                                "mesh is missing the connection to rank {peer}"
+                            )),
+                        });
+                    }
                     links.push(Link::Loopback(tx));
                 }
                 Some(stream) => {
@@ -358,7 +378,14 @@ impl Comm for TcpComm {
     }
 
     fn send<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
-        debug_assert!(!tag.starts_with("::"), "tags starting with :: are reserved");
+        // The `::` namespace belongs to the runtime: the collectives' own
+        // tags pass, anything else is a user tag trespassing on control
+        // traffic. The static side of this contract is the `tag-reserved`
+        // lint rule.
+        debug_assert!(
+            !tag.starts_with("::") || COLLECTIVE_TAGS.contains(&tag),
+            "tags starting with :: are reserved for the runtime"
+        );
         let seq = self.send_seqs[to];
         self.send_seqs[to] += 1;
         let frame = Frame {
@@ -368,17 +395,17 @@ impl Comm for TcpComm {
             payload: value.to_bytes(),
         };
         let link = &self.links[to];
-        let mut io_failure: Option<String> = None;
+        let mut failure: Option<CommErrorKind> = None;
         self.injector.dispatch(
             to,
             frame,
             |f| f.clone(),
-            // Only a primary-frame write failure is a send error: the peer
-            // may close its socket right after consuming the real message,
+            // Only a primary-frame failure is a send error: the peer may
+            // close its socket right after consuming the real message,
             // bouncing a trailing duplicate twin or a late-released reorder
             // frame without any harm done.
             |f, emission| {
-                if io_failure.is_some() {
+                if failure.is_some() {
                     return;
                 }
                 match link {
@@ -386,30 +413,38 @@ impl Comm for TcpComm {
                         // Own inbox receiver is owned by self — cannot be gone.
                         let _ = tx.send(Ok(f));
                     }
-                    Link::Remote(stream) => {
-                        let bytes = encode_frame(f.src, f.seq, &f.tag, &f.payload);
-                        if let Err(e) = write_all(stream, &bytes) {
-                            if emission == Emission::Primary {
-                                io_failure = Some(e.to_string());
+                    Link::Remote(stream) => match encode_frame(f.src, f.seq, &f.tag, &f.payload) {
+                        Ok(bytes) => {
+                            if let Err(e) = write_all(stream, &bytes) {
+                                if emission == Emission::Primary {
+                                    failure = Some(CommErrorKind::Io(e.to_string()));
+                                }
                             }
                         }
-                    }
+                        Err(e) => {
+                            if emission == Emission::Primary {
+                                failure = Some(CommErrorKind::Codec(e.0));
+                            }
+                        }
+                    },
                 }
             },
         );
-        match io_failure {
-            Some(detail) => Err(self.error(to, tag, CommErrorKind::Io(detail))),
+        match failure {
+            Some(kind) => Err(self.error(to, tag, kind)),
             None => Ok(()),
         }
     }
 
     fn recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<T> {
+        // kappa-lint: allow(wall-clock) -- timeout bookkeeping only; the clock decides when to give up, never what a result contains
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             if let Some(frame) = self.inboxes[from].take(|f| f.tag == tag) {
                 return T::from_bytes(&frame.payload)
                     .map_err(|e| self.error(from, tag, CommErrorKind::Codec(e.0)));
             }
+            // kappa-lint: allow(wall-clock) -- remaining-timeout arithmetic, same as above
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(self.error(
@@ -453,8 +488,11 @@ impl Drop for TcpComm {
     fn drop(&mut self) {
         for (to, link) in self.links.iter().enumerate() {
             if let Link::Remote(stream) = link {
-                let bye = encode_frame(self.rank as u32, self.send_seqs[to], BYE_TAG, &[]);
-                let _ = write_all(stream, &bye);
+                // Infallible in practice (short tag, empty payload); a drop
+                // path has nowhere to report anyway, so best-effort it is.
+                if let Ok(bye) = encode_frame(self.rank as u32, self.send_seqs[to], BYE_TAG, &[]) {
+                    let _ = write_all(stream, &bye);
+                }
                 let _ = stream.shutdown(Shutdown::Both);
             }
         }
@@ -493,6 +531,7 @@ fn reader_loop(mut stream: TcpStream, tx: Sender<Result<Frame, CodecError>>) {
 fn connect_with_retry(addr: SocketAddr, deadline: Instant) -> std::io::Result<TcpStream> {
     let mut backoff = Duration::from_millis(1);
     loop {
+        // kappa-lint: allow(wall-clock) -- dial-retry deadline arithmetic; establishment timing only
         let remaining = deadline.saturating_duration_since(Instant::now());
         if remaining.is_zero() {
             return Err(std::io::Error::new(
@@ -503,6 +542,7 @@ fn connect_with_retry(addr: SocketAddr, deadline: Instant) -> std::io::Result<Tc
         match TcpStream::connect_timeout(&addr, remaining) {
             Ok(stream) => return Ok(stream),
             Err(e) => {
+                // kappa-lint: allow(wall-clock) -- backoff-versus-deadline check; establishment timing only
                 if deadline.saturating_duration_since(Instant::now()) <= backoff {
                     return Err(e);
                 }
@@ -524,6 +564,7 @@ fn accept_with_deadline(listener: &TcpListener, deadline: Instant) -> std::io::R
                 return Ok(stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // kappa-lint: allow(wall-clock) -- accept-deadline check; establishment timing only
                 if Instant::now() >= deadline {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::TimedOut,
@@ -618,6 +659,7 @@ pub fn rendezvous_serve(listener: &TcpListener, ranks: usize) -> std::io::Result
     }
     let ports: Vec<u16> = registered
         .iter()
+        // kappa-lint: allow(dist-no-panic) -- the registration loop above either fills every slot or returns an error first
         .map(|slot| slot.as_ref().expect("all ranks registered").1)
         .collect();
     let mut reply = Vec::with_capacity(10 + 8 + 2 * ranks);
@@ -629,6 +671,7 @@ pub fn rendezvous_serve(listener: &TcpListener, ranks: usize) -> std::io::Result
         reply.extend_from_slice(&port.to_le_bytes());
     }
     for slot in registered {
+        // kappa-lint: allow(dist-no-panic) -- same registration invariant as above
         let (stream, _) = slot.expect("all ranks registered");
         write_all(&stream, &reply)?;
     }

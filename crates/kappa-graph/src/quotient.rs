@@ -54,6 +54,7 @@ impl QuotientGraph {
         k: BlockId,
         cut_weights: HashMap<(BlockId, BlockId), EdgeWeight>,
     ) -> Self {
+        // kappa-lint: allow(hash-iter) -- drained into a Vec that is sorted immediately below, erasing the hash order.
         let mut edges: Vec<(BlockId, BlockId, EdgeWeight)> = cut_weights
             .into_iter()
             .map(|((a, b), w)| (a, b, w))

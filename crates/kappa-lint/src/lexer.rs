@@ -1,0 +1,405 @@
+//! A lightweight Rust lexer — just enough structure for lexical invariant
+//! rules.
+//!
+//! The workspace is offline and shim-based, so there is no `syn`/`proc-macro2`
+//! to lean on; this scanner produces a flat token stream with line numbers,
+//! which is all the rules in [`crate::rules`] need. It understands the parts
+//! of the grammar that would otherwise cause false findings: the two comment
+//! forms (line comments are kept — they carry `kappa-lint:` directives),
+//! string/char/byte/raw-string literals (so a `panic!` *inside a string* is
+//! not a panic), lifetimes vs char literals, and numeric literals (so `0..n`
+//! does not read as a float).
+
+/// What a token is. The scanner does not distinguish keywords from other
+/// identifiers — rules match on [`Token::text`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// String literal of any flavour (`"x"`, `r#"x"#`, `b"x"`); `text` holds
+    /// the *contents* without quotes or raw-string hashes.
+    Str,
+    /// Character literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a` in `&'a str`).
+    Lifetime,
+    /// Numeric literal, suffix included (`41u64`, `0x7f`, `1.5e3`).
+    Num,
+    /// Any other single character (`.`, `:`, `{`, `#`, …).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (contents only for [`TokenKind::Str`]).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Is this the punctuation character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A `//` line comment (block comments are dropped — directives must use the
+/// line form so that their placement line is unambiguous).
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// Text after the `//`, untrimmed.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+/// Scans `src` into tokens and line comments. Never fails: unterminated
+/// literals simply run to end of input (the compiler rejects such files long
+/// before the linter sees them in practice).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(LineComment {
+                    line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (text, ni, nl) = scan_string(src, i + 1, line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Lifetime iff an ident follows and no closing quote right
+                // after one ident char ('a' is a char, 'ab is a lifetime...
+                // and so is 'a when followed by anything but ').
+                let is_lifetime = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some(&n), after) if n == b'_' || n.is_ascii_alphabetic() => {
+                        after != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    // Char literal: 'x' or '\n' or '\u{1F600}'.
+                    let start = i;
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        if b[i] == b'\\' {
+                            i += 1; // skip the escaped character
+                        }
+                        i += 1;
+                    }
+                    i = (i + 1).min(b.len());
+                    out.tokens.push(Token {
+                        kind: TokenKind::Char,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                let mut seen_dot = false;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.'
+                        && !seen_dot
+                        && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // `1.5` continues the number; `0..n` and `1.max(2)`
+                        // do not.
+                        seen_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                // Raw / byte string prefixes first: r", r#", b", br#", rb is
+                // not a thing.
+                if let Some((text, ni, nl)) = scan_prefixed_string(src, i, line) {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Str,
+                        text,
+                        line,
+                    });
+                    i = ni;
+                    line = nl;
+                    continue;
+                }
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans an ordinary `"…"` body starting *after* the opening quote. Returns
+/// (contents, index after closing quote, updated line).
+fn scan_string(src: &str, mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let start = i;
+    while i < b.len() && b[i] != b'"' {
+        if b[i] == b'\\' {
+            i += 1;
+            // A `\<newline>` continuation still consumes a source line.
+            if b.get(i) == Some(&b'\n') {
+                line += 1;
+            }
+        } else if b[i] == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    let text = src[start..i.min(b.len())].to_string();
+    (text, (i + 1).min(b.len()), line)
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at the prefix letter.
+/// Returns `None` when the letters are just an ordinary identifier.
+fn scan_prefixed_string(src: &str, i: usize, mut line: u32) -> Option<(String, usize, u32)> {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = b.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while raw && b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') || (!raw && j == i) {
+        return None;
+    }
+    if !raw {
+        // b"…" — ordinary escapes apply.
+        let (text, ni, nl) = scan_string(src, j + 1, line);
+        return Some((text, ni, nl));
+    }
+    // Raw string: runs to `"` followed by `hashes` hash marks, no escapes.
+    j += 1;
+    let start = j;
+    loop {
+        match b.get(j) {
+            None => return Some((src[start..].to_string(), src.len(), line)),
+            Some(&b'\n') => {
+                line += 1;
+                j += 1;
+            }
+            Some(&b'"') => {
+                let end = j;
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(k) == Some(&b'#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some((src[start..end].to_string(), k, line));
+                }
+                j += 1;
+            }
+            Some(_) => j += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_the_token_stream() {
+        for src in [
+            r#"let x = "panic!(unwrap)";"#,
+            r##"let x = r#"panic!(unwrap)"#;"##,
+            r#"let x = b"panic!(unwrap)";"#,
+        ] {
+            let ids = idents(src);
+            assert!(ids.contains(&"let".to_string()), "{src}");
+            assert!(!ids.contains(&"panic".to_string()), "{src}: {ids:?}");
+            assert!(!ids.contains(&"unwrap".to_string()), "{src}: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn string_token_carries_contents_without_quotes() {
+        let lexed = lex(r#"send(1, "::bye", x)"#);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, "::bye");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str, c: char) { let y = 'z'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let lexed = lex("for i in 0..n { x[i] = 1.5; }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5"]);
+    }
+
+    #[test]
+    fn comments_are_captured_with_their_line() {
+        let lexed = lex("let a = 1;\n// kappa-lint: allow(x) -- why\nlet b = 2; // trailing\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("kappa-lint"));
+        assert_eq!(lexed.comments[1].line, 3);
+    }
+
+    #[test]
+    fn block_comments_and_nesting_are_skipped_with_line_tracking() {
+        let lexed = lex("/* a /* nested\n */ still */ let x = 1;\nlet y = 2;");
+        assert!(lexed.tokens[0].is_ident("let"));
+        assert_eq!(lexed.tokens[0].line, 2);
+        let y = lexed.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn escaped_newline_continuations_keep_line_numbers_exact() {
+        let lexed = lex("let a = \"one \\\n two \\\n three\";\nlet b = 2;");
+        let b = lexed.tokens.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn numeric_suffixes_stay_one_token() {
+        let lexed = lex("send(1, t, 41u64)");
+        assert!(lexed.tokens.iter().any(|t| t.text == "41u64"));
+    }
+}

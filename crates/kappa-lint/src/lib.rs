@@ -1,0 +1,38 @@
+//! # kappa-lint
+//!
+//! A workspace-wide static invariant checker for KaPPa-rs. The repo's core
+//! contract — every run deterministic and bit-identical across threads,
+//! ranks and transport backends; every distributed failure a diagnosed
+//! value, never a dead rank — is enforced *dynamically* by the parity and
+//! conformance suites. This crate is the static counterpart: it catches the
+//! classic violations at the source level, in every file, before any test
+//! runs.
+//!
+//! * a hand-rolled lightweight Rust [`lexer`] (the workspace is offline and
+//!   shim-based — no `syn`),
+//! * a [`source`] model per file: classification, `#[cfg(test)]` regions,
+//!   `kappa-lint:` allow directives, `const &str` tables,
+//! * the [`rules`] catalogue (determinism, panic-freedom, Comm protocol
+//!   discipline, unsafe-forbid coverage, shim drift),
+//! * the [`engine`] that walks the workspace and filters findings through
+//!   the inline escape hatch:
+//!
+//! ```text
+//! // kappa-lint: allow(hash-iter) -- drained into a Vec and sorted below
+//! ```
+//!
+//! The `kappa-lint` binary walks the workspace and reports `file:line`
+//! diagnostics; `--deny` makes findings fatal for CI. See `docs/linting.md`
+//! for the rule catalogue and the rationale behind each rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod source;
+
+pub use engine::{run_lint, LintReport, Workspace};
+pub use rules::{Finding, RuleInfo, ALL_RULES};

@@ -1,0 +1,130 @@
+//! The `kappa-lint` binary: walk the workspace, run every rule, report
+//! `file:line: [rule] message` diagnostics.
+//!
+//! ```text
+//! kappa-lint [--root DIR] [--deny] [--rules a,b] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean (or findings in advisory mode), `1` findings under
+//! `--deny`, `2` usage/I-O error.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use kappa_lint::{run_lint, Workspace, ALL_RULES};
+
+fn usage() -> &'static str {
+    "kappa-lint — static invariant checker for the KaPPa-rs workspace
+
+USAGE:
+    kappa-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>     Workspace root to lint (default: nearest ancestor of the
+                     current directory containing a [workspace] Cargo.toml,
+                     falling back to `.`)
+    --deny           Exit 1 when any finding survives (CI mode)
+    --rules <a,b>    Run only the named rules (meta rules unused-allow/
+                     malformed-allow only run with the full set)
+    --list-rules     Print the rule catalogue and exit
+    -h, --help       This help
+"
+}
+
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        match dir.parent() {
+            Some(p) => dir = p.to_path_buf(),
+            None => return PathBuf::from("."),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut deny = false;
+    let mut rule_filter: Option<BTreeSet<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(d) => root = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("error: --root needs a directory\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => deny = true,
+            "--rules" => match args.next() {
+                Some(list) => {
+                    let set: BTreeSet<String> =
+                        list.split(',').map(|r| r.trim().to_string()).collect();
+                    for r in &set {
+                        if !kappa_lint::rules::is_known_rule(r) {
+                            eprintln!("error: unknown rule `{r}` (see --list-rules)");
+                            return ExitCode::from(2);
+                        }
+                    }
+                    rule_filter = Some(set);
+                }
+                None => {
+                    eprintln!("error: --rules needs a comma-separated list\n\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in ALL_RULES {
+                    println!("{:<24} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(find_workspace_root);
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("error: cannot load workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = run_lint(&ws, rule_filter.as_ref());
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.rel_path, f.line, f.rule, f.message);
+    }
+    let summary = format!(
+        "{} finding(s) across {} files / {} manifests ({} suppressed by annotations)",
+        report.findings.len(),
+        report.files_scanned,
+        report.manifests_scanned,
+        report.suppressed
+    );
+    if report.findings.is_empty() {
+        println!("kappa-lint: clean — {summary}");
+        ExitCode::SUCCESS
+    } else if deny {
+        eprintln!("kappa-lint: DENY — {summary}");
+        ExitCode::FAILURE
+    } else {
+        println!("kappa-lint: {summary}");
+        ExitCode::SUCCESS
+    }
+}

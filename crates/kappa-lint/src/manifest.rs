@@ -1,0 +1,116 @@
+//! Minimal `Cargo.toml` reader for the shim-drift rule.
+//!
+//! The workspace is offline: every dependency must be either another
+//! workspace crate (`kappa*`) or one of the vendored shims under `shims/`,
+//! referenced by `path` / `workspace = true` — never by registry version.
+//! This scanner only understands the subset of TOML the workspace actually
+//! uses (line-oriented `name = spec` entries under `[…dependencies…]`
+//! sections), which is exactly what the rule needs.
+
+use std::path::{Path, PathBuf};
+
+/// One dependency entry found in a manifest.
+#[derive(Clone, Debug)]
+pub struct DependencyEntry {
+    /// 1-based line in the manifest.
+    pub line: u32,
+    /// Dependency name (left of `=` / `.workspace`).
+    pub name: String,
+    /// The raw right-hand side (or the whole line for dotted forms).
+    pub spec: String,
+    /// Whether the spec references a path or workspace dependency (as
+    /// opposed to a registry version).
+    pub is_path_or_workspace: bool,
+}
+
+/// A scanned `Cargo.toml`.
+pub struct Manifest {
+    /// Path relative to the workspace root.
+    pub rel_path: String,
+    /// Absolute path.
+    pub abs_path: PathBuf,
+    /// Every dependency entry across all `*dependencies*` sections.
+    pub dependencies: Vec<DependencyEntry>,
+}
+
+impl Manifest {
+    /// Reads and scans the manifest at `abs_path`.
+    pub fn load(abs_path: &Path, rel_path: &str) -> std::io::Result<Manifest> {
+        let src = std::fs::read_to_string(abs_path)?;
+        Ok(Manifest::from_source(abs_path, rel_path, &src))
+    }
+
+    /// Scans in-memory manifest text.
+    pub fn from_source(abs_path: &Path, rel_path: &str, src: &str) -> Manifest {
+        let mut dependencies = Vec::new();
+        let mut in_deps_section = false;
+        for (idx, raw) in src.lines().enumerate() {
+            let line = (idx + 1) as u32;
+            let text = raw.split('#').next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            if text.starts_with('[') {
+                let section = text.trim_matches(['[', ']']);
+                in_deps_section = section.ends_with("dependencies");
+                continue;
+            }
+            if !in_deps_section {
+                continue;
+            }
+            let Some((lhs, rhs)) = text.split_once('=') else {
+                continue;
+            };
+            let lhs = lhs.trim();
+            let rhs = rhs.trim();
+            // `name.workspace = true` and `name = { … }` / `name = "1.0"`.
+            let name = lhs.split('.').next().unwrap_or(lhs).trim().to_string();
+            let dotted_workspace = lhs.ends_with(".workspace");
+            let is_path_or_workspace =
+                dotted_workspace || rhs.contains("workspace") || rhs.contains("path");
+            dependencies.push(DependencyEntry {
+                line,
+                name,
+                spec: rhs.to_string(),
+                is_path_or_workspace,
+            });
+        }
+        Manifest {
+            rel_path: rel_path.to_string(),
+            abs_path: abs_path.to_path_buf(),
+            dependencies,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn scans_the_dependency_shapes_the_workspace_uses() {
+        let src = "\
+[package]
+name = \"demo\"
+version = \"0.1.0\"
+
+[dependencies]
+kappa-graph.workspace = true
+rand = { path = \"../../shims/rand\" }
+regex = \"1.10\"  # registry!
+
+[dev-dependencies]
+proptest.workspace = true
+";
+        let m = Manifest::from_source(&PathBuf::from("/x/Cargo.toml"), "Cargo.toml", src);
+        let names: Vec<&str> = m.dependencies.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["kappa-graph", "rand", "regex", "proptest"]);
+        assert!(m.dependencies[0].is_path_or_workspace);
+        assert!(m.dependencies[1].is_path_or_workspace);
+        assert!(!m.dependencies[2].is_path_or_workspace);
+        assert!(m.dependencies[3].is_path_or_workspace);
+        // `version = "0.1.0"` under [package] is not a dependency.
+        assert!(!names.contains(&"version"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Determinism rules: `hash-iter` and `wall-clock`.
+//!
+//! The repo's core contract is that every run is bit-identical across
+//! threads, ranks and transport backends. The two classic lexically-visible
+//! violations are iterating a hash container (`HashMap`/`HashSet` iteration
+//! order is unspecified *and differs between processes*, so a TCP
+//! multi-process run would diverge from an in-process run) and letting a
+//! wall-clock value flow into result-affecting state.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::source::{FileKind, SourceFile};
+
+/// Methods whose call on a hash container observes its unordered contents.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "retain",
+];
+
+/// `hash-iter`: iteration over a binding declared as `HashMap`/`HashSet` in
+/// production, non-test code.
+///
+/// Binding discovery is per-file and lexical: `let x: HashMap…`,
+/// `let x = HashMap::new()`, struct fields and parameters `x: HashMap<…>`.
+/// Sites that drain into a sorted collection are expected to carry an
+/// `allow(hash-iter)` annotation naming the sort (or to use `BTreeMap`).
+pub fn hash_iter(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Production {
+        return;
+    }
+    let toks = &file.tokens;
+    // Pass 1: names bound to hash containers.
+    let mut hash_bindings: BTreeSet<String> = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk backwards over a `std::collections::` path prefix.
+        let mut j = i;
+        while j >= 2 && toks[j - 1].is_punct(':') && toks[j - 2].is_punct(':') {
+            if j >= 3 && toks[j - 3].kind == TokenKind::Ident {
+                j -= 3;
+            } else {
+                j -= 2;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        let before = &toks[j - 1];
+        // `NAME : HashMap<…>` (let with ascription, field, parameter).
+        if before.is_punct(':') && j >= 2 && toks[j - 2].kind == TokenKind::Ident {
+            hash_bindings.insert(toks[j - 2].text.clone());
+        }
+        // `NAME = HashMap::new()` (inferred let or assignment).
+        if before.is_punct('=') && j >= 2 && toks[j - 2].kind == TokenKind::Ident {
+            hash_bindings.insert(toks[j - 2].text.clone());
+        }
+    }
+    if hash_bindings.is_empty() {
+        return;
+    }
+    // Pass 2: iteration over those names.
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !hash_bindings.contains(&t.text) {
+            continue;
+        }
+        if file.in_test_region(t.line) {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / …
+        if i + 2 < toks.len()
+            && toks[i + 1].is_punct('.')
+            && toks[i + 2].kind == TokenKind::Ident
+            && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+        {
+            // Field accesses like `self.name.iter()` resolve the same
+            // binding name — intended: the field declaration registered it.
+            out.push(Finding {
+                rule: "hash-iter",
+                rel_path: file.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}.{}()` iterates a hash container in unspecified order; drain into \
+                     a sorted collection, use BTreeMap/BTreeSet, or annotate why the order \
+                     cannot affect results",
+                    t.text,
+                    toks[i + 2].text
+                ),
+            });
+        }
+        // `for pat in [&[mut]] name {`
+        if i + 1 < toks.len() && toks[i + 1].is_punct('{') {
+            let mut j = i;
+            while j > 0 && (toks[j - 1].is_punct('&') || toks[j - 1].is_ident("mut")) {
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].is_ident("in") {
+                out.push(Finding {
+                    rule: "hash-iter",
+                    rel_path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`for … in {}` iterates a hash container in unspecified order; \
+                         iterate a sorted view or annotate why the order cannot affect \
+                         results",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// `wall-clock`: `Instant::now()` / `SystemTime::now()` in production,
+/// non-test code.
+///
+/// Timeout plumbing and phase timing are legitimate — but each such site
+/// must say so with an `allow(wall-clock)` annotation, because the same two
+/// calls are also how nondeterminism classically leaks into results
+/// (time-seeded RNGs, time-based tie-breaks). The measurement harness
+/// (`kappa-bench`) is exempt: its whole purpose is timing.
+pub fn wall_clock(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Production || file.crate_name == "kappa-bench" {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len().saturating_sub(3) {
+        let t = &toks[i];
+        if !(t.is_ident("Instant") || t.is_ident("SystemTime")) {
+            continue;
+        }
+        if !(toks[i + 1].is_punct(':') && toks[i + 2].is_punct(':') && toks[i + 3].is_ident("now"))
+        {
+            continue;
+        }
+        if file.in_test_region(t.line) {
+            continue;
+        }
+        out.push(Finding {
+            rule: "wall-clock",
+            rel_path: file.rel_path.clone(),
+            line: t.line,
+            message: format!(
+                "`{}::now()` reads the wall clock in production code; if the value can \
+                 never feed a partition result (timeouts, observability), annotate it — \
+                 otherwise derive it from the seed",
+                t.text
+            ),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn prod_file(src: &str) -> SourceFile {
+        SourceFile::from_source(
+            &PathBuf::from("/x/crates/kappa-graph/src/a.rs"),
+            "crates/kappa-graph/src/a.rs",
+            src,
+        )
+    }
+
+    fn run_hash(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        hash_iter(&prod_file(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_method_iteration_and_for_loops() {
+        let src = "\
+fn f() {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in &m {}
+    let _ = m.keys().count();
+    let s = std::collections::HashSet::<u32>::new();
+    for x in s {}
+}
+";
+        let out = run_hash(src);
+        let lines: Vec<u32> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 4, 6]);
+    }
+
+    #[test]
+    fn entry_and_get_are_not_iteration() {
+        let src = "\
+fn f() {
+    let mut m = HashMap::new();
+    *m.entry(k).or_insert(0) += 1;
+    let _ = m.get(&k);
+    m.insert(a, b);
+    let _ = m.contains_key(&k);
+    let v: Vec<u32> = vec![];
+    for x in &v {}
+    let _ = v.iter().count();
+}
+";
+        assert!(run_hash(src).is_empty());
+    }
+
+    #[test]
+    fn collect_into_hash_binding_is_tracked() {
+        let src = "\
+fn f() {
+    let weight_of: HashMap<u32, u32> = xs.iter().map(|x| (x.a, x.b)).collect();
+    let _ = weight_of.get(&g);
+    for w in weight_of.values() {}
+}
+";
+        let out = run_hash(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 4);
+    }
+
+    #[test]
+    fn struct_fields_count_as_bindings() {
+        let src = "\
+struct V { overlay: HashMap<u32, u32> }
+impl V {
+    fn g(&self) { for x in self.overlay.keys() {} }
+    fn h(&self) -> Option<&u32> { self.overlay.get(&3) }
+}
+";
+        let out = run_hash(src);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn f() {
+        let m = HashMap::new();
+        for x in &m {}
+    }
+}
+";
+        assert!(run_hash(src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_flags_both_clocks_outside_tests_and_bench() {
+        let src = "\
+fn f() {
+    let a = Instant::now();
+    let b = std::time::SystemTime::now();
+}
+#[cfg(test)]
+mod tests {
+    fn g() { let _ = Instant::now(); }
+}
+";
+        let mut out = Vec::new();
+        wall_clock(&prod_file(src), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].line, out[1].line), (2, 3));
+
+        let bench = SourceFile::from_source(
+            &PathBuf::from("/x/crates/kappa-bench/src/runner.rs"),
+            "crates/kappa-bench/src/runner.rs",
+            src,
+        );
+        let mut out = Vec::new();
+        wall_clock(&bench, &mut out);
+        assert!(out.is_empty(), "kappa-bench is exempt");
+    }
+}

@@ -1,0 +1,150 @@
+//! `dist-no-panic`: panic-freedom for the distributed runtime.
+//!
+//! Every operation in `kappa-dist` returns [`CommResult`] — a lost message,
+//! a codec failure or a protocol violation must surface as a diagnosed
+//! `CommError` at the pipeline boundary, never kill the rank (an aborted
+//! rank turns into a timeout diagnosis on every peer, masking the root
+//! cause). This rule forbids the panicking constructs in `kappa-dist`
+//! non-test code; provably-infallible sites carry an annotated justification.
+//!
+//! `debug_assert!` family is deliberately legal: it compiles out of release
+//! builds, so it documents invariants without a release-mode abort path.
+//!
+//! [`CommResult`]: ../../kappa_dist/comm/type.CommResult.html
+
+use crate::lexer::TokenKind;
+use crate::rules::Finding;
+use crate::source::{FileKind, SourceFile};
+
+/// Method calls that panic on the error/none path.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that abort the rank.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// `dist-no-panic` (see module docs).
+pub fn dist_no_panic(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Production || file.crate_name != "kappa-dist" {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || file.in_test_region(t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(`
+        if PANIC_METHODS.contains(&t.text.as_str())
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+        {
+            out.push(Finding {
+                rule: "dist-no-panic",
+                rel_path: file.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` can abort the rank; return a diagnosed CommError instead, or \
+                     annotate why this can provably never fire",
+                    t.text
+                ),
+            });
+        }
+        // `panic!(…)`, `assert!(…)`, … — an ident followed by `!` `(`/`[`.
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct('!')
+            && (toks[i + 2].is_punct('(') || toks[i + 2].is_punct('[') || toks[i + 2].is_punct('{'))
+        {
+            out.push(Finding {
+                rule: "dist-no-panic",
+                rel_path: file.rel_path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}!` aborts the rank in release builds; return a diagnosed CommError \
+                     (or use debug_assert! for compile-out invariants), or annotate why \
+                     this site must abort",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run(rel: &str, src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_source(&PathBuf::from("/x").join(rel), rel, src);
+        let mut out = Vec::new();
+        dist_no_panic(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_every_panicking_construct_in_dist_production_code() {
+        let src = "\
+fn f() {
+    let a = x.unwrap();
+    let b = y.expect(\"msg\");
+    panic!(\"boom\");
+    unreachable!();
+    assert!(c > 0);
+    assert_eq!(a, b);
+}
+";
+        let out = run("crates/kappa-dist/src/comm.rs", src);
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn debug_asserts_option_methods_and_other_crates_are_fine() {
+        let src = "\
+fn f() {
+    debug_assert!(c > 0);
+    debug_assert_eq!(a, b);
+    let v = x.unwrap_or(0);
+    let w = x.unwrap_or_else(|| 1);
+    let z = x.unwrap_or_default();
+}
+";
+        assert!(run("crates/kappa-dist/src/comm.rs", src).is_empty());
+        let panicky = "fn f() { x.unwrap(); }";
+        assert!(run("crates/kappa-graph/src/csr.rs", panicky).is_empty());
+        assert!(run("crates/kappa-dist/tests/x.rs", panicky).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_inside_dist_files_are_exempt() {
+        let src = "\
+fn prod() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        x.unwrap();
+        panic!(\"in test\");
+    }
+}
+";
+        assert!(run("crates/kappa-dist/src/comm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_mentioning_panic_do_not_fire() {
+        let src = "fn f() { let s = \"do not panic!(now)\"; }";
+        assert!(run("crates/kappa-dist/src/comm.rs", src).is_empty());
+    }
+}

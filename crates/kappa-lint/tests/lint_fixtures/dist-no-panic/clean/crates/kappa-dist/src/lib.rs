@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+
+pub fn owner_of(table: &[usize], gid: usize) -> Option<usize> {
+    debug_assert!(!table.is_empty());
+    table.get(gid).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::owner_of(&[7], 0).unwrap(), 7);
+    }
+}

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+use std::collections::BTreeMap;
+
+pub fn heaviest_block(weights: BTreeMap<u32, u64>) -> Option<u32> {
+    let mut best = None;
+    for (block, w) in weights.iter() {
+        if best.map_or(true, |(_, bw)| *w > bw) {
+            best = Some((*block, *w));
+        }
+    }
+    best.map(|(b, _)| b)
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+use std::collections::HashMap;
+
+pub fn total(weights: HashMap<u32, u64>) -> u64 {
+    // kappa-lint: allow(hash-iter) -- summation is order-independent
+    weights.values().sum()
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+// kappa-lint: allow(hash-iter)
+pub fn f() -> u32 {
+    41
+}

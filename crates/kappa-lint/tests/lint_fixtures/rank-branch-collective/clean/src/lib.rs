@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+
+pub fn sync(comm: &mut C) {
+    if comm.num_ranks() > 1 {
+        comm.barrier().unwrap();
+    }
+    if comm.rank() == 0 {
+        comm.send(1, "go", 0u8);
+    } else {
+        let _ = comm.recv::<u8>(0, "go");
+    }
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+
+pub fn sync(comm: &mut C) {
+    if comm.rank() == 0 {
+        comm.barrier().unwrap();
+    }
+}

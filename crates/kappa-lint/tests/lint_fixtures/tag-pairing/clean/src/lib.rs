@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+
+const SIZES_TAG: &str = "sizes";
+
+pub fn handshake(comm: &mut C) {
+    comm.send(1, "ping", 1u64);
+    let _ = comm.recv::<u64>(1, "ping");
+    comm.send(0, SIZES_TAG, 4u64);
+    let _ = comm.recv::<u64>(0, SIZES_TAG);
+}

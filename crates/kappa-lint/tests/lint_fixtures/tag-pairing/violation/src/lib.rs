@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+pub fn handshake(comm: &mut C) {
+    comm.send(1, "ping", 1u64);
+    let _ = comm.recv::<u64>(1, "pong");
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+pub fn shutdown(comm: &mut C) {
+    comm.send(1, "::shutdown", 0u8);
+    let _ = comm.recv::<u8>(1, "::shutdown");
+}

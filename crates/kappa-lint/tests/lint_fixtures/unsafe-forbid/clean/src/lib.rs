@@ -1,0 +1,7 @@
+//! A crate root with the mandatory attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn f() -> u32 {
+    41
+}

@@ -1,0 +1,5 @@
+//! A crate root without the mandatory attribute.
+
+pub fn f() -> u32 {
+    41
+}

@@ -1,0 +1,9 @@
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    // kappa-lint: allow(wall-clock) -- fixture: timing helper, never feeds results
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+
+// kappa-lint: allow(wall-clock) -- stale: the timed code below was removed
+pub fn f() -> u32 {
+    41
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}

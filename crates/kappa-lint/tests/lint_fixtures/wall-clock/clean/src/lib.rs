@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+
+pub fn seed_from_config(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_secs() < 60);
+    }
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+use std::time::Instant;
+
+pub fn seed_from_clock() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

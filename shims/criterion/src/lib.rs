@@ -19,6 +19,8 @@
 //! harnesses that reject unknown flags, with the environment variable
 //! `CRITERION_SAVE_BASELINE=<name>`.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};

@@ -7,6 +7,8 @@
 //! message directly. Sampling is deterministic: case `i` of test `t` always
 //! sees the same inputs, so failures reproduce across runs.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::Range;

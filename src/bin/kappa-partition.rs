@@ -22,6 +22,8 @@
 //!   --nodes <N>           node count for --generate     [default: 100000]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -279,6 +281,7 @@ fn main() -> ExitCode {
                 cli.threads
             );
         }
+        // kappa-lint: allow(wall-clock) -- CLI runtime reporting only; never feeds the partition.
         let start = std::time::Instant::now();
         let result = match partition_distributed(&graph, &DistConfig::new(config, ranks)) {
             Ok(result) => result,
@@ -351,6 +354,7 @@ fn run_tcp_worker(
     rendezvous: &str,
 ) -> ExitCode {
     use kappa::dist::{partition_with_comm, TcpClusterConfig, TcpComm};
+    // kappa-lint: allow(wall-clock) -- CLI runtime reporting only; never feeds the partition.
     let start = std::time::Instant::now();
     let mut comm =
         match TcpComm::connect_worker(rendezvous, rank, ranks, TcpClusterConfig::default()) {

@@ -441,7 +441,7 @@ proptest! {
             x
         };
         let payload: Vec<u8> = (0..len).map(|_| next() as u8).collect();
-        let bytes = encode_frame(next() as u32 % 64, next() % 1_000, "alltoallv", &payload);
+        let bytes = encode_frame(next() as u32 % 64, next() % 1_000, "alltoallv", &payload).unwrap();
         let (frame, consumed) = decode_frame(&bytes).unwrap();
         prop_assert_eq!(consumed, bytes.len());
         prop_assert_eq!(&frame.payload, &payload);
