@@ -9,7 +9,9 @@
 //! *inside* one cluster run where possible — what the benches time is the
 //! steady-state kernel, not the handshake.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use kappa_dist::{Comm, LocalCluster, TcpCluster};
 
 /// One ping-pong round trip of a `len`-element `Vec<u64>` between ranks 0
@@ -54,6 +56,97 @@ fn alltoallv_rounds<C: Comm>(comm: &mut C, rounds: u64, len: usize) -> u64 {
     acc
 }
 
+/// A refinement-style superstep schedule: every superstep, every rank posts
+/// `moves` small move records to every peer and then drains its inbound
+/// queues. `coalesced` routes the posts through a [`Comm::coalesce`] scope —
+/// one pack frame per peer per superstep — instead of one frame per record;
+/// this is exactly the batched-move-broadcast shape `dist_refine` emits.
+/// Returns this endpoint's total frame count.
+fn move_broadcasts<C: Comm>(comm: &mut C, supersteps: usize, moves: usize, coalesced: bool) -> u64 {
+    let me = comm.rank() as u64;
+    for _ in 0..supersteps {
+        if coalesced {
+            comm.coalesce(|comm| {
+                for m in 0..moves as u64 {
+                    for peer in 0..comm.num_ranks() {
+                        if peer != comm.rank() {
+                            comm.isend(peer, "mv", (me, m))?;
+                        }
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+        } else {
+            for m in 0..moves as u64 {
+                for peer in 0..comm.num_ranks() {
+                    if peer != comm.rank() {
+                        comm.send(peer, "mv", (me, m)).unwrap();
+                    }
+                }
+            }
+        }
+        let mut acc = 0u64;
+        for peer in 0..comm.num_ranks() {
+            if peer == comm.rank() {
+                continue;
+            }
+            for _ in 0..moves {
+                acc += comm.recv::<(u64, u64)>(peer, "mv").unwrap().1;
+            }
+        }
+        black_box(acc);
+    }
+    comm.stats().map(|s| s.total.frames).unwrap_or(0)
+}
+
+/// Wall clock of the superstep schedule, batched against unbatched, on both
+/// backends — the coalesced variant must never be slower than the per-move
+/// one (on TCP it rides `moves`× fewer syscalls).
+fn bench_move_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_move_broadcast_4r");
+    const SUPERSTEPS: usize = 8;
+    const MOVES: usize = 24;
+    for (variant, coalesced) in [("unbatched", false), ("coalesced", true)] {
+        group.bench_function(BenchmarkId::new("local", variant), |b| {
+            b.iter(|| {
+                LocalCluster::new(4).run(|comm| move_broadcasts(comm, SUPERSTEPS, MOVES, coalesced))
+            })
+        });
+        group.bench_function(BenchmarkId::new("tcp", variant), |b| {
+            b.iter(|| {
+                TcpCluster::new(4).run(|comm| move_broadcasts(comm, SUPERSTEPS, MOVES, coalesced))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Frames-per-run of the same schedule, reported through `iter_custom` as a
+/// `Duration` (1 frame = 1 ns). The metric is *deterministic*, so the
+/// `bench_compare` gate in CI flags any protocol change that grows the frame
+/// count — a regression check on communication volume, not time. Local and
+/// TCP frame counts are identical by the conformance suite, so the cheap
+/// backend carries the gate.
+fn bench_move_broadcast_frames(c: &mut Criterion) {
+    let mut group = c.benchmark_group("comm_frames_move_broadcast_4r");
+    group.sample_size(2);
+    const SUPERSTEPS: usize = 8;
+    const MOVES: usize = 24;
+    for (variant, coalesced) in [("unbatched", false), ("coalesced", true)] {
+        group.bench_function(BenchmarkId::new("frames", variant), |b| {
+            b.iter_custom(|_iters| {
+                let frames: u64 = LocalCluster::new(4)
+                    .run(|comm| move_broadcasts(comm, SUPERSTEPS, MOVES, coalesced))
+                    .into_iter()
+                    .sum();
+                Duration::from_nanos(frames)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_p2p_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("comm_p2p_ping_pong_64B");
     // 8 u64s ≈ a small control message; 32 round trips per measurement keep
@@ -94,5 +187,12 @@ fn bench_alltoallv(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_p2p_latency, bench_allgather, bench_alltoallv);
+criterion_group!(
+    benches,
+    bench_move_broadcast,
+    bench_move_broadcast_frames,
+    bench_p2p_latency,
+    bench_allgather,
+    bench_alltoallv
+);
 criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! shared-memory baseline. Gated through `scripts/bench_compare` in the CI
 //! `dist` job.
 
+use std::time::Duration;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kappa_core::KappaConfig;
 use kappa_dist::{
@@ -109,11 +111,45 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic comm-volume gate: wire frames of one full distributed run
+/// at R=4 — whole run and refinement phase alone — reported through
+/// `iter_custom` as a `Duration` (1 frame = 1 ns). Frame counts are exact,
+/// not sampled, so the `bench_compare` step of the CI `dist` job flags any
+/// protocol change that re-inflates the per-move traffic the batched
+/// superstep schedule eliminated.
+fn bench_frames_per_run(c: &mut Criterion) {
+    let graph = random_geometric_graph(1 << 13, 4);
+    let config = KappaConfig::fast(8).with_seed(3);
+    let mut group = c.benchmark_group("dist_frames_rgg13_k8_r4");
+    group.sample_size(2);
+    let frames_of = |pick: &dyn Fn(&kappa_dist::CommStats) -> u64| {
+        let result = partition_distributed(&graph, &DistConfig::new(config, 4)).unwrap();
+        let frames: u64 = result.comm_per_rank.iter().map(pick).sum();
+        Duration::from_nanos(frames)
+    };
+    group.bench_function("total", |b| {
+        b.iter_custom(|_iters| frames_of(&|s| s.total.frames))
+    });
+    group.bench_function("refine_phase", |b| {
+        b.iter_custom(|_iters| {
+            frames_of(&|s| {
+                s.phases
+                    .iter()
+                    .filter(|(name, _)| name == "refine")
+                    .map(|(_, p)| p.frames)
+                    .sum()
+            })
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_comm_primitives,
     bench_ghost_exchange,
     bench_distributed_matching,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_frames_per_run
 );
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! bench_compare <baseline-dir> <current-dir> [--threshold 0.10]
-//!               [--github-annotations] [--fail-on-regression]
+//!               [--only <substring>] [--github-annotations]
+//!               [--fail-on-regression]
 //! ```
 //!
 //! Per benchmark id it compares the *minimum* per-iteration time (the most
@@ -17,6 +18,12 @@
 //! With `--github-annotations` each regression is also emitted as a
 //! `::warning::` workflow command so it surfaces on the PR checks page;
 //! `--fail-on-regression` turns regressions into a non-zero exit code.
+//!
+//! `--only <substring>` restricts the comparison to benchmark ids containing
+//! the substring. CI uses it to run a second, *hard-failing* pass at a tight
+//! threshold over the deterministic comm-volume metrics (frames per run
+//! encoded as nanoseconds), which are exact counts and therefore gateable —
+//! unlike the wall-clock numbers, which stay warning-only on shared runners.
 
 #![forbid(unsafe_code)]
 
@@ -95,6 +102,7 @@ fn main() -> ExitCode {
     let mut threshold = 0.10f64;
     let mut annotations = false;
     let mut fail_on_regression = false;
+    let mut only: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threshold" => {
@@ -104,12 +112,20 @@ fn main() -> ExitCode {
                 };
                 threshold = value;
             }
+            "--only" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--only needs a benchmark-id substring, e.g. frames");
+                    return ExitCode::from(2);
+                };
+                only = Some(value);
+            }
             "--github-annotations" => annotations = true,
             "--fail-on-regression" => fail_on_regression = true,
             "--help" | "-h" => {
                 println!(
                     "usage: bench_compare <baseline-dir> <current-dir> \
-                     [--threshold 0.10] [--github-annotations] [--fail-on-regression]"
+                     [--threshold 0.10] [--only <substring>] \
+                     [--github-annotations] [--fail-on-regression]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -121,13 +137,18 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let (baseline, current) = match (load_dir(baseline_dir), load_dir(current_dir)) {
+    let (mut baseline, mut current) = match (load_dir(baseline_dir), load_dir(current_dir)) {
         (Ok(b), Ok(c)) => (b, c),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("bench_compare: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(needle) = &only {
+        baseline.retain(|id, _| id.contains(needle.as_str()));
+        current.retain(|id, _| id.contains(needle.as_str()));
+        println!("(comparing only benchmark ids containing {needle:?})");
+    }
 
     let mut regressions: Vec<(String, f64)> = Vec::new();
     let mut improvements = 0usize;

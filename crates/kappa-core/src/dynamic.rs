@@ -115,6 +115,10 @@ pub struct DynamicStats {
     pub local_refines: u64,
     /// Overlay re-bases (compaction folded into a fresh base CSR).
     pub rebases: u64,
+    /// `O(n + m)` CSR folds actually performed. Repairs and verifications
+    /// over an unchanged graph hit the version-keyed compaction cache, so
+    /// this stays below `local_refines` when repairs come in bursts.
+    pub compactions: u64,
     /// Total cut improvement across all localized refinements.
     pub refine_gain_total: i64,
     /// Nodes moved by localized refinements.
@@ -150,6 +154,11 @@ pub struct DynamicSession {
     /// Nodes touched by mutations since the last repair — the region the
     /// next [`refine_local`] pass is seeded from.
     touched: Vec<NodeId>,
+    /// Compacted CSR keyed by the graph version it was folded at. Repairs
+    /// and verifications reuse it until the next mutation bumps the version,
+    /// amortising the `O(n + m)` fold across batched updates (a burst of
+    /// `refine_now`/`verify` calls without interleaved mutations folds once).
+    compact_cache: Option<(u64, CsrGraph)>,
     /// Best cut seen; the drift trigger compares against it.
     baseline_cut: EdgeWeight,
     /// Cached balance bound; recomputed only after node mutations.
@@ -179,6 +188,7 @@ impl DynamicSession {
             state,
             config,
             touched: Vec::new(),
+            compact_cache: None,
             baseline_cut,
             l_max,
             l_max_dirty: false,
@@ -362,21 +372,35 @@ impl DynamicSession {
         }
     }
 
+    /// Folds the graph if (and only if) the cache does not already hold a
+    /// fold of the current version.
+    fn ensure_compacted(&mut self) {
+        let version = self.graph.version();
+        if self.compact_cache.as_ref().map(|&(v, _)| v) != Some(version) {
+            self.compact_cache = Some((version, self.graph.compact()));
+            self.stats.compactions += 1;
+        }
+    }
+
     /// Runs a localized repair now, regardless of the triggers: compacts the
-    /// graph (re-basing the overlay if it has grown past the configured
-    /// fraction), re-refines around the touched region, and resets the
-    /// baseline to the repaired cut.
+    /// graph (re-basing the overlay around the same fold if it has grown past
+    /// the configured fraction), re-refines around the touched region, and
+    /// resets the baseline to the repaired cut. The fold is cached by graph
+    /// version, so a burst of repairs without interleaved mutations pays for
+    /// it once.
     pub fn refine_now(&mut self) -> LocalRefineStats {
-        let compacted = self.graph.compact();
+        self.ensure_compacted();
         if self.graph.overlay_half_edges()
             >= ((2 * self.graph.num_edges()).max(64) as f64 * self.config.compact_overlay_fraction)
                 as usize
         {
-            self.graph = self.graph.rebase();
+            let (_, base) = self.compact_cache.as_ref().expect("just ensured");
+            self.graph = self.graph.rebase_with(base.clone());
             self.stats.rebases += 1;
         }
         let touched = std::mem::take(&mut self.touched);
-        let stats = refine_local(&compacted, &mut self.state, &touched, &self.config.refine);
+        let (_, compacted) = self.compact_cache.as_ref().expect("just ensured");
+        let stats = refine_local(compacted, &mut self.state, &touched, &self.config.refine);
         self.stats.local_refines += 1;
         self.stats.refine_gain_total += stats.total_gain;
         self.stats.refine_nodes_moved += stats.nodes_moved as u64;
@@ -386,9 +410,12 @@ impl DynamicSession {
 
     /// Checks the maintained state field for field against a from-scratch
     /// rebuild on the compacted graph — the streaming-exactness ground truth.
+    /// Reuses the cached fold when it matches the current graph version.
     pub fn verify(&self) -> Result<(), String> {
-        let compacted = self.graph.compact();
-        self.state.verify_exact(&compacted)
+        match &self.compact_cache {
+            Some((v, g)) if *v == self.graph.version() => self.state.verify_exact(g),
+            _ => self.state.verify_exact(&self.graph.compact()),
+        }
     }
 }
 
@@ -470,6 +497,60 @@ mod tests {
         assert_eq!(s.stats().local_refines, 1);
         assert!(!s.needs_refine());
         s.verify().unwrap();
+    }
+
+    #[test]
+    fn batched_repairs_fold_the_graph_once() {
+        let g = grid2d(10, 10);
+        let assignment = (0..100).map(|i| if i % 10 < 5 { 0 } else { 1 }).collect();
+        let mut s = DynamicSession::new(
+            g,
+            Partition::from_assignment(2, assignment),
+            DynamicConfig::default().with_auto_refine(false),
+        )
+        .unwrap();
+        for i in 0..5u32 {
+            s.update_edge(10 * i + 4, 10 * i + 5, 40).unwrap();
+        }
+        assert_eq!(s.stats().compactions, 0, "mutations alone must not fold");
+        s.refine_now();
+        assert_eq!(s.stats().compactions, 1);
+        // Repairs and verifications over the unchanged graph reuse the fold.
+        s.refine_now();
+        s.verify().unwrap();
+        s.refine_now();
+        assert_eq!(s.stats().local_refines, 3);
+        assert_eq!(s.stats().compactions, 1, "unchanged graph was re-folded");
+        // The next mutation invalidates the cache; the next repair folds anew
+        // and the state stays exact.
+        s.insert_edge(0, 99, 2).unwrap();
+        s.refine_now();
+        assert_eq!(s.stats().compactions, 2);
+        s.verify().unwrap();
+        assert_eq!(s.state().full_builds(), 1);
+    }
+
+    #[test]
+    fn rebase_reuses_the_cached_fold_and_stays_exact() {
+        let g = grid2d(10, 10);
+        let assignment = (0..100).map(|i| if i % 10 < 5 { 0 } else { 1 }).collect();
+        let mut config = DynamicConfig::default().with_auto_refine(false);
+        // Rebase on every repair: the rebase must ride the cached fold
+        // instead of folding a second time.
+        config.compact_overlay_fraction = 0.0;
+        let mut s =
+            DynamicSession::new(g, Partition::from_assignment(2, assignment), config).unwrap();
+        for i in 0..5u32 {
+            s.update_edge(10 * i + 4, 10 * i + 5, 40).unwrap();
+        }
+        s.refine_now();
+        assert!(s.stats().rebases >= 1, "fraction 0 must force a rebase");
+        assert_eq!(s.stats().compactions, 1, "rebase folded redundantly");
+        assert_eq!(s.graph().overlay_half_edges(), 0);
+        s.refine_now();
+        assert_eq!(s.stats().compactions, 1);
+        s.verify().unwrap();
+        assert_eq!(s.state().full_builds(), 1);
     }
 
     #[test]

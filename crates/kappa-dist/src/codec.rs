@@ -22,7 +22,8 @@ use std::fmt;
 
 /// Version of the wire protocol (frames + handshake). Bump on any change to
 /// the frame layout or the [`Wire`] encodings of the pipeline's message types.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Version 2 added coalesced pack frames (`::coal`).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Frame magic, little-endian `b"KPF1"` on the wire.
 pub const FRAME_MAGIC: u32 = u32::from_le_bytes(*b"KPF1");

@@ -44,7 +44,7 @@
 
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::time::{Duration, Instant};
 
 use crate::codec::Wire;
@@ -164,6 +164,107 @@ pub(crate) const ALLTOALLV_TAG: &str = "::alltoallv";
 /// control frames; anything else starting with `::` is rejected.
 pub(crate) const COLLECTIVE_TAGS: &[&str] = &[BARRIER_TAG, BCAST_TAG, ALLGATHER_TAG, ALLTOALLV_TAG];
 
+/// Tag of a coalesced pack: one wire frame carrying every message a rank
+/// posted to the same peer inside a [`Comm::coalesce`] scope. The pack is a
+/// transport artefact — receivers never ask for this tag; the drain path
+/// unpacks it back into the ordinary per-message stream before tag matching.
+pub(crate) const COALESCE_TAG: &str = "::coal";
+
+/// Comm-volume counters of one phase (or of the whole run).
+///
+/// *Frames* are wire frames leaving this endpoint (a coalesced pack counts
+/// once, however many messages it carries); *bytes* are the encoded frame
+/// bytes on transports that serialise (the in-process backend moves payloads
+/// unserialised and reports 0); *collectives* are primitive collective
+/// schedules entered (gather / broadcast / all-to-all-v) — compound ops
+/// (barrier, allgather, allreduce) count their constituent primitives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCommStats {
+    /// Wire frames sent by this endpoint.
+    pub frames: u64,
+    /// Encoded bytes sent (0 on the unserialised in-process backend).
+    pub bytes: u64,
+    /// Primitive collective schedules entered.
+    pub collectives: u64,
+}
+
+crate::impl_wire_struct!(PhaseCommStats {
+    frames,
+    bytes,
+    collectives
+});
+
+/// Per-rank communication counters, split by pipeline phase.
+///
+/// Counters are recorded at the *sending* endpoint (receives are the mirror
+/// image of some peer's sends, so counting both sides would double every
+/// frame). [`CommStats::set_phase`] relabels subsequent traffic; re-entering
+/// an existing phase name resumes its bucket.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    /// Whole-run totals.
+    pub total: PhaseCommStats,
+    /// Per-phase buckets in first-use order.
+    pub phases: Vec<(String, PhaseCommStats)>,
+    current: Option<usize>,
+}
+
+impl PartialEq for CommStats {
+    fn eq(&self, other: &Self) -> bool {
+        // The current-phase cursor is endpoint bookkeeping, not data.
+        self.total == other.total && self.phases == other.phases
+    }
+}
+
+impl CommStats {
+    /// Labels subsequent traffic with `phase`, resuming the bucket if the
+    /// name was used before.
+    pub fn set_phase(&mut self, phase: &str) {
+        if let Some(idx) = self.phases.iter().position(|(name, _)| name == phase) {
+            self.current = Some(idx);
+        } else {
+            self.phases
+                .push((phase.to_string(), PhaseCommStats::default()));
+            self.current = Some(self.phases.len() - 1);
+        }
+    }
+
+    fn bump(&mut self, f: impl Fn(&mut PhaseCommStats)) {
+        f(&mut self.total);
+        if let Some(idx) = self.current {
+            f(&mut self.phases[idx].1);
+        }
+    }
+
+    pub(crate) fn note_frame(&mut self, bytes: u64) {
+        self.bump(|p| {
+            p.frames += 1;
+            p.bytes += bytes;
+        });
+    }
+
+    pub(crate) fn note_collective(&mut self) {
+        self.bump(|p| p.collectives += 1);
+    }
+}
+
+impl Wire for CommStats {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.total.encode(buf);
+        self.phases.encode(buf);
+    }
+
+    fn decode(r: &mut crate::codec::WireReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let total = PhaseCommStats::decode(r)?;
+        let phases = Vec::<(String, PhaseCommStats)>::decode(r)?;
+        Ok(CommStats {
+            total,
+            phases,
+            current: None,
+        })
+    }
+}
+
 /// The communication interface of one rank.
 ///
 /// All collectives have default implementations over [`send`](Comm::send) /
@@ -187,6 +288,70 @@ pub trait Comm {
     /// it does not.
     fn recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<T>;
 
+    /// Split-phase send: posts `value` to rank `to` under `tag` without
+    /// waiting. Outside a [`coalesce`](Comm::coalesce) scope this is exactly
+    /// [`send`](Comm::send); inside one, the message is buffered and packed
+    /// with every other same-peer post into a single wire frame at flush.
+    fn isend<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
+        self.send(to, tag, value)
+    }
+
+    /// Split-phase completion: returns the next already-arrived message from
+    /// `from` carrying `tag`, or `Ok(None)` when nothing matching has arrived
+    /// yet. Both built-in backends drain their receive queues without
+    /// blocking; this default falls back to the blocking [`recv`](Comm::recv).
+    fn try_recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<Option<T>> {
+        self.recv(from, tag).map(Some)
+    }
+
+    /// Opens a coalesce scope: subsequent [`isend`](Comm::isend)s are
+    /// buffered per destination instead of hitting the wire. Plain `send`s
+    /// and collectives are *not* buffered — they keep their immediate
+    /// semantics even inside a scope. Scopes do not nest.
+    fn coalesce_begin(&mut self) {}
+
+    /// Closes the coalesce scope: packs each peer's buffered messages into
+    /// one frame (peers flushed in ascending rank order) and puts them on
+    /// the wire. A no-op when no scope is open.
+    fn coalesce_flush(&mut self) -> CommResult<()> {
+        Ok(())
+    }
+
+    /// Runs `f` inside a coalesce scope, flushing on the way out. The flush
+    /// always runs (so a partial superstep is never silently swallowed), but
+    /// an error from `f` takes precedence over a flush error.
+    fn coalesce<R, F>(&mut self, f: F) -> CommResult<R>
+    where
+        Self: Sized,
+        F: FnOnce(&mut Self) -> CommResult<R>,
+    {
+        self.coalesce_begin();
+        let out = f(self);
+        let flushed = self.coalesce_flush();
+        let out = out?;
+        flushed?;
+        Ok(out)
+    }
+
+    /// Comm-volume counters of this endpoint, on backends that track them.
+    fn stats(&self) -> Option<&CommStats> {
+        None
+    }
+
+    /// Mutable counters hook used by the default collectives and by
+    /// [`set_phase`](Comm::set_phase); backends that track stats override it.
+    fn stats_mut(&mut self) -> Option<&mut CommStats> {
+        None
+    }
+
+    /// Labels subsequent traffic with `phase` in the stats (no-op when the
+    /// backend tracks none).
+    fn set_phase(&mut self, phase: &'static str) {
+        if let Some(stats) = self.stats_mut() {
+            stats.set_phase(phase);
+        }
+    }
+
     /// Synchronises all ranks.
     fn barrier(&mut self) -> CommResult<()> {
         self.gather(0, BARRIER_TAG, ())?;
@@ -202,6 +367,9 @@ pub trait Comm {
         tag: &'static str,
         value: T,
     ) -> CommResult<Option<Vec<T>>> {
+        if let Some(stats) = self.stats_mut() {
+            stats.note_collective();
+        }
         if self.rank() == root {
             let mut all: Vec<T> = Vec::with_capacity(self.num_ranks());
             let mut own = Some(value);
@@ -225,6 +393,9 @@ pub trait Comm {
     /// — the non-root ranks would otherwise wait on a broadcast that never
     /// happens.
     fn broadcast<T: Message + Clone>(&mut self, root: usize, value: Option<T>) -> CommResult<T> {
+        if let Some(stats) = self.stats_mut() {
+            stats.note_collective();
+        }
         if self.rank() == root {
             let Some(value) = value else {
                 return Err(CommError {
@@ -257,6 +428,9 @@ pub trait Comm {
     /// one part per source rank (the own part is moved through untouched).
     /// Zero-length parts are legal and arrive as empty vectors.
     fn alltoallv<T: Message>(&mut self, mut parts: Vec<Vec<T>>) -> CommResult<Vec<Vec<T>>> {
+        if let Some(stats) = self.stats_mut() {
+            stats.note_collective();
+        }
         let (me, ranks) = (self.rank(), self.num_ranks());
         if parts.len() != ranks {
             return Err(CommError {
@@ -485,6 +659,8 @@ impl LocalCluster {
                 inboxes: (0..ranks).map(|_| SeqInbox::new()).collect(),
                 injector: FaultInjector::new(self.config.fault, rank, ranks),
                 config: self.config,
+                pending: None,
+                stats: CommStats::default(),
             });
         }
         std::thread::scope(|scope| {
@@ -514,6 +690,10 @@ pub struct LocalComm {
     inboxes: Vec<SeqInbox<Envelope>>,
     injector: FaultInjector<Envelope>,
     config: LocalClusterConfig,
+    /// `Some` while a coalesce scope is open: per-destination buffers of
+    /// posted-but-unflushed envelopes.
+    pending: Option<Vec<Vec<Envelope>>>,
+    stats: CommStats,
 }
 
 impl LocalComm {
@@ -525,25 +705,10 @@ impl LocalComm {
             kind,
         }
     }
-}
 
-impl Comm for LocalComm {
-    fn rank(&self) -> usize {
-        self.rank
-    }
-
-    fn num_ranks(&self) -> usize {
-        self.ranks
-    }
-
-    fn send<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
-        let seq = self.send_seqs[to];
-        self.send_seqs[to] += 1;
-        let env = Envelope {
-            seq,
-            tag,
-            payload: Box::new(value),
-        };
+    /// Fault-injector dispatch + channel emission of one envelope — the
+    /// shared tail of `send` and the coalesce flush.
+    fn emit(&mut self, to: usize, env: Envelope, tag: &'static str) -> CommResult<()> {
         // A send can only fail when the receiver already exited — which, in a
         // lock-step SPMD program, means that rank failed first; surface it.
         let tx = &self.txs[to];
@@ -579,6 +744,95 @@ impl Comm for LocalComm {
         }
     }
 
+    /// Feeds one raw arrival into the per-peer inbox, unpacking coalesced
+    /// packs back into the ordinary per-message stream. Inner envelopes
+    /// carry their own stream sequence numbers, so dedup and reordering work
+    /// at the message level; a pack's decoy twin (payload is not a
+    /// `Vec<Envelope>`) carries nothing and is dropped here.
+    fn accept_envelope(&mut self, from: usize, env: Envelope) {
+        if env.tag == COALESCE_TAG {
+            if let Ok(inner) = env.payload.downcast::<Vec<Envelope>>() {
+                for e in *inner {
+                    let seq = e.seq;
+                    self.inboxes[from].accept(seq, e);
+                }
+            }
+            return;
+        }
+        let seq = env.seq;
+        self.inboxes[from].accept(seq, env);
+    }
+}
+
+impl Comm for LocalComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn send<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
+        let seq = self.send_seqs[to];
+        self.send_seqs[to] += 1;
+        let env = Envelope {
+            seq,
+            tag,
+            payload: Box::new(value),
+        };
+        // Frames are counted once per primary emission, before fault
+        // injection — the count is a property of the schedule, not of the
+        // injected fault pattern. The local backend never serialises, so
+        // bytes stay 0.
+        self.stats.note_frame(0);
+        self.emit(to, env, tag)
+    }
+
+    fn isend<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
+        if self.pending.is_some() {
+            let seq = self.send_seqs[to];
+            self.send_seqs[to] += 1;
+            let env = Envelope {
+                seq,
+                tag,
+                payload: Box::new(value),
+            };
+            // kappa-lint: allow(dist-no-panic) -- guarded by the is_some check above
+            self.pending.as_mut().expect("scope open")[to].push(env);
+            Ok(())
+        } else {
+            self.send(to, tag, value)
+        }
+    }
+
+    fn coalesce_begin(&mut self) {
+        debug_assert!(self.pending.is_none(), "coalesce scopes do not nest");
+        self.pending = Some((0..self.ranks).map(|_| Vec::new()).collect());
+    }
+
+    fn coalesce_flush(&mut self) -> CommResult<()> {
+        let Some(pending) = self.pending.take() else {
+            return Ok(());
+        };
+        for (to, buf) in pending.into_iter().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            // The pack rides under the first inner seq; that seq never
+            // reaches the inbox (the drain unpacks before `accept`), so the
+            // inner envelopes' own seqs keep the stream gapless.
+            let pack = Envelope {
+                seq: buf[0].seq,
+                tag: COALESCE_TAG,
+                payload: Box::new(buf),
+            };
+            self.stats.note_frame(0);
+            self.emit(to, pack, COALESCE_TAG)?;
+        }
+        Ok(())
+    }
+
     fn recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<T> {
         // kappa-lint: allow(wall-clock) -- timeout bookkeeping only; the clock decides when to give up, never what a result contains
         let deadline = Instant::now() + self.config.recv_timeout;
@@ -603,8 +857,7 @@ impl Comm for LocalComm {
             }
             match self.rxs[from].recv_timeout(remaining) {
                 Ok(env) => {
-                    let seq = env.seq;
-                    self.inboxes[from].accept(seq, env);
+                    self.accept_envelope(from, env);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(self.error(
@@ -620,6 +873,33 @@ impl Comm for LocalComm {
                 }
             }
         }
+    }
+
+    fn try_recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<Option<T>> {
+        loop {
+            match self.rxs[from].try_recv() {
+                Ok(env) => self.accept_envelope(from, env),
+                // A closed channel is not an error here: messages already
+                // drained into the inbox must still be claimable.
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        match self.inboxes[from].take(|e| e.tag == tag) {
+            Some(env) => env
+                .payload
+                .downcast::<T>()
+                .map(|b| Some(*b))
+                .map_err(|_| self.error(from, tag, CommErrorKind::TypeMismatch)),
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self) -> Option<&CommStats> {
+        Some(&self.stats)
+    }
+
+    fn stats_mut(&mut self) -> Option<&mut CommStats> {
+        Some(&mut self.stats)
     }
 }
 
@@ -882,6 +1162,172 @@ mod tests {
             }
         });
         assert_eq!(results[1], (0..30).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn coalesced_isends_arrive_as_ordinary_messages_in_one_frame_per_peer() {
+        let results = cluster(3).run(|comm| {
+            let me = comm.rank();
+            let before = comm.stats().unwrap().total.frames;
+            comm.coalesce(|c| {
+                for dst in 0..c.num_ranks() {
+                    if dst != me {
+                        c.isend(dst, "coal-a", me as u64 * 10)?;
+                        c.isend(dst, "coal-b", me as u64 * 10 + 1)?;
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+            let frames = comm.stats().unwrap().total.frames - before;
+            let mut got = Vec::new();
+            for src in 0..comm.num_ranks() {
+                if src != me {
+                    got.push(comm.recv::<u64>(src, "coal-a").unwrap());
+                    got.push(comm.recv::<u64>(src, "coal-b").unwrap());
+                }
+            }
+            (frames, got)
+        });
+        for (me, (frames, got)) in results.into_iter().enumerate() {
+            // Two isends per peer packed into one frame per peer.
+            assert_eq!(frames, 2, "rank {me} sent one pack per peer");
+            let expected: Vec<u64> = (0..3)
+                .filter(|&s| s != me)
+                .flat_map(|s| [s as u64 * 10, s as u64 * 10 + 1])
+                .collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn plain_send_inside_a_scope_stays_in_posting_order() {
+        // A plain `send` inside a coalesce scope hits the wire before the
+        // pack flushes, but carries a later sequence number — the receiver's
+        // stream reassembly must restore posting order.
+        let results = cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.coalesce(|c| {
+                    c.isend(1, "mix", 1u64)?;
+                    c.send(1, "mix", 2u64)?;
+                    c.isend(1, "mix", 3u64)
+                })
+                .unwrap();
+                Vec::new()
+            } else {
+                (0..3)
+                    .map(|_| comm.recv::<u64>(0, "mix").unwrap())
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn isend_outside_a_scope_is_an_ordinary_send() {
+        let results = cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.isend(1, "plain", 7u64).unwrap();
+                0
+            } else {
+                comm.recv::<u64>(0, "plain").unwrap()
+            }
+        });
+        assert_eq!(results[1], 7);
+    }
+
+    #[test]
+    fn try_recv_completes_without_blocking() {
+        let results = cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                // Nothing posted to rank 0 yet: must report None, not block.
+                assert_eq!(comm.try_recv::<u64>(1, "late").unwrap(), None);
+                comm.send(1, "go", ()).unwrap();
+                let mut spins = 0u64;
+                loop {
+                    if let Some(v) = comm.try_recv::<u64>(1, "late").unwrap() {
+                        return (v, spins);
+                    }
+                    spins += 1;
+                    std::thread::yield_now();
+                }
+            } else {
+                comm.recv::<()>(0, "go").unwrap();
+                comm.send(0, "late", 99u64).unwrap();
+                (0, 0)
+            }
+        });
+        assert_eq!(results[0].0, 99);
+    }
+
+    #[test]
+    fn coalesced_packs_survive_duplicate_and_reorder_faults() {
+        let cluster = LocalCluster::with_config(
+            2,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(10),
+                fault: FaultPlan::seeded(11, 0.0, 0.5, 0.0, 0.3),
+            },
+        );
+        let results = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                for round in 0..10u64 {
+                    comm.coalesce(|c| {
+                        c.isend(1, "pk", round * 2)?;
+                        c.isend(1, "pk", round * 2 + 1)
+                    })
+                    .unwrap();
+                }
+                // Ten extra plain sends release any packs still held by the
+                // reorder window (the receiver only claims the packed 20).
+                for v in 0..10u64 {
+                    // kappa-lint: allow(tag-pairing) -- deliberately unreceived filler: it only pushes held packs out of the reorder window
+                    comm.send(1, "tail", v).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..20)
+                    .map(|_| comm.recv::<u64>(0, "pk").unwrap())
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn stats_track_frames_and_collectives_per_phase() {
+        let results = cluster(2).run(|comm| {
+            comm.set_phase("ping");
+            if comm.rank() == 0 {
+                comm.send(1, "st", 1u64).unwrap();
+            } else {
+                comm.recv::<u64>(0, "st").unwrap();
+            }
+            comm.set_phase("sync");
+            comm.barrier().unwrap();
+            comm.set_phase("ping");
+            if comm.rank() == 0 {
+                comm.send(1, "st", 2u64).unwrap();
+            } else {
+                comm.recv::<u64>(0, "st").unwrap();
+            }
+            comm.stats().unwrap().clone()
+        });
+        let s0 = &results[0];
+        assert_eq!(s0.phases.len(), 2, "re-entering a phase resumes its bucket");
+        assert_eq!(s0.phases[0].0, "ping");
+        assert_eq!(s0.phases[0].1.frames, 2);
+        // Barrier = gather + broadcast: two primitive collectives, and rank
+        // 0's barrier traffic is one bcast frame to rank 1.
+        assert_eq!(s0.phases[1].1.collectives, 2);
+        assert_eq!(
+            s0.total.frames,
+            s0.phases.iter().map(|(_, p)| p.frames).sum::<u64>()
+        );
+        // Counters are wire-portable.
+        let bytes = crate::codec::Wire::to_bytes(s0);
+        let back: CommStats = crate::codec::Wire::from_bytes(&bytes).unwrap();
+        assert_eq!(&back, s0);
     }
 
     #[test]

@@ -50,8 +50,8 @@ pub mod tcp;
 
 pub use codec::{Wire, PROTOCOL_VERSION};
 pub use comm::{
-    allreduce_min_opt, Comm, CommError, CommErrorKind, CommResult, LocalCluster,
-    LocalClusterConfig, LocalComm, Message,
+    allreduce_min_opt, Comm, CommError, CommErrorKind, CommResult, CommStats, LocalCluster,
+    LocalClusterConfig, LocalComm, Message, PhaseCommStats,
 };
 pub use contract::distributed_contraction;
 pub use fault::{DropSpec, FaultAction, FaultPlan};

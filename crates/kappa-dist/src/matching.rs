@@ -221,14 +221,17 @@ pub fn distributed_matching<C: Comm>(
                 }
             }
         }
-        // Refresh ghost matched flags and check global progress. (Each
-        // matched gap pair is counted twice — once per endpoint owner.)
-        ghost_state = dg.exchange_ghosts(comm, |l| GhostMatchState {
-            matched: partner_owned[l as usize] != INVALID_NODE,
-        })?;
+        // Check global progress first: a no-progress round cannot have
+        // changed any matched flag anywhere, so breaking before the ghost
+        // refresh drops one exchange round per handshake without altering a
+        // single exchanged value. (Each matched gap pair is counted twice —
+        // once per endpoint owner.)
         if comm.allreduce_sum(matched_now)? == 0 {
             break;
         }
+        ghost_state = dg.exchange_ghosts(comm, |l| GhostMatchState {
+            matched: partner_owned[l as usize] != INVALID_NODE,
+        })?;
     }
 
     // Mirror partners onto ghosts and count pairs (at the smaller endpoint's

@@ -29,9 +29,11 @@ use kappa_graph::{BlockId, BlockWeights, CsrGraph, EdgeWeight, NodeId, NodeWeigh
 use kappa_initial::{best_of_repeats, quality_key, InitialAlgorithm, InitialPartitionConfig};
 use kappa_refine::{RefinementConfig, RefinementStats};
 
-use crate::comm::{Comm, CommError, CommErrorKind, CommResult, LocalCluster, LocalClusterConfig};
+use crate::comm::{
+    Comm, CommError, CommErrorKind, CommResult, CommStats, LocalCluster, LocalClusterConfig,
+};
 use crate::contract::distributed_contraction;
-use crate::graph::DistGraph;
+use crate::graph::{even_ranges, owner_in, DistGraph};
 use crate::matching::distributed_matching;
 use crate::refine::dist_refine;
 use crate::state::DistState;
@@ -45,6 +47,11 @@ pub struct DistConfig {
     pub base: KappaConfig,
     /// Number of ranks in the cluster.
     pub ranks: usize,
+    /// Coarse-level rank folding: once the global node count drops to this
+    /// threshold, the graph is folded onto half the active ranks (and onto
+    /// half again at every further halving of the threshold), parking the
+    /// rest for the remaining coarse levels. `0` disables folding.
+    pub fold_threshold: usize,
 }
 
 impl DistConfig {
@@ -52,7 +59,17 @@ impl DistConfig {
     pub fn new(base: KappaConfig, ranks: usize) -> Self {
         // kappa-lint: allow(dist-no-panic) -- constructor precondition, fires at configuration time before any rank or socket exists.
         assert!(ranks >= 1, "at least one rank");
-        DistConfig { base, ranks }
+        DistConfig {
+            base,
+            ranks,
+            fold_threshold: 0,
+        }
+    }
+
+    /// Sets the rank-folding threshold (`0` disables folding).
+    pub fn with_fold_threshold(mut self, fold_threshold: usize) -> Self {
+        self.fold_threshold = fold_threshold;
+        self
     }
 }
 
@@ -71,6 +88,8 @@ pub struct DistRunResult {
     pub refinement: RefinementStats,
     /// Per-rank count of full boundary-index builds — exactly one each.
     pub boundary_full_builds_per_rank: Vec<usize>,
+    /// Per-rank communication counters, split by pipeline phase.
+    pub comm_per_rank: Vec<CommStats>,
 }
 
 /// Partitions `graph` into `config.base.k` blocks over `config.ranks` ranks
@@ -100,6 +119,7 @@ pub fn partition_distributed_with(
             coarsest_nodes: n,
             refinement: RefinementStats::default(),
             boundary_full_builds_per_rank: vec![0; config.ranks],
+            comm_per_rank: vec![CommStats::default(); config.ranks],
         });
     }
     // Locality-preserving layout (§3.3): with several ranks and available
@@ -128,6 +148,7 @@ pub fn partition_distributed_with(
         return Err(pick_diagnostic(errors));
     }
     let full_builds: Vec<usize> = rank_results.iter().map(|r| r.full_builds).collect();
+    let comm_per_rank: Vec<CommStats> = rank_results.iter().map(|r| r.comm.clone()).collect();
     let mut first = rank_results.swap_remove(0);
     first.partition = unpermute(k, first.partition, &layout);
     Ok(DistRunResult {
@@ -137,6 +158,7 @@ pub fn partition_distributed_with(
         coarsest_nodes: first.coarsest_nodes,
         refinement: first.refinement,
         boundary_full_builds_per_rank: full_builds,
+        comm_per_rank,
     })
 }
 
@@ -177,6 +199,7 @@ pub fn partition_with_comm<C: Comm>(
                 coarsest_nodes: n,
                 refinement: RefinementStats::default(),
                 boundary_full_builds_per_rank: vec![0; ranks],
+                comm_per_rank: vec![CommStats::default(); ranks],
             }
         }));
     }
@@ -186,10 +209,13 @@ pub fn partition_with_comm<C: Comm>(
         None => (graph, crate::graph::even_ranges(n, ranks)),
     };
     let result = rank_main(comm, work_graph, &range_starts, config)?;
-    let full_builds = comm.allgather(result.full_builds)?;
+    // One allgather for both trailers; the comm snapshot inside `result` was
+    // taken before it, so local and TCP runs report identical counters.
+    let trailers = comm.allgather((result.full_builds, result.comm.clone()))?;
     if comm.rank() != 0 {
         return Ok(None);
     }
+    let (full_builds, comm_per_rank) = trailers.into_iter().unzip();
     Ok(Some(DistRunResult {
         partition: unpermute(k, result.partition, &layout),
         edge_cut: result.edge_cut,
@@ -197,6 +223,7 @@ pub fn partition_with_comm<C: Comm>(
         coarsest_nodes: result.coarsest_nodes,
         refinement: result.refinement,
         boundary_full_builds_per_rank: full_builds,
+        comm_per_rank,
     }))
 }
 
@@ -305,6 +332,84 @@ struct RankResult {
     coarsest_nodes: usize,
     refinement: RefinementStats,
     full_builds: usize,
+    comm: CommStats,
+}
+
+/// How many ranks stay active for a level of `n` global nodes: at the
+/// threshold the active set halves, and halves again at every further
+/// halving of the threshold (so an 8-rank run folds 8 → 4 → 2 → 1 as the
+/// hierarchy shrinks through `t`, `t/2`, `t/4`). `threshold == 0` disables
+/// folding.
+fn fold_active(n: usize, active: usize, threshold: usize) -> usize {
+    let mut active = active;
+    let mut t = threshold;
+    while active > 1 && t > 0 && n <= t {
+        active = active.div_ceil(2);
+        t /= 2;
+    }
+    active
+}
+
+/// Folds the distribution of `dg` onto the first `active` ranks: the new
+/// ownership ranges split the nodes evenly over the active ranks and give
+/// every parked rank an empty range. One `alltoallv` routes each owned row
+/// (global adjacency + node weight) to its new owner; old and new ranges are
+/// both contiguous and ascending by rank, so concatenating the incoming
+/// parts in rank order reproduces the owned rows in ascending global order
+/// (validated, not assumed). Parked ranks keep participating in every
+/// collective — they just own nothing, and since coarse ownership is derived
+/// from anchor counts, they own nothing on all coarser levels too.
+fn fold_graph<C: Comm>(comm: &mut C, dg: &DistGraph, active: usize) -> CommResult<DistGraph> {
+    let n = dg.num_global_nodes();
+    let ranks = dg.ranks();
+    let mut new_starts = even_ranges(n, active);
+    new_starts.resize(ranks + 1, n as NodeId);
+    let (lo, _) = dg.owned_range();
+    let mut parts: Vec<Vec<(NodeId, NodeWeight, Vec<(NodeId, EdgeWeight)>)>> =
+        vec![Vec::new(); ranks];
+    for l in 0..dg.num_owned() as NodeId {
+        let gid = lo + l;
+        parts[owner_in(&new_starts, gid)].push((
+            gid,
+            dg.local().node_weight(l),
+            dg.local()
+                .edges_of(l)
+                .map(|(t, w)| (dg.global_of(t), w))
+                .collect(),
+        ));
+    }
+    let incoming = comm.alltoallv(parts)?;
+    let mut expected = new_starts[comm.rank()];
+    let mut rows: Vec<(Vec<(NodeId, EdgeWeight)>, NodeWeight)> =
+        Vec::with_capacity((new_starts[comm.rank() + 1] - expected) as usize);
+    for (src, part) in incoming.into_iter().enumerate() {
+        for (gid, weight, edges) in part {
+            if gid != expected {
+                return Err(CommError {
+                    rank: comm.rank(),
+                    peer: src,
+                    tag: "fold".to_string(),
+                    kind: CommErrorKind::Protocol(format!(
+                        "fold rows out of order: got global node {gid}, expected {expected}"
+                    )),
+                });
+            }
+            expected += 1;
+            rows.push((edges, weight));
+        }
+    }
+    if expected != new_starts[comm.rank() + 1] {
+        return Err(CommError {
+            rank: comm.rank(),
+            peer: comm.rank(),
+            tag: "fold".to_string(),
+            kind: CommErrorKind::Protocol(format!(
+                "fold rows incomplete: got up to global node {expected}, range ends at {}",
+                new_starts[comm.rank() + 1]
+            )),
+        });
+    }
+    DistGraph::assemble_with(comm, comm.rank(), ranks, new_starts, rows)
 }
 
 /// One level of the distributed hierarchy, as seen by one rank.
@@ -328,10 +433,21 @@ fn rank_main<C: Comm>(
     let stop_at_nodes = base.contraction_stop_nodes(n).max(2 * k as usize);
 
     // --- Phase 1: distributed coarsening. ---
+    comm.set_phase("coarsen");
     let mut levels: Vec<DistLevel> = Vec::new();
     let mut current = DistGraph::from_global_ranges(graph, range_starts.to_vec(), comm.rank());
+    let mut active = comm.num_ranks();
     for level_idx in 0..64u64 {
         let n_cur = current.num_global_nodes();
+        // Coarse-level rank folding: concentrate a small level on fewer
+        // ranks *before* matching it (and before the stop check, so the
+        // coarsest level itself is folded too) — below the threshold the
+        // per-rank seams cost more cut than the parked parallelism buys.
+        let target = fold_active(n_cur, active, config.fold_threshold);
+        if target < active {
+            current = fold_graph(comm, &current, target)?;
+            active = target;
+        }
         if n_cur <= stop_at_nodes {
             break;
         }
@@ -356,6 +472,7 @@ fn rank_main<C: Comm>(
     let hierarchy_levels = levels.len() + 1;
 
     // --- Phase 2: redundant initial partitioning of the coarsest graph. ---
+    comm.set_phase("initial");
     let coarsest_full = allgather_graph(comm, &current)?;
     let repeats = base.initial_repeats.max(1);
     let initial_config = InitialPartitionConfig {
@@ -411,6 +528,7 @@ fn rank_main<C: Comm>(
         .collect();
     let weights = BlockWeights::compute(&coarsest_full, &winner);
     let mut st = DistState::build(&coarsest, view, k, weights);
+    comm.set_phase("refine");
     let l_max = level_l_max(comm, &coarsest, k, base.epsilon)?;
     dist_refine(
         comm,
@@ -427,6 +545,7 @@ fn rank_main<C: Comm>(
         } else {
             &coarsest
         };
+        comm.set_phase("project");
         st = project_state(
             comm,
             &levels[i].graph,
@@ -434,6 +553,7 @@ fn rank_main<C: Comm>(
             &st,
             &levels[i].coarse_of_owned,
         )?;
+        comm.set_phase("refine");
         let l_max = level_l_max(comm, &levels[i].graph, k, base.epsilon)?;
         dist_refine(
             comm,
@@ -446,6 +566,7 @@ fn rank_main<C: Comm>(
     }
 
     // --- Gather the global assignment (replicated) and the exact cut. ---
+    comm.set_phase("finish");
     let finest = levels.first().map(|l| &l.graph).unwrap_or(&coarsest);
     let owned_blocks: Vec<BlockId> = st.view()[..finest.num_owned()].to_vec();
     let assignment: Vec<BlockId> = comm
@@ -463,6 +584,7 @@ fn rank_main<C: Comm>(
         coarsest_nodes,
         refinement: stats,
         full_builds: st.full_builds(),
+        comm: comm.stats().cloned().unwrap_or_default(),
     })
 }
 
@@ -505,8 +627,13 @@ fn level_l_max<C: Comm>(
     epsilon: f64,
 ) -> CommResult<NodeWeight> {
     let owned = &dg.local().vwgt()[..dg.num_owned()];
-    let total = comm.allreduce_sum(owned.iter().sum())?;
-    let max = comm.allreduce_max(owned.iter().copied().max().unwrap_or(0))?;
+    // One allgather carries both reductions — half the collective rounds of
+    // a sum-allreduce followed by a max-allreduce, same folded values.
+    let local: (NodeWeight, NodeWeight) =
+        (owned.iter().sum(), owned.iter().copied().max().unwrap_or(0));
+    let both = comm.allgather(local)?;
+    let total: NodeWeight = both.iter().map(|&(s, _)| s).sum();
+    let max = both.iter().map(|&(_, m)| m).max().unwrap_or(0);
     let avg = total as f64 / k as f64;
     Ok(((1.0 + epsilon) * avg).ceil() as NodeWeight + max)
 }
@@ -562,4 +689,21 @@ fn project_state<C: Comm>(
         |l| candidate[l as usize],
         st.full_builds(),
     ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fold_active;
+
+    #[test]
+    fn fold_active_halves_through_the_threshold_cascade() {
+        assert_eq!(fold_active(5000, 8, 2048), 8);
+        assert_eq!(fold_active(2000, 8, 2048), 4);
+        assert_eq!(fold_active(900, 8, 2048), 2);
+        assert_eq!(fold_active(400, 8, 2048), 1);
+        // Threshold 0 disables folding entirely.
+        assert_eq!(fold_active(400, 8, 0), 8);
+        // A lone rank never folds further.
+        assert_eq!(fold_active(1, 1, 2048), 1);
+    }
 }

@@ -37,19 +37,21 @@ use std::collections::{HashMap, HashSet};
 use kappa_graph::{BlockId, EdgeWeight, NodeId, NodeWeight, QuotientGraph};
 use kappa_refine::{
     best_move_of, color_quotient_edges, fallback_move_of, fallback_target, pair_search_seed,
-    refine_gathered_band, FmConfig, FmScratch, GatheredRegion, RefinementConfig, RefinementStats,
-    RegionEdge, RegionNode,
+    refine_gathered_band, refine_region_iteration, FmConfig, FmScratch, GatheredRegion,
+    RefinementConfig, RefinementStats, RegionEdge, RegionNode,
 };
 
 use crate::comm::{allreduce_min_opt, Comm, CommError, CommErrorKind, CommResult};
 use crate::graph::{DistGraph, LocalAssignment};
 use crate::state::{DistState, MoveRec};
 
-/// One pair's per-iteration report, allgathered from its home rank.
+/// One pair's report from its home rank: a single iteration's outcome on the
+/// stepwise (rank-1) path, or the whole pooled local-iteration run on the
+/// batched path.
 #[derive(Clone, Debug)]
 struct PairReport {
     pair: usize,
-    searched: bool,
+    searches: u64,
     done: bool,
     gain: i64,
     moves: Vec<MoveRec>,
@@ -57,7 +59,7 @@ struct PairReport {
 
 crate::impl_wire_struct!(PairReport {
     pair,
-    searched,
+    searches,
     done,
     gain,
     moves,
@@ -155,8 +157,54 @@ pub fn dist_refine<C: Comm>(
 
 /// Runs all pairs of one colour class to completion (their local iterations)
 /// and commits the surviving moves. Returns the class's total gain.
+///
+/// One rank keeps the stepwise schedule — it is the exact sequence of the
+/// shared scheduler, which is what makes `--ranks 1` bit-identical to
+/// `--threads 1`. Real clusters take the batched schedule: one gather, the
+/// local iterations pooled on the home rank, one coalesced exchange per
+/// class instead of one allgather per superstep.
 #[allow(clippy::too_many_arguments)]
 fn refine_class<C: Comm>(
+    comm: &mut C,
+    dg: &DistGraph,
+    st: &mut DistState,
+    class: &[(BlockId, BlockId)],
+    global_iter: usize,
+    color_idx: usize,
+    config: &RefinementConfig,
+    l_max: NodeWeight,
+    stats: &mut RefinementStats,
+) -> CommResult<i64> {
+    if comm.num_ranks() == 1 {
+        refine_class_stepwise(
+            comm,
+            dg,
+            st,
+            class,
+            global_iter,
+            color_idx,
+            config,
+            l_max,
+            stats,
+        )
+    } else {
+        refine_class_batched(
+            comm,
+            dg,
+            st,
+            class,
+            global_iter,
+            color_idx,
+            config,
+            l_max,
+            stats,
+        )
+    }
+}
+
+/// The legacy superstep-per-local-iteration schedule (see [`refine_class`]).
+#[allow(clippy::too_many_arguments)]
+fn refine_class_stepwise<C: Comm>(
     comm: &mut C,
     dg: &DistGraph,
     st: &mut DistState,
@@ -329,7 +377,7 @@ fn refine_class<C: Comm>(
             if seeds.is_empty() {
                 my_reports.push(PairReport {
                     pair: pi,
-                    searched: false,
+                    searches: 0,
                     done: true,
                     gain: 0,
                     moves: Vec::new(),
@@ -380,7 +428,7 @@ fn refine_class<C: Comm>(
                 .collect();
             my_reports.push(PairReport {
                 pair: pi,
-                searched: true,
+                searches: 1,
                 done,
                 gain: result.gain,
                 moves,
@@ -393,9 +441,7 @@ fn refine_class<C: Comm>(
         merged.sort_unstable_by_key(|r| r.pair);
         for report in merged {
             let pair = &mut pairs[report.pair];
-            if report.searched {
-                pair.searches += 1;
-            }
+            pair.searches += report.searches as usize;
             pair.gain += report.gain;
             for &rec in &report.moves {
                 // Live view update (the distributed shared-mirror write);
@@ -424,6 +470,351 @@ fn refine_class<C: Comm>(
         stats.nodes_moved += pair.moves.len();
         class_gain += pair.gain;
         for &rec in &pair.moves {
+            st.apply_committed(dg, rec);
+        }
+    }
+    Ok(class_gain)
+}
+
+/// The batched schedule for real clusters (see [`refine_class`]): the pair
+/// boundaries are gathered **once** per class, each home rank pools all
+/// `local_iterations` FM passes on its gathered regions (follow-up passes
+/// re-seed from the region's own shifted boundary, clipped to the gathered
+/// band), and the class's whole move set crosses the wire in one split-phase
+/// exchange instead of one allgather per local iteration.
+///
+/// Message frugality and overlap:
+/// * seeds and band shards travel to each peer **coalesced into a single
+///   frame** (one pack per peer instead of two all-to-all rounds);
+/// * reports are posted with `isend` the moment a rank's own FM work is
+///   done, so the transfer overlaps the slower homes' compute, and
+///   completion drains arrivals in whatever order they land — the merge
+///   re-sorts by pair, so arrival order never touches the result.
+#[allow(clippy::too_many_arguments)]
+fn refine_class_batched<C: Comm>(
+    comm: &mut C,
+    dg: &DistGraph,
+    st: &mut DistState,
+    class: &[(BlockId, BlockId)],
+    global_iter: usize,
+    color_idx: usize,
+    config: &RefinementConfig,
+    l_max: NodeWeight,
+    stats: &mut RefinementStats,
+) -> CommResult<i64> {
+    let me = comm.rank();
+    let ranks = comm.num_ranks();
+    let ln = dg.num_owned();
+
+    let pairs: Vec<PairRun> = class
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| PairRun {
+            a,
+            b,
+            home: i % ranks,
+            active: true,
+            w_a: st.weights().weight(a),
+            w_b: st.weights().weight(b),
+            candidates: st
+                .index()
+                .pair_boundary_sorted(a, b)
+                .into_iter()
+                .filter(|&l| (l as usize) < ln)
+                .collect(),
+            moves: Vec::new(),
+            gain: 0,
+            searches: 0,
+        })
+        .collect();
+
+    // Seeds: revalidate candidates in the live view, once per class. The
+    // local lists feed the BFS frontier; the per-home parts ride to the
+    // homes together with the band shards below.
+    let mut my_seeds: Vec<Vec<NodeId>> = vec![Vec::new(); pairs.len()];
+    let mut seed_parts: Vec<Vec<(u32, NodeId)>> = vec![Vec::new(); ranks];
+    for (pi, pair) in pairs.iter().enumerate() {
+        for &l in &pair.candidates {
+            if is_pair_boundary(dg, st, l, pair.a, pair.b) {
+                my_seeds[pi].push(l);
+                seed_parts[pair.home].push((pi as u32, dg.global_of(l)));
+            }
+        }
+    }
+
+    // Level-synchronised distributed band BFS — the one part of the schedule
+    // that is inherently round-by-round (hop h+1 needs hop h's expansions).
+    let mut visited: Vec<HashSet<NodeId>> = vec![HashSet::new(); pairs.len()];
+    let mut frontier: Vec<(usize, NodeId)> = Vec::new();
+    for (pi, seeds) in my_seeds.iter().enumerate() {
+        for &l in seeds {
+            if visited[pi].insert(l) {
+                frontier.push((pi, l));
+            }
+        }
+    }
+    for _hop in 0..config.bfs_depth {
+        let mut next: Vec<(usize, NodeId)> = Vec::new();
+        let mut crossings: Vec<(u32, NodeId)> = Vec::new();
+        for &(pi, l) in &frontier {
+            let (a, b) = (pairs[pi].a, pairs[pi].b);
+            for (t, _) in dg.local().edges_of(l) {
+                let bt = st.block_of_local(t);
+                if bt != a && bt != b {
+                    continue;
+                }
+                if dg.is_owned_local(t) {
+                    if visited[pi].insert(t) {
+                        next.push((pi, t));
+                    }
+                } else {
+                    crossings.push((pi as u32, dg.global_of(t)));
+                }
+            }
+        }
+        // One allgather per hop instead of an alltoallv: 2(R-1) frames per
+        // round rather than R(R-1). Every rank sees every crossing and keeps
+        // the ones it owns — same records, same rank-order arrival as the
+        // alltoallv this replaces — and the piggybacked frontier flag lets
+        // all ranks agree the band is exhausted and skip the remaining hops.
+        let all = comm.allgather((frontier.is_empty(), crossings))?;
+        if all.iter().all(|(empty, cross)| *empty && cross.is_empty()) {
+            break;
+        }
+        for (_, part) in all {
+            for (pi, gid) in part {
+                let Some(l) = dg.local_of(gid) else {
+                    continue; // another owner's crossing; it keeps it
+                };
+                if !dg.is_owned_local(l) {
+                    continue;
+                }
+                let pi = pi as usize;
+                let (a, b) = (pairs[pi].a, pairs[pi].b);
+                let bl = st.block_of_local(l);
+                if (bl == a || bl == b) && visited[pi].insert(l) {
+                    next.push((pi, l));
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    // Band shards, shipped with the seeds: one coalesced frame per peer.
+    let mut band_parts: Vec<Vec<(u32, RegionNode)>> = vec![Vec::new(); ranks];
+    for (pi, members) in visited.iter().enumerate() {
+        let pair = &pairs[pi];
+        // Ship band members in ascending local order so the wire payload
+        // is identical run to run regardless of set insertion history.
+        let mut members: Vec<NodeId> = members.iter().copied().collect();
+        members.sort_unstable();
+        for l in members {
+            let record = RegionNode {
+                gid: dg.global_of(l),
+                weight: dg.local().node_weight(l),
+                block: st.block_of_local(l),
+                edges: dg
+                    .local()
+                    .edges_of(l)
+                    .filter(|&(t, _)| {
+                        let bt = st.block_of_local(t);
+                        bt == pair.a || bt == pair.b
+                    })
+                    .map(|(t, w)| RegionEdge {
+                        to: dg.global_of(t),
+                        weight: w,
+                        to_block: st.block_of_local(t),
+                        to_weight: dg.local().node_weight(t),
+                    })
+                    .collect(),
+            };
+            band_parts[pair.home].push((pi as u32, record));
+        }
+    }
+    comm.coalesce(|c| {
+        for dst in 0..ranks {
+            if dst != me {
+                c.isend(dst, "band-seeds", std::mem::take(&mut seed_parts[dst]))?;
+                c.isend(dst, "band-recs", std::mem::take(&mut band_parts[dst]))?;
+            }
+        }
+        Ok(())
+    })?;
+    // Rank-order receipt keeps per-pair seed concatenation globally
+    // ascending, exactly like the alltoallv it replaces.
+    let mut seeds_of: Vec<Vec<NodeId>> = vec![Vec::new(); pairs.len()];
+    let mut region_of: Vec<Vec<RegionNode>> = vec![Vec::new(); pairs.len()];
+    for src in 0..ranks {
+        let (seed_part, band_part) = if src == me {
+            (
+                std::mem::take(&mut seed_parts[me]),
+                std::mem::take(&mut band_parts[me]),
+            )
+        } else {
+            (
+                comm.recv::<Vec<(u32, NodeId)>>(src, "band-seeds")?,
+                comm.recv::<Vec<(u32, RegionNode)>>(src, "band-recs")?,
+            )
+        };
+        for (pi, gid) in seed_part {
+            seeds_of[pi as usize].push(gid);
+        }
+        for (pi, record) in band_part {
+            region_of[pi as usize].push(record);
+        }
+    }
+
+    // Home FM: all local iterations pooled on the gathered region.
+    let mut scratch = FmScratch::new();
+    let mut my_reports: Vec<PairReport> = Vec::new();
+    for (pi, pair) in pairs.iter().enumerate() {
+        if pair.home != me {
+            continue;
+        }
+        let seeds = std::mem::take(&mut seeds_of[pi]);
+        if seeds.is_empty() {
+            my_reports.push(PairReport {
+                pair: pi,
+                searches: 0,
+                done: true,
+                gain: 0,
+                moves: Vec::new(),
+            });
+            continue;
+        }
+        let records = std::mem::take(&mut region_of[pi]);
+        let mut region = GatheredRegion::build(st.k(), &records);
+        let weight_of: HashMap<NodeId, NodeWeight> =
+            records.iter().map(|r| (r.gid, r.weight)).collect();
+        let (mut w_a, mut w_b) = (pair.w_a, pair.w_b);
+        let mut moves: Vec<MoveRec> = Vec::new();
+        let mut gain = 0i64;
+        let mut searches = 0u64;
+        let mut cur_seeds = seeds;
+        for local_iter in 0..config.local_iterations {
+            if cur_seeds.is_empty() {
+                break;
+            }
+            let fm_config = FmConfig {
+                queue_selection: config.queue_selection,
+                patience_alpha: config.patience_alpha,
+                l_max,
+                seed: pair_search_seed(
+                    config.seed,
+                    global_iter,
+                    color_idx,
+                    local_iter,
+                    pair.a,
+                    pair.b,
+                ),
+            };
+            // First pass: the exact gathered-band search. Follow-up passes
+            // re-run the band BFS from the shifted boundary, clipped to the
+            // gathered band (the frozen ring was never shipped for moving).
+            let result = if local_iter == 0 {
+                refine_gathered_band(
+                    &mut region,
+                    pair.a,
+                    pair.b,
+                    &cur_seeds,
+                    config.bfs_depth,
+                    w_a,
+                    w_b,
+                    &fm_config,
+                    &mut scratch,
+                )
+            } else {
+                refine_region_iteration(
+                    &mut region,
+                    pair.a,
+                    pair.b,
+                    &cur_seeds,
+                    config.bfs_depth,
+                    w_a,
+                    w_b,
+                    &fm_config,
+                    &mut scratch,
+                )
+            };
+            searches += 1;
+            for &(gid, to) in &result.moves {
+                // kappa-lint: allow(dist-no-panic) -- FM only ever moves band nodes, and every band node has a record; a miss is a local logic bug, not a peer failure.
+                let weight = *weight_of.get(&gid).expect("moved node is a band node");
+                if to == pair.a {
+                    w_a += weight;
+                    w_b -= weight;
+                } else {
+                    w_b += weight;
+                    w_a -= weight;
+                }
+                moves.push(MoveRec {
+                    gid,
+                    from: if to == pair.a { pair.b } else { pair.a },
+                    to,
+                    weight,
+                });
+            }
+            gain += result.gain;
+            if result.moves.is_empty() || result.gain == 0 {
+                break;
+            }
+            cur_seeds = region.boundary_seeds(pair.a, pair.b);
+        }
+        my_reports.push(PairReport {
+            pair: pi,
+            searches,
+            done: true,
+            gain,
+            moves,
+        });
+    }
+
+    // Batched move broadcast, split-phase: post now, complete in arrival
+    // order.
+    for dst in 0..ranks {
+        if dst != me {
+            comm.isend(dst, "class-reports", my_reports.clone())?;
+        }
+    }
+    let mut slots: Vec<Option<Vec<PairReport>>> = (0..ranks).map(|_| None).collect();
+    slots[me] = Some(my_reports);
+    let mut pending: Vec<usize> = (0..ranks).filter(|&s| s != me).collect();
+    while !pending.is_empty() {
+        let mut still = Vec::with_capacity(pending.len());
+        let mut progressed = false;
+        for src in pending {
+            match comm.try_recv::<Vec<PairReport>>(src, "class-reports")? {
+                Some(part) => {
+                    slots[src] = Some(part);
+                    progressed = true;
+                }
+                None => still.push(src),
+            }
+        }
+        pending = still;
+        if !progressed && !pending.is_empty() {
+            // Nothing in flight has landed: block on the lowest pending rank
+            // instead of spinning.
+            let src = pending.remove(0);
+            slots[src] = Some(comm.recv(src, "class-reports")?);
+        }
+    }
+    let mut merged: Vec<PairReport> = slots.into_iter().flatten().flatten().collect();
+    merged.sort_unstable_by_key(|r| r.pair);
+
+    // Live-view catch-up first (the stepwise schedule observes every move
+    // before any commit), then the deterministic class-order commit replay.
+    let mut class_gain = 0i64;
+    for report in &merged {
+        stats.pair_searches += report.searches as usize;
+        stats.nodes_moved += report.moves.len();
+        class_gain += report.gain;
+        for &rec in &report.moves {
+            st.observe_move(dg, rec.gid, rec.to);
+        }
+    }
+    for report in &merged {
+        for &rec in &report.moves {
             st.apply_committed(dg, rec);
         }
     }

@@ -37,14 +37,17 @@
 
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::codec::{
     encode_frame, read_frame, CodecError, Frame, Wire, FRAME_MAGIC, PROTOCOL_VERSION,
 };
-use crate::comm::{Comm, CommError, CommErrorKind, CommResult, Message, SeqInbox, COLLECTIVE_TAGS};
+use crate::comm::{
+    Comm, CommError, CommErrorKind, CommResult, CommStats, Message, SeqInbox, COALESCE_TAG,
+    COLLECTIVE_TAGS,
+};
 use crate::fault::{Emission, FaultInjector, FaultPlan};
 
 /// Control tag announcing a graceful shutdown; intercepted by the reader
@@ -167,6 +170,10 @@ pub struct TcpComm {
     injector: FaultInjector<Frame>,
     recv_timeout: Duration,
     readers: Vec<JoinHandle<()>>,
+    /// `Some` while a coalesce scope is open: per-destination buffers of
+    /// posted-but-unflushed frames.
+    pending: Option<Vec<Vec<Frame>>>,
+    stats: CommStats,
 }
 
 impl TcpComm {
@@ -355,6 +362,8 @@ impl TcpComm {
             injector: FaultInjector::new(config.fault, rank, ranks),
             recv_timeout: config.recv_timeout,
             readers,
+            pending: None,
+            stats: CommStats::default(),
         })
     }
 
@@ -366,34 +375,10 @@ impl TcpComm {
             kind,
         }
     }
-}
 
-impl Comm for TcpComm {
-    fn rank(&self) -> usize {
-        self.rank
-    }
-
-    fn num_ranks(&self) -> usize {
-        self.ranks
-    }
-
-    fn send<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
-        // The `::` namespace belongs to the runtime: the collectives' own
-        // tags pass, anything else is a user tag trespassing on control
-        // traffic. The static side of this contract is the `tag-reserved`
-        // lint rule.
-        debug_assert!(
-            !tag.starts_with("::") || COLLECTIVE_TAGS.contains(&tag),
-            "tags starting with :: are reserved for the runtime"
-        );
-        let seq = self.send_seqs[to];
-        self.send_seqs[to] += 1;
-        let frame = Frame {
-            src: self.rank as u32,
-            seq,
-            tag: tag.to_string(),
-            payload: value.to_bytes(),
-        };
+    /// Fault-injector dispatch + socket emission of one frame — the shared
+    /// tail of `send` and the coalesce flush.
+    fn emit(&mut self, to: usize, frame: Frame, tag: &'static str) -> CommResult<()> {
         let link = &self.links[to];
         let mut failure: Option<CommErrorKind> = None;
         self.injector.dispatch(
@@ -436,6 +421,128 @@ impl Comm for TcpComm {
         }
     }
 
+    /// Feeds one raw arrival into the per-peer inbox, unpacking coalesced
+    /// packs back into the ordinary per-message stream. Inner frames carry
+    /// their own stream sequence numbers, so dedup and reordering of whole
+    /// packs heal at the message level.
+    fn accept_frame(&mut self, from: usize, frame: Frame) -> Result<(), CodecError> {
+        if frame.tag == COALESCE_TAG {
+            let inner: Vec<(String, u64, Vec<u8>)> = Wire::from_bytes(&frame.payload)?;
+            for (tag, seq, payload) in inner {
+                self.inboxes[from].accept(
+                    seq,
+                    Frame {
+                        src: frame.src,
+                        seq,
+                        tag,
+                        payload,
+                    },
+                );
+            }
+            return Ok(());
+        }
+        let seq = frame.seq;
+        self.inboxes[from].accept(seq, frame);
+        Ok(())
+    }
+}
+
+/// Encoded size of a frame on the wire: fixed header (22 bytes) + tag +
+/// payload + checksum. Used for the byte counters only.
+fn frame_wire_bytes(tag_len: usize, payload_len: usize) -> u64 {
+    (22 + tag_len + payload_len + 4) as u64
+}
+
+impl Comm for TcpComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn send<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
+        // The `::` namespace belongs to the runtime: the collectives' own
+        // tags pass, anything else is a user tag trespassing on control
+        // traffic. The static side of this contract is the `tag-reserved`
+        // lint rule.
+        debug_assert!(
+            !tag.starts_with("::") || COLLECTIVE_TAGS.contains(&tag),
+            "tags starting with :: are reserved for the runtime"
+        );
+        let seq = self.send_seqs[to];
+        self.send_seqs[to] += 1;
+        let frame = Frame {
+            src: self.rank as u32,
+            seq,
+            tag: tag.to_string(),
+            payload: value.to_bytes(),
+        };
+        // Frames are counted once per primary emission, before fault
+        // injection — the count is a property of the schedule, not of the
+        // injected fault pattern.
+        self.stats
+            .note_frame(frame_wire_bytes(tag.len(), frame.payload.len()));
+        self.emit(to, frame, tag)
+    }
+
+    fn isend<T: Message>(&mut self, to: usize, tag: &'static str, value: T) -> CommResult<()> {
+        if self.pending.is_some() {
+            debug_assert!(
+                !tag.starts_with("::") || COLLECTIVE_TAGS.contains(&tag),
+                "tags starting with :: are reserved for the runtime"
+            );
+            let seq = self.send_seqs[to];
+            self.send_seqs[to] += 1;
+            let frame = Frame {
+                src: self.rank as u32,
+                seq,
+                tag: tag.to_string(),
+                payload: value.to_bytes(),
+            };
+            // kappa-lint: allow(dist-no-panic) -- guarded by the is_some check above
+            self.pending.as_mut().expect("scope open")[to].push(frame);
+            Ok(())
+        } else {
+            self.send(to, tag, value)
+        }
+    }
+
+    fn coalesce_begin(&mut self) {
+        debug_assert!(self.pending.is_none(), "coalesce scopes do not nest");
+        self.pending = Some((0..self.ranks).map(|_| Vec::new()).collect());
+    }
+
+    fn coalesce_flush(&mut self) -> CommResult<()> {
+        let Some(pending) = self.pending.take() else {
+            return Ok(());
+        };
+        for (to, buf) in pending.into_iter().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            // One wire frame per peer: the inner (tag, seq, payload) triples
+            // ride as the pack's payload, under the first inner seq. That
+            // seq never reaches the inbox (the drain unpacks before
+            // `accept`), so the inner frames' own seqs keep the stream
+            // gapless.
+            let first_seq = buf[0].seq;
+            let inner: Vec<(String, u64, Vec<u8>)> =
+                buf.into_iter().map(|f| (f.tag, f.seq, f.payload)).collect();
+            let pack = Frame {
+                src: self.rank as u32,
+                seq: first_seq,
+                tag: COALESCE_TAG.to_string(),
+                payload: inner.to_bytes(),
+            };
+            self.stats
+                .note_frame(frame_wire_bytes(COALESCE_TAG.len(), pack.payload.len()));
+            self.emit(to, pack, COALESCE_TAG)?;
+        }
+        Ok(())
+    }
+
     fn recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<T> {
         // kappa-lint: allow(wall-clock) -- timeout bookkeeping only; the clock decides when to give up, never what a result contains
         let deadline = Instant::now() + self.recv_timeout;
@@ -457,8 +564,8 @@ impl Comm for TcpComm {
             }
             match self.frame_rx[from].recv_timeout(remaining) {
                 Ok(Ok(frame)) => {
-                    let seq = frame.seq;
-                    self.inboxes[from].accept(seq, frame);
+                    self.accept_frame(from, frame)
+                        .map_err(|e| self.error(from, tag, CommErrorKind::Codec(e.0)))?;
                 }
                 Ok(Err(codec)) => {
                     return Err(self.error(from, tag, CommErrorKind::Codec(codec.0)));
@@ -477,6 +584,37 @@ impl Comm for TcpComm {
                 }
             }
         }
+    }
+
+    fn try_recv<T: Message>(&mut self, from: usize, tag: &'static str) -> CommResult<Option<T>> {
+        loop {
+            match self.frame_rx[from].try_recv() {
+                Ok(Ok(frame)) => {
+                    self.accept_frame(from, frame)
+                        .map_err(|e| self.error(from, tag, CommErrorKind::Codec(e.0)))?;
+                }
+                Ok(Err(codec)) => {
+                    return Err(self.error(from, tag, CommErrorKind::Codec(codec.0)));
+                }
+                // A closed channel is not an error here: frames already
+                // drained into the inbox must still be claimable.
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        match self.inboxes[from].take(|f| f.tag == tag) {
+            Some(frame) => T::from_bytes(&frame.payload)
+                .map(Some)
+                .map_err(|e| self.error(from, tag, CommErrorKind::Codec(e.0))),
+            None => Ok(None),
+        }
+    }
+
+    fn stats(&self) -> Option<&CommStats> {
+        Some(&self.stats)
+    }
+
+    fn stats_mut(&mut self) -> Option<&mut CommStats> {
+        Some(&mut self.stats)
     }
 }
 
@@ -805,6 +943,99 @@ mod tests {
             "got {:?}",
             err.kind
         );
+    }
+
+    #[test]
+    fn coalesced_isends_cross_real_sockets_as_one_frame_per_peer() {
+        let results = cluster(3).run(|comm| {
+            let me = comm.rank();
+            let before = comm.stats().unwrap().total.frames;
+            comm.coalesce(|c| {
+                for dst in 0..c.num_ranks() {
+                    if dst != me {
+                        c.isend(dst, "coal-a", me as u64 * 10)?;
+                        c.isend(dst, "coal-b", vec![me as u64; 3])?;
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+            let frames = comm.stats().unwrap().total.frames - before;
+            let mut got = Vec::new();
+            for src in 0..comm.num_ranks() {
+                if src != me {
+                    got.push(comm.recv::<u64>(src, "coal-a").unwrap());
+                    assert_eq!(
+                        comm.recv::<Vec<u64>>(src, "coal-b").unwrap(),
+                        vec![src as u64; 3]
+                    );
+                }
+            }
+            (frames, got)
+        });
+        for (me, (frames, got)) in results.into_iter().enumerate() {
+            assert_eq!(frames, 2, "rank {me} sent one pack per peer");
+            let expected: Vec<u64> = (0..3).filter(|&s| s != me).map(|s| s as u64 * 10).collect();
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn coalesced_packs_survive_socket_level_faults() {
+        // Duplicate + reorder faults hit whole packs; the per-message seq
+        // numbers inside reassemble the stream exactly once, in order.
+        let cluster = TcpCluster::with_config(
+            2,
+            TcpClusterConfig {
+                recv_timeout: Duration::from_secs(10),
+                connect_timeout: Duration::from_secs(10),
+                fault: FaultPlan::seeded(23, 0.0, 0.4, 0.0, 0.4),
+            },
+        );
+        let results = cluster.run(|comm| {
+            if comm.rank() == 0 {
+                for round in 0..10u64 {
+                    comm.coalesce(|c| {
+                        c.isend(1, "pk", round * 2)?;
+                        c.isend(1, "pk", round * 2 + 1)
+                    })
+                    .unwrap();
+                }
+                for v in 0..10u64 {
+                    // kappa-lint: allow(tag-pairing) -- deliberately unreceived filler: it only pushes held packs out of the reorder window
+                    comm.send(1, "tail", v).unwrap();
+                }
+                Vec::new()
+            } else {
+                (0..20)
+                    .map(|_| comm.recv::<u64>(0, "pk").unwrap())
+                    .collect()
+            }
+        });
+        assert_eq!(results[1], (0..20).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn try_recv_drains_the_reader_queue_without_blocking() {
+        let results = cluster(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, "go", ()).unwrap();
+                0
+            } else {
+                // kappa-lint: allow(tag-pairing) -- the mismatch is the point: the probe must report "not yet" forever, never block
+                assert_eq!(comm.try_recv::<u64>(0, "missing").unwrap(), None);
+                comm.recv::<()>(0, "go").unwrap();
+                loop {
+                    // "go" has arrived; nothing else ever will on "missing",
+                    // and the probe must keep returning None, not block.
+                    if comm.try_recv::<u64>(0, "missing").unwrap().is_none() {
+                        break;
+                    }
+                }
+                1
+            }
+        });
+        assert_eq!(results, vec![0, 1]);
     }
 
     #[test]

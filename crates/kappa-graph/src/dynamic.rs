@@ -77,6 +77,10 @@ pub struct DynamicGraph {
     /// Half-edges resident in the overlay (`extra` entries plus masked base
     /// entries) — the serving layer's compaction heuristic reads this.
     overlay_half_edges: usize,
+    /// Mutation counter: bumped by every structural change, so callers can
+    /// key caches of derived state (e.g. a [`compact`](Self::compact) fold)
+    /// on it and reuse them across repeated reads of an unchanged graph.
+    version: u64,
 }
 
 impl DynamicGraph {
@@ -98,7 +102,17 @@ impl DynamicGraph {
             live_edges,
             total_node_weight,
             overlay_half_edges: 0,
+            version: 0,
         }
+    }
+
+    /// Mutation counter: strictly increases across every successful mutation
+    /// (edge insert/delete/reweight, node insert/delete). Two reads of an
+    /// unchanged version see an identical graph, so derived state such as a
+    /// [`compact`](Self::compact) fold keyed on the version can be reused.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Number of node slots (live and dead — ids are stable, so this only
@@ -216,6 +230,7 @@ impl DynamicGraph {
         self.deg[v as usize] += 1;
         self.live_edges += 1;
         self.overlay_half_edges += 2;
+        self.version += 1;
         Ok(())
     }
 
@@ -247,6 +262,7 @@ impl DynamicGraph {
         self.deg[u as usize] -= 1;
         self.deg[v as usize] -= 1;
         self.live_edges -= 1;
+        self.version += 1;
         Ok(w)
     }
 
@@ -271,6 +287,7 @@ impl DynamicGraph {
                 .position(|&(t, _)| t == u)
                 .expect("overlay half-edges out of sync");
             self.extra[v as usize][j].1 = new_w;
+            self.version += 1;
             return Ok(old);
         }
         // Base edge: mask the base copy and re-insert through the overlay.
@@ -291,6 +308,7 @@ impl DynamicGraph {
         self.alive.push(true);
         self.live_nodes += 1;
         self.total_node_weight += weight;
+        self.version += 1;
         v
     }
 
@@ -310,6 +328,7 @@ impl DynamicGraph {
         self.alive[v as usize] = false;
         self.live_nodes -= 1;
         self.total_node_weight -= weight;
+        self.version += 1;
         Ok(weight)
     }
 
@@ -350,9 +369,24 @@ impl DynamicGraph {
     /// overlay fraction makes traversal masking more expensive than one
     /// `O(n + m)` fold.
     pub fn rebase(&self) -> DynamicGraph {
-        let mut g = DynamicGraph::new(self.compact());
+        self.rebase_with(self.compact())
+    }
+
+    /// [`rebase`](Self::rebase) around an **already computed**
+    /// [`compact`](Self::compact) of this graph, saving the redundant fold
+    /// when the caller holds one (e.g. a version-keyed compaction cache).
+    ///
+    /// The result carries this graph's [`version`](Self::version): rebasing
+    /// changes the representation, not the graph, so caches keyed on the
+    /// version — including the `base` being passed in — stay valid.
+    ///
+    /// `base` must be `self.compact()` output (or equal to it); anything else
+    /// silently desynchronises liveness and derived state.
+    pub fn rebase_with(&self, base: CsrGraph) -> DynamicGraph {
+        let mut g = DynamicGraph::new(base);
         g.alive = self.alive.clone();
         g.live_nodes = self.live_nodes;
+        g.version = self.version;
         g
     }
 }
@@ -494,6 +528,43 @@ mod tests {
         assert!(!r.is_alive(2), "rebase resurrected a dead slot");
         assert_eq!(r.num_live_nodes(), 2);
         assert!(r.insert_edge(0, 2, 1).is_err());
+    }
+
+    #[test]
+    fn version_ticks_on_every_mutation_and_survives_rebase() {
+        let mut g = DynamicGraph::new(graph_from_edges(3, vec![(0, 1, 1), (1, 2, 2)]));
+        assert_eq!(g.version(), 0);
+        g.insert_edge(0, 2, 4).unwrap();
+        let after_insert = g.version();
+        assert!(after_insert > 0);
+        // Failed mutations leave the version alone.
+        assert!(g.insert_edge(0, 2, 4).is_err());
+        assert_eq!(g.version(), after_insert);
+        g.update_edge(0, 2, 9).unwrap(); // overlay in-place reweight
+        assert!(g.version() > after_insert);
+        g.update_edge(0, 1, 7).unwrap(); // base mask + re-insert
+        g.delete_edge(1, 2).unwrap();
+        let v = g.insert_node(2);
+        let before_dead = g.version();
+        g.delete_node(v).unwrap();
+        assert!(g.version() > before_dead);
+        // Rebasing changes the representation, not the graph: the version is
+        // carried so caches keyed on it (including the fold being reused)
+        // stay valid.
+        let cached = g.compact();
+        let r = g.rebase_with(cached.clone());
+        assert_eq!(r.version(), g.version());
+        let refold = r.compact();
+        assert_eq!(refold.num_nodes(), cached.num_nodes());
+        assert_eq!(refold.num_edges(), cached.num_edges());
+        for n in 0..refold.num_nodes() as NodeId {
+            assert_eq!(refold.node_weight(n), cached.node_weight(n));
+            let mut a: Vec<_> = refold.edges_of(n).collect();
+            let mut b: Vec<_> = cached.edges_of(n).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "node {n}");
+        }
     }
 
     #[test]

@@ -158,6 +158,33 @@ impl GatheredRegion {
     pub fn band_len(&self) -> usize {
         self.band_membership.iter().filter(|&&b| b).count()
     }
+
+    /// The current pair boundary *within the band*: global ids (ascending) of
+    /// band nodes in block `a` or `b` with at least one neighbour in the
+    /// other block, under the region's current partition. This is the seed
+    /// set for a follow-up [`refine_region_iteration`] after moves shifted
+    /// the boundary.
+    pub fn boundary_seeds(&self, a: BlockId, b: BlockId) -> Vec<NodeId> {
+        let mut seeds = Vec::new();
+        for l in 0..self.gids.len() {
+            if !self.band_membership[l] {
+                continue;
+            }
+            let block = self.partition.block_of(l as NodeId);
+            if block != a && block != b {
+                continue;
+            }
+            let other = if block == a { b } else { a };
+            if self
+                .graph
+                .edges_of(l as NodeId)
+                .any(|(u, _)| self.partition.block_of(u) == other)
+            {
+                seeds.push(self.gids[l]);
+            }
+        }
+        seeds // ascending: the scan follows ascending gids by construction
+    }
 }
 
 /// Runs one banded 2-way FM search on a gathered region and returns the
@@ -180,11 +207,53 @@ pub fn refine_gathered_band(
     fm_config: &FmConfig,
     scratch: &mut FmScratch,
 ) -> FmResult {
+    refine_region(
+        region, a, b, seeds, depth, w_a, w_b, fm_config, scratch, false,
+    )
+}
+
+/// Runs a *follow-up* banded FM iteration on an already-gathered region:
+/// identical to [`refine_gathered_band`], except the band BFS is clipped to
+/// the originally gathered band set. After a first pass moved nodes, the
+/// shifted boundary can reach ring nodes the gather never shipped; clipping
+/// keeps the search inside the region (ring nodes stay frozen, exactly as
+/// they would be for the band that *was* gathered). Used by the distributed
+/// scheduler to pool `local_iterations` searches into one gather.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_region_iteration(
+    region: &mut GatheredRegion,
+    a: BlockId,
+    b: BlockId,
+    seeds: &[NodeId],
+    depth: usize,
+    w_a: NodeWeight,
+    w_b: NodeWeight,
+    fm_config: &FmConfig,
+    scratch: &mut FmScratch,
+) -> FmResult {
+    refine_region(
+        region, a, b, seeds, depth, w_a, w_b, fm_config, scratch, true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn refine_region(
+    region: &mut GatheredRegion,
+    a: BlockId,
+    b: BlockId,
+    seeds: &[NodeId],
+    depth: usize,
+    w_a: NodeWeight,
+    w_b: NodeWeight,
+    fm_config: &FmConfig,
+    scratch: &mut FmScratch,
+    clip_to_band: bool,
+) -> FmResult {
     let local_seeds: Vec<NodeId> = seeds
         .iter()
         .map(|&gid| region.gids.binary_search(&gid).expect("seed not gathered") as NodeId)
         .collect();
-    let band = band_around_boundary_in(
+    let mut band = band_around_boundary_in(
         &region.graph,
         &region.partition,
         &local_seeds,
@@ -192,10 +261,14 @@ pub fn refine_gathered_band(
         depth,
         scratch.bfs_dist(),
     );
-    debug_assert!(
-        band.iter().all(|&v| region.band_membership[v as usize]),
-        "band BFS escaped the gathered band set"
-    );
+    if clip_to_band {
+        band.retain(|&v| region.band_membership[v as usize]);
+    } else {
+        debug_assert!(
+            band.iter().all(|&v| region.band_membership[v as usize]),
+            "band BFS escaped the gathered band set"
+        );
+    }
     let mut result = two_way_fm_in(
         &region.graph,
         &mut region.partition,
@@ -318,6 +391,75 @@ mod tests {
                     assert_eq!(gathered.gain, direct.gain);
                     assert_eq!(gathered.attempted_moves, direct.attempted_moves);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn follow_up_iterations_stay_inside_the_gathered_band() {
+        let graph = random_geometric_graph(3000, 7);
+        let k = 6u32;
+        let partition = greedy_graph_growing(&graph, k, 0.03, 3);
+        let weights = BlockWeights::compute(&graph, &partition);
+        let l_max = Partition::l_max(&graph, k, 0.03);
+        let (a, b) = (0u32, 1u32);
+        let seeds = pair_boundary_nodes(&graph, &partition, a, b);
+        assert!(!seeds.is_empty());
+        let records = extract_region(&graph, &partition, a, b, 3);
+        let mut region = GatheredRegion::build(k, &records);
+        let fm_config = FmConfig {
+            l_max,
+            patience_alpha: 0.2,
+            seed: 0xBEEF,
+            ..Default::default()
+        };
+        let mut scratch = FmScratch::new();
+        let (mut wa, mut wb) = (weights.weight(a), weights.weight(b));
+        let first = refine_gathered_band(
+            &mut region,
+            a,
+            b,
+            &seeds,
+            3,
+            wa,
+            wb,
+            &fm_config,
+            &mut scratch,
+        );
+        for &(gid, to) in &first.moves {
+            let w = graph.node_weight(gid);
+            if to == a {
+                wa += w;
+                wb -= w;
+            } else {
+                wb += w;
+                wa -= w;
+            }
+        }
+        // The shifted boundary re-seeds a second pass that must stay within
+        // the originally gathered band (every move targets a band gid) and
+        // never lose gain.
+        let again = region.boundary_seeds(a, b);
+        assert!(again.windows(2).all(|w| w[0] < w[1]), "seeds ascend");
+        if !again.is_empty() {
+            let second = refine_region_iteration(
+                &mut region,
+                a,
+                b,
+                &again,
+                3,
+                wa,
+                wb,
+                &fm_config,
+                &mut scratch,
+            );
+            assert!(second.gain >= 0);
+            let band_gids: Vec<NodeId> = records.iter().map(|r| r.gid).collect();
+            for &(gid, _) in &second.moves {
+                assert!(
+                    band_gids.contains(&gid),
+                    "iteration moved non-band node {gid}"
+                );
             }
         }
     }

@@ -78,7 +78,9 @@ pub use coloring::{color_quotient_edges, EdgeColoring};
 pub use delta::{DeltaPairView, SharedAssignment};
 pub use fm::{pair_search_seed, patience_bound, two_way_fm, two_way_fm_in, FmConfig, FmResult};
 pub use gain::pair_gain;
-pub use gather::{refine_gathered_band, GatheredRegion, RegionEdge, RegionNode};
+pub use gather::{
+    refine_gathered_band, refine_region_iteration, GatheredRegion, RegionEdge, RegionNode,
+};
 pub use local::{refine_local, LocalRefineConfig, LocalRefineStats};
 pub use queue_select::QueueSelection;
 pub use scheduler::{

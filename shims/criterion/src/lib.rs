@@ -84,6 +84,20 @@ impl Bencher {
             self.durations.push(start.elapsed());
         }
     }
+
+    /// Criterion's `iter_custom`: `routine` receives the number of
+    /// iterations to run and returns one measured [`Duration`] covering all
+    /// of them. The shim asks for one iteration per sample and records the
+    /// returned duration verbatim — which also lets benches feed
+    /// *non-time* metrics (e.g. wire frames per run, encoded via
+    /// `Duration::from_nanos`) through the same JSON baseline and
+    /// regression-comparison machinery as wall-clock numbers.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        black_box(routine(1));
+        for _ in 0..self.samples {
+            self.durations.push(routine(1));
+        }
+    }
 }
 
 fn report(label: &str, durations: &[Duration]) {
@@ -342,6 +356,9 @@ mod tests {
         });
         group.finish();
         c.bench_function("plain", |b| b.iter(|| 1 + 1));
+        c.bench_function("custom_metric", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(42 * iters))
+        });
     }
 
     criterion_group!(benches, sample_bench);

@@ -16,6 +16,8 @@
 //!   --seed <S>            random seed                   [default: 0]
 //!   --threads <T>         worker threads (0 = all)      [default: 0]
 //!   --ranks <R>           distributed pipeline over R ranks
+//!   --fold-threshold <N>  fold coarse levels of <= N nodes onto fewer ranks
+//!   --stats               print per-rank comm-volume counters (with --ranks)
 //!   --output <FILE>       partition output path         [default: <GRAPH>.part.<K>]
 //!   --generate <FAMILY>   ignore <GRAPH> and generate an instance instead:
 //!                         rgg | delaunay | grid | road | rmat
@@ -47,6 +49,8 @@ struct CliArgs {
     threads: usize,
     ranks: Option<usize>,
     transport: Transport,
+    fold_threshold: usize,
+    stats: bool,
     output: Option<PathBuf>,
     generate: Option<String>,
     nodes: usize,
@@ -67,6 +71,8 @@ fn parse_args() -> Result<CliArgs, String> {
         threads: 0,
         ranks: None,
         transport: Transport::Local,
+        fold_threshold: 0,
+        stats: false,
         output: None,
         generate: None,
         nodes: 100_000,
@@ -119,6 +125,12 @@ fn parse_args() -> Result<CliArgs, String> {
                     other => return Err(format!("unknown transport {other:?}")),
                 }
             }
+            "--fold-threshold" => {
+                cli.fold_threshold = value("--fold-threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --fold-threshold: {e}"))?
+            }
+            "--stats" => cli.stats = true,
             // Internal flags of the TCP launcher (one process per rank).
             "--_tcp-worker" => {
                 cli.worker_rank = Some(
@@ -150,6 +162,15 @@ fn parse_args() -> Result<CliArgs, String> {
     }
     if cli.transport == Transport::Tcp && cli.ranks.is_none() {
         return Err("--transport tcp requires --ranks".to_string());
+    }
+    if cli.fold_threshold > 0 && cli.ranks.is_none() {
+        return Err("--fold-threshold requires --ranks".to_string());
+    }
+    if cli.stats && cli.ranks.is_none() {
+        return Err(
+            "--stats requires --ranks (comm counters exist only in the distributed pipeline)"
+                .to_string(),
+        );
     }
     if cli.worker_rank.is_some() != cli.rendezvous.is_some() {
         return Err("--_tcp-worker and --_tcp-rendezvous go together".to_string());
@@ -210,6 +231,14 @@ OPTIONS:
                         tcp:   one OS process per rank over localhost
                                sockets (same result bit for bit — the
                                pipeline is transport-independent per seed)
+  --fold-threshold <N>  with --ranks: fold hierarchy levels of <= N global
+                        nodes onto half the active ranks (halving again at
+                        N/2, N/4, …), parking the rest — removes the
+                        per-rank seams that dominate small coarse levels
+                        [default: 0 = off]
+  --stats               with --ranks: print per-rank communication volume
+                        (frames / bytes / collectives, split by phase) to
+                        stderr after the run
   --output <FILE>       partition output path   [default: <GRAPH>.part.<K>]
   --generate <FAMILY>   ignore <GRAPH> and generate an instance instead:
                         rgg | delaunay | grid | road | rmat
@@ -283,7 +312,8 @@ fn main() -> ExitCode {
         }
         // kappa-lint: allow(wall-clock) -- CLI runtime reporting only; never feeds the partition.
         let start = std::time::Instant::now();
-        let result = match partition_distributed(&graph, &DistConfig::new(config, ranks)) {
+        let dist_config = DistConfig::new(config, ranks).with_fold_threshold(cli.fold_threshold);
+        let result = match partition_distributed(&graph, &dist_config) {
             Ok(result) => result,
             Err(e) => {
                 eprintln!("error: distributed run failed: {e}");
@@ -301,6 +331,9 @@ fn main() -> ExitCode {
             metrics.feasible,
             metrics.runtime_secs()
         );
+        if cli.stats {
+            print_comm_stats(&result);
+        }
         result.partition
     } else {
         let result = KappaPartitioner::new(config).partition(&graph);
@@ -316,6 +349,27 @@ fn main() -> ExitCode {
     };
 
     write_partition(&cli, &name, &partition)
+}
+
+/// Prints the per-rank communication counters of a distributed run to
+/// stderr: one line per rank, the run total followed by the per-phase
+/// buckets, each as `frames/bytes/collectives` (bytes are 0 on the
+/// in-process transport, which moves payloads unserialised).
+fn print_comm_stats(result: &kappa::dist::DistRunResult) {
+    eprintln!("comm volume per rank (frames/bytes/collectives):");
+    for (rank, stats) in result.comm_per_rank.iter().enumerate() {
+        let mut line = format!(
+            "  rank {rank}: total {}/{}/{}",
+            stats.total.frames, stats.total.bytes, stats.total.collectives
+        );
+        for (name, p) in &stats.phases {
+            line.push_str(&format!(
+                " | {name} {}/{}/{}",
+                p.frames, p.bytes, p.collectives
+            ));
+        }
+        eprintln!("{line}");
+    }
 }
 
 /// Writes one block id per line to the configured (or default) output path.
@@ -364,7 +418,8 @@ fn run_tcp_worker(
                 return ExitCode::FAILURE;
             }
         };
-    match partition_with_comm(&mut comm, graph, &DistConfig::new(config, ranks)) {
+    let dist_config = DistConfig::new(config, ranks).with_fold_threshold(cli.fold_threshold);
+    match partition_with_comm(&mut comm, graph, &dist_config) {
         Ok(None) => ExitCode::SUCCESS,
         Ok(Some(result)) => {
             let metrics =
@@ -378,6 +433,9 @@ fn run_tcp_worker(
                 metrics.feasible,
                 metrics.runtime_secs()
             );
+            if cli.stats {
+                print_comm_stats(&result);
+            }
             let name = cli
                 .generate
                 .as_ref()

@@ -160,6 +160,129 @@ fn allreduce_is_deterministic<C: Comm>(comm: &mut C) {
     assert_eq!(cat, expected);
 }
 
+/// Split-phase completion: `try_recv` reports "not yet" without blocking
+/// before a matching post exists, drains posted `isend`s in order once they
+/// arrive, and goes back to "not yet" when the stream is exhausted.
+fn try_recv_completes_isends_without_blocking<C: Comm>(comm: &mut C) {
+    if comm.rank() == 1 {
+        // Rank 0 posts nothing before the barrier, so this must be None.
+        assert!(comm.try_recv::<u64>(0, "later").unwrap().is_none());
+    }
+    comm.barrier().unwrap();
+    if comm.rank() == 0 {
+        for v in 0..5u64 {
+            comm.isend(1, "later", v).unwrap();
+        }
+    } else if comm.rank() == 1 {
+        let mut got = Vec::new();
+        while got.len() < 5 {
+            if let Some(v) = comm.try_recv::<u64>(0, "later").unwrap() {
+                got.push(v);
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert!(comm.try_recv::<u64>(0, "later").unwrap().is_none());
+    }
+}
+
+/// A coalesce scope packs every same-peer post into one frame, and the
+/// receiver's ordinary `recv` sees the inner messages as if they had been
+/// sent individually: FIFO per tag, no tag stealing, self-sends included.
+fn coalesced_isends_unpack_into_ordinary_streams<C: Comm>(comm: &mut C) {
+    let (me, ranks) = (comm.rank(), comm.num_ranks());
+    comm.coalesce(|c| {
+        for dst in 0..ranks {
+            c.isend(dst, "ca", (me * 10) as u64)?;
+            c.isend(dst, "cb", format!("from-{me}"))?;
+            c.isend(dst, "ca", (me * 10 + 1) as u64)?;
+        }
+        Ok(())
+    })
+    .unwrap();
+    for src in 0..ranks {
+        assert_eq!(comm.recv::<u64>(src, "ca").unwrap(), (src * 10) as u64);
+        assert_eq!(
+            comm.recv::<String>(src, "cb").unwrap(),
+            format!("from-{src}")
+        );
+        assert_eq!(comm.recv::<u64>(src, "ca").unwrap(), (src * 10 + 1) as u64);
+    }
+}
+
+/// Plain `send`s keep their immediate semantics inside an open coalesce
+/// scope — only `isend`s are buffered — and both kinds are delivered.
+fn plain_sends_inside_a_coalesce_scope_stay_immediate<C: Comm>(comm: &mut C) {
+    if comm.rank() == 0 {
+        comm.coalesce(|c| {
+            c.isend(1, "packed", 7u64)?;
+            c.send(1, "eager", 1u64)?;
+            Ok(())
+        })
+        .unwrap();
+    } else if comm.rank() == 1 {
+        assert_eq!(comm.recv::<u64>(0, "eager").unwrap(), 1);
+        assert_eq!(comm.recv::<u64>(0, "packed").unwrap(), 7);
+    }
+}
+
+/// Both backends expose sender-side comm counters with the same frame and
+/// collective counts (bytes are transport-specific): point-to-point frames,
+/// one frame per coalesced pack, two primitive collectives per barrier, and
+/// phase buckets that sum to the totals.
+fn comm_stats_count_frames_and_collectives<C: Comm>(comm: &mut C) {
+    let (me, ranks) = (comm.rank(), comm.num_ranks());
+    comm.set_phase("p2p");
+    if me == 0 {
+        for dst in 1..ranks {
+            comm.send(dst, "x", 1u64).unwrap();
+        }
+    } else {
+        comm.recv::<u64>(0, "x").unwrap();
+    }
+    comm.set_phase("packed");
+    comm.coalesce(|c| {
+        for dst in 0..ranks {
+            for i in 0..4u64 {
+                c.isend(dst, "y", i)?;
+            }
+        }
+        Ok(())
+    })
+    .unwrap();
+    for src in 0..ranks {
+        for i in 0..4u64 {
+            assert_eq!(comm.recv::<u64>(src, "y").unwrap(), i);
+        }
+    }
+    comm.set_phase("sync");
+    comm.barrier().unwrap();
+    let stats = comm.stats().expect("both backends track stats").clone();
+    let phase = |name: &str| {
+        stats
+            .phases
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| *p)
+            .unwrap_or_default()
+    };
+    let p2p_expected = if me == 0 { ranks as u64 - 1 } else { 0 };
+    assert_eq!(phase("p2p").frames, p2p_expected, "rank {me} p2p frames");
+    // One frame per destination, however many messages were packed into it.
+    assert_eq!(
+        phase("packed").frames,
+        ranks as u64,
+        "rank {me} pack frames"
+    );
+    // A barrier is a gather followed by a broadcast.
+    assert_eq!(
+        phase("sync").collectives,
+        2,
+        "rank {me} barrier collectives"
+    );
+    let frame_sum: u64 = stats.phases.iter().map(|(_, p)| p.frames).sum();
+    assert_eq!(frame_sum, stats.total.frames, "rank {me} frames sum");
+}
+
 /// Expands one `#[test]` per backend for each scenario, so a semantic drift
 /// between the transports fails with the scenario's name attached.
 macro_rules! conformance {
@@ -185,6 +308,10 @@ conformance!(
     gather_and_allgather_preserve_rank_order @ 4,
     alltoallv_routes_zero_length_segments @ 4,
     allreduce_is_deterministic @ 4,
+    try_recv_completes_isends_without_blocking @ 2,
+    coalesced_isends_unpack_into_ordinary_streams @ 4,
+    plain_sends_inside_a_coalesce_scope_stay_immediate @ 2,
+    comm_stats_count_frames_and_collectives @ 4,
 );
 
 mod barrier_synchronises {
@@ -367,6 +494,139 @@ fn dropped_frame_over_tcp_is_diagnosed_not_hung() {
 }
 
 // ---------------------------------------------------------------------------
+// Fault injection on coalesced pack frames.
+// ---------------------------------------------------------------------------
+
+/// Rank 0 streams 20 coalesced packs (3 messages, 2 tags each) to rank 1;
+/// rank 1 receives them through the ordinary stream interface. Every frame
+/// on the 0 → 1 channel is a pack, so channel faults hit packs only.
+fn pack_stream_workload<C: Comm>(comm: &mut C) -> kappa::dist::CommResult<Vec<u64>> {
+    if comm.rank() == 0 {
+        for s in 0..20u64 {
+            comm.coalesce(|c| {
+                c.isend(1, "pa", s)?;
+                c.isend(1, "pb", s + 1000)?;
+                c.isend(1, "pa", s + 2000)?;
+                Ok(())
+            })?;
+        }
+        Ok(Vec::new())
+    } else {
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.push(comm.recv::<u64>(0, "pa")?);
+            got.push(comm.recv::<u64>(0, "pb")?);
+            got.push(comm.recv::<u64>(0, "pa")?);
+        }
+        Ok(got)
+    }
+}
+
+fn expected_pack_stream() -> Vec<u64> {
+    (0..20u64).flat_map(|s| [s, s + 1000, s + 2000]).collect()
+}
+
+/// Duplicated and delayed packs are fully recovered on both backends: the
+/// inner messages carry their own sequence numbers, so a whole duplicated
+/// pack dedups message by message and the stream comes out exact.
+#[test]
+fn duplicated_and_delayed_coalesced_packs_are_recovered_on_both_backends() {
+    for seed in [3u64, 17] {
+        let fault = FaultPlan::seeded(seed, 0.0, 0.2, 0.1, 0.0);
+        let local = LocalCluster::with_config(
+            2,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(20),
+                fault,
+            },
+        )
+        .run(|comm| pack_stream_workload(comm));
+        assert_eq!(
+            local[1].clone().unwrap(),
+            expected_pack_stream(),
+            "local seed {seed}"
+        );
+        let tcp = TcpCluster::with_config(
+            2,
+            TcpClusterConfig {
+                recv_timeout: Duration::from_secs(20),
+                connect_timeout: Duration::from_secs(20),
+                fault,
+            },
+        )
+        .run(|comm| pack_stream_workload(comm));
+        assert_eq!(
+            tcp[1].clone().unwrap(),
+            expected_pack_stream(),
+            "tcp seed {seed}"
+        );
+    }
+}
+
+/// Dropping one pack loses every message inside it: the receiver must
+/// diagnose the stalled stream (naming rank, peer and an inner tag — packs
+/// are a transport artefact, so no user-facing error ever says `::coal`),
+/// not hang and not skip ahead.
+#[test]
+fn dropped_coalesced_pack_is_diagnosed_not_hung() {
+    let started = std::time::Instant::now();
+    let results = TcpCluster::with_config(
+        2,
+        TcpClusterConfig {
+            recv_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(20),
+            // The third pack on the 0 -> 1 channel vanishes.
+            fault: FaultPlan::drop_nth(0, 1, 2),
+        },
+    )
+    .run(|comm| pack_stream_workload(comm));
+    assert!(started.elapsed() < Duration::from_secs(30), "must not hang");
+    let err = results[1].clone().unwrap_err();
+    assert_eq!((err.rank, err.peer), (1, 0));
+    assert!(
+        err.tag == "pa" || err.tag == "pb",
+        "error must name the awaited inner tag, got {:?}",
+        err.tag
+    );
+    assert!(matches!(
+        err.kind,
+        CommErrorKind::Timeout { .. } | CommErrorKind::Disconnected
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Reordering (and occasionally dropping) whole packs obeys the global
+    /// fault contract: the stream either heals at the inner-sequence level —
+    /// bit-identical result — or fails diagnosed. Never a hang, never a
+    /// wrong or reordered delivery.
+    #[test]
+    fn reordered_coalesced_packs_are_exact_or_diagnosed(seed in any::<u64>()) {
+        let started = std::time::Instant::now();
+        let results = LocalCluster::with_config(
+            2,
+            LocalClusterConfig {
+                recv_timeout: Duration::from_secs(2),
+                fault: FaultPlan::seeded(seed, 0.002, 0.0, 0.0, 0.05),
+            },
+        )
+        .run(|comm| pack_stream_workload(comm));
+        prop_assert!(started.elapsed() < Duration::from_secs(60), "must not hang");
+        match results[1].clone() {
+            Ok(got) => prop_assert_eq!(got, expected_pack_stream()),
+            Err(err) => {
+                prop_assert_eq!((err.rank, err.peer), (1, 0));
+                prop_assert!(matches!(
+                    err.kind,
+                    CommErrorKind::Timeout { .. } | CommErrorKind::Disconnected
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Wire-codec properties over the pipeline's message shapes.
 // ---------------------------------------------------------------------------
 
@@ -493,6 +753,40 @@ fn tcp_transport_is_bit_identical_to_local_for_every_rank_count() {
             assert_eq!(
                 tcp.boundary_full_builds_per_rank,
                 local.boundary_full_builds_per_rank
+            );
+        }
+    }
+}
+
+/// Rank folding is transport-independent too: a folded run over TCP is
+/// bit-identical to the folded local run, and the comm counters (frames,
+/// collectives) agree frame for frame across the backends.
+#[test]
+fn folded_runs_are_bit_identical_across_transports() {
+    let graph = random_geometric_graph(2000, 7);
+    for ranks in [2usize, 8] {
+        let config =
+            DistConfig::new(KappaConfig::fast(8).with_seed(5), ranks).with_fold_threshold(1024);
+        let local = partition_distributed(&graph, &config).unwrap();
+        let mut tcp_results =
+            tcp_cluster(ranks).run(|comm| partition_with_comm(comm, &graph, &config).unwrap());
+        let tcp = tcp_results.remove(0).expect("rank 0 assembles");
+        assert_eq!(
+            tcp.partition.assignment(),
+            local.partition.assignment(),
+            "ranks={ranks}: folded tcp run diverged from local"
+        );
+        assert_eq!(tcp.edge_cut, local.edge_cut);
+        for (rank, (t, l)) in tcp
+            .comm_per_rank
+            .iter()
+            .zip(&local.comm_per_rank)
+            .enumerate()
+        {
+            assert_eq!(t.total.frames, l.total.frames, "rank {rank} frames");
+            assert_eq!(
+                t.total.collectives, l.total.collectives,
+                "rank {rank} collectives"
             );
         }
     }

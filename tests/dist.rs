@@ -140,6 +140,70 @@ fn production_refinement_performs_zero_full_quotient_scans() {
 }
 
 #[test]
+fn rank_folding_is_deterministic_feasible_and_near_the_rank_1_cut() {
+    let instances = vec![
+        ("rgg-4000", random_geometric_graph(4000, 3)),
+        ("grid-60x60", grid2d(60, 60)),
+    ];
+    let mut ratios: Vec<f64> = Vec::new();
+    for (name, graph) in &instances {
+        let config = KappaConfig::fast(8).with_seed(2);
+        let base = dist_run(graph, config, 1);
+        for ranks in [2usize, 8] {
+            let folded = DistConfig::new(config, ranks).with_fold_threshold(2048);
+            let a = partition_distributed(graph, &folded).expect("fold run");
+            let b = partition_distributed(graph, &folded).expect("fold run");
+            assert_eq!(
+                a.partition.assignment(),
+                b.partition.assignment(),
+                "{name} ranks {ranks}: folded run not deterministic"
+            );
+            assert_feasible(
+                &format!("{name} folded ranks {ranks}"),
+                graph,
+                &a.partition,
+                0.03,
+                a.edge_cut,
+            );
+            assert_eq!(a.boundary_full_builds_per_rank, vec![1; ranks]);
+            ratios.push(a.edge_cut as f64 / base.edge_cut.max(1) as f64);
+        }
+    }
+    let mean = geometric_mean(&ratios);
+    assert!(
+        mean <= 1.05,
+        "folded runs exceed the 5 % envelope: {mean:.4} ({ratios:?})"
+    );
+}
+
+#[test]
+fn comm_stats_cover_every_phase_and_rank_1_sends_no_frames() {
+    let graph = random_geometric_graph(3000, 7);
+    let solo = dist_run(&graph, KappaConfig::fast(8).with_seed(1), 1);
+    assert_eq!(solo.comm_per_rank.len(), 1);
+    // One rank never crosses a rank boundary: every collective short-circuits.
+    assert_eq!(solo.comm_per_rank[0].total.frames, 0);
+
+    let dist = dist_run(&graph, KappaConfig::fast(8).with_seed(1), 4);
+    assert_eq!(dist.comm_per_rank.len(), 4);
+    for (rank, stats) in dist.comm_per_rank.iter().enumerate() {
+        assert!(stats.total.frames > 0, "rank {rank} sent no frames");
+        assert!(
+            stats.total.collectives > 0,
+            "rank {rank} ran no collectives"
+        );
+        let phases: Vec<&str> = stats.phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            phases,
+            ["coarsen", "initial", "refine", "project", "finish"],
+            "rank {rank} phase labels"
+        );
+        let sum: u64 = stats.phases.iter().map(|(_, p)| p.frames).sum();
+        assert_eq!(sum, stats.total.frames, "rank {rank} phase frames sum");
+    }
+}
+
+#[test]
 fn degenerate_inputs_are_handled_like_the_shared_pipeline() {
     // k = 1, tiny graphs, more ranks than nodes.
     let tiny = grid2d(3, 3);
