@@ -1,0 +1,145 @@
+//! Criterion benches for the kappa-mem storage tiers: the decode overhead
+//! of each tier on a full sequential edge sweep and on random adjacency
+//! probes, the page cache in its hit and thrash regimes, and the cost of
+//! encoding a CSR into the compact tier. Gated through
+//! `scripts/bench_compare` in the CI `mem` job.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kappa_gen::random_geometric_graph;
+use kappa_graph::{CsrGraph, GraphAccess};
+use kappa_mem::{CompactCsr, PageCacheConfig, PagedGraph};
+
+/// The 2^15-node rgg instance of EXPERIMENTS.md's kernel tables.
+fn instance() -> CsrGraph {
+    random_geometric_graph(1 << 15, 5)
+}
+
+fn paged_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("kappa-bench-mem-{}-{tag}.kpg", std::process::id()))
+}
+
+/// Opens `graph` on the paged tier with the given cache geometry; the file
+/// is deleted when the returned graph drops.
+fn paged(graph: &CsrGraph, tag: &str, config: PageCacheConfig) -> PagedGraph {
+    let path = paged_path(tag);
+    let mut p = PagedGraph::from_graph(graph, &path, config).expect("paged build");
+    p.set_delete_on_drop(true);
+    p
+}
+
+/// Weighted-degree sum over every node's incidence list — the sequential
+/// access pattern of matching and contraction — on each storage tier.
+fn sweep<G: GraphAccess>(g: &G) -> u64 {
+    let mut sum = 0u64;
+    for v in g.nodes() {
+        for (_, w) in g.edges_of(v) {
+            sum += w;
+        }
+    }
+    sum
+}
+
+fn bench_traversal_sweep(c: &mut Criterion) {
+    let graph = instance();
+    let compact = CompactCsr::from_graph(&graph);
+    let on_disk = paged(&graph, "sweep", PageCacheConfig::default());
+    let mut group = c.benchmark_group("mem_traversal_sweep_rgg15");
+    group.bench_function(BenchmarkId::from_parameter("ram"), |b| {
+        b.iter(|| black_box(sweep(&graph)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("compact"), |b| {
+        b.iter(|| black_box(sweep(&compact)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("paged"), |b| {
+        b.iter(|| black_box(sweep(&on_disk)))
+    });
+    group.finish();
+}
+
+/// 1024 adjacency decodes at pseudo-random nodes per iteration — the access
+/// pattern of gain recomputation around a moving boundary.
+fn probe<G: GraphAccess>(g: &G) -> u64 {
+    let n = g.num_nodes() as u32;
+    let mut sum = 0u64;
+    for i in 0..1024u32 {
+        let v = i.wrapping_mul(2654435761) % n;
+        for (u, w) in g.edges_of(v) {
+            sum += u as u64 ^ w;
+        }
+    }
+    sum
+}
+
+fn bench_random_probes(c: &mut Criterion) {
+    let graph = instance();
+    let compact = CompactCsr::from_graph(&graph);
+    let on_disk = paged(&graph, "probe", PageCacheConfig::default());
+    let mut group = c.benchmark_group("mem_random_probes_1024_rgg15");
+    group.bench_function(BenchmarkId::from_parameter("ram"), |b| {
+        b.iter(|| black_box(probe(&graph)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("compact"), |b| {
+        b.iter(|| black_box(probe(&compact)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("paged"), |b| {
+        b.iter(|| black_box(probe(&on_disk)))
+    });
+    group.finish();
+}
+
+/// The page cache in both regimes on the same random probe load: a cache
+/// that holds the whole edge region (every lookup after warmup hits) vs. a
+/// deliberately tiny one (4 × 4 KiB slots, direct-mapped — most lookups go
+/// back to disk). The gap is the full page-fault penalty the fixed budget
+/// buys its way out of.
+fn bench_page_cache_regimes(c: &mut Criterion) {
+    let graph = instance();
+    let mut group = c.benchmark_group("mem_page_cache_probes_1024_rgg15");
+    let hit = paged(&graph, "cache-hit", PageCacheConfig::default());
+    sweep(&hit); // warm: the default 64 MiB budget holds the whole region
+    group.bench_function(BenchmarkId::from_parameter("hit"), |b| {
+        b.iter(|| black_box(probe(&hit)))
+    });
+    let thrash = paged(
+        &graph,
+        "cache-thrash",
+        PageCacheConfig {
+            page_size: 4 << 10,
+            cache_pages: 4,
+        },
+    );
+    group.bench_function(BenchmarkId::from_parameter("thrash"), |b| {
+        b.iter(|| black_box(probe(&thrash)))
+    });
+    // Sanity rather than timing: the regimes must actually differ.
+    let hs = hit.cache_stats();
+    let ts = thrash.cache_stats();
+    assert!(hs.misses <= hs.hits / 100, "hit regime thrashed: {hs:?}");
+    assert!(ts.misses > ts.hits, "thrash regime cached: {ts:?}");
+    group.finish();
+}
+
+/// Encoding a CSR into the compact tier (the spill path runs this per
+/// hierarchy level), reported alongside a plain clone as the baseline
+/// memcpy cost of touching the same data.
+fn bench_compact_encode(c: &mut Criterion) {
+    let graph = instance();
+    let mut group = c.benchmark_group("mem_compact_encode_rgg15");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("encode"), |b| {
+        b.iter(|| black_box(CompactCsr::from_graph(&graph).num_half_edges()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("clone_baseline"), |b| {
+        b.iter(|| black_box(graph.clone().num_half_edges()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_traversal_sweep,
+    bench_random_probes,
+    bench_page_cache_regimes,
+    bench_compact_encode
+);
+criterion_main!(benches);

@@ -28,6 +28,8 @@
 
 pub mod contract;
 pub mod hierarchy;
+pub mod tiered;
 
 pub use contract::{contract_matching, contract_matching_reference, Contraction};
 pub use hierarchy::{CoarseningConfig, MatcherKind, MultilevelHierarchy};
+pub use tiered::{contract_to_tier, SpillConfig, TierSpec, TieredContraction, TieredHierarchy};

@@ -32,9 +32,11 @@ pub mod dynamic;
 pub mod metrics;
 pub mod partitioner;
 pub mod prepartition;
+pub mod tiered;
 
 pub use config::{ConfigPreset, KappaConfig};
 pub use dynamic::{DynamicConfig, DynamicSession, DynamicStats};
 pub use metrics::{geometric_mean, PartitionMetrics};
 pub use partitioner::{KappaPartitioner, PartitionResult, PhaseTimings};
 pub use prepartition::{coordinate_prepartition, index_prepartition};
+pub use tiered::{default_spill_dir, partition_tiered, MemoryTier, TieredPartitionResult};

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use kappa_graph::{CsrGraph, Partition};
+use kappa_graph::{GraphAccess, Partition};
 use serde::{Deserialize, Serialize};
 
 /// Quality metrics of a single partitioning run.
@@ -23,9 +23,10 @@ pub struct PartitionMetrics {
 
 impl PartitionMetrics {
     /// Computes the metrics of `partition` on `graph` (runtime is supplied by
-    /// the caller, since only it knows what was measured).
-    pub fn measure(
-        graph: &CsrGraph,
+    /// the caller, since only it knows what was measured). Generic over the
+    /// storage tier, so paged runs measure without decoding to plain CSR.
+    pub fn measure<G: GraphAccess>(
+        graph: &G,
         partition: &Partition,
         epsilon: f64,
         runtime: Duration,

@@ -9,20 +9,22 @@
 //! preliminary partition never influences the final partition directly — it
 //! only increases locality of the matching computation.
 
-use kappa_graph::{CsrGraph, NodeId};
+use kappa_graph::{GraphAccess, NodeId};
 
 /// Recursive coordinate bisection of the nodes into `num_parts` chunks.
 ///
 /// Returns `part[v] ∈ 0..num_parts` for every node. Falls back to
-/// [`index_prepartition`] when the graph has no coordinates.
-pub fn coordinate_prepartition(graph: &CsrGraph, num_parts: usize) -> Vec<usize> {
+/// [`index_prepartition`] when the graph has no coordinates (the paged
+/// storage tier drops coordinates by design, so it always takes index
+/// ranges).
+pub fn coordinate_prepartition<G: GraphAccess>(graph: &G, num_parts: usize) -> Vec<usize> {
     let n = graph.num_nodes();
     let num_parts = num_parts.max(1);
-    let Some(coords) = graph.coords() else {
+    let Some(coords) = GraphAccess::coords(graph) else {
         return index_prepartition(n, num_parts);
     };
     let mut part = vec![0usize; n];
-    let mut nodes: Vec<NodeId> = graph.nodes().collect();
+    let mut nodes: Vec<NodeId> = GraphAccess::nodes(graph).collect();
     rcb_recurse(coords, &mut nodes, 0, num_parts, 0, &mut part);
     part
 }

@@ -1,0 +1,319 @@
+//! The memory-tiered pipeline: the full multilevel partitioner running on
+//! compact or paged graph storage (`--memory-tier {ram,compact,paged}`).
+//!
+//! [`partition_tiered`] mirrors the classic
+//! [`KappaPartitioner`](crate::KappaPartitioner) phase for phase — same stop
+//! threshold, same per-level seed mixing, same initial-partitioning repeats
+//! and seeds, same refinement configuration — with two deliberate
+//! differences:
+//!
+//! 1. **Sequential matching.** The parallel matcher of §3.3 needs the whole
+//!    level's rated edge list and (optionally) coordinates; both clash with
+//!    out-of-core storage. The tiered path always matches sequentially,
+//!    which is *exactly* what the classic path does at `num_threads = 1`
+//!    (the parallel matcher short-circuits to [`compute_matching`] for one
+//!    part). Hence the acceptance invariant, asserted in `tests/mem.rs`:
+//!    for the same seed and preset, a paged run is **bit-identical** to the
+//!    classic in-RAM run at one thread.
+//! 2. **Spilled hierarchy.** Fine levels live on disk, mid levels in compact
+//!    RAM ([`TieredHierarchy`]); only the coarsest level is decoded to plain
+//!    CSR for the initial partitioner.
+//!
+//! Refinement itself is tier-agnostic: it is generic over
+//! [`kappa_graph::GraphAccess`] and deterministic for every
+//! thread count, so it runs unchanged on paged levels.
+
+use std::io;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use kappa_coarsen::{CoarseningConfig, MatcherKind, SpillConfig, TieredHierarchy};
+use kappa_graph::{GraphAccess, Partition, PartitionState};
+use kappa_initial::{best_of_repeats, InitialAlgorithm, InitialPartitionConfig};
+use kappa_matching::compute_matching;
+use kappa_mem::TierGraph;
+use kappa_refine::{refine_partition, RefinementConfig, RefinementStats};
+
+use crate::config::KappaConfig;
+use crate::metrics::PartitionMetrics;
+use crate::partitioner::{PartitionResult, PhaseTimings};
+
+/// The storage level a run keeps its graphs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryTier {
+    /// Plain CSR in RAM — the classic pipeline.
+    Ram,
+    /// Delta-varint compact encoding in RAM (~half the footprint or better).
+    Compact,
+    /// Fine levels on disk behind a fixed-budget page cache.
+    Paged,
+}
+
+impl MemoryTier {
+    /// Name as spelled on the command line.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemoryTier::Ram => "ram",
+            MemoryTier::Compact => "compact",
+            MemoryTier::Paged => "paged",
+        }
+    }
+
+    /// Parses a `--memory-tier` value.
+    pub fn parse(s: &str) -> Option<MemoryTier> {
+        match s {
+            "ram" => Some(MemoryTier::Ram),
+            "compact" => Some(MemoryTier::Compact),
+            "paged" => Some(MemoryTier::Paged),
+            _ => None,
+        }
+    }
+}
+
+/// A tiered run's outcome: the usual [`PartitionResult`] plus which storage
+/// tier every hierarchy level ended up on (finest first).
+pub struct TieredPartitionResult {
+    /// The partition, metrics and phase timings (same shape as a classic run).
+    pub result: PartitionResult,
+    /// Storage tier per hierarchy level, e.g. `["paged", "paged", "compact", …]`.
+    pub level_tiers: Vec<&'static str>,
+}
+
+/// Partitions `finest` into `config.k` blocks on its storage tier.
+///
+/// Seed-compatible with the classic path at one thread (see module docs).
+/// `spill` controls where coarse levels go; pass
+/// [`SpillConfig::new`]`(dir)` for the defaults. Thread-count settings in
+/// `config` affect only refinement parallelism, never the result.
+pub fn partition_tiered(
+    finest: TierGraph,
+    config: &KappaConfig,
+    spill: &SpillConfig,
+) -> io::Result<TieredPartitionResult> {
+    // kappa-lint: allow(wall-clock) -- phase timing for PartitionMetrics; never feeds the partition.
+    let start = Instant::now();
+    let k = config.k.max(1);
+    let n = finest.num_nodes();
+
+    if n == 0 || k == 1 {
+        let partition = Partition::trivial(k, n);
+        let runtime = start.elapsed();
+        return Ok(TieredPartitionResult {
+            result: PartitionResult {
+                metrics: PartitionMetrics::measure(&finest, &partition, config.epsilon, runtime),
+                partition,
+                timings: PhaseTimings::default(),
+                hierarchy_levels: 1,
+                coarsest_nodes: n,
+                refinement: RefinementStats::default(),
+                boundary_full_builds: 0,
+                quotient_full_scans: 0,
+            },
+            level_tiers: vec![finest.tier_name()],
+        });
+    }
+
+    // --- Phase 1: sequential matching + tiered contraction. ---
+    // kappa-lint: allow(wall-clock) -- phase timing for PhaseTimings; never feeds the partition.
+    let coarsen_start = Instant::now();
+    let stop_at_nodes = config.contraction_stop_nodes(n).max(2 * k as usize);
+    let coarsen_config = CoarseningConfig {
+        rating: config.rating,
+        matcher: MatcherKind::Sequential(config.matching),
+        stop_at_nodes,
+        min_shrink_factor: 0.02,
+        max_levels: 64,
+        seed: config.seed,
+    };
+    let matching_algorithm = config.matching;
+    let rating = config.rating;
+    let hierarchy =
+        TieredHierarchy::build_with(finest, &coarsen_config, spill, move |level_graph, seed| {
+            compute_matching(level_graph, matching_algorithm, rating, seed)
+        })?;
+    let coarsening_time = coarsen_start.elapsed();
+
+    // --- Phase 2: initial partitioning of the coarsest graph. ---
+    // The coarsest level is small by construction; decode it to plain CSR for
+    // the initial partitioner. `num_parts = 1` semantics: repeats are not
+    // multiplied by a thread count, matching the classic path at one thread.
+    // kappa-lint: allow(wall-clock) -- phase timing for PhaseTimings; never feeds the partition.
+    let initial_start = Instant::now();
+    let coarsest_csr = hierarchy.coarsest().to_csr();
+    let initial_config = InitialPartitionConfig {
+        k,
+        epsilon: config.epsilon,
+        algorithm: InitialAlgorithm::GreedyGrowing,
+        repeats: config.initial_repeats.max(1),
+        seed: config.seed.wrapping_add(0xC0A2),
+    };
+    let current = best_of_repeats(&coarsest_csr, &initial_config);
+    let initial_time = initial_start.elapsed();
+
+    // --- Phase 3: uncoarsening with pairwise refinement, tier-agnostic. ---
+    // kappa-lint: allow(wall-clock) -- phase timing for PhaseTimings; never feeds the partition.
+    let refine_start = Instant::now();
+    let refinement_config = RefinementConfig {
+        epsilon: config.epsilon,
+        bfs_depth: config.bfs_depth,
+        max_global_iterations: config.max_global_iterations,
+        local_iterations: config.local_iterations,
+        stop_after_no_change: config.stop_after_no_change,
+        queue_selection: config.queue_selection,
+        patience_alpha: config.fm_patience,
+        seed: config.seed.wrapping_add(0x5EF1),
+    };
+    let mut refinement = RefinementStats::default();
+    let coarsest_level = hierarchy.num_levels() - 1;
+    let mut state = PartitionState::build(hierarchy.graph_at(coarsest_level), current);
+    let stats = refine_partition(
+        hierarchy.graph_at(coarsest_level),
+        &mut state,
+        &refinement_config,
+    );
+    accumulate(&mut refinement, &stats);
+    for level in (1..hierarchy.num_levels()).rev() {
+        state = hierarchy.project_state_one_level(level, &state);
+        let fine_graph = hierarchy.graph_at(level - 1);
+        let stats = refine_partition(fine_graph, &mut state, &refinement_config);
+        accumulate(&mut refinement, &stats);
+    }
+    let refinement_time = refine_start.elapsed();
+
+    let runtime = start.elapsed();
+    let boundary_full_builds = state.full_builds();
+    let quotient_full_scans = refinement.quotient_full_scans;
+    let current = state.into_partition();
+    let level_tiers = hierarchy.tier_names();
+    Ok(TieredPartitionResult {
+        result: PartitionResult {
+            metrics: PartitionMetrics::measure(
+                hierarchy.finest(),
+                &current,
+                config.epsilon,
+                runtime,
+            ),
+            partition: current,
+            timings: PhaseTimings {
+                coarsening: coarsening_time,
+                initial_partitioning: initial_time,
+                refinement: refinement_time,
+            },
+            hierarchy_levels: hierarchy.num_levels(),
+            coarsest_nodes: hierarchy.coarsest().num_nodes(),
+            refinement,
+            boundary_full_builds,
+            quotient_full_scans,
+        },
+        level_tiers,
+    })
+}
+
+/// A scratch directory for spill files, namespaced by process id so
+/// concurrent runs do not collide: `<tmp>/kappa-spill-<pid>[-<tag>]`.
+pub fn default_spill_dir(tag: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    if tag.is_empty() {
+        dir.push(format!("kappa-spill-{}", std::process::id()));
+    } else {
+        dir.push(format!("kappa-spill-{}-{tag}", std::process::id()));
+    }
+    dir
+}
+
+fn accumulate(total: &mut RefinementStats, delta: &RefinementStats) {
+    total.total_gain += delta.total_gain;
+    total.global_iterations += delta.global_iterations;
+    total.pair_searches += delta.pair_searches;
+    total.nodes_moved += delta.nodes_moved;
+    total.quotient_full_scans += delta.quotient_full_scans;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KappaPartitioner;
+    use kappa_mem::{compact_from_source, paged_from_source, BuildOptions, PageCacheConfig};
+
+    fn spill(tag: &str) -> SpillConfig {
+        SpillConfig::new(default_spill_dir(tag))
+    }
+
+    #[test]
+    fn tier_names_parse_and_print() {
+        for t in [MemoryTier::Ram, MemoryTier::Compact, MemoryTier::Paged] {
+            assert_eq!(MemoryTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(MemoryTier::parse("mmap"), None);
+    }
+
+    #[test]
+    fn compact_tier_is_bit_identical_to_classic_at_one_thread() {
+        let g = kappa_gen::rgg::random_geometric_graph(3000, 21);
+        let config = KappaConfig::fast(8).with_seed(5).with_threads(1);
+        let classic = KappaPartitioner::new(config).partition(&g);
+        let tiered = partition_tiered(
+            TierGraph::Compact(kappa_mem::CompactCsr::from_graph(&g)),
+            &config,
+            &spill("compact-parity"),
+        )
+        .unwrap();
+        assert_eq!(
+            tiered.result.partition.assignment(),
+            classic.partition.assignment()
+        );
+        assert_eq!(tiered.result.metrics.edge_cut, classic.metrics.edge_cut);
+        assert_eq!(tiered.result.hierarchy_levels, classic.hierarchy_levels);
+    }
+
+    #[test]
+    fn paged_tier_is_bit_identical_to_classic_at_one_thread() {
+        let g = kappa_gen::rgg::random_geometric_graph(2500, 33);
+        let config = KappaConfig::fast(4).with_seed(9).with_threads(1);
+        let classic = KappaPartitioner::new(config).partition(&g);
+        let mut sp = spill("paged-parity");
+        // Force several levels to actually live on disk.
+        sp.spill_above_half_edges = 1000;
+        sp.cache = PageCacheConfig {
+            page_size: 4096,
+            cache_pages: 32,
+        };
+        std::fs::create_dir_all(&sp.spill_dir).unwrap();
+        let edges: Vec<_> = g.undirected_edges().collect();
+        let src = kappa_graph::SliceEdgeSource::new(g.num_nodes(), &edges);
+        let paged = paged_from_source(
+            &src,
+            &sp.spill_dir.join("finest.kpg"),
+            BuildOptions::default(),
+            sp.cache,
+        )
+        .unwrap();
+        let tiered = partition_tiered(TierGraph::Paged(paged), &config, &sp).unwrap();
+        assert_eq!(
+            tiered.result.partition.assignment(),
+            classic.partition.assignment()
+        );
+        assert!(
+            tiered.level_tiers.iter().filter(|t| **t == "paged").count() >= 2,
+            "levels did not spill: {:?}",
+            tiered.level_tiers
+        );
+        std::fs::remove_dir_all(&sp.spill_dir).unwrap();
+    }
+
+    #[test]
+    fn degenerate_inputs_short_circuit() {
+        let g = kappa_gen::grid::grid2d(4, 4);
+        let edges: Vec<_> = g.undirected_edges().collect();
+        let src = kappa_graph::SliceEdgeSource::new(g.num_nodes(), &edges);
+        let compact = compact_from_source(&src, BuildOptions::default());
+        let r = partition_tiered(
+            TierGraph::Compact(compact),
+            &KappaConfig::fast(1),
+            &spill("degenerate"),
+        )
+        .unwrap();
+        assert_eq!(r.result.metrics.edge_cut, 0);
+        assert_eq!(r.level_tiers, vec!["compact"]);
+    }
+}

@@ -26,6 +26,7 @@ pub mod grid;
 pub mod rgg;
 pub mod rmat;
 pub mod road;
+pub mod stream;
 pub mod suite;
 
 pub use delaunay::delaunay_like_graph;
@@ -33,4 +34,5 @@ pub use grid::{grid2d, grid3d, torus2d};
 pub use rgg::random_geometric_graph;
 pub use rmat::rmat_graph;
 pub use road::road_network_like;
+pub use stream::{Grid2dSource, RggSource};
 pub use suite::{large_suite, small_suite, Instance, InstanceFamily};

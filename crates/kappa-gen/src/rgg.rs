@@ -5,67 +5,126 @@
 //! `0.55 * sqrt(ln n / n)`, a threshold chosen by the paper so that the graph
 //! is almost connected. Neighbour search uses a uniform grid with cells of the
 //! connection radius, so generation is `O(n + m)` in expectation.
+//!
+//! The cell scan lives in the crate-internal `RggLayout` so that both the
+//! in-RAM builder path
+//! ([`random_geometric_graph`]) and the streaming path
+//! ([`RggSource`](crate::stream::RggSource)) enumerate the *same* edge set —
+//! the tiered pipeline's bit-identity guarantee starts here.
 
 use kappa_graph::{CsrGraph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Generates the paper's random geometric graph family with `n` nodes.
-pub fn random_geometric_graph(n: usize, seed: u64) -> CsrGraph {
-    assert!(n >= 2, "need at least two nodes");
-    let radius = 0.55 * ((n as f64).ln() / n as f64).sqrt();
-    random_geometric_graph_with_radius(n, radius, seed)
+/// The paper's connection radius for `n` nodes: `0.55 * sqrt(ln n / n)`.
+pub fn rgg_radius(n: usize) -> f64 {
+    0.55 * ((n as f64).ln() / n as f64).sqrt()
 }
 
-/// Random geometric graph with an explicit connection radius.
-pub fn random_geometric_graph_with_radius(n: usize, radius: f64, seed: u64) -> CsrGraph {
-    assert!(radius > 0.0 && radius < 1.0, "radius must be in (0, 1)");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let points: Vec<[f64; 2]> = (0..n)
-        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
-        .collect();
+/// Points plus the uniform cell grid used for neighbour search. Holds `O(n)`
+/// memory (16 B per point, ~8 B per node of bucket index) and replays the
+/// edge set on demand — never the `O(m)` edge list.
+pub(crate) struct RggLayout {
+    pub(crate) points: Vec<[f64; 2]>,
+    /// CSR-style buckets: nodes of cell `c` are
+    /// `cell_nodes[cell_start[c]..cell_start[c + 1]]`, in increasing id order.
+    cell_start: Vec<u32>,
+    cell_nodes: Vec<NodeId>,
+    cells_per_side: usize,
+    r2: f64,
+}
 
-    // Uniform grid of cell size `radius`; candidate neighbours live in the
-    // 3x3 cell neighbourhood.
-    let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
-    let cell_of = |p: [f64; 2]| -> (usize, usize) {
-        let cx = ((p[0] * cells_per_side as f64) as usize).min(cells_per_side - 1);
-        let cy = ((p[1] * cells_per_side as f64) as usize).min(cells_per_side - 1);
-        (cx, cy)
-    };
-    let mut grid: Vec<Vec<NodeId>> = vec![Vec::new(); cells_per_side * cells_per_side];
-    for (i, &p) in points.iter().enumerate() {
-        let (cx, cy) = cell_of(p);
-        grid[cy * cells_per_side + cx].push(i as NodeId);
+impl RggLayout {
+    pub(crate) fn new(n: usize, radius: f64, seed: u64) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        assert!(radius > 0.0 && radius < 1.0, "radius must be in (0, 1)");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<[f64; 2]> = (0..n)
+            .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+
+        let cells_per_side = ((1.0 / radius).floor() as usize).max(1);
+        let num_cells = cells_per_side * cells_per_side;
+        let cell_of = |p: [f64; 2]| -> usize {
+            let cx = ((p[0] * cells_per_side as f64) as usize).min(cells_per_side - 1);
+            let cy = ((p[1] * cells_per_side as f64) as usize).min(cells_per_side - 1);
+            cy * cells_per_side + cx
+        };
+        let mut cell_start = vec![0u32; num_cells + 1];
+        for &p in &points {
+            cell_start[cell_of(p) + 1] += 1;
+        }
+        for c in 0..num_cells {
+            cell_start[c + 1] += cell_start[c];
+        }
+        let mut cursor: Vec<u32> = cell_start[..num_cells].to_vec();
+        let mut cell_nodes = vec![0 as NodeId; n];
+        for (i, &p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            cell_nodes[cursor[c] as usize] = i as NodeId;
+            cursor[c] += 1;
+        }
+
+        RggLayout {
+            points,
+            cell_start,
+            cell_nodes,
+            cells_per_side,
+            r2: radius * radius,
+        }
     }
 
-    let r2 = radius * radius;
-    let mut builder = GraphBuilder::new(n);
-    for u in 0..n {
-        let pu = points[u];
-        let (cx, cy) = cell_of(pu);
-        let x_lo = cx.saturating_sub(1);
-        let y_lo = cy.saturating_sub(1);
-        let x_hi = (cx + 1).min(cells_per_side - 1);
-        let y_hi = (cy + 1).min(cells_per_side - 1);
-        for gy in y_lo..=y_hi {
-            for gx in x_lo..=x_hi {
-                for &v in &grid[gy * cells_per_side + gx] {
-                    let v = v as usize;
-                    if v <= u {
-                        continue;
-                    }
-                    let pv = points[v];
-                    let dx = pu[0] - pv[0];
-                    let dy = pu[1] - pv[1];
-                    if dx * dx + dy * dy <= r2 {
-                        builder.add_edge(u as NodeId, v as NodeId, 1);
+    fn cell(&self, cx: usize, cy: usize) -> &[NodeId] {
+        let c = cy * self.cells_per_side + cx;
+        let lo = self.cell_start[c] as usize;
+        let hi = self.cell_start[c + 1] as usize;
+        &self.cell_nodes[lo..hi]
+    }
+
+    /// Calls `f(u, v)` once per edge with `u < v`, scanning the 3x3 cell
+    /// neighbourhood of every node.
+    pub(crate) fn for_each_edge<F: FnMut(NodeId, NodeId)>(&self, mut f: F) {
+        let side = self.cells_per_side;
+        for u in 0..self.points.len() {
+            let pu = self.points[u];
+            let cx = ((pu[0] * side as f64) as usize).min(side - 1);
+            let cy = ((pu[1] * side as f64) as usize).min(side - 1);
+            let x_lo = cx.saturating_sub(1);
+            let y_lo = cy.saturating_sub(1);
+            let x_hi = (cx + 1).min(side - 1);
+            let y_hi = (cy + 1).min(side - 1);
+            for gy in y_lo..=y_hi {
+                for gx in x_lo..=x_hi {
+                    for &v in self.cell(gx, gy) {
+                        let v = v as usize;
+                        if v <= u {
+                            continue;
+                        }
+                        let pv = self.points[v];
+                        let dx = pu[0] - pv[0];
+                        let dy = pu[1] - pv[1];
+                        if dx * dx + dy * dy <= self.r2 {
+                            f(u as NodeId, v as NodeId);
+                        }
                     }
                 }
             }
         }
     }
-    builder.set_coords(points);
+}
+
+/// Generates the paper's random geometric graph family with `n` nodes.
+pub fn random_geometric_graph(n: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "need at least two nodes");
+    random_geometric_graph_with_radius(n, rgg_radius(n), seed)
+}
+
+/// Random geometric graph with an explicit connection radius.
+pub fn random_geometric_graph_with_radius(n: usize, radius: f64, seed: u64) -> CsrGraph {
+    let layout = RggLayout::new(n, radius, seed);
+    let mut builder = GraphBuilder::new(n);
+    layout.for_each_edge(|u, v| builder.add_edge(u, v, 1));
+    builder.set_coords(layout.points);
     builder.build()
 }
 
@@ -116,5 +175,16 @@ mod tests {
             let d2 = (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2);
             assert!(d2 <= 0.08f64 * 0.08 + 1e-12);
         }
+    }
+
+    #[test]
+    fn layout_replays_the_same_edge_set() {
+        let layout = RggLayout::new(700, 0.06, 4);
+        let mut a = Vec::new();
+        layout.for_each_edge(|u, v| a.push((u, v)));
+        let mut b = Vec::new();
+        layout.for_each_edge(|u, v| b.push((u, v)));
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 }

@@ -1,0 +1,174 @@
+//! Generic read access to a frozen graph — the seam the memory tier plugs
+//! into.
+//!
+//! [`Adjacency`] is deliberately tiny (one node's incidence list) because the
+//! incremental-maintenance code needs nothing more. The full pipeline needs
+//! more: node counts, cached totals, coordinate access and an *iterator* form
+//! of the incidence list. [`GraphAccess`] provides exactly that surface, with
+//! method names matching [`CsrGraph`]'s inherent methods so that algorithms
+//! written against the concrete graph generalise by changing only their
+//! signature — `&CsrGraph` becomes `&G` with `G: GraphAccess`.
+//!
+//! Implementors besides [`CsrGraph`] live in `kappa-mem`: `CompactCsr`
+//! (delta-varint in-RAM encoding at roughly half the footprint) and
+//! `PagedGraph` (on-disk CSR behind a fixed-budget page cache). Both encode
+//! the *same* adjacency structure — sorted neighbour lists, merged parallel
+//! edges — so generic algorithms produce bit-identical results on every
+//! storage level; `tests/parity.rs` asserts this end to end.
+//!
+//! Notably **not** on this trait: `neighbors(v) -> &[NodeId]`. A slice return
+//! would force every implementor to hold the adjacency of each node
+//! contiguously decoded in memory, which is exactly what the compact and
+//! paged tiers avoid. Code that wants the target list walks
+//! [`edges_of`](GraphAccess::edges_of) instead.
+
+use crate::csr::{Adjacency, CsrGraph};
+use crate::types::{EdgeWeight, NodeId, NodeWeight};
+
+/// Whole-graph read access: everything the multilevel pipeline (matching,
+/// contraction, refinement, balance accounting) needs from a frozen graph.
+pub trait GraphAccess: Adjacency {
+    /// Number of nodes `n = |V|`.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of half-edges (`2m`; every undirected edge is counted twice).
+    fn num_half_edges(&self) -> usize;
+
+    /// Total node weight `c(V)` (cached by implementors; `O(1)`).
+    fn total_node_weight(&self) -> NodeWeight;
+
+    /// The largest node weight `max_v c(v)` (cached by implementors; `O(1)`).
+    fn max_node_weight(&self) -> NodeWeight;
+
+    /// The incidence list of `v` as `(target, weight)` pairs, sorted by
+    /// ascending target id — the same order for every storage level, which
+    /// is what makes cross-tier runs bit-identical.
+    fn edges_of(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeWeight)> + '_;
+
+    /// Planar coordinates, if the graph carries them.
+    fn coords(&self) -> Option<&[[f64; 2]]> {
+        None
+    }
+
+    /// Number of undirected edges `m = |E|`.
+    fn num_edges(&self) -> usize {
+        self.num_half_edges() / 2
+    }
+
+    /// Degree of node `v`.
+    fn degree(&self, v: NodeId) -> usize {
+        self.degree_of(v)
+    }
+
+    /// Node weight `c(v)`.
+    fn node_weight(&self, v: NodeId) -> NodeWeight {
+        self.node_weight_of(v)
+    }
+
+    /// Iterator over all node ids `0..n`.
+    fn nodes(&self) -> std::ops::Range<NodeId> {
+        0..(self.num_nodes() as NodeId)
+    }
+
+    /// Sum of the weights of `v`'s incident edges.
+    fn weighted_degree(&self, v: NodeId) -> EdgeWeight {
+        let mut sum = 0;
+        self.for_each_edge(v, |_, w| sum += w);
+        sum
+    }
+
+    /// Weight of the edge `{u, v}`, or `None` if absent. Linear in `deg(u)`;
+    /// the adjacency list is sorted, so the scan stops early.
+    fn edge_weight_between(&self, u: NodeId, v: NodeId) -> Option<EdgeWeight> {
+        for (t, w) in self.edges_of(u) {
+            if t == v {
+                return Some(w);
+            }
+            if t > v {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Coordinates of node `v`, if present.
+    fn coord(&self, v: NodeId) -> Option<[f64; 2]> {
+        self.coords().map(|c| c[v as usize])
+    }
+}
+
+impl GraphAccess for CsrGraph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        CsrGraph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_half_edges(&self) -> usize {
+        CsrGraph::num_half_edges(self)
+    }
+
+    #[inline]
+    fn total_node_weight(&self) -> NodeWeight {
+        CsrGraph::total_node_weight(self)
+    }
+
+    #[inline]
+    fn max_node_weight(&self) -> NodeWeight {
+        CsrGraph::max_node_weight(self)
+    }
+
+    #[inline]
+    fn edges_of(&self, v: NodeId) -> impl Iterator<Item = (NodeId, EdgeWeight)> + '_ {
+        CsrGraph::edges_of(self, v)
+    }
+
+    #[inline]
+    fn coords(&self) -> Option<&[[f64; 2]]> {
+        CsrGraph::coords(self)
+    }
+
+    #[inline]
+    fn edge_weight_between(&self, u: NodeId, v: NodeId) -> Option<EdgeWeight> {
+        // The CSR form can binary-search its contiguous neighbour slice.
+        CsrGraph::edge_weight_between(self, u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    /// A generic consumer sees exactly what the inherent CSR methods expose.
+    fn summarize<G: GraphAccess>(g: &G) -> (usize, usize, NodeWeight, Vec<(NodeId, EdgeWeight)>) {
+        let edges = g.nodes().flat_map(|v| g.edges_of(v)).collect();
+        (g.num_nodes(), g.num_edges(), g.total_node_weight(), edges)
+    }
+
+    #[test]
+    fn trait_view_matches_inherent_view() {
+        let g = graph_from_edges(4, vec![(0, 1, 2), (1, 2, 3), (2, 3, 1), (0, 3, 7)]);
+        let (n, m, w, edges) = summarize(&g);
+        assert_eq!(n, 4);
+        assert_eq!(m, 4);
+        assert_eq!(w, g.total_node_weight());
+        let inherent: Vec<(NodeId, EdgeWeight)> =
+            g.nodes().flat_map(|v| CsrGraph::edges_of(&g, v)).collect();
+        assert_eq!(edges, inherent);
+    }
+
+    #[test]
+    fn provided_methods_agree_with_csr() {
+        let g = graph_from_edges(3, vec![(0, 1, 4), (1, 2, 6)]);
+        fn probe<G: GraphAccess>(g: &G) {
+            assert_eq!(g.weighted_degree(1), 10);
+            assert_eq!(g.edge_weight_between(0, 1), Some(4));
+            assert_eq!(g.edge_weight_between(0, 2), None);
+            assert_eq!(g.degree(1), 2);
+            assert_eq!(g.node_weight(2), 1);
+            assert!(g.coord(0).is_none());
+        }
+        probe(&g);
+    }
+}

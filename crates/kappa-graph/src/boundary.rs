@@ -7,47 +7,36 @@
 
 use std::collections::VecDeque;
 
-use crate::csr::CsrGraph;
+use crate::access::GraphAccess;
 use crate::partition::BlockAssignment;
 use crate::types::{BlockId, NodeId};
 
 /// All boundary nodes of the partition: nodes with at least one neighbour in a
 /// different block.
-pub fn boundary_nodes<A: BlockAssignment>(graph: &CsrGraph, partition: &A) -> Vec<NodeId> {
-    graph
-        .nodes()
+pub fn boundary_nodes<G: GraphAccess, A: BlockAssignment>(graph: &G, partition: &A) -> Vec<NodeId> {
+    GraphAccess::nodes(graph)
         .filter(|&v| {
             let b = partition.block_of(v);
-            graph
-                .neighbors(v)
-                .iter()
-                .any(|&u| partition.block_of(u) != b)
+            graph.edges_of(v).any(|(u, _)| partition.block_of(u) != b)
         })
         .collect()
 }
 
 /// The boundary nodes of the *pair* `{a, b}`: nodes of block `a` with a
 /// neighbour in block `b`, and vice versa.
-pub fn pair_boundary_nodes<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn pair_boundary_nodes<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     partition: &A,
     a: BlockId,
     b: BlockId,
 ) -> Vec<NodeId> {
-    graph
-        .nodes()
+    GraphAccess::nodes(graph)
         .filter(|&v| {
             let bv = partition.block_of(v);
             if bv == a {
-                graph
-                    .neighbors(v)
-                    .iter()
-                    .any(|&u| partition.block_of(u) == b)
+                graph.edges_of(v).any(|(u, _)| partition.block_of(u) == b)
             } else if bv == b {
-                graph
-                    .neighbors(v)
-                    .iter()
-                    .any(|&u| partition.block_of(u) == a)
+                graph.edges_of(v).any(|(u, _)| partition.block_of(u) == a)
             } else {
                 false
             }
@@ -58,8 +47,8 @@ pub fn pair_boundary_nodes<A: BlockAssignment>(
 /// Bounded BFS from `seeds`, restricted to nodes whose block is in
 /// `allowed_blocks`, up to `depth` hops (depth 0 returns just the seeds that
 /// are in an allowed block). Returns the visited nodes in BFS order.
-pub fn band_around_boundary<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn band_around_boundary<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     partition: &A,
     seeds: &[NodeId],
     allowed_blocks: (BlockId, BlockId),
@@ -74,8 +63,8 @@ pub fn band_around_boundary<A: BlockAssignment>(
 /// perform no `O(n)` allocation. `dist` is grown to `n` entries of `u32::MAX`
 /// on first use and left fully reset on return, at `O(|band|)` cost; the
 /// returned band is identical to [`band_around_boundary`]'s.
-pub fn band_around_boundary_in<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn band_around_boundary_in<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     partition: &A,
     seeds: &[NodeId],
     allowed_blocks: (BlockId, BlockId),
@@ -107,13 +96,13 @@ pub fn band_around_boundary_in<A: BlockAssignment>(
         if d >= depth {
             continue;
         }
-        for &v in graph.neighbors(u) {
+        graph.for_each_edge(u, |v, _| {
             if allowed(v) && dist[v as usize] == UNSEEN {
                 dist[v as usize] = d + 1;
                 order.push(v);
                 queue.push_back(v);
             }
-        }
+        });
     }
     // Reset only the touched entries so the scratch can be reused.
     for &v in &order {
@@ -126,6 +115,7 @@ pub fn band_around_boundary_in<A: BlockAssignment>(
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::csr::CsrGraph;
     use crate::partition::Partition;
 
     /// Path of 10 nodes split 5 | 5 between two blocks.

@@ -53,7 +53,8 @@
 //! compares live segments only, so a relocated layout and a fresh build
 //! still compare equal when their contents agree.
 
-use crate::csr::{Adjacency, CsrGraph};
+use crate::access::GraphAccess;
+use crate::csr::Adjacency;
 use crate::partition::BlockAssignment;
 use crate::types::{BlockId, NodeId, INVALID_NODE};
 
@@ -124,7 +125,7 @@ impl BoundaryIndex {
     /// Builds the index from scratch in `O(n + m log maxdeg)`: every node is
     /// a candidate of [`build_seeded`](Self::build_seeded), so both builders
     /// share one per-node scan and cannot drift apart.
-    pub fn build<A: BlockAssignment>(graph: &CsrGraph, partition: &A) -> Self {
+    pub fn build<G: GraphAccess, A: BlockAssignment>(graph: &G, partition: &A) -> Self {
         Self::build_seeded(graph, partition, |_| true)
     }
 
@@ -143,19 +144,28 @@ impl BoundaryIndex {
     /// treatment as in [`build`](Self::build). Under the precondition the
     /// result is **identical** to a full build (asserted in debug builds),
     /// but costs `O(n + Σ_{candidates} deg)` instead of `O(n + m)`.
-    pub fn build_seeded<A, F>(graph: &CsrGraph, partition: &A, mut is_candidate: F) -> Self
+    pub fn build_seeded<G, A, F>(graph: &G, partition: &A, mut is_candidate: F) -> Self
     where
+        G: GraphAccess,
         A: BlockAssignment,
         F: FnMut(NodeId) -> bool,
     {
         let n = graph.num_nodes();
-        let xadj = graph.xadj();
-        let slots = *xadj.last().unwrap_or(&0);
+        // The arena layout is the degree prefix sum — identical to the CSR
+        // `xadj` array, but computable for any storage level.
+        let mut start_offsets = Vec::with_capacity(n);
+        let mut slots = 0usize;
+        for v in 0..n {
+            start_offsets.push(slots);
+            slots += graph.degree_of(v as NodeId);
+        }
         let mut index = BoundaryIndex {
             k: partition.k(),
             block: (0..n as NodeId).map(|v| partition.block_of(v)).collect(),
-            start: xadj[..n].to_vec(),
-            cap: (0..n).map(|v| (xadj[v + 1] - xadj[v]) as u32).collect(),
+            cap: (0..n)
+                .map(|v| graph.degree_of(v as NodeId) as u32)
+                .collect(),
+            start: start_offsets,
             len: vec![0; n],
             counts: vec![(0, 0); slots],
             foreign: vec![0; n],
@@ -164,15 +174,18 @@ impl BoundaryIndex {
             list: Vec::new(),
         };
         let mut scratch: Vec<BlockId> = Vec::new();
-        for v in graph.nodes() {
+        for v in GraphAccess::nodes(graph) {
             let start = index.start[v as usize];
             if !is_candidate(v) {
                 // Interior by precondition: every neighbour shares v's block.
                 debug_assert!(
-                    graph
-                        .neighbors(v)
-                        .iter()
-                        .all(|&u| index.block[u as usize] == index.block[v as usize]),
+                    {
+                        let mut interior = true;
+                        graph.for_each_edge(v, |u, _| {
+                            interior &= index.block[u as usize] == index.block[v as usize];
+                        });
+                        interior
+                    },
                     "non-candidate node {v} has a foreign neighbour"
                 );
                 let deg = graph.degree(v) as u32;
@@ -183,7 +196,7 @@ impl BoundaryIndex {
                 continue;
             }
             scratch.clear();
-            scratch.extend(graph.neighbors(v).iter().map(|&u| index.block[u as usize]));
+            graph.for_each_edge(v, |u, _| scratch.push(index.block[u as usize]));
             scratch.sort_unstable();
             let mut entries = 0usize;
             for &b in scratch.iter() {
@@ -304,7 +317,7 @@ impl BoundaryIndex {
     /// `O(deg(v) · log maxdeg)`. A no-op when `v` is already in `to`.
     ///
     /// Generic over [`Adjacency`] so the same code path serves the frozen
-    /// [`CsrGraph`] and a mid-stream
+    /// [`CsrGraph`](crate::csr::CsrGraph) and a mid-stream
     /// [`DynamicGraph`](crate::dynamic::DynamicGraph).
     pub fn apply_move<G: Adjacency>(&mut self, graph: &G, v: NodeId, to: BlockId) {
         let from = self.block[v as usize];
@@ -484,6 +497,7 @@ mod tests {
     use super::*;
     use crate::boundary::{boundary_nodes, pair_boundary_nodes};
     use crate::builder::{graph_from_edges, GraphBuilder};
+    use crate::csr::CsrGraph;
     use crate::partition::Partition;
 
     fn assert_matches_fresh_scan(graph: &CsrGraph, partition: &Partition, index: &BoundaryIndex) {

@@ -19,7 +19,7 @@
 
 use std::fmt;
 use std::fs;
-use std::io::Write as _;
+use std::io::{BufRead as _, Write as _};
 use std::path::{Path, PathBuf};
 
 use crate::builder::GraphBuilder;
@@ -33,6 +33,8 @@ pub enum MetisError {
     Empty,
     /// The header line (`n m [fmt [ncon]]`) is malformed.
     Header {
+        /// 1-based physical line number in the file (comments counted).
+        line: usize,
         /// What was wrong with it.
         message: String,
     },
@@ -40,6 +42,8 @@ pub enum MetisError {
     Line {
         /// 1-based node id the line belongs to (METIS numbering).
         node: usize,
+        /// 1-based physical line number in the file (comments counted).
+        line: usize,
         /// What was wrong with it.
         message: String,
     },
@@ -79,9 +83,18 @@ impl fmt::Display for MetisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MetisError::Empty => write!(f, "empty METIS file (no non-comment lines)"),
-            MetisError::Header { message } => write!(f, "bad METIS header: {message}"),
-            MetisError::Line { node, message } => {
-                write!(f, "bad adjacency line for node {node}: {message}")
+            MetisError::Header { line, message } => {
+                write!(f, "bad METIS header (line {line}): {message}")
+            }
+            MetisError::Line {
+                node,
+                line,
+                message,
+            } => {
+                write!(
+                    f,
+                    "bad adjacency line for node {node} (line {line}): {message}"
+                )
             }
             MetisError::Truncated { expected, found } => write!(
                 f,
@@ -120,9 +133,10 @@ struct FmtFlags {
     has_ewgt: bool,
 }
 
-fn parse_fmt(fmt: &str) -> Result<FmtFlags, MetisError> {
+fn parse_fmt(fmt: &str, line: usize) -> Result<FmtFlags, MetisError> {
     if fmt.is_empty() || fmt.len() > 3 || !fmt.bytes().all(|b| b == b'0' || b == b'1') {
         return Err(MetisError::Header {
+            line,
             message: format!("fmt field {fmt:?} is not 1-3 binary digits"),
         });
     }
@@ -150,39 +164,72 @@ fn parse_fmt(fmt: &str) -> Result<FmtFlags, MetisError> {
 /// reported as [`MetisError::Truncated`] instead of silently mis-attributing
 /// every following line to the wrong node, as earlier revisions did.
 pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('%'));
-    let header = lines.next().ok_or(MetisError::Empty)?;
+    parse_metis_lines(text.lines().map(Ok))
+}
+
+/// Pulls the next non-blank, non-comment line, tagged with its 1-based
+/// physical line number.
+fn next_content<S: AsRef<str>>(
+    lines: &mut impl Iterator<Item = (usize, Result<S, MetisError>)>,
+) -> Result<Option<(usize, S)>, MetisError> {
+    for (i, line) in lines.by_ref() {
+        let line = line?;
+        let t = line.as_ref().trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        return Ok(Some((i + 1, line)));
+    }
+    Ok(None)
+}
+
+/// The parser core, generic over a fallible line stream so that
+/// [`read_metis`] streams files through a [`BufRead`](std::io::BufRead) line
+/// by line — the file text is never resident as a whole — while
+/// [`parse_metis`] borrows `&str` lines without copying. Every error carries
+/// the 1-based physical line number it was detected on.
+fn parse_metis_lines<S, I>(lines: I) -> Result<CsrGraph, MetisError>
+where
+    S: AsRef<str>,
+    I: Iterator<Item = Result<S, MetisError>>,
+{
+    let mut lines = lines.enumerate();
+    let (header_line, header) = next_content(&mut lines)?.ok_or(MetisError::Empty)?;
+    let header = header.as_ref().trim();
     let head: Vec<&str> = header.split_whitespace().collect();
     if head.len() < 2 || head.len() > 4 {
         return Err(MetisError::Header {
+            line: header_line,
             message: format!("expected `n m [fmt [ncon]]`, got {header:?}"),
         });
     }
     let n: usize = head[0].parse().map_err(|e| MetisError::Header {
+        line: header_line,
         message: format!("bad node count {:?}: {e}", head[0]),
     })?;
     let m: usize = head[1].parse().map_err(|e| MetisError::Header {
+        line: header_line,
         message: format!("bad edge count {:?}: {e}", head[1]),
     })?;
     let flags = match head.get(2) {
-        Some(fmt) => parse_fmt(fmt)?,
+        Some(fmt) => parse_fmt(fmt, header_line)?,
         None => FmtFlags::default(),
     };
     let ncon: usize = match head.get(3) {
         Some(tok) => {
             let ncon = tok.parse().map_err(|e| MetisError::Header {
+                line: header_line,
                 message: format!("bad ncon field {tok:?}: {e}"),
             })?;
             if !flags.has_vwgt {
                 return Err(MetisError::Header {
+                    line: header_line,
                     message: format!("ncon = {ncon} given but fmt has no vertex-weight flag (x1x)"),
                 });
             }
             if ncon == 0 {
                 return Err(MetisError::Header {
+                    line: header_line,
                     message: "ncon must be at least 1".to_string(),
                 });
             }
@@ -196,19 +243,24 @@ pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
     // once-listed) is only decidable once all of them are counted.
     let mut half_edges: Vec<(NodeId, NodeId, u64)> = Vec::new();
     let mut found = 0usize;
-    for (u, line) in lines.take(n).enumerate() {
+    for u in 0..n {
+        let Some((line_no, line)) = next_content(&mut lines)? else {
+            break;
+        };
         found += 1;
         let node = u + 1; // 1-based, for error messages
-        let mut tokens = line.split_whitespace();
+        let mut tokens = line.as_ref().split_whitespace();
         if flags.has_vsize {
             let tok = tokens.next().ok_or_else(|| MetisError::Line {
                 node,
+                line: line_no,
                 message: "missing vertex size".to_string(),
             })?;
             // Parsed for validation; sizes are a communication-volume input
             // this partitioner does not use.
             tok.parse::<u64>().map_err(|e| MetisError::Line {
                 node,
+                line: line_no,
                 message: format!("bad vertex size {tok:?}: {e}"),
             })?;
         }
@@ -216,10 +268,12 @@ pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
             for c in 0..ncon {
                 let tok = tokens.next().ok_or_else(|| MetisError::Line {
                     node,
+                    line: line_no,
                     message: format!("missing vertex weight {} of {ncon}", c + 1),
                 })?;
                 let w: u64 = tok.parse().map_err(|e| MetisError::Line {
                     node,
+                    line: line_no,
                     message: format!("bad vertex weight {tok:?}: {e}"),
                 })?;
                 // Only the first constraint is balanced.
@@ -233,17 +287,20 @@ pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
         while i < tokens.len() {
             let v: usize = tokens[i].parse().map_err(|e| MetisError::Line {
                 node,
+                line: line_no,
                 message: format!("bad neighbour id {:?}: {e}", tokens[i]),
             })?;
             if v == 0 || v > n {
                 return Err(MetisError::Line {
                     node,
+                    line: line_no,
                     message: format!("neighbour id {v} out of range 1..={n}"),
                 });
             }
             if v == node {
                 return Err(MetisError::Line {
                     node,
+                    line: line_no,
                     message: "self loops are not allowed in METIS graphs".to_string(),
                 });
             }
@@ -251,10 +308,12 @@ pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
                 i += 1;
                 let tok = tokens.get(i).ok_or_else(|| MetisError::Line {
                     node,
+                    line: line_no,
                     message: format!("missing edge weight after neighbour {v}"),
                 })?;
                 tok.parse::<u64>().map_err(|e| MetisError::Line {
                     node,
+                    line: line_no,
                     message: format!("bad edge weight {tok:?}: {e}"),
                 })?
             } else {
@@ -263,6 +322,7 @@ pub fn parse_metis(text: &str) -> Result<CsrGraph, MetisError> {
             if w == 0 {
                 return Err(MetisError::Line {
                     node,
+                    line: line_no,
                     message: format!("edge weight of neighbour {v} must be positive"),
                 });
             }
@@ -449,13 +509,18 @@ pub fn to_metis_string_fmt(graph: &CsrGraph, fmt: MetisFormat) -> String {
     out
 }
 
-/// Reads a METIS graph from a file.
+/// Reads a METIS graph from a file, streaming it line by line through a
+/// buffered reader — the file text is never held in memory as a whole, so
+/// multi-gigabyte instances parse in `O(m)` graph memory plus one line of
+/// text. Errors keep the 1-based line number they were detected on.
 pub fn read_metis(path: &Path) -> Result<CsrGraph, MetisError> {
-    let text = fs::read_to_string(path).map_err(|e| MetisError::Io {
+    let io_err = |e: std::io::Error| MetisError::Io {
         path: path.to_path_buf(),
         message: e.to_string(),
-    })?;
-    parse_metis(&text)
+    };
+    let file = fs::File::open(path).map_err(&io_err)?;
+    let reader = std::io::BufReader::with_capacity(1 << 20, file);
+    parse_metis_lines(reader.lines().map(|r| r.map_err(&io_err)))
 }
 
 /// Writes a graph to a file in METIS format.
@@ -698,6 +763,40 @@ mod tests {
             read_metis(Path::new("/nonexistent/kappa.graph")),
             Err(MetisError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn errors_carry_physical_line_numbers() {
+        // Comments and blank lines shift the physical position: node 2's
+        // adjacency line is physical line 5.
+        let text = "% header comment\n3 2\n2\n\n% mid comment\nbogus 3\n2\n";
+        match parse_metis(text) {
+            Err(MetisError::Line { node, line, .. }) => {
+                assert_eq!(node, 2);
+                assert_eq!(line, 6);
+            }
+            other => panic!("expected a Line error, got {other:?}"),
+        }
+        match parse_metis("% c\nnonsense header\n") {
+            Err(MetisError::Header { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected a Header error, got {other:?}"),
+        }
+        let rendered = parse_metis(text).unwrap_err().to_string();
+        assert!(rendered.contains("line 6"), "no line span in: {rendered}");
+    }
+
+    #[test]
+    fn file_reads_stream_with_line_numbers() {
+        let dir = std::env::temp_dir().join("kappa_io_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.graph");
+        std::fs::write(&path, "2 1\n2\nbroken\n").unwrap();
+        match read_metis(&path) {
+            Err(MetisError::Line {
+                node: 2, line: 3, ..
+            }) => {}
+            other => panic!("expected a Line error with span, got {other:?}"),
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
 pub mod boundary;
 pub mod boundary_index;
 pub mod builder;
@@ -48,9 +49,11 @@ pub mod io;
 pub mod partition;
 pub mod partition_state;
 pub mod quotient;
+pub mod stream;
 pub mod subgraph;
 pub mod types;
 
+pub use access::GraphAccess;
 pub use boundary::{
     band_around_boundary, band_around_boundary_in, boundary_nodes, pair_boundary_nodes,
 };
@@ -65,5 +68,6 @@ pub use io::{
 pub use partition::{BlockAssignment, BlockAssignmentMut, BlockWeights, Partition};
 pub use partition_state::PartitionState;
 pub use quotient::QuotientGraph;
+pub use stream::{EdgeSource, SliceEdgeSource};
 pub use subgraph::{extract_block_pair, extract_subgraph, ExtractedSubgraph};
 pub use types::{BlockId, EdgeWeight, NodeId, NodeWeight, INVALID_BLOCK, INVALID_NODE};

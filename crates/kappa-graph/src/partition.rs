@@ -4,7 +4,7 @@
 //! balance constraint demands `c(V_i) ≤ L_max := (1 + ε)·c(V)/k + max_v c(v)`,
 //! and the objective is the total cut `Σ_{i<j} ω(E_ij)`.
 
-use crate::csr::CsrGraph;
+use crate::access::GraphAccess;
 use crate::types::{BlockId, EdgeWeight, NodeId, NodeWeight, INVALID_BLOCK};
 
 /// Read access to a node → block assignment.
@@ -56,9 +56,9 @@ pub struct BlockWeights {
 
 impl BlockWeights {
     /// Computes the block weights of `partition` on `graph`.
-    pub fn compute(graph: &CsrGraph, partition: &Partition) -> Self {
+    pub fn compute<G: GraphAccess>(graph: &G, partition: &Partition) -> Self {
         let mut weights = vec![0; partition.k() as usize];
-        for v in graph.nodes() {
+        for v in GraphAccess::nodes(graph) {
             let b = partition.block_of(v);
             weights[b as usize] += graph.node_weight(v);
         }
@@ -195,40 +195,39 @@ impl Partition {
     }
 
     /// Total cut `Σ_{i<j} ω(E_ij)` of this partition on `graph`.
-    pub fn edge_cut(&self, graph: &CsrGraph) -> EdgeWeight {
+    pub fn edge_cut<G: GraphAccess>(&self, graph: &G) -> EdgeWeight {
         debug_assert_eq!(graph.num_nodes(), self.num_nodes());
         let mut cut = 0;
-        for u in graph.nodes() {
+        for u in GraphAccess::nodes(graph) {
             let bu = self.block_of(u);
-            for (v, w) in graph.edges_of(u) {
+            graph.for_each_edge(u, |v, w| {
                 if bu != self.block_of(v) {
                     cut += w;
                 }
-            }
+            });
         }
         cut / 2
     }
 
     /// Number of boundary nodes (nodes with at least one neighbour in another block).
-    pub fn num_boundary_nodes(&self, graph: &CsrGraph) -> usize {
-        graph
-            .nodes()
+    pub fn num_boundary_nodes<G: GraphAccess>(&self, graph: &G) -> usize {
+        GraphAccess::nodes(graph)
             .filter(|&v| {
                 let b = self.block_of(v);
-                graph.neighbors(v).iter().any(|&u| self.block_of(u) != b)
+                graph.edges_of(v).any(|(u, _)| self.block_of(u) != b)
             })
             .count()
     }
 
     /// The balance bound `L_max = (1 + ε)·c(V)/k + max_v c(v)` from §2.
-    pub fn l_max(graph: &CsrGraph, k: BlockId, epsilon: f64) -> NodeWeight {
+    pub fn l_max<G: GraphAccess>(graph: &G, k: BlockId, epsilon: f64) -> NodeWeight {
         let avg = graph.total_node_weight() as f64 / k as f64;
         ((1.0 + epsilon) * avg).ceil() as NodeWeight + graph.max_node_weight()
     }
 
     /// The balance of the partition: `max_i c(V_i) / (c(V)/k)`. The paper reports
     /// this as e.g. `1.03` for a 3 % imbalance.
-    pub fn balance(&self, graph: &CsrGraph) -> f64 {
+    pub fn balance<G: GraphAccess>(&self, graph: &G) -> f64 {
         let weights = BlockWeights::compute(graph, self);
         let avg = graph.total_node_weight() as f64 / self.k as f64;
         if avg == 0.0 {
@@ -239,7 +238,7 @@ impl Partition {
     }
 
     /// True if every block obeys `c(V_i) ≤ L_max(ε)`.
-    pub fn is_balanced(&self, graph: &CsrGraph, epsilon: f64) -> bool {
+    pub fn is_balanced<G: GraphAccess>(&self, graph: &G, epsilon: f64) -> bool {
         let lmax = Partition::l_max(graph, self.k, epsilon);
         BlockWeights::compute(graph, self)
             .as_slice()
@@ -248,7 +247,7 @@ impl Partition {
     }
 
     /// Validates that the partition is a complete, in-range assignment for `graph`.
-    pub fn validate(&self, graph: &CsrGraph) -> Result<(), String> {
+    pub fn validate<G: GraphAccess>(&self, graph: &G) -> Result<(), String> {
         if self.num_nodes() != graph.num_nodes() {
             return Err(format!(
                 "partition covers {} nodes but the graph has {}",
@@ -297,6 +296,7 @@ impl Partition {
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::csr::CsrGraph;
 
     fn cycle(n: usize) -> CsrGraph {
         let mut b = GraphBuilder::new(n);

@@ -21,8 +21,9 @@
 //! a run is the coarsest level's — [`full_builds`](PartitionState::full_builds)
 //! counts them so tests can prove it.
 
+use crate::access::GraphAccess;
 use crate::boundary_index::BoundaryIndex;
-use crate::csr::{Adjacency, CsrGraph};
+use crate::csr::Adjacency;
 use crate::partition::{BlockWeights, Partition};
 use crate::quotient::QuotientGraph;
 use crate::types::{BlockId, EdgeWeight, NodeId, NodeWeight};
@@ -70,7 +71,7 @@ impl PartitionState {
     /// every finer level arrives via [`project`](PartitionState::project).
     ///
     /// `partition` must be a complete assignment for `graph`.
-    pub fn build(graph: &CsrGraph, partition: Partition) -> Self {
+    pub fn build<G: GraphAccess>(graph: &G, partition: Partition) -> Self {
         debug_assert!(partition.is_complete(), "state over a partial assignment");
         let weights = BlockWeights::compute(graph, &partition);
         let boundary = BoundaryIndex::build(graph, &partition);
@@ -92,7 +93,7 @@ impl PartitionState {
     /// fine nodes whose coarse image is boundary (the fine boundary is a
     /// subset of the image of the coarse boundary), via
     /// [`BoundaryIndex::build_seeded`] — no full `O(n + m)` build.
-    pub fn project(&self, fine_graph: &CsrGraph, coarse_of: &[NodeId]) -> PartitionState {
+    pub fn project<G: GraphAccess>(&self, fine_graph: &G, coarse_of: &[NodeId]) -> PartitionState {
         debug_assert_eq!(fine_graph.num_nodes(), coarse_of.len());
         let partition = self.partition.project(coarse_of);
         let boundary = BoundaryIndex::build_seeded(fine_graph, &partition, |v| {
@@ -166,7 +167,7 @@ impl PartitionState {
     /// `false` (and does nothing) when `v` is already in `to`.
     ///
     /// Generic over [`Adjacency`]: the frozen pipeline passes the level's
-    /// [`CsrGraph`], the dynamic path passes a mid-stream
+    /// [`CsrGraph`](crate::csr::CsrGraph), the dynamic path passes a mid-stream
     /// [`DynamicGraph`](crate::dynamic::DynamicGraph) — the maintenance is
     /// identical because only `v`'s current incidence list matters.
     pub fn apply_move<G: Adjacency>(&mut self, graph: &G, v: NodeId, to: BlockId) -> bool {
@@ -263,7 +264,7 @@ impl PartitionState {
     /// endpoint visits every cut edge exactly once. Bit-identical to
     /// [`QuotientGraph::build`] (proptested in `tests/parity.rs`): the per-pair
     /// sums are order-independent and both constructors sort the edge list.
-    pub fn quotient(&self, graph: &CsrGraph) -> QuotientGraph {
+    pub fn quotient<G: GraphAccess>(&self, graph: &G) -> QuotientGraph {
         let mut cut_weights: std::collections::HashMap<(BlockId, BlockId), EdgeWeight> =
             std::collections::HashMap::new();
         for &v in self.boundary.boundary_nodes_unordered() {
@@ -284,7 +285,7 @@ impl PartitionState {
 
     /// Checks every piece of derived state against a fresh recomputation —
     /// the ground truth the incremental maintenance is tested against.
-    pub fn verify_exact(&self, graph: &CsrGraph) -> Result<(), String> {
+    pub fn verify_exact<G: GraphAccess>(&self, graph: &G) -> Result<(), String> {
         self.partition.validate(graph)?;
         let weights = BlockWeights::compute(graph, &self.partition);
         if weights != self.weights {
@@ -313,6 +314,7 @@ impl PartitionState {
 mod tests {
     use super::*;
     use crate::builder::{graph_from_edges, GraphBuilder};
+    use crate::csr::CsrGraph;
 
     fn grid4() -> CsrGraph {
         let mut b = GraphBuilder::new(16);

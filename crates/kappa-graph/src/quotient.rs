@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::csr::CsrGraph;
+use crate::access::GraphAccess;
 use crate::partition::Partition;
 use crate::types::{BlockId, EdgeWeight};
 
@@ -32,14 +32,20 @@ impl QuotientGraph {
     /// from the boundary index via
     /// [`PartitionState::quotient`](crate::PartitionState::quotient) in
     /// `O(Σ_{v ∈ boundary} deg(v))` instead.
-    pub fn build(graph: &CsrGraph, partition: &Partition) -> Self {
+    pub fn build<G: GraphAccess>(graph: &G, partition: &Partition) -> Self {
         let mut cut_weights: HashMap<(BlockId, BlockId), EdgeWeight> = HashMap::new();
-        for (u, v, w) in graph.undirected_edges() {
-            let (bu, bv) = (partition.block_of(u), partition.block_of(v));
-            if bu != bv {
-                let key = (bu.min(bv), bu.max(bv));
-                *cut_weights.entry(key).or_insert(0) += w;
-            }
+        for u in GraphAccess::nodes(graph) {
+            let bu = partition.block_of(u);
+            // Count each undirected edge once, at its smaller endpoint.
+            graph.for_each_edge(u, |v, w| {
+                if u < v {
+                    let bv = partition.block_of(v);
+                    if bu != bv {
+                        let key = (bu.min(bv), bu.max(bv));
+                        *cut_weights.entry(key).or_insert(0) += w;
+                    }
+                }
+            });
         }
         Self::from_cut_weights(partition.k(), cut_weights)
     }
@@ -122,6 +128,7 @@ impl QuotientGraph {
 mod tests {
     use super::*;
     use crate::builder::GraphBuilder;
+    use crate::csr::CsrGraph;
     use crate::types::NodeId;
 
     /// A 4x4 grid graph partitioned into 4 quadrant blocks, as in Figure 1.

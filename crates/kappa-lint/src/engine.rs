@@ -104,6 +104,9 @@ pub fn run_lint(ws: &Workspace, rule_filter: Option<&BTreeSet<String>>) -> LintR
         if enabled("rank-branch-collective") {
             rules::comm_protocol::rank_branch_collective(file, &mut raw);
         }
+        if enabled("full-materialize") {
+            rules::memory::full_materialize(file, &mut raw);
+        }
         if enabled("unsafe-forbid") {
             rules::workspace_rules::unsafe_forbid(file, &mut raw);
         }

@@ -1,0 +1,149 @@
+//! Memory-tier rule: `full-materialize`.
+//!
+//! The whole point of `kappa-mem` is that adjacency is decoded lazily — one
+//! node's segment at a time — so the `O(m)` edge list never exists in RAM.
+//! The classic way to silently lose that property is to `.collect()` a
+//! whole-graph edge iterator into a `Vec` somewhere on a production path:
+//! the code still works, the memory win is gone, and nothing fails until a
+//! table-5-class instance OOMs. This rule flags such sites statically.
+
+use crate::lexer::TokenKind;
+use crate::rules::{call_open_paren, matching_close, Finding};
+use crate::source::{FileKind, SourceFile};
+
+/// Methods returning an iterator over a graph's edges (per node or whole
+/// graph). Collecting their result materialises adjacency.
+const EDGE_ITER_METHODS: &[&str] = &["edges_of", "undirected_edges", "edges"];
+
+/// `full-materialize`: a `.collect(…)` chained onto an edge-iterator call
+/// (`edges_of(…)`, `undirected_edges(…)`) in `kappa-mem` production code.
+///
+/// Lexical approximation: the rule follows one method chain — the edge
+/// iterator call, then any number of chained `.adapter(…)` calls — and fires
+/// when the chain reaches `collect`. A collect at the end of `map`/`filter`
+/// chains is still a full materialisation (the adapters are lazy; the
+/// collect is not). Sites that genuinely must materialise (the coarsest
+/// level is small by construction, a test helper escaped into prod code)
+/// carry a `kappa-lint: allow(full-materialize) -- reason` annotation.
+pub fn full_materialize(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.kind != FileKind::Production || file.crate_name != "kappa-mem" {
+        return;
+    }
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !EDGE_ITER_METHODS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if file.in_test_region(t.line) {
+            continue;
+        }
+        let Some(open) = call_open_paren(toks, i) else {
+            continue;
+        };
+        let Some(close) = matching_close(toks, open) else {
+            continue;
+        };
+        // Follow the method chain: `.ident(…)` or `.ident::<…>(…)` or a
+        // plain field access, until it ends or reaches `collect`.
+        let mut j = close + 1;
+        while j + 1 < toks.len() && toks[j].is_punct('.') {
+            let name = &toks[j + 1];
+            if name.is_ident("collect") {
+                out.push(Finding {
+                    rule: "full-materialize",
+                    rel_path: file.rel_path.clone(),
+                    line: name.line,
+                    message: format!(
+                        "`{}(…)…collect(…)` materialises a whole edge iterator in kappa-mem \
+                         production code, defeating the tier's memory bound; decode per node \
+                         (for_each_edge) or annotate why the materialised size is O(coarsest)",
+                        t.text
+                    ),
+                });
+                break;
+            }
+            match call_open_paren(toks, j + 1) {
+                Some(o) => match matching_close(toks, o) {
+                    Some(c) => j = c + 1,
+                    None => break,
+                },
+                // Plain field access or a non-call name: step over it.
+                None => j += 2,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn mem_file(src: &str) -> SourceFile {
+        SourceFile::from_source(
+            &PathBuf::from("/x/crates/kappa-mem/src/a.rs"),
+            "crates/kappa-mem/src/a.rs",
+            src,
+        )
+    }
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut out = Vec::new();
+        full_materialize(&mem_file(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_direct_and_chained_collects() {
+        let src = "\
+fn f(g: &PagedGraph, v: u32) {
+    let a: Vec<_> = g.edges_of(v).collect();
+    let b: Vec<u32> = g.undirected_edges().map(|(u, _, _)| u).collect::<Vec<u32>>();
+}
+";
+        let lines: Vec<u32> = run(src).iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn lazy_consumption_is_silent() {
+        let src = "\
+fn f(g: &PagedGraph, v: u32) {
+    let d = g.edges_of(v).count();
+    for (u, w) in g.edges_of(v) { sink(u, w); }
+    let s: u64 = g.edges_of(v).map(|(_, w)| w).sum();
+}
+";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_and_tests_are_exempt() {
+        let src = "fn f(g: &G) { let v: Vec<_> = g.edges_of(3).collect(); }";
+        let mut out = Vec::new();
+        full_materialize(
+            &SourceFile::from_source(
+                &PathBuf::from("/x/crates/kappa-graph/src/a.rs"),
+                "crates/kappa-graph/src/a.rs",
+                src,
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "only kappa-mem paths are in scope");
+
+        let test_src = "\
+#[cfg(test)]
+mod tests {
+    fn f(g: &G) { let v: Vec<_> = g.edges_of(3).collect(); }
+}
+";
+        assert!(run(test_src).is_empty(), "test regions are exempt");
+    }
+
+    #[test]
+    fn unrelated_collects_are_silent() {
+        let src = "fn f(xs: &[u32]) { let v: Vec<_> = xs.iter().map(|x| x + 1).collect(); }";
+        assert!(run(src).is_empty());
+    }
+}

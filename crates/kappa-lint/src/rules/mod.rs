@@ -8,6 +8,7 @@
 
 pub mod comm_protocol;
 pub mod determinism;
+pub mod memory;
 pub mod panic_free;
 pub mod workspace_rules;
 
@@ -66,6 +67,12 @@ pub const ALL_RULES: &[RuleInfo] = &[
         id: "rank-branch-collective",
         summary: "a collective operation lexically inside a rank-conditioned branch — \
                   the textbook MPI deadlock (not every rank reaches the collective)",
+    },
+    RuleInfo {
+        id: "full-materialize",
+        summary: "an edge-iterator call (`edges_of`, `undirected_edges`) collected into a \
+                  container in kappa-mem production code — materialising adjacency defeats \
+                  the memory tier's whole point",
     },
     RuleInfo {
         id: "unsafe-forbid",

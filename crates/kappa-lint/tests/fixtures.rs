@@ -89,6 +89,14 @@ fn rank_branch_collective_fixture() {
 }
 
 #[test]
+fn full_materialize_fixture() {
+    assert_fires("full-materialize");
+    // Both the direct collect and the adapter-chained collect are caught.
+    let findings = lint_fixture("full-materialize", "violation");
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
 fn unsafe_forbid_fixture() {
     assert_fires("unsafe-forbid");
 }

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Other crates are out of scope: in-RAM CSR code may materialise freely.
+
+pub fn snapshot(g: &CsrGraph) -> Vec<(u32, u32, u64)> {
+    g.undirected_edges().collect()
+}

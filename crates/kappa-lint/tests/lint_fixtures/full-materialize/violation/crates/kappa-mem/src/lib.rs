@@ -1,0 +1,15 @@
+#![forbid(unsafe_code)]
+//! Violation fixture: kappa-mem production code materialising whole edge
+//! iterators — once directly, once at the end of a lazy adapter chain.
+
+pub fn degree_sum(g: &PagedGraph, v: u32) -> usize {
+    let edges: Vec<(u32, u64)> = g.edges_of(v).collect();
+    edges.len()
+}
+
+pub fn heavy_targets(g: &PagedGraph) -> Vec<u32> {
+    g.undirected_edges()
+        .filter(|(_, _, w)| *w > 1)
+        .map(|(u, _, _)| u)
+        .collect::<Vec<u32>>()
+}

@@ -9,7 +9,7 @@
 //! Greedy but is empirically considerably better — which is why the paper
 //! adopts it as the default matcher.
 
-use kappa_graph::{CsrGraph, NodeId};
+use kappa_graph::{GraphAccess, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -19,7 +19,7 @@ use crate::matching::Matching;
 use crate::rating::{rated_edges, EdgeRating, RatedEdge};
 
 /// Computes a GPA matching of `graph` under `rating`.
-pub fn gpa_matching(graph: &CsrGraph, rating: EdgeRating, seed: u64) -> Matching {
+pub fn gpa_matching<G: GraphAccess>(graph: &G, rating: EdgeRating, seed: u64) -> Matching {
     let mut edges = rated_edges(graph, rating);
     let mut rng = StdRng::seed_from_u64(seed);
     edges.shuffle(&mut rng);

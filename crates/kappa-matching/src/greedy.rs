@@ -4,7 +4,7 @@
 //! both endpoints are still free. This guarantees a matching of at least half
 //! the maximum weight (w.r.t. the rating used for sorting).
 
-use kappa_graph::CsrGraph;
+use kappa_graph::GraphAccess;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -16,7 +16,7 @@ use crate::rating::{rated_edges, EdgeRating, RatedEdge};
 ///
 /// Ties in the rating are broken randomly (seeded) so repeated runs explore
 /// different matchings, as the multilevel algorithm expects.
-pub fn greedy_matching(graph: &CsrGraph, rating: EdgeRating, seed: u64) -> Matching {
+pub fn greedy_matching<G: GraphAccess>(graph: &G, rating: EdgeRating, seed: u64) -> Matching {
     let mut edges = rated_edges(graph, rating);
     let mut rng = StdRng::seed_from_u64(seed);
     edges.shuffle(&mut rng);

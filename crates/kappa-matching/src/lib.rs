@@ -47,7 +47,7 @@ pub use parallel::{parallel_matching, ParallelMatchingConfig};
 pub use rating::{rate_edge, rated_edges, EdgeRating, RatedEdge};
 pub use shem::shem_matching;
 
-use kappa_graph::CsrGraph;
+use kappa_graph::GraphAccess;
 
 /// The sequential matching algorithms of §3.2.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -81,8 +81,8 @@ impl MatchingAlgorithm {
 }
 
 /// Computes a matching of `graph` with the given algorithm and edge rating.
-pub fn compute_matching(
-    graph: &CsrGraph,
+pub fn compute_matching<G: GraphAccess>(
+    graph: &G,
     algorithm: MatchingAlgorithm,
     rating: EdgeRating,
     seed: u64,

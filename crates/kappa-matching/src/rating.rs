@@ -7,7 +7,7 @@
 //! rating used by most earlier systems — ignores the node-weight aspect and is
 //! measurably worse (Table 3, up to 8.8 %).
 
-use kappa_graph::{CsrGraph, EdgeWeight, NodeId};
+use kappa_graph::{EdgeWeight, GraphAccess, NodeId};
 
 /// The edge rating functions evaluated in Table 3.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -104,37 +104,37 @@ pub fn rate_edge(
     }
 }
 
-/// Rates every undirected edge of `graph` once (`u < v`).
-pub fn rated_edges(graph: &CsrGraph, rating: EdgeRating) -> Vec<RatedEdge> {
+/// Rates every undirected edge of `graph` once (`u < v`), in the order the
+/// CSR form enumerates them (ascending `u`, then ascending `v`).
+pub fn rated_edges<G: GraphAccess>(graph: &G, rating: EdgeRating) -> Vec<RatedEdge> {
     // Precompute weighted degrees once for innerOuter.
     let out: Vec<EdgeWeight> = if rating == EdgeRating::InnerOuter {
-        graph.nodes().map(|v| graph.weighted_degree(v)).collect()
+        GraphAccess::nodes(graph)
+            .map(|v| graph.weighted_degree(v))
+            .collect()
     } else {
         Vec::new()
     };
-    graph
-        .undirected_edges()
-        .map(|(u, v, w)| {
-            let (ou, ov) = if rating == EdgeRating::InnerOuter {
-                (out[u as usize], out[v as usize])
-            } else {
-                (0, 0)
-            };
-            RatedEdge {
-                u,
-                v,
-                weight: w,
-                rating: rate_edge(
-                    rating,
-                    w,
-                    graph.node_weight(u),
-                    graph.node_weight(v),
-                    ou,
-                    ov,
-                ),
+    let mut edges = Vec::with_capacity(graph.num_edges());
+    for u in GraphAccess::nodes(graph) {
+        let cu = graph.node_weight(u);
+        graph.for_each_edge(u, |v, w| {
+            if u < v {
+                let (ou, ov) = if rating == EdgeRating::InnerOuter {
+                    (out[u as usize], out[v as usize])
+                } else {
+                    (0, 0)
+                };
+                edges.push(RatedEdge {
+                    u,
+                    v,
+                    weight: w,
+                    rating: rate_edge(rating, w, cu, graph.node_weight(v), ou, ov),
+                });
             }
-        })
-        .collect()
+        });
+    }
+    edges
 }
 
 #[cfg(test)]

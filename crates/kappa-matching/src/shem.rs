@@ -4,7 +4,7 @@
 //! matched to its most attractive (highest-rated) still-free neighbour. SHEM is
 //! very fast but gives no worst-case approximation guarantee.
 
-use kappa_graph::{CsrGraph, NodeId};
+use kappa_graph::{GraphAccess, NodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -13,7 +13,7 @@ use crate::matching::Matching;
 use crate::rating::{rate_edge, EdgeRating};
 
 /// Computes a SHEM matching of `graph` under `rating`.
-pub fn shem_matching(graph: &CsrGraph, rating: EdgeRating, seed: u64) -> Matching {
+pub fn shem_matching<G: GraphAccess>(graph: &G, rating: EdgeRating, seed: u64) -> Matching {
     let n = graph.num_nodes();
     let mut matching = Matching::new(n);
     if n == 0 {
@@ -22,14 +22,16 @@ pub fn shem_matching(graph: &CsrGraph, rating: EdgeRating, seed: u64) -> Matchin
 
     // Weighted degrees are needed for the innerOuter rating.
     let out: Vec<u64> = if rating == EdgeRating::InnerOuter {
-        graph.nodes().map(|v| graph.weighted_degree(v)).collect()
+        GraphAccess::nodes(graph)
+            .map(|v| graph.weighted_degree(v))
+            .collect()
     } else {
         Vec::new()
     };
 
     // Random permutation, then stable sort by degree: ties are visited in
     // random order, matching the randomised repetitions of the paper.
-    let mut order: Vec<NodeId> = graph.nodes().collect();
+    let mut order: Vec<NodeId> = GraphAccess::nodes(graph).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
     order.sort_by_key(|&v| graph.degree(v));

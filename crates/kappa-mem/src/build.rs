@@ -1,0 +1,308 @@
+//! Streaming construction: [`EdgeSource`] → compact or paged storage,
+//! without ever materialising the full edge list.
+//!
+//! [`GraphBuilder`](kappa_graph::GraphBuilder) buffers all `2m` half-edge
+//! triples (24 bytes each) and sorts them globally — the dominant transient
+//! allocation on table-5-class instances. The streaming builder replaces the
+//! global sort with **chunked two-pass** construction:
+//!
+//! 1. one replay counts provisional degrees (Θ(n) `u32`s) and detects
+//!    whether any weight differs from 1;
+//! 2. the node range is split into chunks whose fill arrays fit a fixed
+//!    byte budget, and one replay *per chunk* fills, sorts and merges just
+//!    that chunk's adjacency before encoding it to the sink.
+//!
+//! Peak transient memory is `O(n + chunk_bytes)` instead of `O(m)`; the cost
+//! is `1 + ⌈fill bytes / chunk_bytes⌉` replays of the source, which is cheap
+//! for generators and buffered file readers alike.
+//!
+//! Duplicate `{u, v}` pairs in a **weighted** stream are merged by summing,
+//! exactly like `GraphBuilder`. In an all-unit stream a duplicate would have
+//! to merge to weight 2, contradicting the weightless encoding the first
+//! pass committed to — the builder panics on that (generators never emit
+//! duplicates; weighted sources are unrestricted). Self-loops are rejected.
+
+use std::io;
+use std::path::Path;
+
+use kappa_graph::{EdgeSource, EdgeWeight, NodeId};
+
+use crate::compact::{CompactCsr, CompactWriter};
+use crate::paged::{PageCacheConfig, PagedGraph, PagedWriter};
+
+/// Knobs for the chunked streaming build.
+#[derive(Clone, Copy, Debug)]
+pub struct BuildOptions {
+    /// Byte budget for one chunk's fill arrays (default 128 MiB). Smaller
+    /// budgets mean lower peak RAM but more replays of the source.
+    pub chunk_bytes: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            chunk_bytes: 128 << 20,
+        }
+    }
+}
+
+/// First pass over the source: provisional degrees + weight detection.
+struct Plan {
+    /// Per-node half-edge counts, duplicates still counted separately.
+    provisional_deg: Vec<u32>,
+    /// True if every emitted weight was 1 (weights then stay implicit).
+    all_unit: bool,
+}
+
+fn plan<S: EdgeSource>(src: &S) -> Plan {
+    let n = src.num_nodes();
+    let mut deg = vec![0u32; n];
+    let mut all_unit = true;
+    src.for_each_edge(|u, v, w| {
+        assert_ne!(u, v, "self-loop on node {u}");
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} nodes"
+        );
+        deg[u as usize] += 1;
+        deg[v as usize] += 1;
+        all_unit &= w == 1;
+    });
+    Plan {
+        provisional_deg: deg,
+        all_unit,
+    }
+}
+
+/// Runs the chunked fill passes, handing each node's final merged, sorted
+/// incidence list to `emit` in ascending node order.
+fn for_each_node_list<S, E>(src: &S, plan: &Plan, chunk_bytes: usize, mut emit: E)
+where
+    S: EdgeSource,
+    E: FnMut(&[(NodeId, EdgeWeight)]),
+{
+    let n = src.num_nodes();
+    let weighted = !plan.all_unit;
+    // Fill-array cost of one half-edge: u32 target, plus u64 weight if kept.
+    let entry_bytes = if weighted { 12 } else { 4 };
+    let chunk_budget = (chunk_bytes / entry_bytes).max(1) as u64;
+
+    let mut scratch: Vec<(NodeId, EdgeWeight)> = Vec::new();
+    let mut lo = 0usize;
+    while lo < n {
+        // Grow the chunk until the provisional fill arrays hit the budget
+        // (always at least one node so huge hubs still go through).
+        let mut hi = lo;
+        let mut slots = 0u64;
+        while hi < n && (hi == lo || slots + plan.provisional_deg[hi] as u64 <= chunk_budget) {
+            slots += plan.provisional_deg[hi] as u64;
+            hi += 1;
+        }
+        let slots = slots as usize;
+
+        // Local CSR offsets for the chunk, then cursor-fill from a replay.
+        let mut local_off = Vec::with_capacity(hi - lo + 1);
+        local_off.push(0usize);
+        for v in lo..hi {
+            local_off.push(local_off[v - lo] + plan.provisional_deg[v] as usize);
+        }
+        let mut cursor = local_off.clone();
+        let mut targets = vec![0 as NodeId; slots];
+        let mut weights = if weighted {
+            vec![0 as EdgeWeight; slots]
+        } else {
+            Vec::new()
+        };
+        src.for_each_edge(|u, v, w| {
+            let mut place = |x: NodeId, y: NodeId| {
+                let xi = x as usize;
+                if xi >= lo && xi < hi {
+                    let c = &mut cursor[xi - lo];
+                    assert!(
+                        *c < local_off[xi - lo + 1],
+                        "EdgeSource emitted more edges on replay than it counted"
+                    );
+                    targets[*c] = y;
+                    if weighted {
+                        weights[*c] = w;
+                    }
+                    *c += 1;
+                }
+            };
+            place(u, v);
+            place(v, u);
+        });
+
+        for v in lo..hi {
+            let (s, e) = (local_off[v - lo], local_off[v - lo + 1]);
+            assert_eq!(
+                cursor[v - lo],
+                e,
+                "EdgeSource emitted fewer edges on replay than it counted"
+            );
+            scratch.clear();
+            for i in s..e {
+                let w = if weighted { weights[i] } else { 1 };
+                scratch.push((targets[i], w));
+            }
+            scratch.sort_unstable_by_key(|&(t, _)| t);
+            // Merge parallel edges in place by summing weights.
+            let mut out = 0usize;
+            for i in 0..scratch.len() {
+                if out > 0 && scratch[out - 1].0 == scratch[i].0 {
+                    assert!(
+                        weighted,
+                        "duplicate edge {{{v}, {}}} in a unit-weight stream",
+                        scratch[i].0
+                    );
+                    scratch[out - 1].1 += scratch[i].1;
+                } else {
+                    scratch[out] = scratch[i];
+                    out += 1;
+                }
+            }
+            scratch.truncate(out);
+            emit(&scratch);
+        }
+        lo = hi;
+    }
+}
+
+/// Normalises a source's node weights: `Some` of all-ones collapses to
+/// `None`, matching what `from_graph` detects on a built CSR.
+fn normalized_vwgt<S: EdgeSource>(src: &S) -> Option<Vec<u64>> {
+    let vwgt = src.node_weights()?;
+    assert_eq!(vwgt.len(), src.num_nodes(), "node_weights length mismatch");
+    if vwgt.iter().all(|&c| c == 1) {
+        None
+    } else {
+        Some(vwgt)
+    }
+}
+
+/// Builds an in-RAM [`CompactCsr`] from a replayable edge stream.
+///
+/// Equivalent to `CompactCsr::from_graph(&GraphBuilder-built graph)` — the
+/// property tests assert exact equality — but with `O(n + chunk)` peak
+/// transient memory.
+pub fn compact_from_source<S: EdgeSource>(src: &S, opts: BuildOptions) -> CompactCsr {
+    let p = plan(src);
+    let mut writer = CompactWriter::new(src.num_nodes(), !p.all_unit);
+    for_each_node_list(src, &p, opts.chunk_bytes, |edges| writer.push_node(edges));
+    let coords = src.coords();
+    if let Some(c) = &coords {
+        assert_eq!(c.len(), src.num_nodes(), "coords length mismatch");
+    }
+    writer.finish(normalized_vwgt(src), coords)
+}
+
+/// Builds an on-disk [`PagedGraph`] at `path` from a replayable edge stream.
+///
+/// The graph never exists in RAM: segments stream to disk chunk by chunk.
+/// Coordinates are dropped (paged tier contract).
+pub fn paged_from_source<S: EdgeSource>(
+    src: &S,
+    path: &Path,
+    opts: BuildOptions,
+    cache: PageCacheConfig,
+) -> io::Result<PagedGraph> {
+    let p = plan(src);
+    let mut writer = PagedWriter::create(path, src.num_nodes(), !p.all_unit)?;
+    let mut write_err = None;
+    for_each_node_list(src, &p, opts.chunk_bytes, |edges| {
+        if write_err.is_none() {
+            if let Err(e) = writer.push_node(edges) {
+                write_err = Some(e);
+            }
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    writer.finish(normalized_vwgt(src), cache)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kappa_graph::{graph_from_edges, GraphAccess, SliceEdgeSource};
+
+    fn edges() -> Vec<(NodeId, NodeId, EdgeWeight)> {
+        vec![
+            (0, 3, 2),
+            (5, 2, 1),
+            (1, 0, 4),
+            (2, 3, 1),
+            (4, 5, 3),
+            (0, 3, 5), // duplicate of (0, 3): merges to 7
+            (1, 4, 1),
+        ]
+    }
+
+    #[test]
+    fn streamed_compact_equals_builder_then_encode() {
+        let e = edges();
+        let src = SliceEdgeSource::new(6, &e);
+        let streamed = compact_from_source(&src, BuildOptions::default());
+        let reference = CompactCsr::from_graph(&graph_from_edges(6, e.clone()));
+        assert_eq!(streamed, reference);
+    }
+
+    #[test]
+    fn tiny_chunks_change_nothing() {
+        let e = edges();
+        let src = SliceEdgeSource::new(6, &e);
+        // chunk_bytes = 1 forces one chunk per node — maximum replays.
+        let chunked = compact_from_source(&src, BuildOptions { chunk_bytes: 1 });
+        let whole = compact_from_source(&src, BuildOptions::default());
+        assert_eq!(chunked, whole);
+    }
+
+    #[test]
+    fn unit_stream_stays_unweighted() {
+        let e: Vec<_> = vec![(0, 1, 1), (1, 2, 1), (2, 0, 1)];
+        let src = SliceEdgeSource::new(3, &e);
+        let c = compact_from_source(&src, BuildOptions::default());
+        assert!(!c.is_weighted());
+        assert_eq!(c.to_csr(), graph_from_edges(3, e));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_in_unit_stream_is_rejected() {
+        let e: Vec<_> = vec![(0, 1, 1), (1, 0, 1)];
+        let src = SliceEdgeSource::new(2, &e);
+        compact_from_source(&src, BuildOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_is_rejected() {
+        let e: Vec<_> = vec![(1, 1, 1)];
+        let src = SliceEdgeSource::new(2, &e);
+        compact_from_source(&src, BuildOptions::default());
+    }
+
+    #[test]
+    fn streamed_paged_decodes_to_the_same_graph() {
+        let e = edges();
+        let src = SliceEdgeSource::new(6, &e);
+        let mut path = std::env::temp_dir();
+        path.push(format!("kappa-mem-build-{}.kpg", std::process::id()));
+        let mut p = paged_from_source(
+            &src,
+            &path,
+            BuildOptions { chunk_bytes: 16 },
+            PageCacheConfig::default(),
+        )
+        .unwrap();
+        p.set_delete_on_drop(true);
+        let reference = graph_from_edges(6, e);
+        assert_eq!(GraphAccess::num_half_edges(&p), reference.num_half_edges());
+        for v in reference.nodes() {
+            let a: Vec<_> = reference.edges_of(v).collect();
+            let b: Vec<_> = GraphAccess::edges_of(&p, v).collect();
+            assert_eq!(a, b, "node {v}");
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # kappa-mem
+//!
+//! Compact and out-of-core graph storage for the table-5-class instances of
+//! the paper — graphs whose plain CSR arrays (plus the builder's transient
+//! edge list) no longer fit comfortably in RAM.
+//!
+//! Three storage levels, one abstraction
+//! ([`GraphAccess`](kappa_graph::GraphAccess)):
+//!
+//! | level | edge storage | RAM per half-edge | coordinates |
+//! |---|---|---|---|
+//! | `CsrGraph` (kappa-graph) | `u32` + `u64` arrays | 12 B | kept |
+//! | [`CompactCsr`] | delta-varint arena in RAM | ~2 B (unit weights) | kept |
+//! | [`PagedGraph`] | delta-varint segments on disk | 0 B + fixed cache | dropped |
+//!
+//! All three decode to the identical sorted, merged adjacency, so the
+//! partitioning pipeline produces bit-identical results on every level.
+//! [`TierGraph`] dispatches between them at runtime; the streaming builders
+//! in [`build`] construct the compact and paged levels from a replayable
+//! [`EdgeSource`](kappa_graph::EdgeSource) without ever materialising the
+//! full edge list. No `mmap`, no `unsafe` — paged reads are plain
+//! `seek`/`read_exact` behind a deterministic direct-mapped page cache.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod compact;
+pub mod paged;
+pub mod segment;
+pub mod tier;
+pub mod varint;
+
+pub use build::{compact_from_source, paged_from_source, BuildOptions};
+pub use compact::{CompactCsr, CompactWriter};
+pub use paged::{CacheStats, PageCacheConfig, PagedGraph, PagedWriter};
+pub use tier::TierGraph;

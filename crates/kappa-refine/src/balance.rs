@@ -20,7 +20,8 @@
 //! are bit-identical (proven in `tests/parity.rs`).
 
 use kappa_graph::{
-    BlockAssignment, BlockId, BlockWeights, CsrGraph, NodeId, NodeWeight, Partition, PartitionState,
+    BlockAssignment, BlockId, BlockWeights, GraphAccess, NodeId, NodeWeight, Partition,
+    PartitionState,
 };
 
 /// Candidate move: `(cut delta, resulting target weight, node, target block)`.
@@ -36,8 +37,8 @@ type Candidate = (i64, NodeWeight, NodeId, BlockId);
 /// path and the distributed rebalancer (kappa-dist, which allreduce-mins the
 /// per-rank winners), so the three cannot drift: all pick the minimum of the
 /// same candidate tuples.
-pub fn best_move_of<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn best_move_of<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     assignment: &A,
     weights: &BlockWeights,
     over_block: BlockId,
@@ -75,8 +76,8 @@ pub fn best_move_of<A: BlockAssignment>(
 /// Scores the fallback move of node `v` (which must be in `over_block`) into
 /// the globally `lightest` block — used when no boundary move is feasible.
 /// Returns `(cut delta, resulting target weight, target block)`.
-pub fn fallback_move_of<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn fallback_move_of<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     assignment: &A,
     weights: &BlockWeights,
     over_block: BlockId,
@@ -113,8 +114,8 @@ fn fold_candidate(best: &mut Option<Candidate>, candidate: Candidate) {
 /// The fallback when no boundary move is feasible: move an interior node of
 /// `over_block` into the globally lightest block. Full scan in both paths —
 /// it only runs when the cheap phase found nothing.
-fn fallback_candidate(
-    graph: &CsrGraph,
+fn fallback_candidate<G: GraphAccess>(
+    graph: &G,
     partition: &Partition,
     weights: &BlockWeights,
     over_block: BlockId,
@@ -142,7 +143,7 @@ fn fallback_candidate(
 /// on entry and scans every node per move. Production code holds a
 /// [`PartitionState`] and uses [`rebalance_state`], which picks the exact
 /// same moves from the boundary index and keeps the state's invariants.
-pub fn rebalance(graph: &CsrGraph, partition: &mut Partition, l_max: NodeWeight) -> usize {
+pub fn rebalance<G: GraphAccess>(graph: &G, partition: &mut Partition, l_max: NodeWeight) -> usize {
     let k = partition.k();
     let mut weights = BlockWeights::compute(graph, partition);
     let mut moved = 0usize;
@@ -187,7 +188,11 @@ pub fn rebalance(graph: &CsrGraph, partition: &mut Partition, l_max: NodeWeight)
 /// and cached cut exact. Bit-identical to [`rebalance`] — the candidate sets
 /// coincide (interior nodes never produce candidates) and both take the
 /// unique minimum candidate tuple.
-pub fn rebalance_state(graph: &CsrGraph, state: &mut PartitionState, l_max: NodeWeight) -> usize {
+pub fn rebalance_state<G: GraphAccess>(
+    graph: &G,
+    state: &mut PartitionState,
+    l_max: NodeWeight,
+) -> usize {
     let k = state.k();
     let mut moved = 0usize;
 

@@ -27,8 +27,8 @@
 //! seeds and everything downstream are bit-identical (`tests/parity.rs`).
 
 use kappa_graph::{
-    band_around_boundary, pair_boundary_nodes, BlockAssignment, BlockId, BoundaryIndex, CsrGraph,
-    NodeId,
+    band_around_boundary, pair_boundary_nodes, BlockAssignment, BlockId, BoundaryIndex,
+    GraphAccess, NodeId,
 };
 
 /// Computes the band of eligible nodes for refining the pair `(a, b)`:
@@ -37,8 +37,8 @@ use kappa_graph::{
 /// Returns an empty vector when the blocks share no edge (nothing to refine).
 /// Generic over [`BlockAssignment`] so the parallel scheduler can compute
 /// bands against its per-pair delta views.
-pub fn pair_band<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn pair_band<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     partition: &A,
     a: BlockId,
     b: BlockId,
@@ -70,20 +70,20 @@ pub trait BandSeeder<P: BlockAssignment> {
 /// The reference seeder: a fresh `O(n + m)` [`pair_boundary_nodes`] scan on
 /// every call. Retained as the ground truth [`IndexSeeder`] is checked
 /// against; used by `refine_partition_reference`.
-pub struct FullScanSeeder<'g> {
-    graph: &'g CsrGraph,
+pub struct FullScanSeeder<'g, G> {
+    graph: &'g G,
     a: BlockId,
     b: BlockId,
 }
 
-impl<'g> FullScanSeeder<'g> {
+impl<'g, G: GraphAccess> FullScanSeeder<'g, G> {
     /// A full-scan seeder for the pair `(a, b)`.
-    pub fn new(graph: &'g CsrGraph, a: BlockId, b: BlockId) -> Self {
+    pub fn new(graph: &'g G, a: BlockId, b: BlockId) -> Self {
         FullScanSeeder { graph, a, b }
     }
 }
 
-impl<P: BlockAssignment> BandSeeder<P> for FullScanSeeder<'_> {
+impl<G: GraphAccess, P: BlockAssignment> BandSeeder<P> for FullScanSeeder<'_, G> {
     fn seeds(&mut self, view: &P) -> Vec<NodeId> {
         pair_boundary_nodes(self.graph, view, self.a, self.b)
     }
@@ -100,8 +100,8 @@ impl<P: BlockAssignment> BandSeeder<P> for FullScanSeeder<'_> {
 /// plus moved nodes, plus neighbours of moved nodes. `seeds` re-examines this
 /// candidate set against the live view — `O(Σ deg(candidate))`, independent
 /// of `n` — and `observe_moves` grows it.
-pub struct IndexSeeder<'a> {
-    graph: &'a CsrGraph,
+pub struct IndexSeeder<'a, G> {
+    graph: &'a G,
     index: &'a BoundaryIndex,
     a: BlockId,
     b: BlockId,
@@ -110,10 +110,10 @@ pub struct IndexSeeder<'a> {
     candidates: Option<Vec<NodeId>>,
 }
 
-impl<'a> IndexSeeder<'a> {
+impl<'a, G: GraphAccess> IndexSeeder<'a, G> {
     /// An index-backed seeder for the pair `(a, b)`. The index must mirror
     /// the state `view` had when the pair search started.
-    pub fn new(graph: &'a CsrGraph, index: &'a BoundaryIndex, a: BlockId, b: BlockId) -> Self {
+    pub fn new(graph: &'a G, index: &'a BoundaryIndex, a: BlockId, b: BlockId) -> Self {
         IndexSeeder {
             graph,
             index,
@@ -134,9 +134,8 @@ impl<'a> IndexSeeder<'a> {
             return false;
         };
         self.graph
-            .neighbors(v)
-            .iter()
-            .any(|&u| view.block_of(u) == other)
+            .edges_of(v)
+            .any(|(u, _)| view.block_of(u) == other)
     }
 
     /// Draws the initial candidate set from the index on first use.
@@ -148,7 +147,7 @@ impl<'a> IndexSeeder<'a> {
     }
 }
 
-impl<P: BlockAssignment> BandSeeder<P> for IndexSeeder<'_> {
+impl<G: GraphAccess, P: BlockAssignment> BandSeeder<P> for IndexSeeder<'_, G> {
     fn seeds(&mut self, view: &P) -> Vec<NodeId> {
         self.ensure_candidates();
         let candidates = self.candidates.as_ref().expect("just initialised");
@@ -170,7 +169,7 @@ impl<P: BlockAssignment> BandSeeder<P> for IndexSeeder<'_> {
         let mut extra: Vec<NodeId> = Vec::with_capacity(moves.len());
         for &(v, _) in moves {
             extra.push(v);
-            extra.extend_from_slice(self.graph.neighbors(v));
+            self.graph.for_each_edge(v, |u, _| extra.push(u));
         }
         extra.sort_unstable();
         extra.dedup();
@@ -212,7 +211,7 @@ impl<P: BlockAssignment> BandSeeder<P> for IndexSeeder<'_> {
 mod tests {
     use super::*;
     use kappa_gen::grid::grid2d;
-    use kappa_graph::Partition;
+    use kappa_graph::{CsrGraph, Partition};
 
     fn half_split(side: usize) -> (CsrGraph, Partition) {
         let g = grid2d(side, side);

@@ -19,7 +19,7 @@
 use std::collections::BinaryHeap;
 
 use kappa_graph::{
-    BlockAssignment, BlockAssignmentMut, BlockId, CsrGraph, NodeId, NodeWeight, INVALID_NODE,
+    BlockAssignment, BlockAssignmentMut, BlockId, GraphAccess, NodeId, NodeWeight, INVALID_NODE,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -203,8 +203,8 @@ impl LazyQueue {
 /// scratch instead, which performs no per-call `O(n)` allocation. Both are
 /// bit-identical.
 #[allow(clippy::too_many_arguments)]
-pub fn two_way_fm<P: BlockAssignmentMut>(
-    graph: &CsrGraph,
+pub fn two_way_fm<G: GraphAccess, P: BlockAssignmentMut>(
+    graph: &G,
     partition: &mut P,
     block_a: BlockId,
     block_b: BlockId,
@@ -236,8 +236,8 @@ pub fn two_way_fm<P: BlockAssignmentMut>(
 /// search allocate `O(|band|)` instead of `O(n)`. `eligible` must not contain
 /// duplicates (bands never do).
 #[allow(clippy::too_many_arguments)]
-pub fn two_way_fm_in<P: BlockAssignmentMut>(
-    graph: &CsrGraph,
+pub fn two_way_fm_in<G: GraphAccess, P: BlockAssignmentMut>(
+    graph: &G,
     partition: &mut P,
     block_a: BlockId,
     block_b: BlockId,
@@ -443,7 +443,11 @@ mod tests {
     use kappa_gen::grid::grid2d;
     use kappa_graph::{graph_from_edges, BlockWeights, GraphBuilder, Partition};
 
-    fn run_fm(graph: &CsrGraph, partition: &mut Partition, config: &FmConfig) -> FmResult {
+    fn run_fm(
+        graph: &kappa_graph::CsrGraph,
+        partition: &mut Partition,
+        config: &FmConfig,
+    ) -> FmResult {
         let eligible: Vec<NodeId> = graph.nodes().collect();
         let weights = BlockWeights::compute(graph, partition);
         two_way_fm(

@@ -6,15 +6,15 @@
 //! enter the gain — this is what makes pairwise refinement embarrassingly
 //! parallel across disjoint block pairs.
 
-use kappa_graph::{BlockAssignment, BlockId, CsrGraph, NodeId};
+use kappa_graph::{BlockAssignment, BlockId, GraphAccess, NodeId};
 
 /// Gain of moving `v` to the other block of the pair `(a, b)`.
 ///
 /// `v` must currently be in block `a` or `b`. Generic over
 /// [`BlockAssignment`] so it works on full partitions and on the delta-move
 /// views the parallel scheduler hands its FM workers.
-pub fn pair_gain<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn pair_gain<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     partition: &A,
     v: NodeId,
     a: BlockId,
@@ -24,30 +24,35 @@ pub fn pair_gain<A: BlockAssignment>(
     debug_assert!(own == a || own == b, "node {v} not in the pair ({a}, {b})");
     let other = if own == a { b } else { a };
     let mut gain = 0i64;
-    for (u, w) in graph.edges_of(v) {
+    graph.for_each_edge(v, |u, w| {
         let bu = partition.block_of(u);
         if bu == other {
             gain += w as i64;
         } else if bu == own {
             gain -= w as i64;
         }
-    }
+    });
     gain
 }
 
 /// The total cut between blocks `a` and `b` (useful for verifying FM results).
-pub fn pair_cut<A: BlockAssignment>(
-    graph: &CsrGraph,
+pub fn pair_cut<G: GraphAccess, A: BlockAssignment>(
+    graph: &G,
     partition: &A,
     a: BlockId,
     b: BlockId,
 ) -> u64 {
     let mut cut = 0u64;
-    for (u, v, w) in graph.undirected_edges() {
-        let (bu, bv) = (partition.block_of(u), partition.block_of(v));
-        if (bu == a && bv == b) || (bu == b && bv == a) {
-            cut += w;
-        }
+    for u in GraphAccess::nodes(graph) {
+        let bu = partition.block_of(u);
+        graph.for_each_edge(u, |v, w| {
+            if u < v {
+                let bv = partition.block_of(v);
+                if (bu == a && bv == b) || (bu == b && bv == a) {
+                    cut += w;
+                }
+            }
+        });
     }
     cut
 }

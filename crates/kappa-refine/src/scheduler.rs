@@ -35,7 +35,7 @@
 //! every call, and the rebalancer bypassed the index entirely.
 
 use kappa_graph::{
-    band_around_boundary_in, BlockAssignmentMut, BlockId, BlockWeights, CsrGraph, NodeId,
+    band_around_boundary_in, BlockAssignmentMut, BlockId, BlockWeights, GraphAccess, NodeId,
     NodeWeight, Partition, PartitionState, QuotientGraph,
 };
 use rayon::prelude::*;
@@ -122,8 +122,8 @@ struct PairDelta {
 /// reference otherwise. Sharing this body — and the seeders' identical
 /// outputs — is what keeps the two schedulers bit-identical.
 #[allow(clippy::too_many_arguments)]
-fn search_pair<P: BlockAssignmentMut, S: BandSeeder<P>>(
-    graph: &CsrGraph,
+fn search_pair<G: GraphAccess, P: BlockAssignmentMut, S: BandSeeder<P>>(
+    graph: &G,
     target: &mut P,
     seeder: &mut S,
     scratch: &mut FmScratch,
@@ -228,8 +228,8 @@ fn search_pair<P: BlockAssignmentMut, S: BandSeeder<P>>(
 /// assert!(state.partition().is_balanced(&graph, 0.03));
 /// assert!(state.verify_exact(&graph).is_ok()); // returned current
 /// ```
-pub fn refine_partition(
-    graph: &CsrGraph,
+pub fn refine_partition<G: GraphAccess + Sync>(
+    graph: &G,
     state: &mut PartitionState,
     config: &RefinementConfig,
 ) -> RefinementStats {
@@ -355,8 +355,8 @@ pub fn refine_partition(
 /// Pipelines that refine across hierarchy levels should hold a
 /// `PartitionState` and call [`refine_partition`] directly — that is what
 /// keeps the boundary index's full build a once-per-run cost.
-pub fn refine_partition_in_place(
-    graph: &CsrGraph,
+pub fn refine_partition_in_place<G: GraphAccess + Sync>(
+    graph: &G,
     partition: &mut Partition,
     config: &RefinementConfig,
 ) -> RefinementStats {
@@ -374,8 +374,8 @@ pub fn refine_partition_in_place(
 ///
 /// Kept as the ground truth [`refine_partition`] is checked against (parity
 /// tests, benches). Use [`refine_partition`] everywhere else.
-pub fn refine_partition_reference(
-    graph: &CsrGraph,
+pub fn refine_partition_reference<G: GraphAccess + Sync>(
+    graph: &G,
     partition: &mut Partition,
     config: &RefinementConfig,
 ) -> RefinementStats {

@@ -15,6 +15,7 @@
 //!   --epsilon <E>         imbalance tolerance           [default: 0.03]
 //!   --seed <S>            random seed                   [default: 0]
 //!   --threads <T>         worker threads (0 = all)      [default: 0]
+//!   --memory-tier <M>     ram | compact | paged         [default: ram]
 //!   --ranks <R>           distributed pipeline over R ranks
 //!   --fold-threshold <N>  fold coarse levels of <= N nodes onto fewer ranks
 //!   --stats               print per-rank comm-volume counters (with --ranks)
@@ -47,6 +48,7 @@ struct CliArgs {
     epsilon: f64,
     seed: u64,
     threads: usize,
+    memory_tier: MemoryTier,
     ranks: Option<usize>,
     transport: Transport,
     fold_threshold: usize,
@@ -69,6 +71,7 @@ fn parse_args() -> Result<CliArgs, String> {
         epsilon: 0.03,
         seed: 0,
         threads: 0,
+        memory_tier: MemoryTier::Ram,
         ranks: None,
         transport: Transport::Local,
         fold_threshold: 0,
@@ -108,6 +111,11 @@ fn parse_args() -> Result<CliArgs, String> {
                 cli.threads = value("--threads")?
                     .parse()
                     .map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--memory-tier" => {
+                let tier = value("--memory-tier")?;
+                cli.memory_tier = MemoryTier::parse(&tier)
+                    .ok_or_else(|| format!("unknown memory tier {tier:?} (ram|compact|paged)"))?
             }
             "--ranks" => {
                 let ranks: usize = value("--ranks")?
@@ -162,6 +170,13 @@ fn parse_args() -> Result<CliArgs, String> {
     }
     if cli.transport == Transport::Tcp && cli.ranks.is_none() {
         return Err("--transport tcp requires --ranks".to_string());
+    }
+    if cli.memory_tier != MemoryTier::Ram && cli.ranks.is_some() {
+        return Err(
+            "--memory-tier compact|paged is a single-process pipeline and cannot be \
+             combined with --ranks"
+                .to_string(),
+        );
     }
     if cli.fold_threshold > 0 && cli.ranks.is_none() {
         return Err("--fold-threshold requires --ranks".to_string());
@@ -222,6 +237,19 @@ OPTIONS:
   --seed <S>            random seed (fixed seed + fixed --threads or
                         --ranks => identical output)       [default: 0]
   --threads <T>         worker threads (0 = all cores)     [default: 0]
+  --memory-tier <M>     graph storage tier                 [default: ram]
+                        ram:     plain CSR in RAM (the classic pipeline)
+                        compact: delta-varint encoded CSR in RAM, roughly
+                                 half the memory of ram
+                        paged:   fine hierarchy levels on disk behind a
+                                 fixed 64 MiB page cache — partitions
+                                 table-5-class instances in a fraction of
+                                 the in-RAM footprint. For --generate rgg
+                                 and grid the graph is built streaming and
+                                 the full edge list never exists in RAM.
+                        compact and paged run matching sequentially and are
+                        bit-identical to ram at --threads 1 per seed; not
+                        combinable with --ranks
   --ranks <R>           run the distributed-memory pipeline over R
                         message-passing ranks (--ranks 1 is cut-identical
                         to the shared-memory pipeline at --threads 1;
@@ -263,7 +291,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
                 eprintln!(
                     "usage: kappa-partition <GRAPH.metis> --k <K> [--preset minimal|fast|strong] \
-                     [--epsilon 0.03] [--seed 0] [--threads 0] [--ranks R] [--output FILE] \
+                     [--epsilon 0.03] [--seed 0] [--threads 0] [--memory-tier ram|compact|paged] \
+                     [--ranks R] [--output FILE] \
                      [--generate rgg|delaunay|grid|road|rmat --nodes N]\n\
                      run kappa-partition --help for the full flag reference"
                 );
@@ -271,6 +300,12 @@ fn main() -> ExitCode {
             };
         }
     };
+
+    // The memory-tiered pipeline builds the graph on its own storage tier
+    // (streaming where the family supports it) — never through load_graph.
+    if cli.memory_tier != MemoryTier::Ram {
+        return run_tiered(&cli);
+    }
 
     let (graph, name) = match load_graph(&cli) {
         Ok(g) => g,
@@ -349,6 +384,141 @@ fn main() -> ExitCode {
     };
 
     write_partition(&cli, &name, &partition)
+}
+
+/// Builds the finest graph on `tier` from a streaming
+/// [`EdgeSource`](kappa::graph::EdgeSource): the full edge list never
+/// exists in RAM.
+fn tier_from_source<S: kappa::graph::EdgeSource>(
+    src: &S,
+    tier: MemoryTier,
+    spill: &kappa::coarsen::SpillConfig,
+) -> std::io::Result<kappa::mem::TierGraph> {
+    use kappa::mem::{compact_from_source, paged_from_source, BuildOptions, TierGraph};
+    Ok(match tier {
+        MemoryTier::Compact => {
+            TierGraph::Compact(compact_from_source(src, BuildOptions::default()))
+        }
+        MemoryTier::Paged => {
+            let mut g = paged_from_source(
+                src,
+                &spill.spill_dir.join("finest.kpg"),
+                BuildOptions::default(),
+                spill.cache,
+            )?;
+            g.set_delete_on_drop(true);
+            TierGraph::Paged(g)
+        }
+        MemoryTier::Ram => unreachable!("ram runs never reach the tiered builder"),
+    })
+}
+
+/// Converts an in-RAM graph onto `tier` — the fallback for inputs without a
+/// streaming source (METIS files, the non-geometric generator families); the
+/// CSR exists transiently during conversion.
+fn tier_from_csr(
+    graph: &CsrGraph,
+    tier: MemoryTier,
+    spill: &kappa::coarsen::SpillConfig,
+) -> std::io::Result<kappa::mem::TierGraph> {
+    use kappa::mem::{CompactCsr, PagedGraph, TierGraph};
+    Ok(match tier {
+        MemoryTier::Compact => TierGraph::Compact(CompactCsr::from_graph(graph)),
+        MemoryTier::Paged => {
+            let mut g =
+                PagedGraph::from_graph(graph, &spill.spill_dir.join("finest.kpg"), spill.cache)?;
+            g.set_delete_on_drop(true);
+            TierGraph::Paged(g)
+        }
+        MemoryTier::Ram => unreachable!("ram runs never reach the tiered builder"),
+    })
+}
+
+/// The `--memory-tier compact|paged` pipeline: build the finest graph on the
+/// requested storage tier, partition with the tier-generic multilevel
+/// pipeline (sequential matching — bit-identical to `--threads 1` in RAM per
+/// seed), report which tier every hierarchy level ended up on.
+fn run_tiered(cli: &CliArgs) -> ExitCode {
+    use kappa::coarsen::SpillConfig;
+    use kappa::core::{default_spill_dir, partition_tiered};
+    use kappa::graph::GraphAccess;
+
+    let spill = SpillConfig::new(default_spill_dir("cli"));
+    if let Err(e) = std::fs::create_dir_all(&spill.spill_dir) {
+        eprintln!(
+            "error: cannot create spill dir {}: {e}",
+            spill.spill_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let built = match &cli.generate {
+        // Streaming families: the edge list is replayed from O(n) generator
+        // state straight into the tier encoding.
+        Some(family) if family == "rgg" => {
+            let src = kappa::gen::RggSource::new(cli.nodes, cli.seed);
+            tier_from_source(&src, cli.memory_tier, &spill)
+                .map(|g| (g, format!("rgg-{}", cli.nodes)))
+        }
+        Some(family) if family == "grid" => {
+            let side = ((cli.nodes as f64).sqrt().round() as usize).max(2);
+            let src = kappa::gen::Grid2dSource::new(side, side);
+            tier_from_source(&src, cli.memory_tier, &spill)
+                .map(|g| (g, format!("grid-{}", cli.nodes)))
+        }
+        // Everything else goes through a transient in-RAM build.
+        _ => match load_graph(cli) {
+            Ok((graph, name)) => tier_from_csr(&graph, cli.memory_tier, &spill).map(|g| (g, name)),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let (finest, name) = match built {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("error: building the {} tier: {e}", cli.memory_tier.name());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "graph {name}: {} nodes, {} edges ({} tier)",
+        finest.num_nodes(),
+        finest.num_edges(),
+        finest.tier_name()
+    );
+
+    let config = KappaConfig::preset(cli.preset, cli.k)
+        .with_epsilon(cli.epsilon)
+        .with_seed(cli.seed)
+        .with_threads(cli.threads);
+    let tiered = match partition_tiered(finest, &config, &spill) {
+        Ok(tiered) => tiered,
+        Err(e) => {
+            eprintln!("error: tiered run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = &tiered.result;
+    eprintln!(
+        "{} [{}]: cut = {}, balance = {:.3}, feasible = {}, time = {:.3} s",
+        cli.preset.name(),
+        cli.memory_tier.name(),
+        result.metrics.edge_cut,
+        result.metrics.balance,
+        result.metrics.feasible,
+        result.metrics.runtime_secs()
+    );
+    eprintln!(
+        "hierarchy: {} levels on tiers [{}]",
+        result.hierarchy_levels,
+        tiered.level_tiers.join(", ")
+    );
+    let status = write_partition(cli, &name, &result.partition);
+    // Spill files delete themselves on drop; clear the (now empty) directory.
+    let _ = std::fs::remove_dir_all(&spill.spill_dir);
+    status
 }
 
 /// Prints the per-rank communication counters of a distributed run to

@@ -13,8 +13,13 @@
 //! * [`initial`] — initial partitioning of the coarsest graph (`kappa-initial`);
 //! * [`refine`] — 2-way FM, quotient-graph colouring and the pairwise parallel
 //!   refinement scheduler (`kappa-refine`);
+//! * [`mem`] — compact and paged (out-of-core) graph storage tiers plus
+//!   streaming construction from [`EdgeSource`](crate::graph::EdgeSource)s
+//!   (`kappa-mem`);
 //! * [`core`] — the [`KappaPartitioner`](crate::core::KappaPartitioner), its
-//!   Minimal / Fast / Strong configurations, and the dynamic-graph
+//!   Minimal / Fast / Strong configurations, the memory-tiered
+//!   [`partition_tiered`](crate::core::partition_tiered) pipeline behind
+//!   `kappa-partition --memory-tier`, and the dynamic-graph
 //!   [`DynamicSession`](crate::core::DynamicSession) behind `kappa-serve`
 //!   (`kappa-core`);
 //! * [`dist`] — the rank-based distributed-memory runtime: message-passing
@@ -50,14 +55,15 @@ pub use kappa_gen as gen;
 pub use kappa_graph as graph;
 pub use kappa_initial as initial;
 pub use kappa_matching as matching;
+pub use kappa_mem as mem;
 pub use kappa_refine as refine;
 
 /// The most commonly used types, for `use kappa::prelude::*`.
 pub mod prelude {
     pub use kappa_baselines::{BaselineKind, BaselinePartitioner};
     pub use kappa_core::{
-        ConfigPreset, DynamicConfig, DynamicSession, KappaConfig, KappaPartitioner,
-        PartitionMetrics,
+        partition_tiered, ConfigPreset, DynamicConfig, DynamicSession, KappaConfig,
+        KappaPartitioner, MemoryTier, PartitionMetrics,
     };
     pub use kappa_dist::{partition_distributed, DistConfig};
     pub use kappa_graph::{CsrGraph, DynamicGraph, GraphBuilder, Partition};

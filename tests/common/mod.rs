@@ -10,6 +10,29 @@ use kappa::graph::{BlockWeights, BoundaryIndex, GraphBuilder, PartitionState};
 use kappa::prelude::*;
 use proptest::prelude::*;
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where procfs is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Best-effort reset of `VmHWM` to the current RSS (writing `5` to
+/// `/proc/self/clear_refs`), so each run's peak is attributed to that run
+/// rather than accumulating monotonically across tests in one process.
+pub fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// `peak_rss_bytes` rendered as "NNN MiB", or "unavailable".
+pub fn format_peak_rss() -> String {
+    peak_rss_bytes()
+        .map(|b| format!("{:.0} MiB", b as f64 / (1024.0 * 1024.0)))
+        .unwrap_or_else(|| "unavailable".to_string())
+}
+
 /// The deterministic xorshift64 stream used everywhere a test needs cheap
 /// reproducible randomness (`seed` is forced odd so the stream never
 /// collapses to zero).

@@ -14,13 +14,16 @@
 //! threads run the pipeline.
 
 use kappa::baselines::{greedy_kway_refinement, greedy_kway_refinement_indexed};
+use kappa::coarsen::SpillConfig;
 use kappa::coarsen::{
     contract_matching, contract_matching_reference, CoarseningConfig, MultilevelHierarchy,
 };
+use kappa::core::{default_spill_dir, partition_tiered};
 use kappa::graph::boundary::{band_around_boundary, boundary_nodes, pair_boundary_nodes};
 use kappa::graph::{BoundaryIndex, PartitionState};
 use kappa::initial::random_partition;
 use kappa::matching::{compute_matching, EdgeRating, MatchingAlgorithm};
+use kappa::mem::{compact_from_source, BuildOptions, CompactCsr, PagedGraph, TierGraph};
 use kappa::prelude::*;
 use kappa::refine::{rebalance, rebalance_state};
 use kappa::refine::{refine_partition, refine_partition_reference, RefinementConfig};
@@ -311,6 +314,22 @@ proptest! {
         prop_assert!(state.verify_exact(&graph).is_ok());
     }
 
+    // Satellite of the memory-tier PR: the compact delta-varint encoding is
+    // a lossless re-encoding of CSR — round-tripping through it, and
+    // streaming the same edges through the chunked two-pass builder, both
+    // reproduce the original graph bit for bit.
+    #[test]
+    fn compact_encoding_round_trips_arbitrary_graphs(
+        graph in arbitrary_graph(300),
+    ) {
+        let compact = CompactCsr::from_graph(&graph);
+        prop_assert_eq!(&compact.to_csr(), &graph, "to_csr round trip");
+        let edges: Vec<_> = graph.undirected_edges().collect();
+        let src = kappa::graph::SliceEdgeSource::new(graph.num_nodes(), &edges);
+        let streamed = compact_from_source(&src, BuildOptions::default());
+        prop_assert_eq!(&streamed.to_csr(), &graph, "streamed-build round trip");
+    }
+
     // The full pipeline is *not* invariant across thread counts — the paper's
     // parallel matcher partitions the graph into one part per PE, so the
     // matching (and everything downstream) legitimately depends on the worker
@@ -336,5 +355,81 @@ proptest! {
             );
             prop_assert_eq!(first.metrics.edge_cut, second.metrics.edge_cut);
         }
+    }
+}
+
+/// Runs the tiered pipeline on `graph` hoisted onto `tier` and asserts the
+/// partition is bit-identical to the classic in-RAM pipeline at one thread —
+/// the memory-tier PR's headline invariant.
+fn assert_tier_matches_classic(context: &str, graph: &CsrGraph, k: u32, seed: u64, tier: &str) {
+    let config = KappaConfig::fast(k).with_seed(seed).with_threads(1);
+    let classic = KappaPartitioner::new(config).partition(graph);
+    let spill = {
+        let mut s = SpillConfig::new(default_spill_dir(&format!("parity-{tier}")));
+        // Force real spilling even on small instances.
+        s.spill_above_half_edges = 500;
+        s
+    };
+    std::fs::create_dir_all(&spill.spill_dir).expect("spill dir");
+    let finest = match tier {
+        "compact" => TierGraph::Compact(CompactCsr::from_graph(graph)),
+        "paged" => {
+            let mut g =
+                PagedGraph::from_graph(graph, &spill.spill_dir.join("finest.kpg"), spill.cache)
+                    .expect("paged build");
+            g.set_delete_on_drop(true);
+            TierGraph::Paged(g)
+        }
+        other => panic!("unknown tier {other}"),
+    };
+    let tiered = partition_tiered(finest, &config, &spill).expect("tiered run");
+    assert_eq!(
+        tiered.result.partition.assignment(),
+        classic.partition.assignment(),
+        "{context}: {tier} partition differs from classic"
+    );
+    assert_eq!(
+        tiered.result.metrics.edge_cut, classic.metrics.edge_cut,
+        "{context}: {tier} cut differs"
+    );
+    let _ = std::fs::remove_dir_all(&spill.spill_dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Satellite of the memory-tier PR: for arbitrary graphs, seeds and k, a
+    // run on compact or paged storage is bit-identical to the classic in-RAM
+    // run at one thread (the spill threshold is forced low so the paged case
+    // really exercises on-disk levels).
+    #[test]
+    fn tiered_pipeline_is_bit_identical_across_storage_tiers(
+        graph in arbitrary_graph(220),
+        k in 2u32..7,
+        seed in any::<u64>(),
+    ) {
+        assert_tier_matches_classic("proptest", &graph, k, seed, "compact");
+        assert_tier_matches_classic("proptest", &graph, k, seed, "paged");
+    }
+}
+
+/// The deterministic 2^15 instance of the memory-tier acceptance: paged vs
+/// RAM bit-identity on a real rgg, per (seed, preset).
+#[test]
+fn tiers_match_classic_on_rgg_2e15() {
+    let graph = kappa::gen::random_geometric_graph(1 << 15, 19);
+    for seed in [0u64, 7] {
+        assert_tier_matches_classic("rgg-2^15", &graph, 16, seed, "compact");
+        assert_tier_matches_classic("rgg-2^15", &graph, 16, seed, "paged");
+    }
+}
+
+/// Same invariant on the standard small suite trio (rgg, grid, delaunay) —
+/// including graphs with coordinates, which the paged tier drops.
+#[test]
+fn tiers_match_classic_on_suite_instances() {
+    for (name, graph) in common::suite_instances() {
+        assert_tier_matches_classic(name, &graph, 8, 3, "compact");
+        assert_tier_matches_classic(name, &graph, 8, 3, "paged");
     }
 }

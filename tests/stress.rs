@@ -23,28 +23,12 @@ use kappa::gen::{grid2d, random_geometric_graph};
 use kappa::prelude::*;
 
 mod common;
-use common::xorshift;
+use common::{peak_rss_bytes, reset_peak_rss, xorshift};
 
 /// Serialises the stress runs: wall time and peak RSS are process-wide
 /// measurements, so two budgeted runs must never overlap (the CI job also
 /// passes `--test-threads=1`; this guards ad-hoc invocations).
 static STRESS_LOCK: Mutex<()> = Mutex::new(());
-
-/// Peak resident set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`), or `None` where procfs is unavailable.
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
-}
-
-/// Best-effort reset of `VmHWM` to the current RSS (writing `5` to
-/// `/proc/self/clear_refs`), so each run's peak is attributed to that run
-/// rather than accumulating monotonically across tests in one process.
-fn reset_peak_rss() {
-    let _ = std::fs::write("/proc/self/clear_refs", "5");
-}
 
 fn run_stress(name: &str, graph: &CsrGraph, k: u32, wall_budget: Duration, rss_budget: u64) {
     let _guard = STRESS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
